@@ -1,0 +1,30 @@
+"""Benchmarks regenerating Fig 10: the nanopowder growth simulation."""
+
+from repro.apps.nanopowder import NanoConfig, run_nanopowder
+from repro.harness import run_fig10
+from repro.systems import ricc
+
+
+def test_fig10_full_sweep(once, benchmark):
+    """Fig 10: clMPI above baseline at every node count; performance
+    peaks near 5 nodes and degrades from 8 (§V.D)."""
+    table = once(run_fig10, nodes=[1, 2, 4, 5, 8, 10, 20, 40], steps=1,
+                 verbose=False)
+    rows = [dict(zip(table.columns, r)) for r in table.rows]
+    benchmark.extra_info["rows"] = rows
+    perf_c = {r["nodes"]: r["clMPI"] for r in rows}
+    perf_b = {r["nodes"]: r["baseline"] for r in rows}
+    for n in perf_c:
+        if n > 1:
+            assert perf_c[n] > perf_b[n]
+    best = max(perf_c, key=perf_c.get)
+    assert best in (4, 5, 8)
+    assert perf_c[40] < perf_c[best]
+
+
+def test_fig10_single_run_cost(once, benchmark):
+    """Simulator cost of one paper-scale 8-node step."""
+    res = once(run_nanopowder, ricc(), 8, "clmpi",
+               NanoConfig.paper_scale(steps=1), functional=False)
+    benchmark.extra_info["steps_per_s"] = res.steps_per_second
+    assert res.time > 0

@@ -1,0 +1,15 @@
+"""Benchmark regenerating the Fig 4 overlap timelines."""
+
+from repro.harness import run_fig4
+
+
+def test_fig4_timelines(once, benchmark):
+    """The three panels reproduce: (a) hidden comm, (b) exposed comm with
+    a blocked host, (c) clMPI overlap without host involvement."""
+    panels = once(run_fig4, iterations=2, verbose=False)
+    benchmark.extra_info["overlap_fractions"] = {
+        p.label: p.overlap_fraction for p in panels
+    }
+    a, b, c = panels
+    assert a.overlap_fraction > 0.15
+    assert c.overlap >= b.overlap * 0.99

@@ -1,0 +1,63 @@
+"""Benchmarks regenerating Fig 8: pt2pt sustained bandwidth curves.
+
+One benchmark per panel (8a: Cichlid/GbE, 8b: RICC/IB DDR), plus
+single-point benchmarks per engine for profiling the simulator itself.
+"""
+
+import pytest
+
+from repro.apps.pingpong import measure_bandwidth
+from repro.harness import run_fig8
+from repro.systems import cichlid, ricc
+
+MiB = 1 << 20
+SIZES = [1 << 17, 1 << 20, 1 << 22, 1 << 24, 1 << 26]
+BLOCKS = [1 * MiB, 4 * MiB, 16 * MiB]
+
+
+def _series(table):
+    return {tuple(row): None for row in table.rows} and [
+        dict(zip(table.columns, row)) for row in table.rows]
+
+
+def test_fig8a_cichlid(once, benchmark):
+    """Fig 8(a): all engines converge near the GbE rate; mapped has the
+    small-message edge."""
+    table = once(run_fig8, "cichlid", sizes=SIZES, pipeline_blocks=BLOCKS,
+                 repeats=2, verbose=False)
+    rows = _series(table)
+    benchmark.extra_info["rows"] = rows
+    large = rows[-1]
+    engines = [large[k] for k in ("pinned", "mapped", "auto")]
+    assert max(engines) / min(engines) < 1.10
+    assert max(engines) <= 118.0
+    small = rows[0]
+    assert small["mapped"] >= small["pinned"]
+
+
+def test_fig8b_ricc(once, benchmark):
+    """Fig 8(b): big spread; pipelined > pinned > mapped for large
+    messages; optimal block size grows with message size."""
+    table = once(run_fig8, "ricc", sizes=SIZES, pipeline_blocks=BLOCKS,
+                 repeats=2, verbose=False)
+    rows = _series(table)
+    benchmark.extra_info["rows"] = rows
+    large = rows[-1]
+    assert large["pipelined(4M)"] > large["pinned"] > large["mapped"]
+    # crossover of pipeline block sizes
+    mid = rows[2]  # 4 MiB messages
+    assert mid["pipelined(1M)"] > mid["mapped"]
+    assert large["pipelined(16M)"] > 0
+
+
+@pytest.mark.parametrize("system,mode", [
+    ("cichlid", "pinned"), ("cichlid", "mapped"), ("cichlid", "pipelined"),
+    ("ricc", "pinned"), ("ricc", "mapped"), ("ricc", "pipelined"),
+])
+def test_fig8_single_point(once, benchmark, system, mode):
+    """One engine at 16 MiB — the per-curve sampling cost."""
+    preset = cichlid() if system == "cichlid" else ricc()
+    res = once(measure_bandwidth, preset, 16 * MiB, mode, block=2 * MiB,
+               repeats=2)
+    benchmark.extra_info["MB_per_s"] = res.bandwidth / 1e6
+    assert res.bandwidth > 0

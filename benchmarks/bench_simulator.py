@@ -1,0 +1,82 @@
+"""Meta-benchmarks: the simulator's own performance.
+
+Not paper results — these quantify what a sweep costs in *real* time, per
+the optimizing-code discipline: measure before trusting.  They also act
+as performance regression tripwires for the DES engine.
+"""
+
+import numpy as np
+
+from repro.mpi import MpiWorld
+from repro.sim import Environment, Resource
+from repro.systems import cichlid, ricc
+
+
+def test_engine_event_throughput(benchmark):
+    """Raw calendar throughput: schedule/fire 50k timeout events."""
+    def run():
+        env = Environment()
+
+        def ticker(env, n):
+            for _ in range(n):
+                yield env.timeout(1e-6)
+
+        for _ in range(5):
+            env.process(ticker(env, 10_000))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result > 0
+
+
+def test_resource_contention_throughput(benchmark):
+    """10k acquire/release cycles through a contended resource."""
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=2)
+
+        def user(env, n):
+            for _ in range(n):
+                grant = yield from res.acquire()
+                yield env.timeout(1e-6)
+                res.release(grant)
+
+        for _ in range(10):
+            env.process(user(env, 1_000))
+        env.run()
+        return env.now
+
+    assert benchmark(run) > 0
+
+
+def test_mpi_message_rate(benchmark):
+    """2k small messages through the full MPI stack."""
+    def run():
+        world = MpiWorld(cichlid(), 2)
+        buf = np.zeros(64, dtype=np.uint8)
+
+        def main(comm):
+            for i in range(1_000):
+                if comm.rank == 0:
+                    yield from comm.send(buf, 1, tag=i)
+                else:
+                    yield from comm.recv(buf, 0, tag=i)
+
+        world.run(main)
+        return world.env.now
+
+    assert benchmark(run) > 0
+
+
+def test_timing_only_himeno_iteration_cost(benchmark):
+    """Real-time cost of one timing-only M-size Himeno run (the unit of
+    the Fig 9 sweeps)."""
+    from repro.apps.himeno import HimenoConfig, run_himeno
+
+    def run():
+        return run_himeno(ricc(), 8, "clmpi",
+                          HimenoConfig(size="M", iterations=4),
+                          functional=False).time
+
+    assert benchmark(run) > 0

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Table I (system specifications)."""
+
+from repro.harness import run_table1
+
+
+def test_table1(once, benchmark):
+    """Regenerates Table I; asserts the paper's hardware facts."""
+    table = once(run_table1, verbose=False)
+    props = [row[0] for row in table.rows]
+    gpu_row = table.rows[props.index("GPU")]
+    assert gpu_row[1:] == ["NVIDIA Tesla C2070", "NVIDIA Tesla C1060"]
+    nic_row = table.rows[props.index("NIC")]
+    assert "Gigabit" in nic_row[1] and "InfiniBand" in nic_row[2]
+    benchmark.extra_info["table"] = table.to_markdown()

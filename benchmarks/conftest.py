@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs one evaluation-artefact regenerator (a whole simulated
+cluster run) under pytest-benchmark.  The *measured* quantity is the real
+time the simulator needs; the *reproduced* quantity — the paper's metric,
+in virtual time — is attached to ``benchmark.extra_info`` so
+``--benchmark-json`` output carries the figures' data series.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Simulation runs are deterministic, so repeated rounds only measure
+    interpreter noise; one round keeps the suite fast.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _run

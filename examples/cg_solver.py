@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Distributed conjugate-gradient Poisson solve on the simulated cluster.
+
+A downstream-adopter workload: per-iteration halo exchanges run as clMPI
+commands, global dot products as nonblocking allreduces, and the x-update
+kernel is gated on the reduction through
+``clCreateEventFromMPIRequest`` — three of the paper's mechanisms in one
+solver.  The answer is checked against SciPy's sparse CG.
+
+Run:  python examples/cg_solver.py
+"""
+
+import numpy as np
+
+from repro.apps.cg import CgConfig, reference_solution, run_cg
+from repro.systems import ricc
+
+CFG = CgConfig(grid=(24, 12, 12), max_iters=500, tol=1e-9)
+
+if __name__ == "__main__":
+    ref = reference_solution(CFG)
+    for nodes in (1, 2, 4):
+        res = run_cg(ricc(), nodes, CFG, functional=True, collect=True)
+        err = float(np.abs(res.x - ref).max())
+        drop = res.residuals[-1] / res.residuals[0]
+        print(f"{nodes} node(s): {res.iterations:3d} iterations, "
+              f"residual drop {drop:.1e}, max|x - x_scipy| = {err:.2e}, "
+              f"virtual time {res.time * 1e3:7.2f} ms")
+        assert err < 1e-5
+    print("distributed CG matches SciPy on every node count ✓")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Checkpointing with the §VI file-I/O extension commands.
+
+The paper's conclusion proposes encapsulating "other time-consuming tasks
+such as file I/O" in additional OpenCL commands.  This example runs a
+small iterative kernel and checkpoints the device buffer to node-local
+disk *between* iterations with ``enqueue_write_file`` — the checkpoint of
+iteration *t* overlaps the kernel of iteration *t+1* through ordinary
+event dependencies, with the host only waiting at the end.
+
+Run:  python examples/checkpoint_fileio.py
+"""
+
+import numpy as np
+
+from repro import ClusterApp, clmpi
+from repro.ocl import Kernel
+from repro.systems import ricc
+
+N = 8 << 20       # 8 MiB of state
+ITERS = 4
+
+
+def main(ctx):
+    compute_q = ctx.queue(name="compute")
+    io_q = ctx.queue(name="io")
+    state = ctx.ocl.create_buffer(N, name="state")
+    shadow = ctx.ocl.create_buffer(N, name="shadow")  # checkpoint source
+
+    step = Kernel(
+        "step",
+        body=lambda b: b.view("f4").__iadd__(np.float32(1.0)),
+        flops=lambda b: 2.0 * (b.size // 4))
+
+    e_ckpt = None
+    for it in range(ITERS):
+        # compute step; must wait until the previous checkpoint's snapshot
+        # (the copy into `shadow`) has been taken
+        e_k = yield from compute_q.enqueue_nd_range_kernel(step, (state,))
+        # snapshot + write-behind checkpoint, overlapping the next kernel
+        e_cp = yield from compute_q.enqueue_copy_buffer(state, shadow,
+                                                        0, 0, N)
+        f = ctx.node.storage.open(f"ckpt_{ctx.rank}_{it}.bin", size=N)
+        e_ckpt = yield from clmpi.enqueue_write_file(
+            io_q, shadow, False, 0, N, f, wait_for=(e_cp,))
+    yield from compute_q.finish()
+    yield from io_q.finish()
+
+    # verify the last checkpoint contains the final state
+    last = ctx.node.storage.open(f"ckpt_{ctx.rank}_{ITERS - 1}.bin")
+    assert np.all(last.data.view(np.float32) == ITERS)
+    return ctx.env.now
+
+
+if __name__ == "__main__":
+    app = ClusterApp(ricc(), num_nodes=2, trace=True)
+    times = app.run(main)
+    tracer = app.tracer
+    io_time = sum(tracer.busy_time(lane) for lane in tracer.lanes()
+                  if lane.endswith(".disk"))
+    print(f"virtual makespan {max(times) * 1e3:.2f} ms; disk busy "
+          f"{io_time * 1e3:.2f} ms per node pair — checkpoints overlapped "
+          "the compute steps via events, no host blocking")

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1: naive joint programming of MPI and OpenCL.
+
+A kernel produces data on each GPU; the result is read back to the host
+(blocking), exchanged with the neighbour via ``MPI_Sendrecv``, and the
+received halo written back to the device — every step serializing the
+host thread.  This is the pattern whose cost §III analyses; compare with
+``fig6_himeno_clmpi.py``.
+
+Run:  python examples/fig1_naive_joint.py
+"""
+
+import numpy as np
+
+from repro import ClusterApp
+from repro.ocl import Kernel
+from repro.ocl.api import wait_for_events
+from repro.systems import cichlid
+
+CELLS = 1 << 16
+
+
+def main(ctx):
+    cmd = ctx.queue()
+    buf = ctx.ocl.create_buffer(CELLS * 4, name=f"data.r{ctx.rank}")
+
+    # the kernel writes rank-dependent values
+    kernel = Kernel(
+        "produce",
+        body=lambda b, r: b.view("f4").__setitem__(slice(None), float(r)),
+        flops=10.0 * CELLS)
+
+    # --- Figure 1, line by line -------------------------------------------
+    # clEnqueueNDRangeKernel(..., &evt)
+    evt = yield from cmd.enqueue_nd_range_kernel(kernel, (buf, ctx.rank))
+    # clEnqueueReadBuffer(cmd, buf, CL_TRUE, ..., 1, &evt, NULL): blocking
+    sendbuf = np.empty(CELLS, dtype=np.float32)
+    yield from cmd.enqueue_read_buffer(buf, True, 0, buf.size, sendbuf,
+                                       wait_for=(evt,))
+    # MPI_Sendrecv(sendbuf, ..., recvbuf, ...): host blocked again
+    peer = 1 - ctx.rank
+    recvbuf = np.empty(CELLS, dtype=np.float32)
+    yield from ctx.comm.sendrecv(sendbuf, peer, 0, recvbuf, peer, 0)
+    # clEnqueueWriteBuffer(...): and blocked once more
+    yield from cmd.enqueue_write_buffer(buf, True, 0, buf.size, recvbuf)
+
+    assert np.all(buf.view("f4") == float(peer))
+    return ctx.env.now
+
+
+if __name__ == "__main__":
+    app = ClusterApp(cichlid(), num_nodes=2)
+    times = app.run(main)
+    print(f"naive joint version finished at {max(times) * 1e3:.3f} ms — "
+          "kernel, read, exchange and write all serialized on the host")

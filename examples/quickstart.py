@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: two GPUs exchanging a device buffer via clMPI commands.
+
+Builds a 2-node simulated Cichlid cluster, sends a device buffer from
+rank 0's GPU to rank 1's GPU with ``clEnqueueSendBuffer`` /
+``clEnqueueRecvBuffer`` (the paper's Fig 5 pattern), and verifies the
+payload arrived bit-for-bit.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ClusterApp, clmpi
+from repro.systems import cichlid
+
+N = 4 << 20  # 4 MiB
+
+
+def main(ctx):
+    """One rank's program: a simulation coroutine (note the yield from)."""
+    queue = ctx.queue()
+    buf = ctx.ocl.create_buffer(N, name=f"payload.r{ctx.rank}")
+
+    if ctx.rank == 0:
+        # fill the device buffer (host-side initialization, then h2d)
+        payload = np.arange(N // 4, dtype=np.float32)
+        yield from queue.enqueue_write_buffer(buf, True, 0, N, payload)
+        # the GPU becomes the communicator device: no MPI calls in sight
+        event = yield from clmpi.enqueue_send_buffer(
+            queue, buf, False, 0, N, dest=1, tag=0, comm=ctx.comm)
+    else:
+        event = yield from clmpi.enqueue_recv_buffer(
+            queue, buf, False, 0, N, source=0, tag=0, comm=ctx.comm)
+
+    # the host thread is free here — it only waits at the very end
+    yield from queue.finish()
+
+    if ctx.rank == 1:
+        received = np.empty(N // 4, dtype=np.float32)
+        yield from queue.enqueue_read_buffer(buf, True, 0, N, received)
+        assert np.array_equal(received, np.arange(N // 4, dtype=np.float32))
+        print(f"rank 1: received {N >> 20} MiB intact; transfer used the "
+              f"'{ctx.runtime.describe(N, 0).mode}' engine")
+    return ctx.env.now
+
+
+if __name__ == "__main__":
+    app = ClusterApp(cichlid(), num_nodes=2)
+    times = app.run(main)
+    print(f"virtual makespan: {max(times) * 1e3:.3f} ms "
+          f"(simulated GbE cluster)")

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` on toolchains that lack the ``wheel`` package
+(pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""clMPI reproduction: an OpenCL extension for MPI interoperation.
+
+Reproduces Takizawa et al., *"clMPI: An OpenCL Extension for
+Interoperation with the Message Passing Interface"* (IPDPS 2013) as a
+pure-Python library: a deterministic discrete-event-simulated GPU cluster
+(:mod:`repro.sim`, :mod:`repro.hardware`, :mod:`repro.systems`), simulated
+MPI (:mod:`repro.mpi`) and OpenCL (:mod:`repro.ocl`) runtimes, the clMPI
+extension itself (:mod:`repro.clmpi`), the paper's evaluation applications
+(:mod:`repro.apps`) and the harness regenerating every evaluation table
+and figure (:mod:`repro.harness`).
+
+Quick start::
+
+    from repro import ClusterApp, clmpi
+    from repro.systems import cichlid
+
+    app = ClusterApp(cichlid(), num_nodes=2)
+
+    def main(ctx):
+        q = ctx.queue()
+        buf = ctx.ocl.create_buffer(1 << 20)
+        if ctx.rank == 0:
+            evt = yield from clmpi.enqueue_send_buffer(
+                q, buf, False, 0, buf.size, dest=1, tag=0, comm=ctx.comm)
+        else:
+            evt = yield from clmpi.enqueue_recv_buffer(
+                q, buf, False, 0, buf.size, source=0, tag=0, comm=ctx.comm)
+        yield from q.finish()
+
+    app.run(main)
+"""
+
+from repro import clmpi, cuda, mpi, ocl, sim
+from repro.errors import (
+    ClmpiError,
+    ConfigurationError,
+    MpiError,
+    OclError,
+    ReproError,
+)
+from repro.launcher import ClusterApp, RankContext, launch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "clmpi",
+    "cuda",
+    "mpi",
+    "ocl",
+    "sim",
+    "ClusterApp",
+    "RankContext",
+    "launch",
+    "ReproError",
+    "ConfigurationError",
+    "OclError",
+    "MpiError",
+    "ClmpiError",
+    "__version__",
+]

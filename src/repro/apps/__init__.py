@@ -1,0 +1,11 @@
+"""The paper's evaluation applications.
+
+* :mod:`repro.apps.pingpong` — point-to-point sustained-bandwidth
+  microbenchmark (§V.B, Fig 8).
+* :mod:`repro.apps.himeno` — the Himeno benchmark in the three
+  implementations of §V.C (serial / hand-optimized / clMPI, Fig 9).
+* :mod:`repro.apps.nanopowder` — the nanopowder growth simulation of
+  §V.D (baseline vs clMPI, Fig 10).
+"""
+
+__all__ = ["pingpong", "himeno", "nanopowder"]

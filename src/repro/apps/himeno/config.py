@@ -1,0 +1,77 @@
+"""Problem sizes and run configuration for the Himeno benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SIZES", "HimenoConfig", "FLOPS_PER_CELL"]
+
+#: Official Himeno grid sizes (mimax, mjmax, mkmax) plus small test sizes.
+SIZES: dict[str, tuple[int, int, int]] = {
+    "XXS": (16, 16, 32),
+    "XS": (32, 32, 64),
+    "S": (64, 64, 128),
+    "M": (128, 128, 256),   # the paper evaluates "M-size data"
+    "L": (256, 256, 512),
+}
+
+#: The benchmark's official operation count per interior cell per sweep.
+FLOPS_PER_CELL = 34
+
+
+@dataclass(frozen=True)
+class HimenoConfig:
+    """One Himeno run's parameters.
+
+    Attributes
+    ----------
+    size:
+        A key of :data:`SIZES`, or leave and set ``dims``.
+    dims:
+        Explicit ``(mi, mj, mk)`` grid (overrides ``size``).
+    iterations:
+        Jacobi sweeps to run (the paper reports sustained GFLOPS, so a
+        few sweeps suffice).
+    omega:
+        Relaxation factor (benchmark standard 0.8).
+    """
+
+    size: str = "M"
+    dims: tuple[int, int, int] | None = None
+    iterations: int = 4
+    omega: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.dims is None and self.size not in SIZES:
+            raise ConfigurationError(
+                f"unknown Himeno size {self.size!r}; pick from {sorted(SIZES)}")
+        mi, mj, mk = self.grid
+        if min(mi, mj, mk) < 4:
+            raise ConfigurationError("grid must be at least 4^3")
+        if self.iterations < 1:
+            raise ConfigurationError("need at least one iteration")
+        if not (0.0 < self.omega <= 1.0):
+            raise ConfigurationError("omega must be in (0, 1]")
+
+    @property
+    def grid(self) -> tuple[int, int, int]:
+        """(mi, mj, mk) including boundary planes."""
+        return self.dims if self.dims is not None else SIZES[self.size]
+
+    @property
+    def interior_cells(self) -> int:
+        mi, mj, mk = self.grid
+        return (mi - 2) * (mj - 2) * (mk - 2)
+
+    @property
+    def total_flops(self) -> float:
+        """Official FLOP count of the whole run."""
+        return float(FLOPS_PER_CELL) * self.interior_cells * self.iterations
+
+    @property
+    def plane_bytes(self) -> int:
+        """Bytes of one i-plane (the halo message size), float32."""
+        _, mj, mk = self.grid
+        return mj * mk * 4

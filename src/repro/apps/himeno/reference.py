@@ -1,0 +1,155 @@
+"""Pure-NumPy references for the Himeno benchmark.
+
+Two references:
+
+* :func:`run_reference` — the textbook single-domain benchmark (full
+  Jacobi sweep per iteration).  Used for convergence checks.
+* :func:`distributed_reference` — a timing-free emulation of the *exact*
+  dataflow of the distributed A/B-overlapped implementations: per-half
+  in-place updates, phase-ordered halo exchange, parity-dependent phase
+  order.  The simulated implementations must match it **bit for bit**.
+
+The Himeno coefficient arrays are constant after initialization
+(``a=(1,1,1,1/6)``, ``b=0``, ``c=1``, ``bnd=1``, ``wrk1=0``), so the
+stencil reduces to the 6-neighbour form implemented in
+:func:`jacobi_rows`; the cost model still charges the official 34
+flops/cell (see :mod:`repro.apps.himeno.config`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.himeno.decomp import Partition
+
+__all__ = ["init_pressure", "jacobi_rows", "run_reference",
+           "distributed_reference"]
+
+
+def init_pressure(mi: int, mj: int, mk: int,
+                  i_offset: int = 0, mi_global: int | None = None
+                  ) -> np.ndarray:
+    """Initial pressure field: ``p[i] = ((i)/(mi-1))**2`` along axis 0.
+
+    ``i_offset``/``mi_global`` produce the slab of a decomposed global
+    grid with the *global* i-index profile.
+    """
+    mi_global = mi if mi_global is None else mi_global
+    gi = np.arange(i_offset, i_offset + mi, dtype=np.float64)
+    profile = ((gi / (mi_global - 1)) ** 2).astype(np.float32)
+    return np.broadcast_to(profile[:, None, None], (mi, mj, mk)).copy()
+
+
+def jacobi_rows(P: np.ndarray, lo: int, hi: int,
+                omega: float = 0.8) -> np.float64:
+    """In-place Jacobi update of interior rows ``[lo, hi)`` of ``P``.
+
+    Returns the partial ``gosa`` (sum of squared residuals) as float64.
+    This exact function is also the functional body of the simulated GPU
+    kernel, so reference and simulation share every floating-point
+    operation (and therefore agree bitwise).
+    """
+    if not (1 <= lo and hi <= P.shape[0] - 1 and lo <= hi):
+        raise ValueError(f"rows [{lo}, {hi}) outside interior of {P.shape}")
+    if lo == hi:
+        return np.float64(0.0)
+    c = P[lo:hi, 1:-1, 1:-1]
+    s0 = (P[lo + 1:hi + 1, 1:-1, 1:-1] + P[lo - 1:hi - 1, 1:-1, 1:-1]
+          + P[lo:hi, 2:, 1:-1] + P[lo:hi, :-2, 1:-1]
+          + P[lo:hi, 1:-1, 2:] + P[lo:hi, 1:-1, :-2])
+    ss = s0 * np.float32(1.0 / 6.0) - c
+    gosa = np.float64((ss.astype(np.float64) ** 2).sum())
+    P[lo:hi, 1:-1, 1:-1] = c + np.float32(omega) * ss
+    return gosa
+
+
+def run_reference(mi: int, mj: int, mk: int, iterations: int,
+                  omega: float = 0.8) -> tuple[np.ndarray, list[float]]:
+    """Textbook single-domain run: full sweep per iteration.
+
+    Returns ``(final pressure, per-iteration gosa)``.
+    """
+    P = init_pressure(mi, mj, mk)
+    gosas = []
+    for _ in range(iterations):
+        gosas.append(float(jacobi_rows(P, 1, mi - 1, omega)))
+    return P, gosas
+
+
+def distributed_reference(num_ranks: int, mi: int, mj: int, mk: int,
+                          iterations: int, omega: float = 0.8
+                          ) -> tuple[list[np.ndarray], list[float]]:
+    """Timing-free emulation of the distributed A/B dataflow.
+
+    Phase structure per iteration (paper §III):
+
+    * even rank: phase 1 = compute A ∥ exchange halo-of-B;
+      phase 2 = compute B ∥ exchange halo-of-A.
+    * odd rank: phases swapped.
+
+    Messages carry the sender's row values *at send time*: phase-1
+    messages are sent before the phase-1 compute touches them, phase-2
+    messages after the phase-1 compute (matching the event dependencies
+    of the simulated implementations).
+
+    Returns ``(per-rank local arrays, per-iteration global gosa)``.
+    """
+    part = Partition(num_ranks, mi, mj, mk)
+    local = [init_pressure(part.local_rows(r) + 2, mj, mk,
+                           i_offset=part.row_start(r), mi_global=mi)
+             for r in range(num_ranks)]
+    gosas = []
+    for _ in range(iterations):
+        gosa_rank = [np.float64(0.0)] * num_ranks
+        # ----- phase 1: record outgoing halo rows ------------------------
+        msgs_up = {}    # r -> row sent to r+1 (its ghost_low)
+        msgs_down = {}  # r -> row sent to r-1 (its ghost_high)
+        for r in range(num_ranks):
+            li = part.local_rows(r)
+            if r % 2 == 0:
+                if r + 1 < num_ranks:        # exchange halo-of-B
+                    msgs_up[r] = local[r][li].copy()
+            else:
+                if r - 1 >= 0:               # exchange halo-of-A
+                    msgs_down[r] = local[r][1].copy()
+        # ----- phase 1: compute ------------------------------------------
+        for r in range(num_ranks):
+            li = part.local_rows(r)
+            a_lo, a_hi, b_lo, b_hi = 1, li // 2 + 1, li // 2 + 1, li + 1
+            if r % 2 == 0:
+                gosa_rank[r] += jacobi_rows(local[r], a_lo, a_hi, omega)
+            else:
+                gosa_rank[r] += jacobi_rows(local[r], b_lo, b_hi, omega)
+        # ----- phase 1: deliver -------------------------------------------
+        for r, row in msgs_up.items():
+            local[r + 1][0] = row            # odd (r+1) ghost_low
+        for r, row in msgs_down.items():
+            li = part.local_rows(r - 1)
+            local[r - 1][li + 1] = row       # even (r-1) ghost_high
+        # ----- phase 2: record outgoing halo rows -------------------------
+        msgs_up.clear()
+        msgs_down.clear()
+        for r in range(num_ranks):
+            li = part.local_rows(r)
+            if r % 2 == 0:
+                if r - 1 >= 0:               # exchange halo-of-A
+                    msgs_down[r] = local[r][1].copy()
+            else:
+                if r + 1 < num_ranks:        # exchange halo-of-B
+                    msgs_up[r] = local[r][li].copy()
+        # ----- phase 2: compute --------------------------------------------
+        for r in range(num_ranks):
+            li = part.local_rows(r)
+            a_lo, a_hi, b_lo, b_hi = 1, li // 2 + 1, li // 2 + 1, li + 1
+            if r % 2 == 0:
+                gosa_rank[r] += jacobi_rows(local[r], b_lo, b_hi, omega)
+            else:
+                gosa_rank[r] += jacobi_rows(local[r], a_lo, a_hi, omega)
+        # ----- phase 2: deliver ----------------------------------------------
+        for r, row in msgs_up.items():
+            local[r + 1][0] = row
+        for r, row in msgs_down.items():
+            li = part.local_rows(r - 1)
+            local[r - 1][li + 1] = row
+        gosas.append(float(np.sum(gosa_rank)))
+    return local, gosas

@@ -1,0 +1,106 @@
+"""The *baseline* nanopowder implementation (§V.D).
+
+Coefficient distribution "just uses MPI_Isend and MPI_Recv": rank 0
+nonblocking-sends the 42 MB coefficient block to every node's *host*
+memory; each node then pushes it to its device with a blocking
+``clEnqueueWriteBuffer`` from that (pageable) receive buffer.  Inter-node
+and host→device transfers are fully serialized — the cost Fig 10 exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.apps.nanopowder.common import (
+    TAG_COEFF,
+    TAG_STATE,
+    NanoState,
+    initial_state,
+    mass_of,
+    rank0_host_phase,
+    setup_rank,
+)
+from repro.apps.nanopowder.model import NanoConfig
+from repro.launcher import RankContext
+from repro.mpi.request import waitall
+
+__all__ = ["baseline_main"]
+
+
+def baseline_main(ctx: RankContext, cfg: NanoConfig,
+                  collect: bool = False) -> Generator[Any, Any, dict]:
+    """Rank coroutine of the baseline implementation."""
+    st = yield from setup_rank(ctx, cfg)
+    q = ctx.queue(name=f"r{ctx.rank}.q")
+    comm = ctx.comm
+    functional = ctx.ocl.functional
+    n_master = initial_state(cfg) if ctx.rank == 0 else None
+    # staging buffer only materialized when data actually moves
+    coeff_host = (np.zeros((6, cfg.sections, cfg.sections), dtype=np.float32)
+                  if functional else None)
+    gather_buf = (np.zeros((ctx.size, st.cells * cfg.sections),
+                           dtype=np.float32) if ctx.rank == 0 else None)
+
+    t0 = ctx.env.now
+    step_times, masses = [], []
+    for step in range(cfg.steps):
+        t_step = ctx.env.now
+        if ctx.rank == 0:
+            block = yield from rank0_host_phase(ctx, st, n_master,
+                                                step * cfg.dt)
+            if functional:
+                coeff_host[:] = block
+            # distribute coefficients + cell slices to every worker
+            reqs = []
+            for r in range(1, ctx.size):
+                reqs.append((yield from comm.isend_bytes(
+                    coeff_host.reshape(-1).view(np.uint8)
+                    if functional else None,
+                    cfg.coeff_bytes, r, TAG_COEFF)))
+                lo, hi = cfg.cells_of(r, ctx.size)
+                reqs.append((yield from comm.isend_bytes(
+                    np.ascontiguousarray(n_master[lo:hi]).reshape(-1)
+                    .view(np.uint8) if functional else None,
+                    (hi - lo) * cfg.sections * 4, r, TAG_STATE)))
+            if functional:
+                st.n_host[:] = n_master[st.cell_lo:st.cell_hi]
+        else:
+            creq = yield from comm.irecv_bytes(
+                coeff_host.reshape(-1).view(np.uint8) if functional
+                else None, cfg.coeff_bytes, 0, TAG_COEFF)
+            sreq = yield from comm.irecv_bytes(
+                st.n_host.reshape(-1).view(np.uint8) if functional
+                else None, st.slice_bytes, 0, TAG_STATE)
+            yield from waitall(ctx.env, [creq, sreq])
+            yield from ctx.node.host.sync_wakeup()
+        # blocking writes from (pageable) host receive buffers — the
+        # naive joint-programming path of Fig 1
+        yield from q.enqueue_write_buffer(st.coeff_buf, True, 0,
+                                          cfg.coeff_bytes, coeff_host,
+                                          pinned=False)
+        yield from q.enqueue_write_buffer(st.n_buf, True, 0,
+                                          st.slice_bytes, st.n_host,
+                                          pinned=False)
+        yield from q.enqueue_nd_range_kernel(
+            st.kernel, (st.coeff_buf, st.n_buf, st.cells))
+        yield from q.enqueue_read_buffer(st.n_buf, True, 0, st.slice_bytes,
+                                         st.n_host)
+        # gather the updated slices back to rank 0
+        yield from comm.gather(st.n_host.reshape(-1), gather_buf, root=0)
+        if ctx.rank == 0:
+            if functional:
+                n_master[:] = gather_buf.reshape(n_master.shape)
+                masses.append(mass_of(cfg, n_master))
+            yield from waitall(ctx.env, reqs)
+            step_times.append(ctx.env.now - t_step)
+    yield from ctx.comm.barrier()
+    return {
+        "rank": ctx.rank,
+        "time": ctx.env.now - t0,
+        "step_times": step_times,
+        "masses": masses,
+        "n_final": (n_master.copy()
+                    if collect and ctx.rank == 0 and functional else None),
+    }

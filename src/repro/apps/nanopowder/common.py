@@ -1,0 +1,115 @@
+"""Shared pieces of the two nanopowder implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.apps.nanopowder.model import NanoConfig
+from repro.apps.nanopowder.physics import (
+    coagulation_substeps,
+    host_phase,
+    pack_coefficients,
+    total_mass,
+    unpack_coefficients,
+)
+from repro.launcher import RankContext
+from repro.ocl.buffer import Buffer
+from repro.ocl.kernel import Kernel
+
+__all__ = ["NanoState", "make_coag_kernel", "setup_rank", "initial_state",
+           "TAG_COEFF", "TAG_STATE"]
+
+TAG_COEFF = 21
+TAG_STATE = 22
+
+
+def initial_state(cfg: NanoConfig) -> np.ndarray:
+    """Seed population: pure-A and pure-B monomer pools in every cell."""
+    n = np.zeros((cfg.cells, cfg.sections), dtype=np.float32)
+    n[:, 0] = 1e10                       # (k=0, c=0): pure B monomers
+    n[:, cfg.comp_sections - 1] = 1e10   # (k=0, c=1): pure A monomers
+    return n
+
+
+def make_coag_kernel(cfg: NanoConfig) -> Kernel:
+    """The coagulation kernel: integrates all local cells' sections.
+
+    Launch args: ``(coeff_buf, n_buf, cells)``.
+    """
+    M = cfg.sections
+
+    def body(coeff_buf, n_buf, cells: int) -> None:
+        block = coeff_buf.view("f4", (6, M, M))
+        n_view = n_buf.view("f4", (cells, M))
+        coagulation_substeps(cfg, n_view, unpack_coefficients(block))
+
+    def flops(coeff_buf, n_buf, cells: int) -> float:
+        return cfg.coag_flops(cells)
+
+    def mem_bytes(coeff_buf, n_buf, cells: int) -> float:
+        # the coefficient tables stream once per substep
+        return float(cfg.coeff_bytes) * cfg.substeps
+
+    return Kernel(name="coagulation", body=body, flops=flops,
+                  mem_bytes=mem_bytes)
+
+
+@dataclass
+class NanoState:
+    """Per-rank state of one nanopowder run."""
+
+    cfg: NanoConfig
+    rank: int
+    cell_lo: int
+    cell_hi: int
+    coeff_buf: Buffer
+    n_buf: Buffer
+    kernel: Kernel
+    #: host staging for this rank's cell slice
+    n_host: np.ndarray
+
+    @property
+    def cells(self) -> int:
+        return self.cell_hi - self.cell_lo
+
+    @property
+    def slice_bytes(self) -> int:
+        return self.cells * self.cfg.sections * 4
+
+
+def setup_rank(ctx: RankContext,
+               cfg: NanoConfig) -> Generator[Any, Any, NanoState]:
+    """Allocate device buffers and host staging; barrier at the end."""
+    lo, hi = cfg.cells_of(ctx.rank, ctx.size)
+    coeff_buf = ctx.ocl.create_buffer(cfg.coeff_bytes,
+                                      name=f"coeff.r{ctx.rank}")
+    n_buf = ctx.ocl.create_buffer((hi - lo) * cfg.sections * 4,
+                                  name=f"n.r{ctx.rank}")
+    st = NanoState(cfg=cfg, rank=ctx.rank, cell_lo=lo, cell_hi=hi,
+                   coeff_buf=coeff_buf, n_buf=n_buf,
+                   kernel=make_coag_kernel(cfg),
+                   n_host=np.zeros((hi - lo, cfg.sections),
+                                   dtype=np.float32))
+    yield from ctx.comm.barrier()
+    return st
+
+
+def rank0_host_phase(ctx: RankContext, st: NanoState, n_master: np.ndarray,
+                     t: float) -> Generator[Any, Any, Optional[np.ndarray]]:
+    """Rank 0's serial phase: physics + modelled host compute time.
+
+    Returns the packed coefficient block (None in timing-only mode).
+    """
+    yield from ctx.node.host.compute(st.cfg.host_flops, "nucl+cond+coeffs")
+    if not ctx.ocl.functional:
+        return None
+    _, coeffs, _temp = host_phase(st.cfg, n_master, t)
+    return pack_coefficients(coeffs)
+
+
+def mass_of(cfg: NanoConfig, n_master: np.ndarray) -> float:
+    """Diagnostic total mass of the master state."""
+    return total_mass(cfg, n_master)

@@ -1,0 +1,108 @@
+"""Configuration of the nanopowder growth simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NanoConfig"]
+
+
+@dataclass(frozen=True)
+class NanoConfig:
+    """Parameters of one nanopowder run.
+
+    The paper gives three hard numbers: the coefficient table is ~42 MB,
+    the decomposition needs the node count to divide 40, and ~90% of the
+    serial runtime is coagulation.  ``paper_scale()`` is calibrated to
+    reproduce all three: the binary-alloy section grid is 120 volume bins
+    × 11 composition bins → M = 1320 flat sections, whose six coefficient
+    planes (24 bytes/section-pair × 1320²) are ≈ 42 MB; 40 spatial cells;
+    and the substep count makes the serial host phase ~10% of a one-node
+    step.
+
+    Attributes
+    ----------
+    vol_sections:
+        Particle-volume bins Kv (geometric grid).
+    comp_sections:
+        Alloy-composition bins Kc (species-A fraction in [0, 1]).
+    cells:
+        Spatial reactor cells; the MPI decomposition unit (paper: 40).
+    substeps:
+        Coagulation integrator substeps per simulation step (stiff ODE).
+    steps:
+        Simulation steps to run.
+    dt:
+        Simulation-step timestep in seconds.
+    t0_kelvin / t_room / cool_tau:
+        Plasma cooling profile T(t) = room + (T0 - room)·exp(-t/τ).
+    nucleation_rate0:
+        Peak monomer nucleation rate (particles/m³/s).
+    host_flops:
+        Modelled cost of the serial host phase (nucleation, condensation,
+        coefficient recomputation) in floating-point operations.
+    """
+
+    vol_sections: int = 120
+    comp_sections: int = 11
+    cells: int = 40
+    substeps: int = 80
+    steps: int = 2
+    dt: float = 1e-3
+    t0_kelvin: float = 3200.0
+    t_room: float = 300.0
+    cool_tau: float = 0.05
+    nucleation_rate0: float = 1e18
+    host_flops: float = 1.5e9
+
+    def __post_init__(self) -> None:
+        if self.vol_sections < 2 or self.comp_sections < 1:
+            raise ConfigurationError(
+                "need at least 2 volume bins and 1 composition bin")
+        if self.cells < 1 or self.steps < 1 or self.substeps < 1:
+            raise ConfigurationError("cells/steps/substeps must be positive")
+        if self.dt <= 0 or self.cool_tau <= 0:
+            raise ConfigurationError("dt and cool_tau must be positive")
+
+    @property
+    def sections(self) -> int:
+        """Total flat section count M = Kv · Kc."""
+        return self.vol_sections * self.comp_sections
+
+    @classmethod
+    def paper_scale(cls, steps: int = 2) -> "NanoConfig":
+        """The §V.D configuration (42 MB coefficients, 40 cells)."""
+        return cls(steps=steps)
+
+    @classmethod
+    def test_scale(cls, steps: int = 2, cells: int = 8) -> "NanoConfig":
+        """Small functional configuration for tests (M = 48 sections)."""
+        return cls(vol_sections=12, comp_sections=4, cells=cells,
+                   substeps=4, steps=steps, dt=2e-4, host_flops=1e7)
+
+    @property
+    def coeff_bytes(self) -> int:
+        """Size of the packed coefficient table (24 bytes per pair:
+        six float32 planes of M×M)."""
+        return 24 * self.sections * self.sections
+
+    @property
+    def coag_flops_per_cell_substep(self) -> float:
+        """Roofline flop count of one cell's coagulation substep (rate
+        products, row sums, and the 2×2 sectional scatter)."""
+        return 6.0 * self.sections * self.sections
+
+    def coag_flops(self, cells: int) -> float:
+        """Kernel flop count for ``cells`` cells over all substeps."""
+        return self.coag_flops_per_cell_substep * self.substeps * cells
+
+    def cells_of(self, rank: int, nranks: int) -> tuple[int, int]:
+        """Cell range ``[lo, hi)`` of ``rank``; node count must divide
+        ``cells`` (paper: "the number of nodes must be a divisor of 40")."""
+        if self.cells % nranks != 0:
+            raise ConfigurationError(
+                f"node count {nranks} must divide {self.cells} cells")
+        per = self.cells // nranks
+        return rank * per, (rank + 1) * per

@@ -1,0 +1,103 @@
+"""Point-to-point sustained-bandwidth microbenchmark (§V.B / Fig 8).
+
+Measures device-to-device transfers between two nodes through the clMPI
+extension, per transfer engine and message size — regenerating the pinned
+/ mapped / pipelined(N) comparison of Fig 8(a)/(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro import clmpi
+from repro.errors import ConfigurationError
+from repro.launcher import ClusterApp, RankContext
+from repro.systems.presets import SystemPreset
+
+__all__ = ["BandwidthResult", "measure_bandwidth", "bandwidth_sweep"]
+
+#: message sizes of the Fig 8 sweep (64 KiB .. 64 MiB)
+DEFAULT_SIZES = [1 << s for s in range(16, 27)]
+
+
+@dataclass(frozen=True)
+class BandwidthResult:
+    """Sustained bandwidth of one (engine, size) point."""
+
+    system: str
+    mode: str            # 'pinned' | 'mapped' | 'pipelined' | 'auto'
+    block: Optional[int]  # pipeline block size, if forced
+    nbytes: int
+    repeats: int
+    seconds: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Sustained unidirectional bandwidth in bytes/s."""
+        return self.nbytes * self.repeats / self.seconds
+
+
+def _pingpong_main(ctx: RankContext, nbytes: int,
+                   repeats: int) -> Generator[Any, Any, float]:
+    """Rank coroutine: rank 0 streams ``repeats`` buffers to rank 1."""
+    q = ctx.queue(name=f"r{ctx.rank}.q")
+    buf = ctx.ocl.create_buffer(nbytes, name=f"bw.r{ctx.rank}")
+    yield from ctx.comm.barrier()
+    t0 = ctx.env.now
+    for i in range(repeats):
+        if ctx.rank == 0:
+            yield from clmpi.enqueue_send_buffer(
+                q, buf, False, 0, nbytes, dest=1, tag=i, comm=ctx.comm)
+        elif ctx.rank == 1:
+            yield from clmpi.enqueue_recv_buffer(
+                q, buf, False, 0, nbytes, source=0, tag=i, comm=ctx.comm)
+    yield from q.finish()
+    yield from ctx.comm.barrier()
+    return ctx.env.now - t0
+
+
+def measure_bandwidth(system: SystemPreset, nbytes: int,
+                      mode: Optional[str] = None,
+                      block: Optional[int] = None,
+                      repeats: int = 4,
+                      functional: bool = False) -> BandwidthResult:
+    """One Fig 8 data point.
+
+    ``mode=None`` lets the runtime's automatic selector choose (§V.B);
+    otherwise the engine is forced on both endpoints, as the paper does
+    for its per-implementation curves.
+    """
+    if nbytes <= 0 or repeats <= 0:
+        raise ConfigurationError("nbytes and repeats must be positive")
+    app = ClusterApp(system, 2, functional=functional,
+                     force_mode=mode, force_block=block)
+    results = app.run(_pingpong_main, nbytes, repeats)
+    return BandwidthResult(system=system.name, mode=mode or "auto",
+                           block=block, nbytes=nbytes, repeats=repeats,
+                           seconds=max(results))
+
+
+def bandwidth_sweep(system: SystemPreset,
+                    sizes: Optional[list[int]] = None,
+                    pipeline_blocks: Optional[list[int]] = None,
+                    repeats: int = 4) -> list[BandwidthResult]:
+    """The full Fig 8 sweep for one system.
+
+    Curves: pinned, mapped, pipelined(B) for each block size, plus the
+    automatic selector.
+    """
+    sizes = sizes or DEFAULT_SIZES
+    pipeline_blocks = pipeline_blocks or [1 << 20, 1 << 22, 1 << 24]
+    out: list[BandwidthResult] = []
+    for nbytes in sizes:
+        out.append(measure_bandwidth(system, nbytes, "pinned",
+                                     repeats=repeats))
+        out.append(measure_bandwidth(system, nbytes, "mapped",
+                                     repeats=repeats))
+        for blk in pipeline_blocks:
+            if blk <= nbytes:
+                out.append(measure_bandwidth(system, nbytes, "pipelined",
+                                             block=blk, repeats=repeats))
+        out.append(measure_bandwidth(system, nbytes, None, repeats=repeats))
+    return out

@@ -1,0 +1,52 @@
+"""clMPI: the paper's OpenCL extension for MPI interoperation.
+
+Public surface (paper name → ours):
+
+* ``clEnqueueSendBuffer``  → :func:`enqueue_send_buffer`
+* ``clEnqueueRecvBuffer``  → :func:`enqueue_recv_buffer`
+* ``clCreateEventFromMPIRequest`` → :func:`event_from_mpi_request`
+* ``MPI_Isend/MPI_Irecv/MPI_Send/MPI_Recv`` with ``MPI_CL_MEM`` →
+  :func:`isend` / :func:`irecv` / :func:`send` / :func:`recv`
+  (host-side wrappers that collaborate with a communicator device)
+
+plus the runtime that makes them work: per-rank :class:`ClmpiRuntime`
+owning a duplicated communicator (so runtime traffic never collides with
+application messages) and the three transfer engines of §III — *pinned*,
+*mapped* and *pipelined(N)* — behind the automatic :class:`TransferSelector`.
+"""
+
+from repro.clmpi.runtime import ClmpiRuntime
+from repro.clmpi.selector import TransferSelector
+from repro.clmpi.api import (
+    enqueue_send_buffer,
+    enqueue_recv_buffer,
+    event_from_mpi_request,
+    isend,
+    irecv,
+    send,
+    recv,
+)
+from repro.clmpi.transfers.base import TRANSFER_MODES, TransferDescriptor
+from repro.clmpi.fileio import enqueue_read_file, enqueue_write_file
+from repro.clmpi.autotune import TuneReport, tune_policy
+from repro.clmpi import gpu_aware, dcgn
+
+__all__ = [
+    "ClmpiRuntime",
+    "TransferSelector",
+    "enqueue_send_buffer",
+    "enqueue_recv_buffer",
+    "event_from_mpi_request",
+    "isend",
+    "irecv",
+    "send",
+    "recv",
+    "enqueue_read_file",
+    "enqueue_write_file",
+    "tune_policy",
+    "TuneReport",
+    "gpu_aware",
+    "dcgn",
+    "TRANSFER_MODES",
+    "TransferDescriptor",
+]

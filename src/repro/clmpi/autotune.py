@@ -1,0 +1,88 @@
+"""Empirical transfer-policy auto-tuning (§V.B).
+
+The paper notes that "an automatic selection mechanism of the data
+transfer implementations can be adopted behind the interfaces".  The
+preset policies encode the authors' manual choices; this module derives a
+policy *empirically*, by sweeping every engine over a size grid on the
+target system (in simulation, exactly as a real runtime would probe its
+machine at install time) and fitting the piecewise structure the
+:class:`~repro.systems.presets.TransferPolicy` expresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.systems.presets import SystemPreset, TransferPolicy
+
+__all__ = ["TuneReport", "tune_policy"]
+
+KiB, MiB = 1 << 10, 1 << 20
+
+DEFAULT_SIZES = [64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB]
+DEFAULT_BLOCKS = [256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB]
+
+
+@dataclass(frozen=True)
+class TuneReport:
+    """Outcome of one auto-tuning run."""
+
+    system: str
+    policy: TransferPolicy
+    #: per-size winning (mode, block, bandwidth B/s)
+    winners: dict
+    #: full measurement grid {(mode, block, size): bandwidth}
+    measurements: dict
+
+
+def tune_policy(system: SystemPreset, sizes=None, blocks=None,
+                repeats: int = 2) -> TuneReport:
+    """Probe the system and build an empirically optimal policy."""
+    from repro.apps.pingpong import measure_bandwidth
+
+    sizes = sizes or DEFAULT_SIZES
+    blocks = blocks or DEFAULT_BLOCKS
+    measurements: dict = {}
+    winners: dict = {}
+    for nbytes in sizes:
+        candidates: list[tuple[float, str, int | None]] = []
+        for mode in ("pinned", "mapped"):
+            bw = measure_bandwidth(system, nbytes, mode,
+                                   repeats=repeats).bandwidth
+            measurements[(mode, None, nbytes)] = bw
+            candidates.append((bw, mode, None))
+        for blk in blocks:
+            if blk <= nbytes:
+                bw = measure_bandwidth(system, nbytes, "pipelined",
+                                       block=blk, repeats=repeats).bandwidth
+                measurements[("pipelined", blk, nbytes)] = bw
+                candidates.append((bw, "pipelined", blk))
+        bw, mode, blk = max(candidates)
+        winners[nbytes] = (mode, blk, bw)
+
+    # fit the TransferPolicy structure: a small-message engine and a
+    # pipeline threshold with a size->block mapping
+    small_votes = [w[0] for n, w in winners.items()
+                   if w[0] != "pipelined"]
+    small_mode = (max(set(small_votes), key=small_votes.count)
+                  if small_votes else system.policy.small_mode)
+    piped_sizes = sorted(n for n, w in winners.items()
+                         if w[0] == "pipelined")
+    threshold = piped_sizes[0] if piped_sizes else max(sizes) + 1
+    block_by_size = {n: winners[n][1] for n in piped_sizes}
+
+    def block_fn(nbytes: int,
+                 table=tuple(sorted(block_by_size.items()))) -> int:
+        best = table[-1][1] if table else 1 * MiB
+        for size, blk in table:
+            if nbytes <= size:
+                best = blk
+                break
+        return best
+
+    policy = TransferPolicy(small_mode=small_mode,
+                            pipeline_threshold=threshold,
+                            pipeline_block=block_fn,
+                            pipeline_base=system.policy.pipeline_base)
+    return TuneReport(system=system.name, policy=policy, winners=winners,
+                      measurements=measurements)

@@ -1,0 +1,151 @@
+"""DCGN-style comparator (§II related work, Stuart & Owens).
+
+DCGN lets *kernels* initiate inter-node communication: a kernel writes a
+request record into a region of device memory that a CPU thread monitors;
+the CPU thread reads the requests over PCIe and services them with MPI.
+The paper's §II critique: "the approach of monitoring the device memory
+needs a non-negligible runtime overhead" — whereas clMPI represents
+requests as OpenCL commands and rides the existing event machinery.
+
+This module models exactly that mechanism so the critique can be
+*measured*: a per-rank :class:`DcgnMonitor` coroutine polls the request
+region every ``poll_interval`` (a mapped PCIe read each time, paid even
+when idle), discovers requests only at poll boundaries (detection
+latency ~ interval/2), and services them with the same transfer engines
+clMPI uses.  The difference from clMPI is therefore purely the
+request-detection mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.clmpi.runtime import ClmpiRuntime
+from repro.errors import ClmpiError
+from repro.launcher import RankContext
+from repro.ocl.buffer import Buffer
+from repro.sim import Event
+
+__all__ = ["DcgnConfig", "DcgnMonitor"]
+
+
+@dataclass(frozen=True)
+class DcgnConfig:
+    """Monitor tuning.
+
+    Attributes
+    ----------
+    poll_interval:
+        Seconds between CPU polls of the device request region.
+    slots:
+        Request slots in the monitored region.
+    slot_bytes:
+        Bytes per request record (read over PCIe every poll).
+    """
+
+    poll_interval: float = 200e-6
+    slots: int = 16
+    slot_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ClmpiError("poll interval must be positive")
+        if self.slots < 1 or self.slot_bytes < 1:
+            raise ClmpiError("need at least one request slot")
+
+
+class _Request:
+    __slots__ = ("kind", "buf", "offset", "size", "peer", "tag",
+                 "posted_at", "seen", "done")
+
+    def __init__(self, env, kind, buf, offset, size, peer, tag):
+        self.kind = kind
+        self.buf = buf
+        self.offset = offset
+        self.size = size
+        self.peer = peer
+        self.tag = tag
+        self.posted_at = env.now
+        self.seen = Event(env)      # fires when a poll discovers it
+        self.done = Event(env)      # fires when the transfer completes
+
+
+class DcgnMonitor:
+    """Per-rank CPU monitor thread servicing kernel-posted requests."""
+
+    def __init__(self, ctx: RankContext,
+                 config: Optional[DcgnConfig] = None):
+        self.ctx = ctx
+        self.config = config or DcgnConfig()
+        self.env = ctx.env
+        self.runtime: ClmpiRuntime = ctx.runtime
+        self._pending: list[_Request] = []
+        self._stopped = False
+        self.polls = 0
+        self._proc = self.env.process(self._monitor(),
+                                      name=f"dcgn.monitor.r{ctx.rank}")
+
+    # -- the monitoring thread ------------------------------------------------
+    def _monitor(self):
+        pcie = self.ctx.device.pcie
+        region = self.config.slots * self.config.slot_bytes
+        while not self._stopped:
+            yield self.env.timeout(self.config.poll_interval)
+            # the poll itself: a mapped read of the request region — paid
+            # on EVERY interval, requests or not (the §II overhead)
+            yield from pcie.mapped_read(region, "dcgn-poll")
+            self.polls += 1
+            ready = [r for r in self._pending if not r.seen.triggered]
+            for req in ready:
+                req.seen.succeed()
+                self.env.process(self._service(req),
+                                 name=f"dcgn.service t{req.tag}")
+
+    def _service(self, req: _Request):
+        side = self.runtime._device_side(req.buf, req.offset, req.size)
+        if req.kind == "send":
+            yield from self.runtime.do_send(side, req.peer, req.tag,
+                                            self.ctx.comm)
+        else:
+            yield from self.runtime.do_recv(side, req.peer, req.tag,
+                                            self.ctx.comm)
+        self._pending.remove(req)
+        req.done.succeed()
+
+    def stop(self) -> Generator[Any, Any, None]:
+        """Shut the monitor down (drains at the next poll boundary)."""
+        self._stopped = True
+        yield self._proc
+
+    # -- the "kernel-side" API ---------------------------------------------------
+    def _post(self, kind: str, buf: Buffer, offset: int, size: int,
+              peer: int, tag: int) -> _Request:
+        if len(self._pending) >= self.config.slots:
+            raise ClmpiError("DCGN request slots exhausted")
+        buf.check_range(offset, size)
+        # the posting write is device-local (a kernel store): free
+        req = _Request(self.env, kind, buf, offset, size, peer, tag)
+        self._pending.append(req)
+        return req
+
+    def device_send(self, buf: Buffer, offset: int, size: int, dest: int,
+                    tag: int) -> Generator[Any, Any, float]:
+        """Kernel-initiated send: post a request, wait for service.
+
+        Returns the *detection latency* (post → discovered by a poll).
+        """
+        req = self._post("send", buf, offset, size, dest, tag)
+        yield req.seen
+        detected = self.env.now - req.posted_at
+        yield req.done
+        return detected
+
+    def device_recv(self, buf: Buffer, offset: int, size: int, source: int,
+                    tag: int) -> Generator[Any, Any, float]:
+        """Kernel-initiated receive (see :meth:`device_send`)."""
+        req = self._post("recv", buf, offset, size, source, tag)
+        yield req.seen
+        detected = self.env.now - req.posted_at
+        yield req.done
+        return detected

@@ -1,0 +1,121 @@
+"""File-I/O extension commands (§VI).
+
+The paper's conclusion: "not only MPI peer-to-peer communications but also
+other time-consuming tasks such as file I/O would be encapsulated in
+other additional OpenCL commands".  This module implements that future
+work with the same design as the clMPI commands: ``clEnqueueReadFile`` /
+``clEnqueueWriteFile`` run inside a command queue, ordered by queue
+semantics and event wait lists, and a file↔device transfer pipelines the
+disk access with the PCIe copy — the host thread is never involved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from repro.errors import ClmpiError
+from repro.hardware.storage import SimFile
+from repro.ocl.buffer import Buffer
+from repro.ocl.enums import CommandType
+from repro.ocl.event import CLEvent
+from repro.ocl.queue import CommandQueue
+
+__all__ = ["enqueue_read_file", "enqueue_write_file"]
+
+#: disk↔device staging granularity (pipelines disk with PCIe)
+IO_BLOCK = 4 << 20
+
+
+def _blocks(size: int) -> list[tuple[int, int]]:
+    return [(lo, min(lo + IO_BLOCK, size)) for lo in range(0, size, IO_BLOCK)]
+
+
+def enqueue_read_file(queue: CommandQueue, buf: Buffer, blocking: bool,
+                      buf_offset: int, size: int, file: SimFile,
+                      file_offset: int = 0,
+                      wait_for: Sequence[CLEvent] = ()
+                      ) -> Generator[Any, Any, CLEvent]:
+    """``clEnqueueReadFile``: file → device buffer, as a queue command.
+
+    The disk read of block *i+1* overlaps the h2d copy of block *i*.
+    """
+    _validate(queue, buf, buf_offset, size, file, file_offset)
+    node = queue.device.node
+    env = queue.env
+
+    def execute():
+        ranges = _blocks(size)
+        staged = [env.event() for _ in ranges]
+
+        def disk_stage():
+            for i, (lo, hi) in enumerate(ranges):
+                yield from node.storage.read(hi - lo, f"fread {file.name}",
+                                             first=(i == 0))
+                staged[i].succeed()
+
+        def pcie_stage():
+            for i, (lo, hi) in enumerate(ranges):
+                yield staged[i]
+                yield from node.pcie.h2d(hi - lo, pinned=True,
+                                         label=f"fread h2d blk{i}")
+
+        p1 = env.process(disk_stage(), name="fileio.disk")
+        p2 = env.process(pcie_stage(), name="fileio.pcie")
+        yield env.all_of([p1, p2])
+        if queue.context.functional:
+            buf.bytes_view(buf_offset, size)[:] = \
+                file.data[file_offset:file_offset + size]
+
+    return (yield from queue.enqueue_custom(
+        CommandType.READ_FILE, f"fread:{file.name}", execute,
+        wait_for=wait_for, blocking=blocking, nbytes=size))
+
+
+def enqueue_write_file(queue: CommandQueue, buf: Buffer, blocking: bool,
+                       buf_offset: int, size: int, file: SimFile,
+                       file_offset: int = 0,
+                       wait_for: Sequence[CLEvent] = ()
+                       ) -> Generator[Any, Any, CLEvent]:
+    """``clEnqueueWriteFile``: device buffer → file, as a queue command."""
+    _validate(queue, buf, buf_offset, size, file, file_offset)
+    node = queue.device.node
+    env = queue.env
+
+    def execute():
+        ranges = _blocks(size)
+        staged = [env.event() for _ in ranges]
+
+        def pcie_stage():
+            for i, (lo, hi) in enumerate(ranges):
+                yield from node.pcie.d2h(hi - lo, pinned=True,
+                                         label=f"fwrite d2h blk{i}")
+                staged[i].succeed()
+
+        def disk_stage():
+            for i, (lo, hi) in enumerate(ranges):
+                yield staged[i]
+                yield from node.storage.write(hi - lo,
+                                              f"fwrite {file.name}",
+                                              first=(i == 0))
+
+        p1 = env.process(pcie_stage(), name="fileio.pcie")
+        p2 = env.process(disk_stage(), name="fileio.disk")
+        yield env.all_of([p1, p2])
+        if queue.context.functional:
+            file.data[file_offset:file_offset + size] = \
+                buf.bytes_view(buf_offset, size)
+
+    return (yield from queue.enqueue_custom(
+        CommandType.WRITE_FILE, f"fwrite:{file.name}", execute,
+        wait_for=wait_for, blocking=blocking, nbytes=size))
+
+
+def _validate(queue, buf, buf_offset, size, file, file_offset) -> None:
+    queue.context._check_buffer(buf)
+    buf.check_range(buf_offset, size)
+    if not isinstance(file, SimFile):
+        raise ClmpiError(f"expected a SimFile, got {type(file)!r}")
+    if file.storage is not queue.device.node.storage:
+        raise ClmpiError(
+            f"file {file.name!r} lives on another node's storage")
+    file.check_range(file_offset, size)

@@ -1,0 +1,100 @@
+"""GPU-aware MPI comparator (§II related work).
+
+Models the MVAPICH2-GPU / MPI-ACC class of systems the paper contrasts
+itself with: MPI calls accept *device* buffers directly and internally
+use the same optimized staging engines (our pinned/mapped/pipelined), but
+— and this is the paper's §II argument — "all inter-node communications
+are still managed by the host thread ... the host thread needs to wait
+for the kernel execution completion in order to serialize the kernel
+execution and the MPI communication".
+
+Concretely: these functions are *host* calls.  Dependencies on device
+work must be satisfied by the host (blocking on events) before calling;
+there is no command/event integration.  The transfer engines themselves
+are identical to clMPI's — isolating exactly the programming-model
+difference the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from repro.clmpi.runtime import ClmpiRuntime
+from repro.mpi.comm import Communicator
+from repro.mpi.request import Request
+from repro.ocl.api import wait_for_events
+from repro.ocl.buffer import Buffer
+from repro.ocl.event import CLEvent
+
+__all__ = ["isend_device", "irecv_device", "send_device", "recv_device",
+           "sendrecv_device"]
+
+
+def isend_device(runtime: ClmpiRuntime, buf: Buffer, offset: int,
+                 size: int, dest: int, tag: int, comm: Communicator,
+                 after: Sequence[CLEvent] = ()
+                 ) -> Generator[Any, Any, Request]:
+    """GPU-aware ``MPI_Isend`` of a device buffer.
+
+    ``after`` are device events the *host* first blocks on
+    (``clWaitForEvents``) — the serialization a GPU-aware MPI cannot
+    avoid, since it has no way to hook MPI progress into OpenCL events.
+    """
+    if after:
+        yield from wait_for_events(after, host=comm.node().host)
+    side = runtime._device_side(buf, offset, size)
+    proc = runtime.env.process(
+        runtime.do_send(side, dest, tag, comm),
+        name=f"gpu-aware.send r{comm.rank}->r{dest}")
+    return Request(runtime.env, proc, kind="gpu-aware-send")
+
+
+def irecv_device(runtime: ClmpiRuntime, buf: Buffer, offset: int,
+                 size: int, source: int, tag: int, comm: Communicator,
+                 after: Sequence[CLEvent] = ()
+                 ) -> Generator[Any, Any, Request]:
+    """GPU-aware ``MPI_Irecv`` into a device buffer."""
+    if after:
+        yield from wait_for_events(after, host=comm.node().host)
+    side = runtime._device_side(buf, offset, size)
+    proc = runtime.env.process(
+        runtime.do_recv(side, source, tag, comm),
+        name=f"gpu-aware.recv r{comm.rank}<-r{source}")
+    return Request(runtime.env, proc, kind="gpu-aware-recv")
+
+
+def send_device(runtime: ClmpiRuntime, buf: Buffer, offset: int, size: int,
+                dest: int, tag: int, comm: Communicator,
+                after: Sequence[CLEvent] = ()) -> Generator[Any, Any, None]:
+    """Blocking GPU-aware send (host tied up for the whole transfer)."""
+    req = yield from isend_device(runtime, buf, offset, size, dest, tag,
+                                  comm, after)
+    yield from req.wait()
+    yield from comm.node().host.sync_wakeup()
+
+
+def recv_device(runtime: ClmpiRuntime, buf: Buffer, offset: int, size: int,
+                source: int, tag: int, comm: Communicator,
+                after: Sequence[CLEvent] = ()) -> Generator[Any, Any, None]:
+    """Blocking GPU-aware receive."""
+    req = yield from irecv_device(runtime, buf, offset, size, source, tag,
+                                  comm, after)
+    yield from req.wait()
+    yield from comm.node().host.sync_wakeup()
+
+
+def sendrecv_device(runtime: ClmpiRuntime, sbuf: Buffer, s_off: int,
+                    dest: int, stag: int, rbuf: Buffer, r_off: int,
+                    source: int, rtag: int, size: int, comm: Communicator,
+                    after: Sequence[CLEvent] = ()
+                    ) -> Generator[Any, Any, None]:
+    """GPU-aware ``MPI_Sendrecv`` of device buffers (halo exchange)."""
+    if after:
+        yield from wait_for_events(after, host=comm.node().host)
+    sreq = yield from isend_device(runtime, sbuf, s_off, size, dest, stag,
+                                   comm)
+    rreq = yield from irecv_device(runtime, rbuf, r_off, size, source,
+                                   rtag, comm)
+    yield from rreq.wait()
+    yield from sreq.wait()
+    yield from comm.node().host.sync_wakeup()

@@ -1,0 +1,61 @@
+"""Automatic transfer-mode selection (§V.B).
+
+The selector wraps the system preset's :class:`TransferPolicy` and adds
+overrides used by the Fig 8 sweeps (force one engine / one block size)
+and by power users who know better for a particular queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.clmpi.transfers.base import TRANSFER_MODES
+from repro.errors import ClmpiError
+from repro.systems.presets import TransferPolicy
+
+__all__ = ["TransferSelector"]
+
+
+@dataclass
+class TransferSelector:
+    """Chooses ``(mode, block, base)`` for a message size.
+
+    Parameters
+    ----------
+    policy:
+        The system's automatic policy.
+    force_mode:
+        Override: always use this engine (``'pinned'``, ``'mapped'`` or
+        ``'pipelined'``).
+    force_block:
+        Override block size for pipelined transfers.
+    """
+
+    policy: TransferPolicy
+    force_mode: Optional[str] = None
+    force_block: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.force_mode is not None and self.force_mode not in TRANSFER_MODES:
+            raise ClmpiError(
+                f"unknown transfer mode {self.force_mode!r}; "
+                f"available: {sorted(TRANSFER_MODES)}")
+        if self.force_block is not None and self.force_block <= 0:
+            raise ClmpiError("force_block must be positive")
+
+    def choose(self, nbytes: int) -> tuple[str, Optional[int], str]:
+        """Return ``(mode, block, base)`` for ``nbytes``."""
+        if nbytes < 0:
+            raise ClmpiError("negative transfer size")
+        if self.force_mode is not None:
+            if self.force_mode == "pipelined":
+                block = self.force_block or min(
+                    max(1, nbytes), self.policy.pipeline_block(nbytes))
+                return "pipelined", max(1, min(block, max(1, nbytes))), \
+                    self.policy.pipeline_base
+            return self.force_mode, None, self.policy.pipeline_base
+        mode, block = self.policy.select(nbytes)
+        if mode == "pipelined" and self.force_block is not None:
+            block = min(self.force_block, nbytes)
+        return mode, block, self.policy.pipeline_base

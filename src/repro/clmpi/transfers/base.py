@@ -1,0 +1,126 @@
+"""Common scaffolding for the transfer engines.
+
+Each engine is a *pair* of simulation coroutines — ``send(side, peer,
+desc)`` and ``recv(side, peer, desc)`` — executed by the two endpoints of
+one clMPI transfer.  A :class:`Side` bundles everything an engine needs
+about its own endpoint; the :class:`TransferDescriptor` holds the
+parameters of the transfer.
+
+**Deterministic agreement.**  There is no control handshake on the wire:
+both endpoints derive the same ``(mode, block, base)`` independently from
+the message size and the (system-wide) selector policy, exactly as the
+paper's implementation does for its ``MPI_CL_MEM`` wrapper functions —
+the pipeline configuration is runtime state shared by construction, not
+negotiated per message.  Endpoint-specific rate caps (PCIe mapped-path
+bandwidth) ride for free on the MPI rendezvous clear-to-send.
+
+Engines move *real* bytes through the MPI layer when the endpoint is
+functional, and switch to timing-only messages otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.errors import ClmpiError
+
+__all__ = ["Side", "TransferDescriptor", "TRANSFER_MODES", "register_mode",
+           "send_data", "recv_data", "DATA_TAG_BASE"]
+
+#: tag base of clMPI data messages inside the runtime communicator (the
+#: runtime always communicates on its own duplicated comm, so this only
+#: separates clMPI data from the runtime's other internal traffic)
+DATA_TAG_BASE = 1 << 27
+
+
+@dataclass(frozen=True)
+class TransferDescriptor:
+    """Parameters of one clMPI transfer (derived identically at both ends)."""
+
+    #: total payload bytes
+    nbytes: int
+    #: engine name: 'pinned' | 'mapped' | 'pipelined'
+    mode: str
+    #: application tag of the transfer
+    tag: int
+    #: pipeline block size (pipelined only)
+    block: Optional[int] = None
+    #: staging engine under pipelining: 'pinned' | 'mapped'
+    base: str = "pinned"
+
+    @property
+    def data_tag(self) -> int:
+        return DATA_TAG_BASE + self.tag
+
+
+@dataclass
+class Side:
+    """One endpoint's view of a transfer.
+
+    Attributes
+    ----------
+    rt:
+        The runtime's (duplicated) communicator handle for this rank.
+    host:
+        The endpoint's :class:`~repro.hardware.host.HostModel`.
+    pcie:
+        The endpoint's PCIe model, or None when the endpoint is host
+        memory (the ``MPI_CL_MEM`` host-side wrappers of §IV.C).
+    data:
+        Byte view to send from / receive into, or None for timing-only.
+    nbytes:
+        Payload size in bytes.
+    """
+
+    rt: Any
+    host: Any
+    pcie: Optional[Any]
+    data: Optional[np.ndarray]
+    nbytes: int
+
+    @property
+    def mapped_bw(self) -> Optional[float]:
+        """This endpoint's PCIe mapped-access bandwidth (None if host)."""
+        return None if self.pcie is None else self.pcie.spec.mapped_bandwidth
+
+    def slice(self, start: int, stop: int) -> Optional[np.ndarray]:
+        """Sub-view of the payload, or None in timing-only mode."""
+        if self.data is None:
+            return None
+        return self.data[start:stop]
+
+
+#: mode name -> (send_coroutine, recv_coroutine)
+TRANSFER_MODES: dict[str, tuple[Callable, Callable]] = {}
+
+
+def register_mode(name: str, send: Callable, recv: Callable) -> None:
+    """Register a transfer engine pair under ``name``."""
+    if name in TRANSFER_MODES:
+        raise ClmpiError(f"transfer mode {name!r} already registered")
+    TRANSFER_MODES[name] = (send, recv)
+
+
+# ---------------------------------------------------------------------------
+# shared data-plane helpers
+# ---------------------------------------------------------------------------
+def send_data(side: Side, peer: int, tag: int,
+              view: Optional[np.ndarray], nbytes: int,
+              rate_limit: Optional[float] = None
+              ) -> Generator[Any, Any, None]:
+    """Blocking raw-byte send on the runtime communicator."""
+    req = yield from side.rt.isend_bytes(view, nbytes, peer, tag, rate_limit)
+    yield from req.wait()
+
+
+def recv_data(side: Side, peer: int, tag: int,
+              view: Optional[np.ndarray], nbytes: int,
+              rate_limit: Optional[float] = None
+              ) -> Generator[Any, Any, None]:
+    """Blocking raw-byte receive on the runtime communicator."""
+    req = yield from side.rt.irecv_bytes(view, nbytes, peer, tag,
+                                         rate_limit=rate_limit)
+    yield from req.wait()

@@ -1,0 +1,57 @@
+"""The *mapped* transfer engine (§III).
+
+The device buffer is mapped into host address space
+(``clEnqueueMapBuffer``) and the MPI stack streams straight from/to the
+mapping, so there is no staging stage at all — the lowest fixed cost of
+the three engines, which is why it wins for small messages on Cichlid
+(Fig 8a).  The price is that the stream rate is capped by the PCIe
+mapped-access bandwidth of whichever endpoint is a device — ruinous on
+RICC's C1060 (Fig 8b).
+
+Rate composition: the sender throttles the wire with its own mapped-path
+cap; the receiver's cap travels back on the MPI rendezvous clear-to-send
+(see :meth:`repro.mpi.comm.Communicator.irecv_bytes`), so the effective
+stream rate is ``min(nic, sender_cap, receiver_cap)`` with no extra
+control traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.clmpi.transfers.base import (
+    Side,
+    TransferDescriptor,
+    recv_data,
+    register_mode,
+    send_data,
+)
+
+__all__ = ["send", "recv"]
+
+
+def send(side: Side, peer: int,
+         desc: TransferDescriptor) -> Generator[Any, Any, None]:
+    """Sender half: map, stream out over the wire, unmap."""
+    if side.pcie is not None:
+        yield from side.pcie.map_buffer()
+        yield side.rt.env.timeout(side.pcie.spec.mapped_latency)
+    yield from send_data(side, peer, desc.data_tag, side.data, desc.nbytes,
+                         rate_limit=side.mapped_bw)
+    if side.pcie is not None:
+        yield from side.pcie.map_buffer()  # unmap bookkeeping
+
+
+def recv(side: Side, peer: int,
+         desc: TransferDescriptor) -> Generator[Any, Any, None]:
+    """Receiver half: map, stream in (advertising our cap), unmap."""
+    if side.pcie is not None:
+        yield from side.pcie.map_buffer()
+        yield side.rt.env.timeout(side.pcie.spec.mapped_latency)
+    yield from recv_data(side, peer, desc.data_tag, side.data, desc.nbytes,
+                         rate_limit=side.mapped_bw)
+    if side.pcie is not None:
+        yield from side.pcie.map_buffer()
+
+
+register_mode("mapped", send, recv)

@@ -1,0 +1,38 @@
+"""CUDA-flavoured facade over the simulated runtime (§VI).
+
+The paper argues its extension "could be trivially extrapolated to other
+programming models such as CUDA".  This package demonstrates that claim:
+a CUDA-style API — streams, events, ``memcpy_*_async``, kernel launches —
+implemented on the very same device/queue/event substrate, plus
+*stream-enqueued inter-node transfers* (:func:`send_async` /
+:func:`recv_async`) that reuse the clMPI runtime unchanged.  Only the
+programming-model surface differs; the communicator-device semantics,
+transfer engines, and selector carry over verbatim.
+
+As everywhere in this repository, potentially blocking calls are
+simulation coroutines (``yield from``).
+"""
+
+from repro.cuda.api import (
+    CudaEvent,
+    DeviceArray,
+    Stream,
+    launch_kernel,
+    malloc,
+    memcpy_dtoh_async,
+    memcpy_htod_async,
+    recv_async,
+    send_async,
+)
+
+__all__ = [
+    "Stream",
+    "CudaEvent",
+    "DeviceArray",
+    "malloc",
+    "memcpy_htod_async",
+    "memcpy_dtoh_async",
+    "launch_kernel",
+    "send_async",
+    "recv_async",
+]

@@ -1,0 +1,167 @@
+"""The CUDA-style API surface.
+
+Mapping (CUDA concept → substrate object):
+
+* stream           → in-order :class:`~repro.ocl.queue.CommandQueue`
+* event            → queue marker (``cudaEventRecord`` records a point in
+  the stream; ``cudaStreamWaitEvent`` makes later work wait on it)
+* device pointer   → :class:`DeviceArray` wrapping a
+  :class:`~repro.ocl.buffer.Buffer`
+* ``cudaMemcpyAsync`` → read/write buffer commands
+* kernel launch    → NDRange command with the shared
+  :class:`~repro.ocl.kernel.Kernel` objects
+* clMPI-for-CUDA   → :func:`send_async` / :func:`recv_async`, delegating
+  to the *same* :class:`~repro.clmpi.ClmpiRuntime`
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import OclError
+from repro.launcher import RankContext
+from repro.ocl.buffer import Buffer
+from repro.ocl.enums import CommandStatus
+from repro.ocl.event import CLEvent
+from repro.ocl.kernel import Kernel
+
+__all__ = ["Stream", "CudaEvent", "DeviceArray", "malloc",
+           "memcpy_htod_async", "memcpy_dtoh_async", "launch_kernel",
+           "send_async", "recv_async"]
+
+
+class DeviceArray:
+    """A device allocation (``CUdeviceptr`` stand-in)."""
+
+    def __init__(self, buffer: Buffer, nbytes: int):
+        self.buffer = buffer
+        self.nbytes = nbytes
+
+    def view(self, dtype, shape=None) -> np.ndarray:
+        """Typed NumPy view (simulator-side inspection)."""
+        return self.buffer.view(dtype, shape)
+
+    def free(self) -> None:
+        """``cudaFree``."""
+        self.buffer.release()
+
+
+class CudaEvent:
+    """``cudaEvent_t``: a recorded point in a stream."""
+
+    def __init__(self, ctx: RankContext):
+        self._ctx = ctx
+        self._marker: Optional[CLEvent] = None
+
+    @property
+    def recorded(self) -> bool:
+        return self._marker is not None
+
+    @property
+    def done(self) -> bool:
+        """``cudaEventQuery`` == cudaSuccess."""
+        return self._marker is not None and self._marker.is_complete
+
+    def record(self, stream: "Stream") -> Generator[Any, Any, None]:
+        """``cudaEventRecord``: capture the stream's current tail."""
+        self._marker = yield from stream.queue.enqueue_marker()
+
+    def synchronize(self) -> Generator[Any, Any, None]:
+        """``cudaEventSynchronize`` (blocks the host thread)."""
+        if self._marker is None:
+            raise OclError("CL_INVALID_EVENT", "event was never recorded")
+        yield self._marker.completion
+        yield from self._ctx.node.host.sync_wakeup()
+
+    def elapsed_time(self, other: "CudaEvent") -> float:
+        """``cudaEventElapsedTime`` (seconds, not ms — we are honest)."""
+        if self._marker is None or other._marker is None:
+            raise OclError("CL_INVALID_EVENT", "both events must be recorded")
+        return (other._marker.profile[CommandStatus.COMPLETE]
+                - self._marker.profile[CommandStatus.COMPLETE])
+
+    @property
+    def cl_event(self) -> CLEvent:
+        """Escape hatch to the substrate event (for mixed wait lists)."""
+        if self._marker is None:
+            raise OclError("CL_INVALID_EVENT", "event was never recorded")
+        return self._marker
+
+
+class Stream:
+    """``cudaStream_t``: an in-order execution lane on one device."""
+
+    def __init__(self, ctx: RankContext, name: str = ""):
+        self._ctx = ctx
+        self.queue = ctx.ocl.create_queue(in_order=True,
+                                          name=name or "cuda-stream")
+        self._gate: tuple[CLEvent, ...] = ()
+
+    def wait_event(self, event: CudaEvent) -> None:
+        """``cudaStreamWaitEvent``: all later work in this stream waits
+        for ``event`` (no host blocking)."""
+        self._gate = self._gate + (event.cl_event,)
+
+    def _take_gate(self) -> tuple[CLEvent, ...]:
+        gate, self._gate = self._gate, ()
+        return gate
+
+    def synchronize(self) -> Generator[Any, Any, None]:
+        """``cudaStreamSynchronize``."""
+        yield from self.queue.finish()
+
+
+def malloc(ctx: RankContext, nbytes: int, name: str = "") -> DeviceArray:
+    """``cudaMalloc``."""
+    return DeviceArray(ctx.ocl.create_buffer(nbytes, name=name), nbytes)
+
+
+def memcpy_htod_async(stream: Stream, dst: DeviceArray,
+                      src: Optional[np.ndarray],
+                      nbytes: Optional[int] = None
+                      ) -> Generator[Any, Any, CLEvent]:
+    """``cudaMemcpyAsync(..., cudaMemcpyHostToDevice, stream)``."""
+    nbytes = dst.nbytes if nbytes is None else nbytes
+    return (yield from stream.queue.enqueue_write_buffer(
+        dst.buffer, False, 0, nbytes, src, wait_for=stream._take_gate()))
+
+
+def memcpy_dtoh_async(stream: Stream, dst: Optional[np.ndarray],
+                      src: DeviceArray, nbytes: Optional[int] = None
+                      ) -> Generator[Any, Any, CLEvent]:
+    """``cudaMemcpyAsync(..., cudaMemcpyDeviceToHost, stream)``."""
+    nbytes = src.nbytes if nbytes is None else nbytes
+    return (yield from stream.queue.enqueue_read_buffer(
+        src.buffer, False, 0, nbytes, dst, wait_for=stream._take_gate()))
+
+
+def launch_kernel(stream: Stream, kernel: Kernel, *args
+                  ) -> Generator[Any, Any, CLEvent]:
+    """``kernel<<<grid, block, 0, stream>>>(args...)``."""
+    mapped = tuple(a.buffer if isinstance(a, DeviceArray) else a
+                   for a in args)
+    return (yield from stream.queue.enqueue_nd_range_kernel(
+        kernel, mapped, wait_for=stream._take_gate()))
+
+
+def send_async(stream: Stream, src: DeviceArray, dest: int, tag: int
+               ) -> Generator[Any, Any, CLEvent]:
+    """The clMPI idea in CUDA clothes: enqueue an inter-node send on a
+    stream.  Uses the rank's ClmpiRuntime — engines, selector and all."""
+    from repro.clmpi import enqueue_send_buffer
+    ctx = stream._ctx
+    return (yield from enqueue_send_buffer(
+        stream.queue, src.buffer, False, 0, src.nbytes, dest, tag,
+        ctx.comm, wait_for=stream._take_gate()))
+
+
+def recv_async(stream: Stream, dst: DeviceArray, source: int, tag: int
+               ) -> Generator[Any, Any, CLEvent]:
+    """Stream-enqueued inter-node receive (see :func:`send_async`)."""
+    from repro.clmpi import enqueue_recv_buffer
+    ctx = stream._ctx
+    return (yield from enqueue_recv_buffer(
+        stream.queue, dst.buffer, False, 0, dst.nbytes, source, tag,
+        ctx.comm, wait_for=stream._take_gate()))

@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the repro packages."""
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "OclError",
+    "MpiError",
+    "ClmpiError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-level errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid hardware/system configuration."""
+
+
+class OclError(ReproError):
+    """OpenCL-layer error (invalid handle, bad enqueue arguments, ...).
+
+    Mirrors the role of negative ``cl_int`` status codes in the real API;
+    the ``code`` attribute carries the CL-style symbolic name.
+    """
+
+    def __init__(self, code: str, message: str = ""):
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code
+
+
+class MpiError(ReproError):
+    """MPI-layer error (rank out of range, truncation, comm misuse)."""
+
+
+class ClmpiError(ReproError):
+    """clMPI-extension error (bad transfer mode, size mismatch, ...)."""

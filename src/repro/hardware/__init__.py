@@ -1,0 +1,35 @@
+"""Hardware timing models for the simulated cluster.
+
+The models are deliberately simple first-order ones — fixed per-operation
+latency plus size/bandwidth — because the paper's phenomena (staging
+serialization, pipelining crossovers, mapped-transfer latency advantages)
+are all first-order effects.  All constants live in
+:mod:`repro.systems.presets`, never hard-coded here.
+"""
+
+from repro.hardware.link import Link, LinkSpec
+from repro.hardware.gpu import GpuModel, GpuSpec
+from repro.hardware.host import HostModel, HostSpec
+from repro.hardware.pcie import PcieModel, PcieSpec
+from repro.hardware.network import Nic, NicSpec, Fabric, FabricSpec
+from repro.hardware.node import Node, NodeSpec
+from repro.hardware.cluster import Cluster, ClusterSpec
+
+__all__ = [
+    "Link",
+    "LinkSpec",
+    "GpuModel",
+    "GpuSpec",
+    "HostModel",
+    "HostSpec",
+    "PcieModel",
+    "PcieSpec",
+    "Nic",
+    "NicSpec",
+    "Fabric",
+    "FabricSpec",
+    "Node",
+    "NodeSpec",
+    "Cluster",
+    "ClusterSpec",
+]

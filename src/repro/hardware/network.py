@@ -1,0 +1,149 @@
+"""Interconnect model: per-node NICs plus a non-blocking fabric.
+
+A message from node A to node B occupies A's transmit port and B's receive
+port for ``latency + size/bandwidth``; the switch itself is modelled as
+non-blocking (full bisection), which holds for both testbeds at the scales
+evaluated (4-node GbE switch; RICC's IB DDR fat tree).  Contention
+therefore appears exactly where the paper sees it: at the endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.errors import ConfigurationError
+from repro.sim import Environment, Resource
+
+__all__ = ["NicSpec", "Nic", "FabricSpec", "Fabric"]
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Static NIC parameters.
+
+    Attributes
+    ----------
+    name:
+        e.g. ``"GbE"`` or ``"IB DDR (IPoIB)"``.
+    bandwidth:
+        Effective sustained point-to-point bandwidth in bytes/s (already
+        discounted for protocol overhead; IPoIB on DDR is far below the
+        16 Gbit/s signalling rate — see §V.A's IPoIB note).
+    latency:
+        One-way small-message latency in seconds.
+    per_message_overhead:
+        Host-side cost to initiate a send/receive (stack traversal).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    per_message_overhead: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"{self.name}: non-positive bandwidth")
+        if self.latency < 0 or self.per_message_overhead < 0:
+            raise ConfigurationError(f"{self.name}: negative latency")
+
+    def wire_time(self, nbytes: int) -> float:
+        """Unloaded one-way time for a message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        return self.latency + nbytes / self.bandwidth
+
+
+class Nic:
+    """One node's network interface: independent tx and rx ports."""
+
+    def __init__(self, env: Environment, spec: NicSpec, node_id: int):
+        self.env = env
+        self.spec = spec
+        self.node_id = node_id
+        self.tx = Resource(env, 1, name=f"nic{node_id}.tx")
+        self.rx = Resource(env, 1, name=f"nic{node_id}.rx")
+        self.lane = f"node{node_id}.nic"
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Fabric-wide parameters (applies to every NIC pair)."""
+
+    nic: NicSpec
+    #: extra per-hop switch latency
+    switch_latency: float = 1e-6
+    #: bandwidth for intra-node (same node_id) "transfers" — a memcpy
+    loopback_bandwidth: float = 4e9
+
+    def __post_init__(self) -> None:
+        if self.switch_latency < 0:
+            raise ConfigurationError("negative switch latency")
+        if self.loopback_bandwidth <= 0:
+            raise ConfigurationError("non-positive loopback bandwidth")
+
+
+class Fabric:
+    """The cluster interconnect: a NIC per node + non-blocking switch."""
+
+    def __init__(self, env: Environment, spec: FabricSpec, num_nodes: int):
+        if num_nodes < 1:
+            raise ConfigurationError("fabric needs at least one node")
+        self.env = env
+        self.spec = spec
+        self.nics = [Nic(env, spec.nic, i) for i in range(num_nodes)]
+
+    def unloaded_time(self, nbytes: int, src: int, dst: int,
+                      rate_limit: float | None = None) -> float:
+        """Contention-free one-way message time.
+
+        ``rate_limit`` caps the effective streaming bandwidth below the
+        NIC's — used when an endpoint feeds the wire from a slower source
+        (e.g. NIC reads out of mapped device memory over PCIe).
+        """
+        if src == dst:
+            return nbytes / self.spec.loopback_bandwidth
+        bw = self.spec.nic.bandwidth
+        if rate_limit is not None:
+            bw = min(bw, rate_limit)
+        return (self.spec.nic.latency + nbytes / bw
+                + self.spec.switch_latency)
+
+    def send(self, src: int, dst: int, nbytes: int,
+             label: str = "msg",
+             rate_limit: float | None = None) -> Generator[Any, Any, float]:
+        """Coroutine: move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Occupies the source tx port and destination rx port for the whole
+        message duration (store-and-forward at message granularity, which
+        is how MPI-over-sockets and IPoIB behave for the sizes evaluated).
+        """
+        start = self.env.now
+        if src == dst:
+            yield self.env.timeout(nbytes / self.spec.loopback_bandwidth)
+            return self.env.now - start
+        tx_grant = yield from self.nics[src].tx.acquire()
+        rx_grant = yield from self.nics[dst].rx.acquire()
+        try:
+            yield self.env.timeout(
+                self.unloaded_time(nbytes, src, dst, rate_limit))
+        finally:
+            self.nics[dst].rx.release(rx_grant)
+            self.nics[src].tx.release(tx_grant)
+        if self.env.tracer is not None:
+            self.env.tracer.record(self.nics[src].lane + ".tx", label,
+                                   start, self.env.now, "net",
+                                   nbytes=nbytes, dst=dst)
+        return self.env.now - start
+
+    def control_message(self, src: int, dst: int) -> Generator[Any, Any, None]:
+        """Coroutine: a tiny control packet (rendezvous RTS/CTS).
+
+        Does not occupy the ports — control traffic rides the wire
+        alongside bulk data.
+        """
+        if src != dst:
+            yield self.env.timeout(self.spec.nic.latency
+                                   + self.spec.switch_latency)
+        else:
+            yield self.env.timeout(0.0)

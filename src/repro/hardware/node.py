@@ -1,0 +1,79 @@
+"""A compute node: host CPU + GPU + PCIe path + its NIC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from dataclasses import field
+
+from repro.hardware.gpu import GpuModel, GpuSpec
+from repro.hardware.host import HostModel, HostSpec
+from repro.hardware.network import Nic
+from repro.hardware.pcie import PcieModel, PcieSpec
+from repro.hardware.storage import StorageModel, StorageSpec
+from repro.sim import Environment
+
+__all__ = ["NodeSpec", "Node"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one node (one entry of Table I)."""
+
+    host: HostSpec
+    gpu: GpuSpec
+    pcie: PcieSpec
+    host_cores: int = 4
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    #: identical GPUs per node, each with its own PCIe slot (§IV.A's
+    #: multiple communicator devices per MPI process)
+    num_gpus: int = 1
+
+    def describe(self) -> dict:
+        """Human-readable spec summary used by the Table I harness."""
+        return {
+            "CPU": self.host.name,
+            "GPU": self.gpu.name,
+            "GPU sustained GF/s": self.gpu.sustained_gflops,
+            "PCIe pinned GB/s": self.pcie.pinned_bandwidth / 1e9,
+            "PCIe mapped GB/s": self.pcie.mapped_bandwidth / 1e9,
+            "copy engines": self.gpu.copy_engines,
+        }
+
+
+class Node:
+    """Simulator-bound node: instantiated hardware models."""
+
+    def __init__(self, env: Environment, spec: NodeSpec, node_id: int,
+                 nic: Nic):
+        self.env = env
+        self.spec = spec
+        self.node_id = node_id
+        prefix = f"node{node_id}"
+        self.host = HostModel(env, spec.host, cores=spec.host_cores,
+                              lane=f"{prefix}.host")
+        self.gpus = [GpuModel(env, spec.gpu,
+                              lane=(f"{prefix}.gpu" if spec.num_gpus == 1
+                                    else f"{prefix}.gpu{i}"))
+                     for i in range(spec.num_gpus)]
+        self.pcies = [PcieModel(env, spec.pcie,
+                                copy_engines=spec.gpu.copy_engines,
+                                lane=(f"{prefix}.pcie" if spec.num_gpus == 1
+                                      else f"{prefix}.pcie{i}"))
+                      for i in range(spec.num_gpus)]
+        self.storage = StorageModel(env, spec.storage,
+                                    lane=f"{prefix}.disk")
+        self.nic = nic
+
+    @property
+    def gpu(self) -> GpuModel:
+        """The node's first (or only) GPU."""
+        return self.gpus[0]
+
+    @property
+    def pcie(self) -> PcieModel:
+        """The PCIe path of the first (or only) GPU."""
+        return self.pcies[0]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.node_id}: {self.spec.gpu.name}>"

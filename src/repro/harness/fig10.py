@@ -1,0 +1,42 @@
+"""Fig 10 — nanopowder growth simulation, baseline vs clMPI on RICC."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.nanopowder import NanoConfig, run_nanopowder
+from repro.harness.report import Table
+from repro.systems import get_system
+
+__all__ = ["run_fig10"]
+
+#: the node counts of §V.D ("the number of nodes must be a divisor of 40")
+DEFAULT_NODES = [1, 2, 4, 5, 8, 10, 20, 40]
+
+
+def run_fig10(system: str = "ricc",
+              nodes: Optional[list[int]] = None,
+              steps: int = 2, functional: bool = False,
+              verbose: bool = True) -> Table:
+    """Regenerate Fig 10: simulation throughput per implementation."""
+    preset = get_system(system)
+    nodes = nodes or DEFAULT_NODES
+    cfg = (NanoConfig.paper_scale(steps=steps) if not functional
+           else NanoConfig.test_scale(steps=steps))
+    table = Table(
+        f"Fig 10: nanopowder throughput on {preset.name} (steps/s)",
+        ["nodes", "baseline", "clMPI", "clMPI gain", "clMPI speedup vs 1"])
+    base1 = None
+    for n in nodes:
+        rb = run_nanopowder(preset, n, "baseline", cfg,
+                            functional=functional)
+        rc = run_nanopowder(preset, n, "clmpi", cfg, functional=functional)
+        if base1 is None:
+            base1 = rc
+        table.add(n, round(rb.steps_per_second, 3),
+                  round(rc.steps_per_second, 3),
+                  f"{(rc.steps_per_second / rb.steps_per_second - 1) * 100:+.1f}%",
+                  round(rc.speedup_vs(base1), 2))
+    if verbose:
+        print(table.render())
+    return table

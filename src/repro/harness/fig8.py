@@ -1,0 +1,55 @@
+"""Fig 8 — point-to-point sustained bandwidth, per transfer engine.
+
+Regenerates the pinned / mapped / pipelined(N) curves of Fig 8(a)
+(Cichlid/GbE) and Fig 8(b) (RICC/IB DDR).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.pingpong import bandwidth_sweep
+from repro.harness.report import Table
+from repro.systems import get_system
+
+__all__ = ["run_fig8"]
+
+MiB = 1 << 20
+
+
+def run_fig8(system: str = "cichlid",
+             sizes: Optional[list[int]] = None,
+             pipeline_blocks: Optional[list[int]] = None,
+             repeats: int = 4, verbose: bool = True) -> Table:
+    """Regenerate Fig 8(a) or 8(b); one row per message size, one column
+    per transfer implementation (MB/s)."""
+    preset = get_system(system)
+    blocks = pipeline_blocks or [1 * MiB, 4 * MiB, 16 * MiB]
+    results = bandwidth_sweep(preset, sizes=sizes, pipeline_blocks=blocks,
+                              repeats=repeats)
+    curves: dict[str, dict[int, float]] = {}
+    all_sizes: list[int] = []
+    for r in results:
+        name = r.mode if r.block is None else \
+            f"pipelined({r.block // MiB}M)" if r.block >= MiB else \
+            f"pipelined({r.block // 1024}K)"
+        curves.setdefault(name, {})[r.nbytes] = r.bandwidth / 1e6
+        if r.nbytes not in all_sizes:
+            all_sizes.append(r.nbytes)
+    sub = "a" if preset.name.lower() == "cichlid" else "b"
+    names = list(curves)
+    table = Table(f"Fig 8({sub}): sustained bandwidth on {preset.name} (MB/s)",
+                  ["message size", *names])
+    for nbytes in sorted(all_sizes):
+        table.add(_size_label(nbytes),
+                  *[round(curves[n].get(nbytes, float("nan")), 1)
+                    for n in names])
+    if verbose:
+        print(table.render())
+    return table
+
+
+def _size_label(nbytes: int) -> str:
+    if nbytes >= MiB:
+        return f"{nbytes // MiB} MiB"
+    return f"{nbytes // 1024} KiB"

@@ -1,0 +1,51 @@
+"""Fig 9 — Himeno benchmark sustained performance.
+
+Regenerates the serial / hand-optimized / clMPI comparison of Fig 9(a)
+(Cichlid, 1-4 nodes, with the serial implementation's computation-to-
+communication ratio annotation) and Fig 9(b) (RICC).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.himeno import HimenoConfig, run_himeno
+from repro.harness.report import Table
+from repro.systems import get_system
+
+__all__ = ["run_fig9"]
+
+DEFAULT_NODES = {"cichlid": [1, 2, 4], "ricc": [1, 2, 4, 8, 16, 32]}
+
+
+def run_fig9(system: str = "cichlid",
+             nodes: Optional[list[int]] = None,
+             size: str = "M", iterations: int = 4,
+             functional: bool = False, verbose: bool = True) -> Table:
+    """Regenerate Fig 9(a) or (b): sustained GFLOP/s per implementation.
+
+    ``functional=False`` (default) runs timing-only at the paper's M size;
+    the virtual clock is identical either way.
+    """
+    preset = get_system(system)
+    nodes = nodes or DEFAULT_NODES.get(system.lower(), [1, 2, 4])
+    cfg = HimenoConfig(size=size, iterations=iterations)
+    sub = "a" if preset.name.lower() == "cichlid" else "b"
+    table = Table(
+        f"Fig 9({sub}): Himeno {size}-size sustained GFLOP/s on {preset.name}",
+        ["nodes", "serial", "hand-optimized", "clMPI",
+         "serial comp/comm", "clMPI vs hand-opt"])
+    for n in nodes:
+        res = {}
+        for impl in ("serial", "hand-optimized", "clmpi"):
+            res[impl] = run_himeno(preset, n, impl, cfg,
+                                   functional=functional)
+        gain = res["clmpi"].gflops / res["hand-optimized"].gflops - 1
+        table.add(n, round(res["serial"].gflops, 2),
+                  round(res["hand-optimized"].gflops, 2),
+                  round(res["clmpi"].gflops, 2),
+                  round(res["serial"].comp_comm_ratio, 2),
+                  f"{gain * 100:+.1f}%")
+    if verbose:
+        print(table.render())
+    return table

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for harness output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Table", "format_table"]
+
+
+@dataclass
+class Table:
+    """A titled table of rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.title}: expected {len(self.columns)} values, "
+                f"got {len(values)}")
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        head = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join("---" for _ in self.columns) + "|"
+        body = "\n".join(
+            "| " + " | ".join(_fmt(v) for v in row) + " |"
+            for row in self.rows)
+        return f"**{self.title}**\n\n{head}\n{sep}\n{body}\n"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN: block size exceeds message size, etc.
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(title: str, columns: Iterable[str],
+                 rows: Iterable[Iterable[Any]]) -> str:
+    """Fixed-width text table."""
+    columns = list(columns)
+    srows = [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in srows)) if srows
+              else len(col) for i, col in enumerate(columns)]
+    line = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "-" * len(line)
+    out = [title, rule, line, rule]
+    for row in srows:
+        out.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    out.append(rule)
+    return "\n".join(out)

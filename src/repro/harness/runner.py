@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro.harness`` / ``clmpi-harness``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.harness.fig8 import run_fig8
+from repro.harness.fig9 import run_fig9
+from repro.harness.fig10 import run_fig10
+from repro.harness.table1 import run_table1
+from repro.harness.timeline import run_fig4
+
+__all__ = ["main"]
+
+
+def _nodes_list(text: str) -> list[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="clmpi-harness",
+        description="Regenerate the paper's evaluation tables and figures "
+                    "on the simulated clusters.")
+    sub = p.add_subparsers(dest="experiment", required=True)
+
+    sub.add_parser("table1", help="Table I: system specifications")
+
+    f8 = sub.add_parser("fig8", help="Fig 8: pt2pt sustained bandwidth")
+    f8.add_argument("--system", default="cichlid",
+                    choices=["cichlid", "ricc"])
+    f8.add_argument("--repeats", type=int, default=4)
+
+    f9 = sub.add_parser("fig9", help="Fig 9: Himeno benchmark")
+    f9.add_argument("--system", default="cichlid",
+                    choices=["cichlid", "ricc"])
+    f9.add_argument("--nodes", type=_nodes_list, default=None)
+    f9.add_argument("--size", default="M")
+    f9.add_argument("--iterations", type=int, default=4)
+    f9.add_argument("--functional", action="store_true",
+                    help="run the NumPy kernels for real (slower)")
+
+    f10 = sub.add_parser("fig10", help="Fig 10: nanopowder simulation")
+    f10.add_argument("--nodes", type=_nodes_list, default=None)
+    f10.add_argument("--steps", type=int, default=2)
+    f10.add_argument("--functional", action="store_true")
+
+    f4 = sub.add_parser("fig4", help="Fig 4: overlap timelines")
+    f4.add_argument("--system", default="cichlid",
+                    choices=["cichlid", "ricc"])
+    f4.add_argument("--chrome-trace", metavar="PATH", default=None,
+                    help="also export panel (c)'s trace as a Chrome-"
+                         "tracing JSON (chrome://tracing / Perfetto)")
+
+    tn = sub.add_parser("tune", help="empirically auto-tune the transfer "
+                                     "policy (§V.B extension)")
+    tn.add_argument("--system", default="ricc",
+                    choices=["cichlid", "ricc"])
+
+    sub.add_parser("all", help="run every experiment at default settings")
+    return p
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "table1":
+        run_table1()
+    elif args.experiment == "fig8":
+        run_fig8(system=args.system, repeats=args.repeats)
+    elif args.experiment == "fig9":
+        run_fig9(system=args.system, nodes=args.nodes, size=args.size,
+                 iterations=args.iterations, functional=args.functional)
+    elif args.experiment == "fig10":
+        run_fig10(nodes=args.nodes, steps=args.steps,
+                  functional=args.functional)
+    elif args.experiment == "fig4":
+        panels = run_fig4(system=args.system)
+        if args.chrome_trace:
+            from repro.apps.himeno import HimenoConfig, run_himeno
+            from repro.systems import get_system
+            res = run_himeno(get_system(args.system), 4, "clmpi",
+                             HimenoConfig(size="M", iterations=2),
+                             functional=False, trace=True)
+            res.tracer.save_chrome_trace(args.chrome_trace)
+            print(f"\nChrome trace written to {args.chrome_trace}")
+    elif args.experiment == "tune":
+        from repro.clmpi.autotune import tune_policy
+        from repro.harness.report import Table
+        from repro.systems import get_system
+        report = tune_policy(get_system(args.system))
+        table = Table(f"Auto-tuned transfer policy for {report.system}",
+                      ["message size", "winner", "block", "MB/s"])
+        for nbytes, (mode, blk, bw) in sorted(report.winners.items()):
+            table.add(f"{nbytes // 1024} KiB", mode,
+                      "-" if blk is None else f"{blk // 1024} KiB",
+                      round(bw / 1e6, 1))
+        print(table.render())
+        print(f"small-message engine: {report.policy.small_mode}; "
+              f"pipeline threshold: "
+              f"{report.policy.pipeline_threshold / 2**20:.2f} MiB")
+    elif args.experiment == "all":
+        run_table1()
+        run_fig8(system="cichlid")
+        run_fig8(system="ricc")
+        run_fig9(system="cichlid")
+        run_fig9(system="ricc")
+        run_fig10()
+        run_fig4()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Simulated MPI runtime.
+
+A faithful-in-semantics (not in wire protocol) MPI subset running on the
+DES engine: each rank's ``main`` coroutine is a simulated host thread;
+point-to-point messages are matched by ``(source, tag, communicator)``
+with wildcard support and the non-overtaking rule; small messages go
+eagerly, large ones through a rendezvous handshake (Open MPI-style); and
+collectives use log-P tree algorithms.
+
+The layer is "thread"-safe in the simulated sense required by the paper
+(§V.A assumes ``MPI_THREAD_MULTIPLE``): any coroutine of a rank — the host
+thread or the clMPI runtime's communication thread — may call into the
+communicator concurrently.
+"""
+
+from repro.mpi.datatypes import (
+    Datatype,
+    BYTE,
+    INT32,
+    INT64,
+    FLOAT32,
+    FLOAT64,
+    CL_MEM,
+    from_numpy_dtype,
+)
+from repro.mpi.status import Status, ANY_SOURCE, ANY_TAG
+from repro.mpi.request import Request, waitall, waitany, testall
+from repro.mpi.comm import Communicator, MpiConfig
+from repro.mpi.world import MpiWorld
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "INT32",
+    "INT64",
+    "FLOAT32",
+    "FLOAT64",
+    "CL_MEM",
+    "from_numpy_dtype",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Request",
+    "waitall",
+    "waitany",
+    "testall",
+    "Communicator",
+    "MpiConfig",
+    "MpiWorld",
+]

@@ -1,0 +1,280 @@
+"""Collective operations built from point-to-point messages.
+
+The paper's extension deliberately leaves collectives to MPI (§IV.C):
+"the function calls of MPI collective communications are blocking and no
+OpenCL extension is required".  We provide the standard set with log-P
+tree algorithms, plus MPI-3-style nonblocking variants (``ibarrier``,
+``ibcast``, ``iallreduce``) that the paper's §VI names as future work —
+they pair with :func:`repro.clmpi.event_from_mpi_request` so OpenCL
+commands can depend on a collective's completion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.errors import MpiError
+from repro.mpi.request import Request
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather", "scatter",
+           "allgather", "alltoall", "reduce_scatter", "nonblocking",
+           "REDUCE_OPS", "ALLREDUCE_RING_THRESHOLD"]
+
+#: Tag space reserved for collectives (application tags are < 2**30).
+_COLL_TAG_BASE = 1 << 30
+
+REDUCE_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+def _op(name: str):
+    try:
+        return REDUCE_OPS[name]
+    except KeyError:
+        raise MpiError(
+            f"unknown reduction op {name!r}; choose from {sorted(REDUCE_OPS)}"
+        ) from None
+
+
+def barrier(comm) -> Generator[Any, Any, None]:
+    """Dissemination barrier: ceil(log2(P)) sendrecv rounds."""
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        yield comm.env.timeout(0.0)
+        return
+    token = np.zeros(1, dtype=np.uint8)
+    sink = np.zeros(1, dtype=np.uint8)
+    k = 1
+    while k < size:
+        dest = (rank + k) % size
+        src = (rank - k) % size
+        yield from comm.sendrecv(token, dest, tag, sink, src, tag)
+        k *= 2
+
+
+def bcast(comm, buf: np.ndarray, root: int = 0) -> Generator[Any, Any, None]:
+    """Binomial-tree broadcast of ``buf`` (updated in place off-root)."""
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        yield comm.env.timeout(0.0)
+        return
+    vrank = (rank - root) % size
+    # Receive phase: find my parent (clear lowest set bits progressively).
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = (vrank - mask + root) % size
+            yield from comm.recv(buf, parent, tag)
+            break
+        mask <<= 1
+    # Send phase: forward to children below my level.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            child = (vrank + mask + root) % size
+            yield from comm.send(buf, child, tag)
+        mask >>= 1
+
+
+def reduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op: str = "sum",
+           root: int = 0) -> Generator[Any, Any, None]:
+    """Binomial-tree reduction into ``recvbuf`` at ``root``."""
+    ufunc = _op(op)
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    accum = np.array(sendbuf, copy=True)
+    if size > 1:
+        vrank = (rank - root) % size
+        tmp = np.empty_like(accum)
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                parent = (vrank - mask + root) % size
+                yield from comm.send(accum, parent, tag)
+                break
+            if vrank + mask < size:
+                child = (vrank + mask + root) % size
+                yield from comm.recv(tmp, child, tag)
+                ufunc(accum, tmp, out=accum)
+            mask <<= 1
+    else:
+        yield comm.env.timeout(0.0)
+    if rank == root:
+        np.copyto(recvbuf, accum)
+
+
+#: payloads at least this large use the bandwidth-optimal ring allreduce
+ALLREDUCE_RING_THRESHOLD = 256 * 1024
+
+
+def allreduce(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
+              op: str = "sum") -> Generator[Any, Any, None]:
+    """Global reduction to all ranks.
+
+    Algorithm selection as in production MPIs: small payloads use
+    reduce-to-root + broadcast (latency-optimal at these scales), large
+    payloads the ring reduce-scatter/allgather (bandwidth-optimal,
+    2·(P−1)/P · n bytes per link instead of ~2·n·log P).
+    """
+    if (sendbuf.nbytes >= ALLREDUCE_RING_THRESHOLD and comm.size > 2
+            and sendbuf.size >= comm.size):
+        yield from _allreduce_ring(comm, sendbuf, recvbuf, op)
+    else:
+        yield from reduce(comm, sendbuf, recvbuf, op, root=0)
+        yield from bcast(comm, recvbuf, root=0)
+
+
+def _allreduce_ring(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                    op: str) -> Generator[Any, Any, None]:
+    """Ring allreduce: reduce-scatter pass then allgather pass."""
+    ufunc = _op(op)
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    work = np.array(sendbuf.reshape(-1), copy=True)
+    # contiguous chunk boundaries (slices give in-place views, unlike
+    # fancy indexing, which silently copies)
+    edges = np.linspace(0, work.size, size + 1).astype(int)
+
+    def chunk(i: int) -> np.ndarray:
+        return work[edges[i]:edges[i + 1]]
+
+    right, left = (rank + 1) % size, (rank - 1) % size
+    tmp = np.empty(int(np.max(np.diff(edges))), dtype=work.dtype)
+    # reduce-scatter: after P-1 steps, chunk (rank+1) % P is complete here
+    for step in range(size - 1):
+        send_idx = (rank - step) % size
+        recv_idx = (rank - step - 1) % size
+        send_chunk = np.ascontiguousarray(chunk(send_idx))
+        recv_view = tmp[:chunk(recv_idx).size]
+        yield from comm.sendrecv(send_chunk, right, tag,
+                                 recv_view, left, tag)
+        dst = chunk(recv_idx)
+        ufunc(dst, recv_view, out=dst)
+    # allgather: circulate the completed chunks
+    for step in range(size - 1):
+        send_idx = (rank + 1 - step) % size
+        recv_idx = (rank - step) % size
+        send_chunk = np.ascontiguousarray(chunk(send_idx))
+        recv_view = tmp[:chunk(recv_idx).size]
+        yield from comm.sendrecv(send_chunk, right, tag,
+                                 recv_view, left, tag)
+        chunk(recv_idx)[:] = recv_view
+    recvbuf.reshape(-1)[:] = work
+
+
+def reduce_scatter(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                   op: str = "sum") -> Generator[Any, Any, None]:
+    """``MPI_Reduce_scatter_block``: elementwise reduction of P equal
+    blocks; rank r receives block r.  ``sendbuf`` leading axis == P."""
+    if sendbuf is None or len(sendbuf) != comm.size:
+        raise MpiError("reduce_scatter sendbuf must have leading axis == size")
+    full = np.empty_like(sendbuf)
+    yield from allreduce(comm, sendbuf, full, op)
+    np.copyto(recvbuf, full[comm.rank])
+
+
+def alltoall(comm, sendbuf: np.ndarray,
+             recvbuf: np.ndarray) -> Generator[Any, Any, None]:
+    """``MPI_Alltoall``: block j of rank i goes to block i of rank j.
+
+    Both buffers have leading axis == P; implemented as a pairwise
+    exchange schedule (XOR ordering when P is a power of two, shifted
+    ring otherwise).
+    """
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    if sendbuf is None or len(sendbuf) != size or len(recvbuf) != size:
+        raise MpiError("alltoall buffers must have leading axis == size")
+    np.copyto(recvbuf[rank], sendbuf[rank])
+    for step in range(1, size):
+        peer = (rank + step) % size
+        from_peer = (rank - step) % size
+        sreq = yield from comm.isend(
+            np.ascontiguousarray(sendbuf[peer]), peer, tag)
+        rreq = yield from comm.irecv(recvbuf[from_peer], from_peer, tag)
+        yield from rreq.wait()
+        yield from sreq.wait()
+
+
+def gather(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
+           root: int = 0) -> Generator[Any, Any, None]:
+    """Gather equal-size blocks to ``root``.
+
+    ``recvbuf`` at the root must have a leading axis of length P.
+    """
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if recvbuf is None or len(recvbuf) != size:
+            raise MpiError("gather recvbuf must have leading axis == size")
+        reqs = []
+        for src in range(size):
+            if src == root:
+                np.copyto(recvbuf[src], sendbuf)
+            else:
+                reqs.append((yield from comm.irecv(recvbuf[src], src, tag)))
+        for req in reqs:
+            yield from req.wait()
+    else:
+        yield from comm.send(sendbuf, root, tag)
+
+
+def scatter(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
+            root: int = 0) -> Generator[Any, Any, None]:
+    """Scatter equal-size blocks from ``root``."""
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if sendbuf is None or len(sendbuf) != size:
+            raise MpiError("scatter sendbuf must have leading axis == size")
+        reqs = []
+        for dst in range(size):
+            if dst == root:
+                np.copyto(recvbuf, sendbuf[dst])
+            else:
+                reqs.append((yield from comm.isend(
+                    np.ascontiguousarray(sendbuf[dst]), dst, tag)))
+        for req in reqs:
+            yield from req.wait()
+    else:
+        yield from comm.recv(recvbuf, root, tag)
+
+
+def allgather(comm, sendbuf: np.ndarray,
+              recvbuf: np.ndarray) -> Generator[Any, Any, None]:
+    """Ring allgather; ``recvbuf`` leading axis of length P."""
+    tag = _COLL_TAG_BASE + comm._coll_tag()
+    size, rank = comm.size, comm.rank
+    if recvbuf is None or len(recvbuf) != size:
+        raise MpiError("allgather recvbuf must have leading axis == size")
+    np.copyto(recvbuf[rank], sendbuf)
+    if size == 1:
+        yield comm.env.timeout(0.0)
+        return
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for step in range(size - 1):
+        send_idx = (rank - step) % size
+        recv_idx = (rank - step - 1) % size
+        yield from comm.sendrecv(
+            np.ascontiguousarray(recvbuf[send_idx]), right, tag,
+            recvbuf[recv_idx], left, tag)
+
+
+def nonblocking(comm, coroutine) -> Request:
+    """Run a blocking collective as a background coroutine (§VI).
+
+    Returns a :class:`Request`; combine with
+    :func:`repro.clmpi.event_from_mpi_request` to make OpenCL commands
+    depend on the collective.
+    """
+    proc = comm.env.process(coroutine, name=f"mpi.icoll r{comm.rank}")
+    return Request(comm.env, proc, kind="icoll")

@@ -1,0 +1,546 @@
+"""Communicators and point-to-point operations.
+
+All public operations are *simulation coroutines*: call them with
+``yield from`` inside a rank's coroutine.  Nonblocking operations return a
+:class:`~repro.mpi.request.Request` whose ``wait()`` is itself a
+coroutine.
+
+Protocol model (Open MPI-like, §V.A):
+
+* messages up to ``MpiConfig.eager_threshold`` are sent *eagerly*: the
+  payload is staged and pushed to the receiver regardless of whether a
+  receive is posted; the send completes locally.
+* larger messages use *rendezvous*: the sender announces the envelope,
+  waits for the receiver to match (clear-to-send), then streams the
+  payload zero-copy into the posted buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.errors import MpiError
+from repro.hardware.cluster import Cluster
+from repro.mpi import collectives as _coll
+from repro.mpi.matching import Endpoint, Envelope, PostedRecv
+from repro.mpi.request import Request
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.sim import Environment, Event
+
+__all__ = ["MpiConfig", "Communicator"]
+
+
+@dataclass(frozen=True)
+class MpiConfig:
+    """MPI-layer tuning knobs."""
+
+    #: eager/rendezvous switch-over in bytes
+    eager_threshold: int = 64 * 1024
+    #: modelled wire size of a pickled control object
+    object_nbytes: int = 256
+
+
+def _byte_view(arr: np.ndarray) -> np.ndarray:
+    """Flat uint8 view of a contiguous array (no copy)."""
+    if not isinstance(arr, np.ndarray):
+        raise MpiError(f"buffer must be a numpy array, got {type(arr)!r}")
+    if not arr.flags.c_contiguous:
+        raise MpiError("message buffers must be C-contiguous")
+    return arr.reshape(-1).view(np.uint8)
+
+
+class _CommState:
+    """State shared by all ranks' handles of one communicator.
+
+    ``group`` maps communicator ranks to cluster node ids; COMM_WORLD's
+    group is the identity, sub-communicators created by ``split`` carry a
+    subset.
+    """
+
+    def __init__(self, env: Environment, cluster: Cluster, comm_id: int,
+                 config: MpiConfig, name: str,
+                 group: Optional[list[int]] = None):
+        self.env = env
+        self.cluster = cluster
+        self.comm_id = comm_id
+        self.config = config
+        self.name = name
+        self.group = list(group) if group is not None \
+            else list(range(len(cluster)))
+        self.size = len(self.group)
+        self.endpoints = [Endpoint() for _ in range(self.size)]
+        self._seq = 0
+        self._dups: list["_CommState"] = []
+        self._next_dup = [0] * self.size
+        self._coll_seq = [0] * self.size
+        self._splits: dict[tuple, "_CommState"] = {}
+
+    def node_id(self, rank: int) -> int:
+        """Cluster node id hosting communicator rank ``rank``."""
+        return self.group[rank]
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def dup_for(self, rank: int) -> "_CommState":
+        """Deterministic dup: the n-th dup() call of every rank returns
+        the same shared state (ranks must dup in matching order, as the
+        MPI standard requires of the collective ``MPI_Comm_dup``)."""
+        n = self._next_dup[rank]
+        self._next_dup[rank] += 1
+        while len(self._dups) <= n:
+            child = _CommState(self.env, self.cluster,
+                               comm_id=self.comm_id * 1000 + len(self._dups) + 1,
+                               config=self.config,
+                               name=f"{self.name}.dup{len(self._dups)}",
+                               group=self.group)
+            self._dups.append(child)
+        return self._dups[n]
+
+    def split_state(self, seq: int, node_ids: tuple[int, ...],
+                    label) -> "_CommState":
+        """Shared child state for one split group (created once)."""
+        key = (seq, node_ids)
+        if key not in self._splits:
+            self._splits[key] = _CommState(
+                self.env, self.cluster,
+                comm_id=self.comm_id * 1000 + 500 + seq,
+                config=self.config,
+                name=f"{self.name}.split{seq}[{label}]",
+                group=list(node_ids))
+        return self._splits[key]
+
+
+class Communicator:
+    """One rank's handle on a communicator (``MPI_Comm``)."""
+
+    def __init__(self, state: _CommState, rank: int):
+        if not (0 <= rank < state.size):
+            raise MpiError(f"rank {rank} out of range 0..{state.size - 1}")
+        self._state = state
+        self._rank = rank
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._state.size
+
+    @property
+    def env(self) -> Environment:
+        return self._state.env
+
+    @property
+    def name(self) -> str:
+        return self._state.name
+
+    @property
+    def config(self) -> MpiConfig:
+        return self._state.config
+
+    def node(self, rank: Optional[int] = None):
+        """The hardware node hosting ``rank`` (default: this rank)."""
+        return self._state.cluster[
+            self._state.node_id(self._rank if rank is None else rank)]
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator (fresh matching space, same group)."""
+        return Communicator(self._state.dup_for(self._rank), self._rank)
+
+    def split(self, color: int,
+              key: Optional[int] = None) -> Generator[Any, Any,
+                                                      "Communicator"]:
+        """``MPI_Comm_split``: collective; returns this rank's handle on
+        the sub-communicator of its ``color`` group, ranked by
+        ``(key, old rank)``."""
+        key = self._rank if key is None else key
+        infos = yield from self._allgather_obj((color, key))
+        seq = self._coll_tag()  # aligns the split instance across ranks
+        members = sorted(
+            (k, old) for old, (c, k) in enumerate(infos) if c == color)
+        old_ranks = [old for _k, old in members]
+        node_ids = tuple(self._state.node_id(r) for r in old_ranks)
+        child = self._state.split_state(seq, node_ids, color)
+        return Communicator(child, old_ranks.index(self._rank))
+
+    def _allgather_obj(self, obj: Any) -> Generator[Any, Any, list]:
+        """Allgather small Python objects (gather to 0, broadcast back)."""
+        tag = (1 << 29) + self._coll_tag()
+        if self._rank == 0:
+            infos = [None] * self.size
+            infos[0] = obj
+            for _ in range(self.size - 1):
+                got, status = yield from self.recv_obj(ANY_SOURCE, tag)
+                infos[status.source] = got
+            for dst in range(1, self.size):
+                yield from self.send_obj(infos, dst, tag)
+            return infos
+        yield from self.send_obj(obj, 0, tag)
+        infos, _ = yield from self.recv_obj(0, tag)
+        return infos
+
+    def _check_peer(self, peer: int, what: str) -> None:
+        if not (0 <= peer < self.size):
+            raise MpiError(f"{what} rank {peer} out of range on {self.name}")
+
+    # =====================================================================
+    # point-to-point: typed buffers
+    # =====================================================================
+    def isend(self, buf: np.ndarray, dest: int, tag: int = 0,
+              rate_limit: Optional[float] = None
+              ) -> Generator[Any, Any, Request]:
+        """Nonblocking send of a contiguous numpy buffer.
+
+        ``rate_limit`` (bytes/s) caps the wire rate; the clMPI mapped
+        engine uses it to model the NIC streaming from mapped device
+        memory over PCIe.
+        """
+        self._check_peer(dest, "destination")
+        if tag < 0:
+            raise MpiError("application tags must be non-negative")
+        return (yield from self._isend_impl(buf, dest, tag, rate_limit))
+
+    def isend_bytes(self, view: Optional[np.ndarray], nbytes: int, dest: int,
+                    tag: int = 0, rate_limit: Optional[float] = None
+                    ) -> Generator[Any, Any, Request]:
+        """Nonblocking raw-byte send of ``nbytes``.
+
+        ``view`` may be None for *timing-only* transfers: the wire time is
+        modelled but no data moves (used by the clMPI engines when the
+        OpenCL context runs with ``functional=False``).
+        """
+        self._check_peer(dest, "destination")
+        if nbytes < 0:
+            raise MpiError("negative message size")
+        if view is not None and _byte_view(view).nbytes != nbytes:
+            raise MpiError("view size does not match nbytes")
+        return (yield from self._isend_impl(view, dest, tag, rate_limit,
+                                            nbytes_override=nbytes))
+
+    def irecv_bytes(self, view: Optional[np.ndarray], nbytes: int,
+                    source: int, tag: int,
+                    rate_limit: Optional[float] = None
+                    ) -> Generator[Any, Any, Request]:
+        """Nonblocking raw-byte receive; ``view`` may be None (timing-only).
+
+        ``rate_limit`` caps the wire rate from the receiver's side (sent
+        back to the sender on the rendezvous clear-to-send).
+        """
+        self._check_peer(source, "source")
+        posted_buf = None if view is None else _byte_view(view)
+        if posted_buf is not None and posted_buf.nbytes < nbytes:
+            raise MpiError("receive view smaller than nbytes")
+        return (yield from self._irecv_impl(posted_buf, source, tag,
+                                            is_object=False,
+                                            rate_limit=rate_limit))
+
+    def _isend_impl(self, buf, dest, tag, rate_limit=None,
+                    is_object=False,
+                    nbytes_override=None) -> Generator[Any, Any, Request]:
+        state, env = self._state, self.env
+        host = self.node().host
+        yield from host.api_call()
+
+        if is_object:
+            nbytes = state.config.object_nbytes
+            payload = buf  # delivered by reference
+        elif nbytes_override is not None:
+            payload = None if buf is None else _byte_view(buf)
+            nbytes = nbytes_override
+        else:
+            payload = _byte_view(buf)
+            nbytes = payload.nbytes
+
+        eager = nbytes <= state.config.eager_threshold or is_object
+        envelope = Envelope(
+            src=self._rank, dst=dest, tag=tag, comm_id=state.comm_id,
+            nbytes=nbytes, seq=state.next_seq(),
+            protocol="eager" if eager else "rndv",
+            is_object=is_object,
+            arrived=Event(env),
+        )
+        completion = Event(env)
+        if eager:
+            # Stage a private copy so the sender may reuse its buffer.
+            if is_object or payload is None:
+                envelope.payload = payload
+            else:
+                envelope.payload = payload.copy()
+        else:
+            envelope.payload = payload
+            envelope.cts = Event(env)
+
+        matched = state.endpoints[dest].deliver(envelope)
+        if matched is not None:
+            self._start_recv_finish(envelope, matched, unexpected=False)
+        env.process(self._send_proc(envelope, completion, rate_limit),
+                    name=f"mpi.send r{self._rank}->r{dest} t{tag}")
+        return Request(env, completion, kind="send")
+
+    def _send_proc(self, envelope: Envelope, completion: Event,
+                   rate_limit: Optional[float]):
+        state, env = self._state, self.env
+        fabric = state.cluster.fabric
+        node = self.node()
+        src_node = state.node_id(envelope.src)
+        dst_node = state.node_id(envelope.dst)
+        yield env.timeout(fabric.spec.nic.per_message_overhead)
+        if envelope.protocol == "eager":
+            if not envelope.is_object:
+                # staging copy into the eager buffer
+                yield env.timeout(
+                    envelope.nbytes / node.host.spec.memcpy_bandwidth)
+            yield from fabric.send(src_node, dst_node,
+                                   envelope.nbytes,
+                                   label=f"eager t{envelope.tag}",
+                                   rate_limit=rate_limit)
+            envelope.arrived.succeed()
+            completion.succeed()
+        else:
+            yield envelope.cts  # clear-to-send from the receiver
+            yield from fabric.control_message(dst_node, src_node)
+            recv_rate = getattr(envelope, "recv_rate", None)
+            if recv_rate is not None:
+                rate_limit = (recv_rate if rate_limit is None
+                              else min(rate_limit, recv_rate))
+            yield from fabric.send(src_node, dst_node,
+                                   envelope.nbytes,
+                                   label=f"rndv t{envelope.tag}",
+                                   rate_limit=rate_limit)
+            # zero-copy deposit into the matched receive buffer
+            dst_buf = envelope.recv_buf  # type: ignore[attr-defined]
+            if dst_buf is not None and envelope.payload is not None:
+                self._deposit(envelope.payload, dst_buf)
+            envelope.arrived.succeed()
+            completion.succeed()
+
+    @staticmethod
+    def _deposit(src_bytes: np.ndarray, dst: np.ndarray) -> None:
+        dst_bytes = _byte_view(dst)
+        if src_bytes.nbytes > dst_bytes.nbytes:
+            raise MpiError(
+                f"message truncated: {src_bytes.nbytes} bytes into a "
+                f"{dst_bytes.nbytes}-byte buffer")
+        dst_bytes[:src_bytes.nbytes] = src_bytes
+
+    def irecv(self, buf: Optional[np.ndarray], source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Generator[Any, Any, Request]:
+        """Nonblocking receive into a contiguous numpy buffer."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        if buf is None:
+            raise MpiError("typed receives require a destination buffer")
+        _byte_view(buf)  # validate contiguity up front
+        return (yield from self._irecv_impl(buf, source, tag,
+                                            is_object=False))
+
+    def _irecv_impl(self, buf, source, tag, is_object,
+                    rate_limit=None) -> Generator[Any, Any, Request]:
+        state, env = self._state, self.env
+        yield from self.node().host.api_call()
+        posted = PostedRecv(source=source, tag=tag,
+                            buf=None if is_object else buf,
+                            completion=Event(env), is_object=is_object,
+                            rate_limit=rate_limit)
+        envelope = state.endpoints[self._rank].post(posted)
+        if envelope is not None:
+            self._start_recv_finish(envelope, posted, unexpected=True)
+        return Request(env, posted.completion, kind="recv")
+
+    def _start_recv_finish(self, envelope: Envelope, posted: PostedRecv,
+                           unexpected: bool) -> None:
+        """Spawn the completion coroutine for a matched pair.
+
+        ``unexpected`` is True when the envelope arrived before the
+        receive was posted (buffered eager data costs an extra copy).
+        """
+        if posted.is_object != envelope.is_object:
+            raise MpiError(
+                f"object/buffer API mismatch on tag {envelope.tag} "
+                f"(src {envelope.src} -> dst {envelope.dst})")
+        self.env.process(
+            self._recv_finish(envelope, posted, unexpected),
+            name=f"mpi.recv r{envelope.dst}<-r{envelope.src} t{envelope.tag}")
+
+    def _recv_finish(self, envelope: Envelope, posted: PostedRecv,
+                     unexpected: bool):
+        env = self.env
+        if envelope.protocol == "eager":
+            # Was the payload already buffered at the receiver when the
+            # receive got matched?  Then draining it costs an extra copy.
+            buffered = unexpected and envelope.arrived.triggered
+            yield envelope.arrived
+            if envelope.is_object:
+                status = Status(envelope.src, envelope.tag, envelope.nbytes)
+                posted.completion.succeed((envelope.payload, status))
+                return
+            if buffered:
+                node = self._state.cluster[
+                    self._state.node_id(envelope.dst)]
+                yield env.timeout(
+                    envelope.nbytes / node.host.spec.memcpy_bandwidth)
+            if posted.buf is not None and envelope.payload is not None:
+                self._deposit(envelope.payload, posted.buf)
+            posted.completion.succeed(
+                Status(envelope.src, envelope.tag, envelope.nbytes))
+        else:
+            envelope.recv_buf = posted.buf  # type: ignore[attr-defined]
+            envelope.recv_rate = posted.rate_limit  # type: ignore[attr-defined]
+            envelope.cts.succeed()
+            yield envelope.arrived
+            posted.completion.succeed(
+                Status(envelope.src, envelope.tag, envelope.nbytes))
+
+    # -- blocking wrappers ---------------------------------------------------
+    def _blocking_wait(self, *requests) -> Generator[Any, Any, list]:
+        """Wait for requests, charging the wake-up cost only if the host
+        thread actually blocked."""
+        blocked = any(not r.done for r in requests)
+        values = []
+        for r in requests:
+            values.append((yield from r.wait()))
+        if blocked:
+            yield from self.node().host.sync_wakeup()
+        return values
+
+    def send(self, buf: np.ndarray, dest: int,
+             tag: int = 0) -> Generator[Any, Any, None]:
+        """Blocking send (returns when the buffer is reusable)."""
+        req = yield from self.isend(buf, dest, tag)
+        yield from self._blocking_wait(req)
+
+    def recv(self, buf: Optional[np.ndarray], source: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Generator[Any, Any, Status]:
+        """Blocking receive; returns the :class:`Status`."""
+        req = yield from self.irecv(buf, source, tag)
+        (status,) = yield from self._blocking_wait(req)
+        return status
+
+    def sendrecv(self, sendbuf: np.ndarray, dest: int, sendtag: int,
+                 recvbuf: np.ndarray, source: int,
+                 recvtag: int) -> Generator[Any, Any, Status]:
+        """Combined send+receive (``MPI_Sendrecv``): no deadlock ordering."""
+        sreq = yield from self.isend(sendbuf, dest, sendtag)
+        rreq = yield from self.irecv(recvbuf, source, recvtag)
+        status, _ = yield from self._blocking_wait(rreq, sreq)
+        return status
+
+    # =====================================================================
+    # point-to-point: small Python objects (control metadata)
+    # =====================================================================
+    def isend_obj(self, obj: Any, dest: int,
+                  tag: int = 0) -> Generator[Any, Any, Request]:
+        """Nonblocking send of a small Python object (always eager)."""
+        self._check_peer(dest, "destination")
+        return (yield from self._isend_impl(obj, dest, tag, is_object=True))
+
+    def irecv_obj(self, source: int = ANY_SOURCE,
+                  tag: int = ANY_TAG) -> Generator[Any, Any, Request]:
+        """Nonblocking object receive; request value is ``(obj, status)``."""
+        if source != ANY_SOURCE:
+            self._check_peer(source, "source")
+        return (yield from self._irecv_impl(None, source, tag,
+                                            is_object=True))
+
+    def send_obj(self, obj: Any, dest: int,
+                 tag: int = 0) -> Generator[Any, Any, None]:
+        """Blocking object send."""
+        req = yield from self.isend_obj(obj, dest, tag)
+        yield from req.wait()
+
+    def recv_obj(self, source: int = ANY_SOURCE,
+                 tag: int = ANY_TAG) -> Generator[Any, Any, tuple]:
+        """Blocking object receive; returns ``(obj, status)``."""
+        req = yield from self.irecv_obj(source, tag)
+        obj, status = yield from req.wait()
+        return obj, status
+
+    # =====================================================================
+    # probing
+    # =====================================================================
+    def iprobe(self, source: int = ANY_SOURCE,
+               tag: int = ANY_TAG) -> Optional[Status]:
+        """Nonblocking probe: Status of a matchable message, or None."""
+        env_ = self._state.endpoints[self._rank].find_envelope(source, tag)
+        if env_ is None:
+            return None
+        return Status(env_.src, env_.tag, env_.nbytes)
+
+    def probe(self, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Generator[Any, Any, Status]:
+        """Blocking probe: waits until a matching message is announced."""
+        status = self.iprobe(source, tag)
+        if status is not None:
+            return status
+        waiter = Event(self.env)
+        self._state.endpoints[self._rank].add_prober(source, tag, waiter)
+        envlp = yield waiter
+        return Status(envlp.src, envlp.tag, envlp.nbytes)
+
+    # =====================================================================
+    # collectives (delegating to repro.mpi.collectives)
+    # =====================================================================
+    def _coll_tag(self) -> int:
+        """Per-rank collective sequence tag (ranks must call collectives
+        in the same order, per the MPI standard)."""
+        n = self._state._coll_seq[self._rank]
+        self._state._coll_seq[self._rank] += 1
+        return n
+
+    def barrier(self):
+        """Coroutine: dissemination barrier."""
+        return _coll.barrier(self)
+
+    def bcast(self, buf, root: int = 0):
+        """Coroutine: binomial-tree broadcast (in place in ``buf``)."""
+        return _coll.bcast(self, buf, root)
+
+    def reduce(self, sendbuf, recvbuf, op: str = "sum", root: int = 0):
+        """Coroutine: binomial-tree reduction to ``root``."""
+        return _coll.reduce(self, sendbuf, recvbuf, op, root)
+
+    def allreduce(self, sendbuf, recvbuf, op: str = "sum"):
+        """Coroutine: reduce + broadcast."""
+        return _coll.allreduce(self, sendbuf, recvbuf, op)
+
+    def gather(self, sendbuf, recvbuf, root: int = 0):
+        """Coroutine: gather equal-size blocks to ``root``."""
+        return _coll.gather(self, sendbuf, recvbuf, root)
+
+    def scatter(self, sendbuf, recvbuf, root: int = 0):
+        """Coroutine: scatter equal-size blocks from ``root``."""
+        return _coll.scatter(self, sendbuf, recvbuf, root)
+
+    def allgather(self, sendbuf, recvbuf):
+        """Coroutine: ring allgather."""
+        return _coll.allgather(self, sendbuf, recvbuf)
+
+    def alltoall(self, sendbuf, recvbuf):
+        """Coroutine: pairwise-exchange alltoall."""
+        return _coll.alltoall(self, sendbuf, recvbuf)
+
+    def reduce_scatter(self, sendbuf, recvbuf, op: str = "sum"):
+        """Coroutine: block reduce-scatter."""
+        return _coll.reduce_scatter(self, sendbuf, recvbuf, op)
+
+    def ibarrier(self):
+        """Nonblocking barrier (MPI-3 style, §VI); returns a Request."""
+        return _coll.nonblocking(self, _coll.barrier(self))
+
+    def ibcast(self, buf, root: int = 0):
+        """Nonblocking broadcast; returns a Request."""
+        return _coll.nonblocking(self, _coll.bcast(self, buf, root))
+
+    def iallreduce(self, sendbuf, recvbuf, op: str = "sum"):
+        """Nonblocking allreduce; returns a Request."""
+        return _coll.nonblocking(
+            self, _coll.allreduce(self, sendbuf, recvbuf, op))

@@ -1,0 +1,73 @@
+"""MPI datatypes, including the clMPI extension's ``MPI_CL_MEM``.
+
+``CL_MEM`` is the paper's special datatype (§IV.C): passing it to a
+send/receive tells the runtime that the *peer* endpoint is a communicator
+device and the payload lives in (or is destined for) device memory, so the
+two sides should collaborate on an optimized host↔device transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Datatype", "BYTE", "INT32", "INT64", "FLOAT32", "FLOAT64",
+           "CL_MEM", "from_numpy_dtype"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An element type for typed MPI buffers.
+
+    Attributes
+    ----------
+    name:
+        MPI-style name (``"MPI_FLOAT"``).
+    itemsize:
+        Bytes per element; 1 for :data:`CL_MEM` (treated as raw bytes).
+    np_dtype:
+        Equivalent NumPy dtype string, or None for :data:`CL_MEM`.
+    """
+
+    name: str
+    itemsize: int
+    np_dtype: Optional[str]
+
+    @property
+    def is_cl_mem(self) -> bool:
+        """True for the clMPI device-memory marker datatype."""
+        return self.np_dtype is None
+
+    def count_of(self, array: np.ndarray) -> int:
+        """Element count of ``array`` under this datatype."""
+        if self.is_cl_mem:
+            return array.nbytes
+        return array.nbytes // self.itemsize
+
+
+BYTE = Datatype("MPI_BYTE", 1, "u1")
+INT32 = Datatype("MPI_INT", 4, "i4")
+INT64 = Datatype("MPI_LONG_LONG", 8, "i8")
+FLOAT32 = Datatype("MPI_FLOAT", 4, "f4")
+FLOAT64 = Datatype("MPI_DOUBLE", 8, "f8")
+#: The clMPI extension datatype (§IV.C): peer is a communicator device.
+CL_MEM = Datatype("MPI_CL_MEM", 1, None)
+
+_BY_NP = {
+    np.dtype("u1"): BYTE,
+    np.dtype("i4"): INT32,
+    np.dtype("i8"): INT64,
+    np.dtype("f4"): FLOAT32,
+    np.dtype("f8"): FLOAT64,
+}
+
+
+def from_numpy_dtype(dtype) -> Datatype:
+    """Map a NumPy dtype to the matching :class:`Datatype`.
+
+    Unknown dtypes degrade to :data:`BYTE` (transferred as raw bytes),
+    mirroring mpi4py's buffer-of-bytes fallback.
+    """
+    return _BY_NP.get(np.dtype(dtype), BYTE)

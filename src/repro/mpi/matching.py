@@ -1,0 +1,142 @@
+"""Message-envelope matching: posted receives vs. arrived envelopes.
+
+Matching follows the MPI rules: a receive posted with ``(source, tag)``
+(either may be a wildcard) matches the *earliest* envelope in arrival
+order whose ``(src, tag)`` fits; envelopes from the same sender on the
+same communicator never overtake each other because senders register
+their envelopes in program order and both queues are FIFO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+from repro.sim import Event
+
+__all__ = ["Envelope", "PostedRecv", "Endpoint"]
+
+
+@dataclass
+class Envelope:
+    """Metadata of one in-flight message (one per send operation)."""
+
+    src: int
+    dst: int
+    tag: int
+    comm_id: int
+    nbytes: int
+    seq: int
+    #: 'eager' (payload pushed immediately) or 'rndv' (handshake first)
+    protocol: str
+    #: True when the payload is a Python object rather than a byte buffer
+    is_object: bool = False
+    #: eager: staged payload copy; rndv: live reference to the send buffer
+    payload: Any = None
+    #: fires when the payload has physically arrived at the receiver
+    arrived: Optional[Event] = None
+    #: rndv only: receiver fires this once matched (clear-to-send)
+    cts: Optional[Event] = None
+    #: set once matched to a posted receive
+    matched: bool = False
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Does this envelope satisfy a receive for ``(source, tag)``?"""
+        return ((source == ANY_SOURCE or source == self.src)
+                and (tag == ANY_TAG or tag == self.tag))
+
+
+@dataclass
+class PostedRecv:
+    """One posted (pending) receive."""
+
+    source: int
+    tag: int
+    #: destination byte view, or None for object receives
+    buf: Optional[np.ndarray]
+    #: fires with the Status (or ``(obj, Status)`` for object receives)
+    completion: Event = None  # type: ignore[assignment]
+    matched: bool = False
+    #: True when posted via the object API
+    is_object: bool = False
+    #: receiver-side streaming cap (bytes/s), piggybacked to the sender on
+    #: the rendezvous clear-to-send (models e.g. a NIC writing into mapped
+    #: device memory over PCIe)
+    rate_limit: Optional[float] = None
+
+
+class Endpoint:
+    """Per-(communicator, rank) matching state."""
+
+    def __init__(self) -> None:
+        self._arrivals: deque[Envelope] = deque()
+        self._posted: deque[PostedRecv] = deque()
+        self._probers: list[tuple[int, int, Event]] = []
+
+    # -- introspection (used by tests) ------------------------------------
+    @property
+    def unmatched_envelopes(self) -> int:
+        return sum(1 for e in self._arrivals if not e.matched)
+
+    @property
+    def pending_recvs(self) -> int:
+        return sum(1 for p in self._posted if not p.matched)
+
+    # -- matching -----------------------------------------------------------
+    def deliver(self, env: Envelope) -> Optional[PostedRecv]:
+        """Register an envelope; return the posted recv it matches, if any."""
+        self._gc()
+        for posted in self._posted:
+            if not posted.matched and env.matches(posted.source, posted.tag):
+                posted.matched = True
+                env.matched = True
+                self._wake_probers(env)
+                return posted
+        self._arrivals.append(env)
+        self._wake_probers(env)
+        return None
+
+    def post(self, recv: PostedRecv) -> Optional[Envelope]:
+        """Register a receive; return the envelope it matches, if any."""
+        self._gc()
+        for env in self._arrivals:
+            if not env.matched and env.matches(recv.source, recv.tag):
+                env.matched = True
+                recv.matched = True
+                return env
+        self._posted.append(recv)
+        return None
+
+    # -- probe support ---------------------------------------------------------
+    def find_envelope(self, source: int, tag: int) -> Optional[Envelope]:
+        """First unmatched envelope matching ``(source, tag)``, if any."""
+        for env in self._arrivals:
+            if not env.matched and env.matches(source, tag):
+                return env
+        return None
+
+    def add_prober(self, source: int, tag: int, event: Event) -> None:
+        """Wake ``event`` when a matching envelope becomes visible."""
+        self._probers.append((source, tag, event))
+
+    def _wake_probers(self, env: Envelope) -> None:
+        if not self._probers:
+            return
+        remaining = []
+        for source, tag, event in self._probers:
+            if not event.triggered and env.matches(source, tag):
+                event.succeed(env)
+            elif not event.triggered:
+                remaining.append((source, tag, event))
+        self._probers = remaining
+
+    # -- housekeeping --------------------------------------------------------------
+    def _gc(self) -> None:
+        while self._arrivals and self._arrivals[0].matched:
+            self._arrivals.popleft()
+        while self._posted and self._posted[0].matched:
+            self._posted.popleft()

@@ -1,0 +1,66 @@
+"""Nonblocking-operation requests (``MPI_Request``)."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim import Environment, Event
+
+__all__ = ["Request", "waitall", "waitany", "testall"]
+
+
+class Request:
+    """Handle for a nonblocking send/receive.
+
+    Wraps a completion :class:`~repro.sim.Event`; for receives the event
+    value is the :class:`~repro.mpi.status.Status`.
+
+    Use inside a simulation coroutine::
+
+        req = comm.irecv(buf, source=1, tag=0)
+        ...                       # overlap other work here
+        status = yield from req.wait()
+    """
+
+    def __init__(self, env: Environment, completion: Event, kind: str = "op"):
+        self.env = env
+        self.completion = completion
+        self.kind = kind
+
+    @property
+    def done(self) -> bool:
+        """True once the operation has completed."""
+        return self.completion.triggered
+
+    def wait(self) -> Generator[Any, Any, Any]:
+        """Coroutine: block until completion; returns the Status (recv)."""
+        result = yield self.completion
+        return result
+
+    def test(self) -> tuple[bool, Optional[Any]]:
+        """Nonblocking completion probe: ``(done, status-or-None)``."""
+        if self.completion.triggered:
+            return True, self.completion.value
+        return False, None
+
+
+def waitall(env: Environment,
+            requests: Iterable[Request]) -> Generator[Any, Any, list]:
+    """Coroutine: wait for every request; returns their values in order."""
+    values = yield env.all_of([r.completion for r in requests])
+    return values
+
+
+def waitany(env: Environment,
+            requests: list[Request]) -> Generator[Any, Any, tuple[int, Any]]:
+    """Coroutine: wait for the first completion; returns ``(index, value)``."""
+    event, value = yield env.any_of([r.completion for r in requests])
+    for i, req in enumerate(requests):
+        if req.completion is event:
+            return i, value
+    raise RuntimeError("completed event not among requests")  # pragma: no cover
+
+
+def testall(requests: Iterable[Request]) -> bool:
+    """True if every request has completed (no time passes)."""
+    return all(r.done for r in requests)

@@ -1,0 +1,31 @@
+"""Receive status and matching wildcards."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcard source rank (``MPI_ANY_SOURCE``).
+ANY_SOURCE = -1
+#: Wildcard message tag (``MPI_ANY_TAG``).
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion record of a receive (``MPI_Status``).
+
+    Attributes
+    ----------
+    source:
+        Actual sender rank.
+    tag:
+        Actual message tag.
+    count:
+        Payload size in bytes.
+    """
+
+    source: int
+    tag: int
+    count: int

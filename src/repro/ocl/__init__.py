@@ -1,0 +1,38 @@
+"""Simulated OpenCL 1.1-style runtime.
+
+Implements the objects and semantics the clMPI extension builds on
+(§II, §V.A of the paper): contexts, devices, **in-order and out-of-order
+command queues**, NumPy-backed memory objects, kernels (a functional NumPy
+body plus an analytic cost model), and the full event machinery — wait
+lists, status lifecycle (queued → submitted → running → complete),
+profiling timestamps, callbacks, and user events.
+
+Naming maps 1:1 to the C API (``clEnqueueReadBuffer`` →
+:meth:`CommandQueue.enqueue_read_buffer` and so on).  Every potentially
+blocking call is a simulation coroutine: use ``yield from``.
+"""
+
+from repro.ocl.enums import CommandStatus, CommandType
+from repro.ocl.event import CLEvent, UserEvent
+from repro.ocl.buffer import Buffer
+from repro.ocl.kernel import Kernel
+from repro.ocl.device import Device
+from repro.ocl.platform import Platform
+from repro.ocl.context import Context
+from repro.ocl.queue import CommandQueue, Command
+from repro.ocl.api import wait_for_events
+
+__all__ = [
+    "CommandStatus",
+    "CommandType",
+    "CLEvent",
+    "UserEvent",
+    "Buffer",
+    "Kernel",
+    "Device",
+    "Platform",
+    "Context",
+    "CommandQueue",
+    "Command",
+    "wait_for_events",
+]

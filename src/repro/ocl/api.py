@@ -1,0 +1,34 @@
+"""Free-standing OpenCL API helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import OclError
+from repro.ocl.event import CLEvent
+
+__all__ = ["wait_for_events"]
+
+
+def wait_for_events(events: Iterable[CLEvent],
+                    host=None) -> Generator[Any, Any, None]:
+    """``clWaitForEvents``: block the calling host thread.
+
+    ``host`` (a :class:`~repro.hardware.host.HostModel`) adds the blocking
+    wake-up overhead; pass the caller's host model when modelling host
+    threads, or None inside runtime-internal coroutines.
+    """
+    events = list(events)
+    if not events:
+        raise OclError("CL_INVALID_VALUE", "empty event wait list")
+    env = events[0].env
+    if all(e.is_complete for e in events):
+        # No blocking happened: the call returns immediately.
+        if host is not None:
+            yield from host.api_call()
+        else:
+            yield env.timeout(0.0)
+        return
+    yield env.all_of([e.completion for e in events])
+    if host is not None:
+        yield from host.sync_wakeup()

@@ -1,0 +1,51 @@
+"""Compute devices (``cl_device_id``): one GPU of one cluster node.
+
+A node may carry several GPUs (``NodeSpec.num_gpus``); ``Device(node, i)``
+selects the i-th, each with its own compute engine and PCIe slot — the
+paper's "multiple communicator devices" per MPI process (§IV.A).
+"""
+
+from __future__ import annotations
+
+from repro.errors import OclError
+from repro.hardware.node import Node
+
+__all__ = ["Device"]
+
+
+class Device:
+    """One GPU of a node, as seen by the OpenCL layer.
+
+    Thin facade over the node's hardware models; it also carries the
+    handles the clMPI runtime needs (PCIe path, NIC via the node).
+    """
+
+    def __init__(self, node: Node, index: int = 0):
+        if not (0 <= index < len(node.gpus)):
+            raise OclError("CL_DEVICE_NOT_FOUND",
+                           f"node {node.node_id} has {len(node.gpus)} "
+                           f"GPU(s); no device {index}")
+        self.node = node
+        self.index = index
+        self.env = node.env
+        self.gpu = node.gpus[index]
+        self.pcie = node.pcies[index]
+        self.spec = node.spec.gpu
+
+    @property
+    def name(self) -> str:
+        """Device marketing name (``CL_DEVICE_NAME``)."""
+        return self.spec.name
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def global_mem_size(self) -> int:
+        """``CL_DEVICE_GLOBAL_MEM_SIZE``."""
+        return self.spec.memory_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Device {self.name}#{self.index} "
+                f"on node {self.node_id}>")

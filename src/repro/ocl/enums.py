@@ -1,0 +1,40 @@
+"""Status and command-type enumerations (mirroring ``cl_int`` constants)."""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+
+__all__ = ["CommandStatus", "CommandType"]
+
+
+class CommandStatus(IntEnum):
+    """Execution status of a command's event (``CL_QUEUED`` ...).
+
+    Ordered so that *later* lifecycle stages compare smaller, exactly like
+    the OpenCL constants (``CL_COMPLETE == 0`` < ``CL_RUNNING`` < ...).
+    """
+
+    COMPLETE = 0
+    RUNNING = 1
+    SUBMITTED = 2
+    QUEUED = 3
+
+
+class CommandType(Enum):
+    """What kind of work a command performs."""
+
+    NDRANGE_KERNEL = "ndrange_kernel"
+    READ_BUFFER = "read_buffer"
+    WRITE_BUFFER = "write_buffer"
+    COPY_BUFFER = "copy_buffer"
+    MAP_BUFFER = "map_buffer"
+    UNMAP_MEM_OBJECT = "unmap_mem_object"
+    MARKER = "marker"
+    BARRIER = "barrier"
+    USER = "user"
+    #: clMPI extension commands (§IV.A)
+    SEND_BUFFER = "send_buffer"
+    RECV_BUFFER = "recv_buffer"
+    #: file-I/O extension commands (§VI future work)
+    READ_FILE = "read_file"
+    WRITE_FILE = "write_file"

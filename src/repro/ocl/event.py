@@ -1,0 +1,133 @@
+"""OpenCL event objects.
+
+A :class:`CLEvent` tracks a command through the queued → submitted →
+running → complete lifecycle, records profiling timestamps at each
+transition (``CL_PROFILING_COMMAND_*``), runs status callbacks
+(``clSetEventCallback``), and exposes a simulation event that waiters
+block on.
+
+:class:`UserEvent` is ``clCreateUserEvent``: the application (or the clMPI
+runtime, exactly as §V.A describes) completes it explicitly.  Our user
+events mimic command events fully — status, profiling, callbacks — which
+is the property the paper's implementation had to build by hand on top of
+NVIDIA's runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import OclError
+from repro.ocl.enums import CommandStatus, CommandType
+from repro.sim import Environment, Event
+
+__all__ = ["CLEvent", "UserEvent"]
+
+
+class CLEvent:
+    """Event bound to one enqueued command."""
+
+    def __init__(self, env: Environment,
+                 command_type: CommandType = CommandType.USER,
+                 label: str = ""):
+        self.env = env
+        self.command_type = command_type
+        self.label = label or command_type.value
+        self._status = CommandStatus.QUEUED
+        #: profiling timestamps, keyed by CommandStatus
+        self.profile: dict[CommandStatus, float] = {
+            CommandStatus.QUEUED: env.now,
+        }
+        #: simulation event fired on completion (value: the CLEvent)
+        self.completion = Event(env)
+        self._callbacks: list[tuple[CommandStatus,
+                                    Callable[["CLEvent", CommandStatus], None]]] = []
+        #: failure exception, if the command failed
+        self.error: Optional[BaseException] = None
+
+    # -- status -----------------------------------------------------------
+    @property
+    def status(self) -> CommandStatus:
+        """Current execution status."""
+        return self._status
+
+    @property
+    def is_complete(self) -> bool:
+        return self._status == CommandStatus.COMPLETE
+
+    def _advance(self, status: CommandStatus) -> None:
+        if status.value >= self._status.value and status != self._status:
+            raise OclError("CL_INVALID_OPERATION",
+                           f"event status cannot go {self._status.name} -> "
+                           f"{status.name}")
+        self._status = status
+        self.profile[status] = self.env.now
+        for trigger, fn in list(self._callbacks):
+            if trigger == status:
+                fn(self, status)
+        if status == CommandStatus.COMPLETE:
+            self.completion.succeed(self)
+
+    def _fail(self, exc: BaseException) -> None:
+        self.error = exc
+        self._status = CommandStatus.COMPLETE
+        self.profile[CommandStatus.COMPLETE] = self.env.now
+        for trigger, fn in list(self._callbacks):
+            if trigger == CommandStatus.COMPLETE:
+                fn(self, CommandStatus.COMPLETE)
+        self.completion.fail(exc)
+        # OpenCL semantics: a command failure is event *status*, observed
+        # by whoever waits on the event (possibly later, possibly never) —
+        # it must not crash the world when unobserved at fire time.
+        self.completion._defused = True
+
+    # -- public API --------------------------------------------------------
+    def set_callback(self, fn: Callable[["CLEvent", CommandStatus], None],
+                     status: CommandStatus = CommandStatus.COMPLETE) -> None:
+        """Register ``fn(event, status)`` for a status transition
+        (``clSetEventCallback``).  Fires immediately if already reached."""
+        if self._status.value <= status.value:
+            fn(self, status)
+        else:
+            self._callbacks.append((status, fn))
+
+    def wait(self) -> Generator[Any, Any, "CLEvent"]:
+        """Coroutine: suspend until complete (``clWaitForEvents`` on one)."""
+        yield self.completion
+        return self
+
+    def duration(self) -> float:
+        """RUNNING→COMPLETE profiling delta (``CL_PROFILING_*`` math)."""
+        try:
+            return (self.profile[CommandStatus.COMPLETE]
+                    - self.profile[CommandStatus.RUNNING])
+        except KeyError:
+            raise OclError("CL_PROFILING_INFO_NOT_AVAILABLE",
+                           f"event {self.label!r} has not run") from None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CLEvent {self.label!r} {self._status.name}>"
+
+
+class UserEvent(CLEvent):
+    """``clCreateUserEvent``: completed explicitly by the application."""
+
+    def __init__(self, env: Environment, label: str = "user-event"):
+        super().__init__(env, CommandType.USER, label)
+        self._status = CommandStatus.SUBMITTED
+        self.profile[CommandStatus.SUBMITTED] = env.now
+
+    def set_complete(self) -> None:
+        """Mark the user event complete (``clSetUserEventStatus(CL_COMPLETE)``)."""
+        if self.is_complete:
+            raise OclError("CL_INVALID_OPERATION",
+                           "user event already completed")
+        self._advance(CommandStatus.RUNNING)
+        self._advance(CommandStatus.COMPLETE)
+
+    def set_failed(self, exc: BaseException) -> None:
+        """Mark the user event failed (negative status in the C API)."""
+        if self.is_complete:
+            raise OclError("CL_INVALID_OPERATION",
+                           "user event already completed")
+        self._fail(exc)

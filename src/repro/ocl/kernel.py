@@ -1,0 +1,68 @@
+"""Kernels: a functional NumPy body plus an analytic cost model.
+
+The real system compiles OpenCL C; our substitute registers a Python
+callable that performs the same array math on the buffers' NumPy views
+(so results are checkable), together with a cost model that prices the
+kernel on a given :class:`~repro.hardware.gpu.GpuSpec` (so timing is
+realistic).  Either half can be omitted: cost-only kernels support
+timing-only experiments, body-only kernels default to a roofline cost
+from declared ``flops``/``mem_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import OclError
+from repro.hardware.gpu import GpuSpec
+
+__all__ = ["Kernel"]
+
+
+@dataclass
+class Kernel:
+    """A compiled kernel object (``cl_kernel``).
+
+    Attributes
+    ----------
+    name:
+        Kernel function name.
+    body:
+        ``body(*args)`` performing the computation; buffer arguments are
+        passed through unchanged (bodies call ``buf.view(...)``), scalars
+        as-is.  May be None for timing-only kernels.
+    cost:
+        ``cost(gpu: GpuSpec, *args) -> seconds``.  If None, the roofline
+        ``gpu.kernel_time(flops(*args), mem_bytes(*args))`` is used.
+    flops, mem_bytes:
+        Optional per-launch totals (numbers or callables of the kernel
+        args) feeding the default roofline cost.
+    """
+
+    name: str
+    body: Optional[Callable[..., Any]] = None
+    cost: Optional[Callable[..., float]] = None
+    flops: Any = 0.0
+    mem_bytes: Any = 0.0
+
+    def duration(self, gpu: GpuSpec, *args) -> float:
+        """Modelled execution time on ``gpu``."""
+        if self.cost is not None:
+            t = float(self.cost(gpu, *args))
+        else:
+            t = gpu.kernel_time(self._eval(self.flops, args),
+                                self._eval(self.mem_bytes, args))
+        if t < 0:
+            raise OclError("CL_INVALID_KERNEL",
+                           f"kernel {self.name!r} produced a negative cost")
+        return t
+
+    def run(self, *args, functional: bool = True) -> None:
+        """Execute the functional body (no-op if absent or disabled)."""
+        if functional and self.body is not None:
+            self.body(*args)
+
+    @staticmethod
+    def _eval(spec: Any, args) -> float:
+        return float(spec(*args)) if callable(spec) else float(spec)

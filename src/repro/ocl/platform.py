@@ -1,0 +1,55 @@
+"""Platforms (``cl_platform_id``).
+
+The top of the OpenCL object hierarchy: a platform represents one
+vendor's runtime on one host and enumerates its devices
+(``clGetDeviceIDs``).  One platform exists per simulated node; with
+multi-GPU nodes it lists every GPU.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OclError
+from repro.hardware.node import Node
+from repro.ocl.context import Context
+from repro.ocl.device import Device
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """The simulated vendor runtime of one node."""
+
+    NAME = "repro OpenCL (simulated)"
+    VERSION = "OpenCL 1.1"
+    VENDOR = "clMPI reproduction"
+
+    def __init__(self, node: Node):
+        self.node = node
+        self._devices = [Device(node, i) for i in range(len(node.gpus))]
+
+    @property
+    def name(self) -> str:
+        """``CL_PLATFORM_NAME``."""
+        return self.NAME
+
+    @property
+    def version(self) -> str:
+        """``CL_PLATFORM_VERSION``."""
+        return self.VERSION
+
+    def get_devices(self) -> list[Device]:
+        """``clGetDeviceIDs(..., CL_DEVICE_TYPE_GPU, ...)``."""
+        return list(self._devices)
+
+    def create_context(self, device: Device | None = None,
+                       functional: bool = True) -> Context:
+        """``clCreateContext`` for one of this platform's devices."""
+        device = device or self._devices[0]
+        if device not in self._devices:
+            raise OclError("CL_INVALID_DEVICE",
+                           "device does not belong to this platform")
+        return Context(device, functional=functional)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Platform {self.NAME!r} node {self.node.node_id}: "
+                f"{len(self._devices)} device(s)>")

@@ -1,0 +1,400 @@
+"""DES engine: virtual clock, events, and generator-based processes.
+
+The engine is a classic calendar-queue simulator.  The event heap is
+ordered by ``(time, priority, sequence)`` so runs are bit-for-bit
+reproducible: ties at equal timestamps resolve first by priority band and
+then by scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "NORMAL",
+    "HIGH",
+    "LOW",
+]
+
+#: Priority bands for same-timestamp ordering.  Lower sorts earlier.
+HIGH = 0
+NORMAL = 1
+LOW = 2
+
+# Event lifecycle states.
+PENDING = 0
+TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
+PROCESSED = 2  # callbacks have run
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (double-trigger, yielding non-events, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the virtual timeline.
+
+    An event starts *pending*, is *triggered* exactly once via
+    :meth:`succeed` or :meth:`fail`, and then has its callbacks run at the
+    trigger time.  Processes waiting on a failed event have the failure
+    exception re-raised at their ``yield`` site.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = PENDING
+        self._defused: bool = False
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception)."""
+        if self._state == PENDING:
+            raise SimulationError("value of a pending event is undefined")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        self.env._schedule(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; waiters will see ``exc`` raised."""
+        if self._state != PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._ok = False
+        self._value = exc
+        self._state = TRIGGERED
+        self.env._schedule(self, priority)
+        return self
+
+    def trigger_from(self, other: "Event") -> None:
+        """Mirror another (already triggered) event's outcome."""
+        if other._ok:
+            self.succeed(other._value)
+        else:
+            other._defused = True
+            self.fail(other._value)
+
+    # -- internal ---------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 priority: int = NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._ok = True
+        self._value = value
+        self._state = TRIGGERED
+        env._schedule(self, priority, delay)
+
+
+class Process(Event):
+    """A running simulation coroutine.
+
+    A ``Process`` is itself an event that fires when the coroutine
+    finishes: its value is the coroutine's ``return`` value, or the
+    exception if the coroutine raised.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the coroutine at the current time.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)
+        boot.succeed(priority=HIGH)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the coroutine has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the coroutine at its yield point."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.env)
+        kick.callbacks.append(lambda _evt: self._throw(Interrupt(cause)))
+        kick.succeed(priority=HIGH)
+
+    # -- coroutine stepping -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        self.env._active_process = self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.env._active_process = None
+            self.fail(err)
+            return
+        self.env._active_process = None
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; coroutines must "
+                "yield Event instances (did you forget 'yield from'?)")
+        if target.processed:
+            # Already fired: resume on the next scheduling round.
+            kick = Event(self.env)
+            kick._ok, kick._value = target._ok, target._value
+            if not target._ok:
+                target._defused = True
+            kick.callbacks.append(self._resume)
+            kick._state = TRIGGERED
+            self.env._schedule(kick, HIGH)
+            self._waiting_on = kick
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        # Count pending children BEFORE dispatching immediate checks, or
+        # an already-processed first child would observe pending == 0 and
+        # fire the condition while later children are still outstanding.
+        self._pending = sum(1 for ev in self.events if not ev.processed)
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev, immediate=True)
+            else:
+                ev.callbacks.append(self._check)
+        self._finalize_empty()
+
+    def _finalize_empty(self) -> None:
+        raise NotImplementedError
+
+    def _check(self, event: Event, immediate: bool = False) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if self._state == PENDING and self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+    def _check(self, event: Event, immediate: bool = False) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if not immediate:
+            self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is ``(event, value)``."""
+
+    __slots__ = ()
+
+    def _finalize_empty(self) -> None:
+        if self._state == PENDING and not self.events:
+            self.succeed((None, None))
+
+    def _check(self, event: Event, immediate: bool = False) -> None:
+        if self._state != PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed((event, event._value))
+
+
+class Environment:
+    """The simulation environment: virtual clock plus the event calendar."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        #: Optional tracer; hardware layers append timeline records here.
+        self.tracer = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped (None between steps)."""
+        return self._active_process
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a coroutine for execution; returns its Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL,
+                  delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event on the calendar."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time ran backwards")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar empties or the clock reaches ``until``.
+
+        Unhandled process failures propagate out of ``run`` (matching the
+        behaviour of an uncaught exception on a real thread).
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,198 @@
+"""Timeline tracing.
+
+The paper's Figure 4 is a set of host/GPU/network timelines showing which
+activities overlap.  The :class:`Tracer` collects interval records from the
+hardware and runtime layers so the harness can regenerate those timelines
+(as ASCII Gantt charts) and so tests can assert overlap properties
+("the second-stage communication starts before the first-stage computation
+ends", etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One closed interval of activity on a named lane.
+
+    Attributes
+    ----------
+    lane:
+        Timeline lane, e.g. ``"rank0.host"``, ``"rank0.gpu"``,
+        ``"rank0.nic.tx"``.
+    label:
+        Human-readable activity name (``"jacobi_A"``, ``"halo send"``).
+    start, end:
+        Virtual-time interval bounds in seconds.
+    category:
+        Coarse class used for filtering: ``compute`` / ``d2h`` / ``h2d`` /
+        ``net`` / ``host`` / ``sync``.
+    meta:
+        Free-form extras (message size, peer rank, ...).
+    """
+
+    lane: str
+    label: str
+    start: float
+    end: float
+    category: str = "other"
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "TraceRecord") -> bool:
+        """True if the two intervals share a positive-length overlap."""
+        return min(self.end, other.end) > max(self.start, other.start)
+
+
+class Tracer:
+    """Append-only collection of :class:`TraceRecord`.
+
+    Attach one to an :class:`~repro.sim.Environment` (``env.tracer``) and
+    hardware layers will record their busy intervals.  Disabled lanes cost
+    nothing: callers check ``tracer is not None`` before recording.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def record(self, lane: str, label: str, start: float, end: float,
+               category: str = "other", **meta) -> TraceRecord:
+        """Append a record and return it."""
+        rec = TraceRecord(lane, label, start, end, category, meta)
+        self.records.append(rec)
+        return rec
+
+    # -- queries -------------------------------------------------------------
+    def lanes(self) -> list[str]:
+        """Sorted set of lane names seen so far."""
+        return sorted({r.lane for r in self.records})
+
+    def on_lane(self, lane: str) -> list[TraceRecord]:
+        """Records for one lane, in start order."""
+        return sorted((r for r in self.records if r.lane == lane),
+                      key=lambda r: (r.start, r.end))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """Records of one category, in start order."""
+        return sorted((r for r in self.records if r.category == category),
+                      key=lambda r: (r.start, r.end))
+
+    def busy_time(self, lane: str) -> float:
+        """Total busy (union) time on a lane, merging overlaps."""
+        total = 0.0
+        last_end = float("-inf")
+        for rec in self.on_lane(lane):
+            if rec.start >= last_end:
+                total += rec.duration
+                last_end = rec.end
+            elif rec.end > last_end:
+                total += rec.end - last_end
+                last_end = rec.end
+        return total
+
+    def overlap_time(self, cat_a: str, cat_b: str) -> float:
+        """Total time during which categories a and b are both active."""
+        ints_a = _merge(sorted((r.start, r.end) for r in self.by_category(cat_a)))
+        ints_b = _merge(sorted((r.start, r.end) for r in self.by_category(cat_b)))
+        total, i, j = 0.0, 0, 0
+        while i < len(ints_a) and j < len(ints_b):
+            lo = max(ints_a[i][0], ints_b[j][0])
+            hi = min(ints_a[i][1], ints_b[j][1])
+            if hi > lo:
+                total += hi - lo
+            if ints_a[i][1] < ints_b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) across all records."""
+        if not self.records:
+            return (0.0, 0.0)
+        return (min(r.start for r in self.records),
+                max(r.end for r in self.records))
+
+    # -- rendering -------------------------------------------------------------
+    def render_gantt(self, width: int = 78,
+                     lanes: Optional[Iterable[str]] = None) -> str:
+        """ASCII Gantt chart of the recorded intervals (Fig 4 style)."""
+        lanes = list(lanes) if lanes is not None else self.lanes()
+        lo, hi = self.span()
+        if hi <= lo:
+            return "(empty trace)"
+        scale = width / (hi - lo)
+        name_w = max((len(ln) for ln in lanes), default=4)
+        out = []
+        for lane in lanes:
+            row = [" "] * width
+            for rec in self.on_lane(lane):
+                a = int((rec.start - lo) * scale)
+                b = max(a + 1, int((rec.end - lo) * scale))
+                ch = _CATEGORY_GLYPH.get(rec.category, "#")
+                for k in range(a, min(b, width)):
+                    row[k] = ch
+            out.append(f"{lane:<{name_w}} |{''.join(row)}|")
+        legend = "  ".join(f"{g}={c}" for c, g in _CATEGORY_GLYPH.items())
+        out.append(f"{'':<{name_w}}  [{lo * 1e3:.3f} ms .. {hi * 1e3:.3f} ms]  {legend}")
+        return "\n".join(out)
+
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Export as Chrome-tracing events (load in ``chrome://tracing``
+        or Perfetto).  Lanes become threads; virtual seconds become
+        microseconds."""
+        lanes = self.lanes()
+        tid = {lane: i for i, lane in enumerate(lanes)}
+        events: list[dict] = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": i,
+             "args": {"name": lane}}
+            for lane, i in tid.items()
+        ]
+        for rec in self.records:
+            events.append({
+                "name": rec.label,
+                "cat": rec.category,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid[rec.lane],
+                "ts": rec.start * 1e6,
+                "dur": rec.duration * 1e6,
+                "args": {str(k): v for k, v in rec.meta.items()},
+            })
+        return events
+
+    def save_chrome_trace(self, path) -> None:
+        """Write :meth:`to_chrome_trace` output as a JSON file."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": self.to_chrome_trace()}, fh)
+
+
+_CATEGORY_GLYPH = {
+    "compute": "#",
+    "d2h": "v",
+    "h2d": "^",
+    "net": "=",
+    "host": ".",
+    "sync": "x",
+}
+
+
+def _merge(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    merged: list[tuple[float, float]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged

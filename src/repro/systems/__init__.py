@@ -1,0 +1,21 @@
+"""System presets encoding the paper's Table I testbeds."""
+
+from repro.systems.presets import (
+    cichlid,
+    ricc,
+    custom,
+    TransferPolicy,
+    SystemPreset,
+    get_system,
+    SYSTEMS,
+)
+
+__all__ = [
+    "cichlid",
+    "ricc",
+    "custom",
+    "TransferPolicy",
+    "SystemPreset",
+    "get_system",
+    "SYSTEMS",
+]

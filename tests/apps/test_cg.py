@@ -1,0 +1,70 @@
+"""Distributed CG solver tests (validated against SciPy)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cg import CgConfig, reference_solution, run_cg
+from repro.errors import ConfigurationError
+from repro.systems import cichlid, ricc
+
+CFG = CgConfig(grid=(12, 6, 6), max_iters=400, tol=1e-9)
+
+
+class TestConfig:
+    def test_rows_partition(self):
+        cfg = CgConfig(grid=(10, 4, 4))
+        rows = [cfg.rows_of(r, 3) for r in range(3)]
+        assert rows == [(0, 4), (4, 7), (7, 10)]
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ConfigurationError):
+            CgConfig(grid=(4, 4, 4)).rows_of(0, 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CgConfig(grid=(1, 4, 4))
+        with pytest.raises(ConfigurationError):
+            CgConfig(max_iters=0)
+
+    def test_rhs_deterministic(self):
+        a = CgConfig().rhs()
+        b = CgConfig().rhs()
+        assert np.array_equal(a, b) and a.any()
+
+
+class TestSolver:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return reference_solution(CFG)
+
+    @pytest.mark.parametrize("nodes", [1, 2, 3])
+    def test_converges_to_scipy_solution(self, reference, nodes,
+                                         ricc_preset):
+        res = run_cg(ricc_preset, nodes, CFG, functional=True,
+                     collect=True)
+        assert res.converged
+        assert res.x.shape == CFG.grid
+        assert np.allclose(res.x, reference, atol=1e-5)
+
+    def test_residual_decreases_overall(self, ricc_preset):
+        res = run_cg(ricc_preset, 2, CFG, functional=True)
+        assert res.residuals[-1] < 1e-3 * res.residuals[0]
+
+    def test_node_count_does_not_change_result(self, ricc_preset):
+        r1 = run_cg(ricc_preset, 1, CFG, functional=True, collect=True)
+        r2 = run_cg(ricc_preset, 2, CFG, functional=True, collect=True)
+        assert np.allclose(r1.x, r2.x, atol=1e-8)
+
+    def test_timing_only_mode_runs(self, cichlid_preset):
+        res = run_cg(cichlid_preset, 2, CgConfig(grid=(16, 8, 8)),
+                     functional=False)
+        assert res.time > 0
+        assert res.iterations >= 1
+
+    def test_reduction_overlap_does_not_break_numerics(self, ricc_preset):
+        """The x-update gated on event_from_mpi_request produces the same
+        solution as the textbook ordering (SciPy)."""
+        cfg = CgConfig(grid=(8, 6, 6), max_iters=300, tol=1e-10)
+        res = run_cg(ricc_preset, 2, cfg, functional=True, collect=True)
+        ref = reference_solution(cfg)
+        assert np.allclose(res.x, ref, atol=1e-6)

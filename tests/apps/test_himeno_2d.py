@@ -1,0 +1,94 @@
+"""2-D-decomposition Himeno tests: partition math + bitwise validation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.himeno import HimenoConfig
+from repro.apps.himeno.twod import (
+    Partition2D,
+    reference_2d,
+    run_himeno_2d,
+)
+from repro.errors import ConfigurationError
+from repro.systems import cichlid, ricc
+
+CFG = HimenoConfig(size="XXS", iterations=3)
+
+
+class TestPartition2D:
+    def test_coords_roundtrip(self):
+        part = Partition2D(2, 3, 16, 16, 32)
+        for rank in range(6):
+            ri, rj = part.coords(rank)
+            assert part.rank_of(ri, rj) == rank
+
+    def test_out_of_grid_neighbors_none(self):
+        part = Partition2D(2, 2, 16, 16, 32)
+        nbr = part.neighbors(0)
+        assert nbr["i_lo"] is None and nbr["j_lo"] is None
+        assert nbr["i_hi"] == 2 and nbr["j_hi"] == 1
+
+    def test_spans_cover_interior(self):
+        part = Partition2D(3, 2, 20, 18, 8)
+        rows = sorted(part.i_span(r) for r in range(0, 6, 2))
+        assert rows[0][0] == 1 and rows[-1][1] == 19
+        cols = sorted({part.j_span(r) for r in range(6)})
+        assert cols[0][0] == 1 and cols[-1][1] == 17
+
+    def test_too_fine_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Partition2D(20, 1, 16, 16, 32)
+
+    def test_rank_count_mismatch_rejected(self, cichlid_preset):
+        """A 2x2 process grid cannot run on a 2-rank job."""
+        from repro.apps.himeno.twod import clmpi_2d_main
+        from repro.launcher import ClusterApp
+
+        app = ClusterApp(cichlid_preset, 2)
+        with pytest.raises(ConfigurationError, match="needs 4 ranks"):
+            app.run(clmpi_2d_main, CFG, 2, 2, False)
+
+
+class TestBitwiseValidation:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return reference_2d(CFG)
+
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 1), (1, 2), (2, 2),
+                                      (4, 1), (1, 4)])
+    def test_partition_invariance_bitwise(self, grid, reference,
+                                          ricc_preset):
+        """Pure Jacobi is partition-invariant: any process grid assembles
+        to the exact sequential field."""
+        ref_field, ref_gosas = reference
+        pi, pj = grid
+        res = run_himeno_2d(ricc_preset, pi, pj, CFG, functional=True,
+                            collect=True)
+        assert np.array_equal(res.assembled, ref_field), f"grid {grid}"
+        assert res.gosa_per_iter == pytest.approx(ref_gosas, rel=1e-12)
+
+    def test_timing_matches_functional_clock(self, ricc_preset):
+        t_f = run_himeno_2d(ricc_preset, 2, 2, CFG, functional=True).time
+        t_t = run_himeno_2d(ricc_preset, 2, 2, CFG, functional=False).time
+        assert t_f == pytest.approx(t_t, rel=1e-12)
+
+
+class TestScaling:
+    @staticmethod
+    def _net_bytes(res) -> int:
+        return sum(r.meta.get("nbytes", 0)
+                   for r in res.tracer.by_category("net"))
+
+    def test_2d_less_halo_traffic_than_1d_at_16_ranks(self, ricc_preset):
+        """The reason 2-D exists: at P=16 a 4x4 grid moves less total
+        halo data than 16x1 (surface-to-volume)."""
+        cfg = HimenoConfig(size="M", iterations=2)
+        b_1d = self._net_bytes(run_himeno_2d(ricc_preset, 16, 1, cfg,
+                                             functional=False, trace=True))
+        b_2d = self._net_bytes(run_himeno_2d(ricc_preset, 4, 4, cfg,
+                                             functional=False, trace=True))
+        assert b_2d < 0.8 * b_1d
+
+    def test_gflops_reported(self, ricc_preset):
+        res = run_himeno_2d(ricc_preset, 2, 2, CFG, functional=False)
+        assert res.gflops > 0

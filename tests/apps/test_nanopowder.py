@@ -1,0 +1,242 @@
+"""Nanopowder simulation tests: physics invariants + both implementations."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nanopowder import (
+    NanoConfig,
+    coagulation_coefficients,
+    coagulation_substeps,
+    host_phase,
+    nucleation_rate,
+    pack_coefficients,
+    run_nanopowder,
+    section_volumes,
+    temperature,
+    total_mass,
+    unpack_coefficients,
+)
+from repro.errors import ConfigurationError
+from repro.systems import ricc
+
+CFG = NanoConfig.test_scale(steps=2, cells=4)
+
+
+class TestConfig:
+    def test_paper_scale_matches_sv_d(self):
+        cfg = NanoConfig.paper_scale()
+        assert cfg.cells == 40
+        # "coefficient data of about 42 Mbytes"
+        assert cfg.coeff_bytes == pytest.approx(42e6, rel=0.01)
+
+    def test_cells_of_requires_divisor(self):
+        cfg = NanoConfig.paper_scale()
+        with pytest.raises(ConfigurationError, match="divisor|divide"):
+            cfg.cells_of(0, 3)  # 3 does not divide 40
+        for n in (1, 2, 4, 5, 8, 10, 20, 40):
+            lo, hi = cfg.cells_of(n - 1, n)
+            assert hi - lo == 40 // n
+
+    def test_cell_ranges_partition(self):
+        cfg = NanoConfig.test_scale(cells=8)
+        ranges = [cfg.cells_of(r, 4) for r in range(4)]
+        assert ranges == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NanoConfig(vol_sections=1)
+        with pytest.raises(ConfigurationError):
+            NanoConfig(comp_sections=0)
+        with pytest.raises(ConfigurationError):
+            NanoConfig(dt=0)
+
+    def test_section_grid_product(self):
+        cfg = NanoConfig.paper_scale()
+        assert cfg.sections == cfg.vol_sections * cfg.comp_sections
+
+
+class TestPhysics:
+    def test_volume_grid_geometric(self):
+        from repro.apps.nanopowder.physics import volume_grid
+        v = volume_grid(10)
+        ratios = v[1:] / v[:-1]
+        assert np.allclose(ratios, ratios[0])
+        assert np.all(np.diff(v) > 0)
+
+    def test_flat_section_layout(self):
+        from repro.apps.nanopowder import (section_compositions,
+                                           section_volumes)
+        v = section_volumes(CFG)
+        c = section_compositions(CFG)
+        Kc = CFG.comp_sections
+        # volume constant within a composition row; compositions tile
+        assert np.all(v[:Kc] == v[0])
+        assert np.allclose(c[:Kc], np.linspace(0, 1, Kc))
+        assert v[Kc] > v[0]
+
+    def test_temperature_cools_monotonically(self):
+        cfg = CFG
+        temps = [temperature(cfg, t) for t in np.linspace(0, 1, 20)]
+        assert temps == sorted(temps, reverse=True)
+        assert temps[0] == pytest.approx(cfg.t0_kelvin)
+        assert temps[-1] >= cfg.t_room
+
+    def test_nucleation_zero_when_hot(self):
+        assert nucleation_rate(CFG, CFG.t0_kelvin) == 0.0
+        assert nucleation_rate(CFG, CFG.t0_kelvin / 2) > 0.0
+
+    def test_coefficients_shapes_and_ranges(self):
+        co = coagulation_coefficients(CFG, 1500.0)
+        M = CFG.sections
+        for k in ("beta", "alpha", "vidx", "vfrac", "cidx", "cfrac"):
+            assert co[k].shape == (M, M)
+        assert np.all(co["beta"] > 0)
+        assert np.all((0 < co["alpha"]) & (co["alpha"] <= 1))
+        assert np.all((0 <= co["vidx"]) & (co["vidx"] <= CFG.vol_sections - 1))
+        assert np.all((0 <= co["cidx"]) & (co["cidx"] <= max(0, CFG.comp_sections - 2)))
+        assert np.all((0 <= co["cfrac"]) & (co["cfrac"] <= 1))
+
+    def test_interior_partition_conserves_pair_mass(self):
+        from repro.apps.nanopowder.physics import volume_grid
+        co = coagulation_coefficients(CFG, 1500.0)
+        v = section_volumes(CFG)
+        vgrid = volume_grid(CFG.vol_sections)
+        k = co["vidx"].astype(int)
+        w = co["vfrac"].astype(np.float64)
+        interior = k < CFG.vol_sections - 1
+        vsum = v[:, None] + v[None, :]
+        recon = w * vgrid[np.clip(k, 0, None)] + (1 - w) * vgrid[
+            np.minimum(k + 1, CFG.vol_sections - 1)]
+        assert np.allclose(recon[interior], vsum[interior], rtol=1e-6)
+
+    def test_composition_partition_conserves_mixture(self):
+        from repro.apps.nanopowder.physics import (composition_grid,
+                                                   section_compositions)
+        co = coagulation_coefficients(CFG, 1500.0)
+        v = section_volumes(CFG)
+        c = section_compositions(CFG)
+        cgrid = composition_grid(CFG.comp_sections)
+        vsum = v[:, None] + v[None, :]
+        cmix = (c[:, None] * v[:, None] + c[None, :] * v[None, :]) / vsum
+        m = co["cidx"].astype(int)
+        wc = co["cfrac"].astype(np.float64)
+        recon = wc * cgrid[m] + (1 - wc) * cgrid[
+            np.minimum(m + 1, CFG.comp_sections - 1)]
+        assert np.allclose(recon, cmix, atol=1e-6)
+
+    def test_beta_grows_with_temperature(self):
+        cold = coagulation_coefficients(CFG, 500.0)["beta"]
+        hot = coagulation_coefficients(CFG, 3000.0)["beta"]
+        assert np.all(hot > cold)
+
+    def test_pack_unpack_roundtrip(self):
+        co = coagulation_coefficients(CFG, 1000.0)
+        block = pack_coefficients(co)
+        assert block.dtype == np.float32
+        back = unpack_coefficients(block)
+        for k in co:
+            assert np.array_equal(back[k], co[k].astype(np.float32))
+
+    def test_coagulation_conserves_mass(self):
+        rng = np.random.default_rng(3)
+        n = rng.uniform(0, 1e12, size=(3, CFG.sections)).astype(np.float32)
+        co = coagulation_coefficients(CFG, 1800.0)
+        m0 = total_mass(CFG, n)
+        coagulation_substeps(CFG, n, co, substeps=6)
+        assert total_mass(CFG, n) == pytest.approx(m0, rel=1e-6)
+
+    def test_coagulation_conserves_each_species(self):
+        from repro.apps.nanopowder import species_mass
+        rng = np.random.default_rng(9)
+        n = rng.uniform(0, 1e12, size=(2, CFG.sections)).astype(np.float32)
+        co = coagulation_coefficients(CFG, 2200.0)
+        a0 = species_mass(CFG, n, "A")
+        b0 = species_mass(CFG, n, "B")
+        coagulation_substeps(CFG, n, co, substeps=6)
+        assert species_mass(CFG, n, "A") == pytest.approx(a0, rel=1e-6)
+        assert species_mass(CFG, n, "B") == pytest.approx(b0, rel=1e-6)
+
+    def test_alloying_creates_intermediate_compositions(self):
+        """Pure-A plus pure-B coagulation populates mixed bins."""
+        n = np.zeros((1, CFG.sections), dtype=np.float32)
+        n[0, 0] = 1e12                       # pure B monomers
+        n[0, CFG.comp_sections - 1] = 1e12   # pure A monomers
+        co = coagulation_coefficients(CFG, 1800.0)
+        coagulation_substeps(CFG, n, co, substeps=6)
+        shaped = n.reshape(CFG.vol_sections, CFG.comp_sections)
+        assert shaped[:, 1:-1].sum() > 0
+
+    def test_coagulation_reduces_particle_count(self):
+        rng = np.random.default_rng(4)
+        n = rng.uniform(1e10, 1e12,
+                        size=(1, CFG.sections)).astype(np.float32)
+        count0 = float(n.sum())
+        co = coagulation_coefficients(CFG, 1800.0)
+        coagulation_substeps(CFG, n, co, substeps=6)
+        assert float(n.sum()) < count0
+
+    def test_coagulation_keeps_densities_nonnegative(self):
+        rng = np.random.default_rng(5)
+        n = rng.uniform(0, 1e13, size=(2, CFG.sections)).astype(np.float32)
+        co = coagulation_coefficients(CFG, 2500.0)
+        coagulation_substeps(CFG, n, co, substeps=10)
+        assert np.all(n >= 0)
+
+    def test_host_phase_adds_vapour_mass_when_cold(self):
+        n = np.full((2, CFG.sections), 1e8, dtype=np.float32)
+        m0 = total_mass(CFG, n)
+        host_phase(CFG, n, t=10 * CFG.cool_tau)  # fully cooled
+        assert total_mass(CFG, n) > m0
+
+    def test_host_phase_nucleates_both_species(self):
+        from repro.apps.nanopowder import species_mass
+        n = np.zeros((1, CFG.sections), dtype=np.float32)
+        host_phase(CFG, n, t=10 * CFG.cool_tau)
+        assert species_mass(CFG, n, "A") > 0
+        assert species_mass(CFG, n, "B") > 0
+
+
+class TestImplementations:
+    def test_baseline_and_clmpi_identical_results(self, ricc_preset):
+        rb = run_nanopowder(ricc_preset, 2, "baseline", CFG,
+                            functional=True, collect=True)
+        rc = run_nanopowder(ricc_preset, 2, "clmpi", CFG,
+                            functional=True, collect=True)
+        assert np.array_equal(rb.n_final, rc.n_final)
+        assert rb.masses == rc.masses
+
+    @pytest.mark.parametrize("nodes", [1, 2, 4])
+    def test_node_count_invariant_results(self, ricc_preset, nodes):
+        r = run_nanopowder(ricc_preset, nodes, "clmpi", CFG,
+                           functional=True, collect=True)
+        r1 = run_nanopowder(ricc_preset, 1, "clmpi", CFG,
+                            functional=True, collect=True)
+        assert np.allclose(r.n_final, r1.n_final, rtol=1e-6)
+
+    def test_clmpi_at_least_as_fast(self, ricc_preset):
+        cfg = NanoConfig.test_scale(steps=2, cells=4)
+        tb = run_nanopowder(ricc_preset, 4, "baseline", cfg,
+                            functional=False).time
+        tc = run_nanopowder(ricc_preset, 4, "clmpi", cfg,
+                            functional=False).time
+        assert tc <= tb
+
+    def test_mass_grows_during_cooling(self, ricc_preset):
+        r = run_nanopowder(ricc_preset, 2, "baseline",
+                           NanoConfig.test_scale(steps=3, cells=4),
+                           functional=True)
+        assert r.masses == sorted(r.masses)
+
+    def test_unknown_impl_rejected(self, ricc_preset):
+        with pytest.raises(ConfigurationError):
+            run_nanopowder(ricc_preset, 2, "quantum", CFG)
+
+    def test_steps_per_second(self, ricc_preset):
+        r = run_nanopowder(ricc_preset, 2, "clmpi", CFG, functional=False)
+        assert r.steps_per_second == pytest.approx(CFG.steps / r.time)
+
+    def test_paper_scale_timing_only_runs(self, ricc_preset):
+        """Paper scale (42 MB coefficients) is feasible timing-only."""
+        cfg = NanoConfig.paper_scale(steps=1)
+        r = run_nanopowder(ricc_preset, 5, "clmpi", cfg, functional=False)
+        assert r.time > 0.1  # a real-fraction-of-a-second virtual step

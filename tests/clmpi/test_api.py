@@ -1,0 +1,282 @@
+"""clMPI API-level tests: commands, events, CL_MEM wrappers, selector."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi
+from repro.clmpi.selector import TransferSelector
+from repro.errors import ClmpiError, OclError
+from repro.mpi.datatypes import CL_MEM, FLOAT64
+from repro.ocl import CommandStatus, Kernel
+from repro.systems import cichlid, ricc
+from repro.systems.presets import TransferPolicy
+
+
+class TestEnqueueCommands:
+    def test_send_requires_runtime(self, cichlid_preset):
+        """A context without a ClmpiRuntime rejects clMPI commands."""
+        from repro.mpi.world import MpiWorld
+        from repro.ocl import Context, Device
+
+        world = MpiWorld(cichlid_preset, 2)
+        ctx = Context(Device(world.cluster[0]))
+        q = ctx.create_queue()
+        buf = ctx.create_buffer(16)
+
+        def main():
+            yield from clmpi.enqueue_send_buffer(
+                q, buf, False, 0, 16, 1, 0, world.comm(0))
+
+        p = world.env.process(main())
+        with pytest.raises(ClmpiError, match="no ClmpiRuntime"):
+            world.env.run()
+
+    def test_bounds_validated_at_enqueue(self, app2):
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(64)
+            if ctx.rank == 0:
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, False, 32, 64, 1, 0, ctx.comm)
+            else:
+                yield ctx.env.timeout(0)
+
+        with pytest.raises(OclError, match="CL_INVALID_VALUE"):
+            app2.run(main)
+
+    def test_blocking_send_waits(self, cichlid_preset):
+        app = ClusterApp(cichlid_preset, 2)
+        wire = (1 << 20) / 117e6
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(1 << 20)
+            if ctx.rank == 0:
+                t0 = ctx.env.now
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, True, 0, buf.size, 1, 0, ctx.comm)
+                return ctx.env.now - t0
+            else:
+                yield from clmpi.enqueue_recv_buffer(
+                    q, buf, False, 0, buf.size, 0, 0, ctx.comm)
+                yield from q.finish()
+
+        elapsed = app.run(main)[0]
+        assert elapsed >= wire
+
+    def test_wait_list_chains_after_kernel(self, cichlid_preset):
+        """Fig 5: a send waits for the producing kernel's event."""
+        app = ClusterApp(cichlid_preset, 2)
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(1024)
+            if ctx.rank == 0:
+                k = Kernel("produce",
+                           body=lambda b: b.view("u1").__setitem__(
+                               slice(None), 7),
+                           cost=lambda gpu, b: 0.25)
+                ek = yield from q.enqueue_nd_range_kernel(k, (buf,))
+                es = yield from clmpi.enqueue_send_buffer(
+                    q, buf, False, 0, 1024, 1, 0, ctx.comm,
+                    wait_for=(ek,))
+                yield from q.finish()
+                return es.profile[CommandStatus.RUNNING]
+            else:
+                yield from clmpi.enqueue_recv_buffer(
+                    q, buf, False, 0, 1024, 0, 0, ctx.comm)
+                yield from q.finish()
+                return bool(np.all(buf.view("u1") == 7))
+
+        start, ok = app.run(main)
+        assert start >= 0.25 and ok
+
+    def test_host_thread_free_after_nonblocking_enqueue(self, cichlid_preset):
+        """The paper's central claim: the host is not tied up."""
+        app = ClusterApp(cichlid_preset, 2)
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(8 << 20)  # ~70 ms on the wire
+            if ctx.rank == 0:
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, False, 0, buf.size, 1, 0, ctx.comm)
+            else:
+                yield from clmpi.enqueue_recv_buffer(
+                    q, buf, False, 0, buf.size, 0, 0, ctx.comm)
+            t_enqueued = ctx.env.now
+            yield from q.finish()
+            return t_enqueued, ctx.env.now
+
+        for t_enq, t_done in app.run(main):
+            assert t_enq < 1e-3      # returned immediately
+            assert t_done > 50e-3    # the transfer itself took a while
+
+
+class TestEventFromMpiRequest:
+    def test_event_completes_with_request(self, app2):
+        def main(ctx):
+            if ctx.rank == 0:
+                req = yield from ctx.comm.irecv(np.empty(4), 1, 0)
+                uev = clmpi.event_from_mpi_request(ctx.ocl, req)
+                assert not uev.is_complete
+                yield uev.completion
+                return ctx.env.now
+            else:
+                yield ctx.env.timeout(0.5)
+                yield from ctx.comm.send(np.zeros(4), 0, 0)
+
+        t = app2.run(main)[0]
+        assert t >= 0.5
+
+    def test_event_for_completed_request(self, app2):
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(np.zeros(4), 1, 0)
+                yield ctx.env.timeout(0)
+            else:
+                req = yield from ctx.comm.irecv(np.empty(4), 0, 0)
+                yield from req.wait()
+                uev = clmpi.event_from_mpi_request(ctx.ocl, req)
+                return uev.is_complete
+
+        assert app2.run(main)[1] is True
+
+    def test_gates_ocl_command_fig7(self, app2):
+        """Fig 7: a WriteBuffer waits on the MPI request's event."""
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(64)
+            if ctx.rank == 0:
+                recvbuf = np.zeros(64, dtype=np.uint8)
+                req = yield from ctx.comm.irecv(recvbuf, 1, 0)
+                ev = clmpi.event_from_mpi_request(ctx.ocl, req)
+                ew = yield from q.enqueue_write_buffer(
+                    buf, False, 0, 64, recvbuf, wait_for=(ev,))
+                yield from q.finish()
+                return (ew.profile[CommandStatus.RUNNING],
+                        bool(np.all(buf.view("u1") == 5)))
+            else:
+                yield ctx.env.timeout(0.3)
+                yield from ctx.comm.send(np.full(64, 5, np.uint8), 0, 0)
+
+        start, ok = app2.run(main)[0]
+        assert start >= 0.3 and ok
+
+    def test_nonblocking_collective_event(self, app2):
+        """§VI future work: event from a nonblocking collective."""
+        def main(ctx):
+            buf = (np.full(8, 3.0) if ctx.rank == 0 else np.zeros(8))
+            req = ctx.comm.ibcast(buf, root=0)
+            uev = clmpi.event_from_mpi_request(ctx.ocl, req)
+            yield uev.completion
+            return buf[0]
+
+        assert app2.run(main) == [3.0, 3.0]
+
+
+class TestClMemWrappers:
+    def test_host_to_device(self, ricc_preset):
+        """§IV.C: host Isend with CL_MEM, device enqueue_recv_buffer."""
+        app = ClusterApp(ricc_preset, 2)
+        payload = np.arange(1 << 18, dtype=np.float32)
+
+        def main(ctx):
+            q = ctx.queue()
+            if ctx.rank == 0:
+                req = yield from clmpi.isend(
+                    ctx.runtime, payload, 1, 4, ctx.comm, CL_MEM)
+                yield from req.wait()
+            else:
+                buf = ctx.ocl.create_buffer(payload.nbytes)
+                yield from clmpi.enqueue_recv_buffer(
+                    q, buf, True, 0, payload.nbytes, 0, 4, ctx.comm)
+                return bool(np.array_equal(buf.view("f4"), payload))
+
+        assert app.run(main)[1] is True
+
+    def test_device_to_host_fig7(self, cichlid_preset):
+        app = ClusterApp(cichlid_preset, 2)
+
+        def main(ctx):
+            q = ctx.queue()
+            if ctx.rank == 0:
+                out = np.zeros(4096, dtype=np.uint8)
+                yield from clmpi.recv(ctx.runtime, out, 1, 0, ctx.comm)
+                return bool(np.all(out == 9))
+            else:
+                buf = ctx.ocl.create_buffer(4096)
+                buf.bytes_view()[:] = 9
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, True, 0, 4096, 0, 0, ctx.comm)
+
+        assert app.run(main)[0] is True
+
+    def test_non_cl_mem_datatype_falls_through(self, app2):
+        """A plain datatype routes to ordinary MPI."""
+        def main(ctx):
+            data = np.arange(8.0)
+            if ctx.rank == 0:
+                req = yield from clmpi.isend(ctx.runtime, data, 1, 0,
+                                             ctx.comm, FLOAT64)
+                yield from req.wait()
+            else:
+                buf = np.empty(8)
+                req = yield from clmpi.irecv(ctx.runtime, buf, 0, 0,
+                                             ctx.comm, FLOAT64)
+                yield from req.wait()
+                return buf.tolist()
+
+        assert app2.run(main)[1] == list(range(8))
+
+    def test_large_host_send_uses_pipeline(self, ricc_preset):
+        """42 MB-class payloads pick the pipelined engine on RICC."""
+        app = ClusterApp(ricc_preset, 2)
+        mode = app.contexts[0].runtime.describe(42_000_000, 0).mode
+        assert mode == "pipelined"
+
+    def test_timing_only_requires_nbytes(self, ricc_preset):
+        app = ClusterApp(ricc_preset, 2, functional=False)
+
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from clmpi.isend(ctx.runtime, None, 1, 0, ctx.comm)
+            else:
+                yield ctx.env.timeout(0)
+
+        with pytest.raises(ClmpiError, match="nbytes"):
+            app.run(main)
+
+
+class TestSelector:
+    def test_auto_follows_policy(self):
+        pol = TransferPolicy(small_mode="mapped", pipeline_threshold=1 << 20)
+        sel = TransferSelector(pol)
+        assert sel.choose(1024)[0] == "mapped"
+        assert sel.choose(4 << 20)[0] == "pipelined"
+
+    def test_force_mode_overrides(self):
+        sel = TransferSelector(TransferPolicy(), force_mode="mapped")
+        assert sel.choose(64 << 20)[0] == "mapped"
+
+    def test_force_block_caps_at_message_size(self):
+        sel = TransferSelector(TransferPolicy(), force_mode="pipelined",
+                               force_block=1 << 20)
+        mode, block, _ = sel.choose(1000)
+        assert mode == "pipelined" and block == 1000
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ClmpiError, match="unknown transfer mode"):
+            TransferSelector(TransferPolicy(), force_mode="warp")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ClmpiError):
+            TransferSelector(TransferPolicy()).choose(-1)
+
+    def test_both_endpoints_agree(self, cichlid_preset, ricc_preset):
+        """Deterministic agreement: same preset + size -> same descriptor."""
+        for preset in (cichlid_preset, ricc_preset):
+            app = ClusterApp(preset, 2)
+            d0 = app.contexts[0].runtime.describe(5 << 20, 3)
+            d1 = app.contexts[1].runtime.describe(5 << 20, 3)
+            assert d0 == d1

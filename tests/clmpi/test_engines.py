@@ -1,0 +1,154 @@
+"""Per-engine transfer tests: functional integrity + timing behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi
+from repro.clmpi.transfers.pipelined import blocks_of, pipeline_time_bounds
+from repro.errors import ClmpiError
+from repro.systems import cichlid, ricc
+
+
+def device_transfer(preset, nbytes, mode=None, block=None, offset=0,
+                    bufsize=None, functional=True, seed=1):
+    """Send device->device; returns (elapsed, payload_ok)."""
+    bufsize = bufsize or (offset + nbytes)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+    app = ClusterApp(preset, 2, functional=functional, force_mode=mode,
+                     force_block=block)
+
+    def main(ctx):
+        q = ctx.queue()
+        buf = ctx.ocl.create_buffer(bufsize)
+        if ctx.rank == 0:
+            if functional:
+                buf.bytes_view(offset, nbytes)[:] = data
+            yield from clmpi.enqueue_send_buffer(
+                q, buf, False, offset, nbytes, 1, 0, ctx.comm)
+        else:
+            yield from clmpi.enqueue_recv_buffer(
+                q, buf, False, offset, nbytes, 0, 0, ctx.comm)
+        yield from q.finish()
+        if ctx.rank == 1 and functional:
+            return bool(np.array_equal(buf.bytes_view(offset, nbytes), data))
+        return True
+
+    results = app.run(main)
+    return app.env.now, results[1]
+
+
+class TestFunctionalIntegrity:
+    @pytest.mark.parametrize("mode", ["pinned", "mapped", "pipelined"])
+    def test_payload_intact_per_engine(self, cichlid_preset, mode):
+        _, ok = device_transfer(cichlid_preset, 1 << 20, mode=mode,
+                                block=1 << 18)
+        assert ok
+
+    @pytest.mark.parametrize("mode", ["pinned", "mapped", "pipelined"])
+    def test_offset_transfers(self, cichlid_preset, mode):
+        _, ok = device_transfer(cichlid_preset, 4096, mode=mode, block=1024,
+                                offset=512, bufsize=8192)
+        assert ok
+
+    def test_non_multiple_block_size(self, cichlid_preset):
+        _, ok = device_transfer(cichlid_preset, 1_000_000, mode="pipelined",
+                                block=300_000)
+        assert ok
+
+    def test_single_byte(self, ricc_preset):
+        _, ok = device_transfer(ricc_preset, 1, mode="pinned")
+        assert ok
+
+    def test_auto_mode(self, ricc_preset):
+        _, ok = device_transfer(ricc_preset, 8 << 20)
+        assert ok
+
+
+class TestTimingShapes:
+    def test_mapped_slow_on_ricc_large(self, ricc_preset):
+        """Fig 8(b): mapped loses badly on RICC for large messages."""
+        t_mapped, _ = device_transfer(ricc_preset, 16 << 20, "mapped",
+                                      functional=False)
+        t_pinned, _ = device_transfer(ricc_preset, 16 << 20, "pinned",
+                                      functional=False)
+        t_piped, _ = device_transfer(ricc_preset, 16 << 20, "pipelined",
+                                     block=1 << 20, functional=False)
+        assert t_piped < t_pinned < t_mapped
+
+    def test_mapped_best_small_on_cichlid(self, cichlid_preset):
+        """Fig 8(a): mapped has the lowest fixed cost on Cichlid."""
+        t_mapped, _ = device_transfer(cichlid_preset, 64 << 10, "mapped",
+                                      functional=False)
+        t_pinned, _ = device_transfer(cichlid_preset, 64 << 10, "pinned",
+                                      functional=False)
+        assert t_mapped < t_pinned
+
+    def test_gbe_flattens_all_engines(self, cichlid_preset):
+        """Fig 8(a): on GbE all engines converge near the wire rate."""
+        times = {}
+        for mode in ("pinned", "mapped", "pipelined"):
+            times[mode], _ = device_transfer(cichlid_preset, 16 << 20, mode,
+                                             block=2 << 20, functional=False)
+        spread = max(times.values()) / min(times.values())
+        assert spread < 1.1
+
+    def test_pipelined_beats_pinned_on_ib(self, ricc_preset):
+        t_piped, _ = device_transfer(ricc_preset, 32 << 20, "pipelined",
+                                     block=2 << 20, functional=False)
+        t_pinned, _ = device_transfer(ricc_preset, 32 << 20, "pinned",
+                                      functional=False)
+        assert t_piped < 0.9 * t_pinned
+
+    def test_optimal_block_grows_with_message(self, ricc_preset):
+        """Fig 8(b): small blocks win small messages, large blocks win
+        large messages."""
+        small_msg = {}
+        large_msg = {}
+        for blk in (256 << 10, 8 << 20):
+            small_msg[blk], _ = device_transfer(
+                ricc_preset, 2 << 20, "pipelined", block=blk,
+                functional=False)
+            large_msg[blk], _ = device_transfer(
+                ricc_preset, 64 << 20, "pipelined", block=blk,
+                functional=False)
+        assert small_msg[256 << 10] < small_msg[8 << 20]
+        assert large_msg[8 << 20] < large_msg[256 << 10]
+
+    def test_timing_only_matches_functional_clock(self, ricc_preset):
+        """The virtual clock is identical with and without data movement."""
+        t_func, _ = device_transfer(ricc_preset, 4 << 20, "pipelined",
+                                    block=1 << 20, functional=True)
+        t_time, _ = device_transfer(ricc_preset, 4 << 20, "pipelined",
+                                    block=1 << 20, functional=False)
+        assert t_func == pytest.approx(t_time, rel=1e-12)
+
+
+class TestPipelineHelpers:
+    def test_blocks_cover_exactly(self):
+        ranges = blocks_of(10, 3)
+        assert ranges == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_block(self):
+        assert blocks_of(5, 100) == [(0, 5)]
+
+    def test_bad_block_rejected(self):
+        with pytest.raises(ClmpiError):
+            blocks_of(10, 0)
+
+    def test_time_bounds_ordering(self):
+        lo, hi = pipeline_time_bounds(64 << 20, 1 << 20, 5e9, 1.25e9, 25e-6)
+        assert 0 < lo < hi
+
+    def test_simulated_time_within_analytic_bounds(self, ricc_preset):
+        nbytes, block = 32 << 20, 2 << 20
+        t, _ = device_transfer(ricc_preset, nbytes, "pipelined", block=block,
+                               functional=False)
+        pcie = ricc_preset.cluster.node.pcie
+        nic = ricc_preset.cluster.fabric.nic
+        lo, hi = pipeline_time_bounds(nbytes, block,
+                                      pcie.pinned_bandwidth,
+                                      nic.bandwidth, nic.latency)
+        # hi bound is per-side; the end-to-end chain adds the receiver's
+        # final h2d and fixed overheads, so allow slack on the upper side
+        assert lo <= t <= 2 * hi

@@ -1,0 +1,218 @@
+"""Tests of the §VI extension features: file-I/O commands and auto-tuning."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi
+from repro.clmpi.autotune import tune_policy
+from repro.errors import ClmpiError, ConfigurationError
+from repro.hardware.storage import SimFile, StorageModel, StorageSpec
+from repro.ocl import CommandStatus, Kernel
+from repro.systems import cichlid, ricc
+
+KiB, MiB = 1 << 10, 1 << 20
+
+
+class TestStorageModel:
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageSpec(read_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            StorageSpec(latency=-1)
+
+    def test_read_time(self, env):
+        st = StorageModel(env, StorageSpec(read_bandwidth=100e6,
+                                           latency=1e-3))
+
+        def proc(env):
+            return (yield from st.read(100_000_000))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == pytest.approx(1.0 + 1e-3)
+
+    def test_write_slower_than_read(self, env):
+        st = StorageModel(env, StorageSpec(read_bandwidth=200e6,
+                                           write_bandwidth=100e6,
+                                           latency=0.0))
+
+        def proc(env, op):
+            return (yield from op(10_000_000))
+
+        pr = env.process(proc(env, st.read))
+        env.run()
+        pw = env.process(proc(env, st.write))
+        env.run()
+        assert pw.value == pytest.approx(2 * pr.value)
+
+    def test_open_creates_and_reuses(self, env):
+        st = StorageModel(env, StorageSpec())
+        f1 = st.open("data.bin", size=100)
+        f2 = st.open("data.bin")
+        assert f1 is f2 and f1.size == 100
+
+    def test_open_grows_file(self, env):
+        st = StorageModel(env, StorageSpec())
+        f = st.open("x", size=10)
+        f.data[:] = 5
+        st.open("x", size=20)
+        assert f.size == 20
+        assert np.all(f.data[:10] == 5) and np.all(f.data[10:] == 0)
+
+    def test_file_range_check(self, env):
+        f = SimFile(StorageModel(env, StorageSpec()), "f", 10)
+        with pytest.raises(ConfigurationError):
+            f.check_range(5, 10)
+
+
+class TestFileIoCommands:
+    def test_write_then_read_roundtrip(self, cichlid_preset):
+        app = ClusterApp(cichlid_preset, 1)
+        payload = np.random.default_rng(0).integers(
+            0, 256, size=256 * KiB, dtype=np.uint8)
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(payload.nbytes)
+            buf.bytes_view()[:] = payload
+            f = ctx.node.storage.open("out.bin", size=payload.nbytes)
+            yield from clmpi.enqueue_write_file(
+                q, buf, True, 0, payload.nbytes, f)
+            buf.bytes_view()[:] = 0
+            yield from clmpi.enqueue_read_file(
+                q, buf, True, 0, payload.nbytes, f)
+            return bool(np.array_equal(buf.bytes_view(), payload))
+
+        assert app.run(main) == [True]
+
+    def test_file_read_gates_kernel_via_event(self, cichlid_preset):
+        """A kernel can depend on the file read — no host involvement."""
+        app = ClusterApp(cichlid_preset, 1)
+
+        def main(ctx):
+            q = ctx.queue(in_order=False)
+            buf = ctx.ocl.create_buffer(1 * MiB)
+            f = ctx.node.storage.open("in.bin", size=1 * MiB)
+            f.data[:] = 3
+            er = yield from clmpi.enqueue_read_file(
+                q, buf, False, 0, 1 * MiB, f)
+            k = Kernel("sum", body=lambda b: None, flops=1e6)
+            ek = yield from q.enqueue_nd_range_kernel(k, (buf,),
+                                                      wait_for=(er,))
+            yield from q.finish()
+            return (ek.profile[CommandStatus.RUNNING]
+                    >= er.profile[CommandStatus.COMPLETE],
+                    bool(np.all(buf.bytes_view() == 3)))
+
+        gated, ok = app.run(main)[0]
+        assert gated and ok
+
+    def test_io_pipelines_disk_with_pcie(self, cichlid_preset):
+        """The blocked transfer beats disk + PCIe fully serialized."""
+        app = ClusterApp(cichlid_preset, 1, functional=False)
+        size = 64 * MiB
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(size)
+            f = ctx.node.storage.open("big.bin", size=size)
+            t0 = ctx.env.now
+            yield from clmpi.enqueue_read_file(q, buf, True, 0, size, f)
+            return ctx.env.now - t0
+
+        elapsed = app.run(main)[0]
+        spec = cichlid_preset.cluster.node
+        disk = size / spec.storage.read_bandwidth
+        pcie = size / spec.pcie.pinned_bandwidth
+        # strictly faster than the serialized chain, bounded below by the
+        # slow stage (disk)
+        assert disk < elapsed < disk + pcie
+        # at least half of the PCIe time is hidden behind the disk
+        assert elapsed < disk + 0.5 * pcie
+
+    def test_foreign_file_rejected(self, cichlid_preset):
+        app = ClusterApp(cichlid_preset, 2)
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(64)
+            if ctx.rank == 0:
+                # a file on node 1's disk cannot serve node 0's queue
+                other = app.contexts[1].node.storage.open("f", size=64)
+                yield from clmpi.enqueue_read_file(q, buf, True, 0, 64,
+                                                   other)
+            else:
+                yield ctx.env.timeout(0)
+
+        with pytest.raises(ClmpiError, match="another node"):
+            app.run(main)
+
+    def test_offsets(self, cichlid_preset):
+        app = ClusterApp(cichlid_preset, 1)
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(100)
+            f = ctx.node.storage.open("off.bin", size=100)
+            f.data[20:30] = 7
+            yield from clmpi.enqueue_read_file(q, buf, True, 50, 10, f,
+                                               file_offset=20)
+            return (bool(np.all(buf.bytes_view(50, 10) == 7)),
+                    bool(np.all(buf.bytes_view(0, 50) == 0)))
+
+        assert app.run(main)[0] == (True, True)
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        sizes = [128 * KiB, 2 * MiB, 16 * MiB]
+        blocks = [512 * KiB, 2 * MiB]
+        return {
+            "cichlid": tune_policy(cichlid(), sizes=sizes, blocks=blocks,
+                                   repeats=1),
+            "ricc": tune_policy(ricc(), sizes=sizes, blocks=blocks,
+                                repeats=1),
+        }
+
+    def test_recovers_paper_small_modes(self, reports):
+        """§V.B: the empirical tuner re-derives the authors' manual
+        choices — mapped on Cichlid, pinned on RICC."""
+        assert reports["cichlid"].policy.small_mode == "mapped"
+        assert reports["ricc"].policy.small_mode == "pinned"
+
+    def test_ricc_pipelines_large(self, reports):
+        mode, _ = reports["ricc"].policy.select(16 * MiB)
+        assert mode == "pipelined"
+
+    def test_winner_bandwidths_recorded(self, reports):
+        for rep in reports.values():
+            for nbytes, (mode, blk, bw) in rep.winners.items():
+                assert bw > 0
+                assert rep.measurements[(mode, blk, nbytes)] == bw
+
+    def test_tuned_policy_runs_transfers(self, reports):
+        """A runtime built from the tuned policy round-trips data."""
+        from repro.clmpi.selector import TransferSelector
+        from repro.launcher import ClusterApp
+
+        preset = ricc()
+        app = ClusterApp(preset, 2)
+        for ctx in app.contexts:
+            ctx.runtime.selector = TransferSelector(
+                reports["ricc"].policy)
+        data = np.arange(2 * MiB, dtype=np.uint8) % 251
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(data.nbytes)
+            if ctx.rank == 0:
+                buf.bytes_view()[:] = data
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, True, 0, data.nbytes, 1, 0, ctx.comm)
+            else:
+                yield from clmpi.enqueue_recv_buffer(
+                    q, buf, True, 0, data.nbytes, 0, 0, ctx.comm)
+                return bool(np.array_equal(buf.bytes_view(), data))
+
+        assert app.run(main)[1] is True

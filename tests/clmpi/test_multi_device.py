@@ -1,0 +1,150 @@
+"""Multi-GPU nodes: several communicator devices per MPI process (§IV.A).
+
+"If one MPI process needs to use multiple communicator devices, a unique
+tag is given to each" — these tests build 2-GPU nodes, attach both
+devices' contexts to one per-rank runtime, and disambiguate concurrent
+transfers purely by tag.
+"""
+
+import numpy as np
+import pytest
+
+from dataclasses import replace
+
+from repro import clmpi
+from repro.errors import OclError
+from repro.mpi.world import MpiWorld
+from repro.ocl import Context, Device
+from repro.systems import cichlid
+from repro.systems.presets import SystemPreset
+
+
+@pytest.fixture
+def dual_gpu_world():
+    """A 2-node Cichlid variant with two C2070s per node."""
+    preset = cichlid()
+    node = replace(preset.cluster.node, num_gpus=2)
+    cluster = replace(preset.cluster, node=node)
+    preset = SystemPreset(cluster=cluster, policy=preset.policy,
+                          mpi_eager_threshold=preset.mpi_eager_threshold)
+    return MpiWorld(preset, 2), preset
+
+
+def build_rank(world, preset, rank):
+    """(contexts per device, shared runtime) for one rank."""
+    from repro.clmpi import ClmpiRuntime, TransferSelector
+    node = world.cluster[rank]
+    ctxs = [Context(Device(node, i)) for i in range(2)]
+    runtime = ClmpiRuntime(ctxs[0], world.comm(rank),
+                           selector=TransferSelector(preset.policy))
+    runtime.attach(ctxs[1])
+    return ctxs, runtime
+
+
+class TestDeviceSelection:
+    def test_out_of_range_device(self, cichlid_preset):
+        world = MpiWorld(cichlid_preset, 1)
+        with pytest.raises(OclError, match="CL_DEVICE_NOT_FOUND"):
+            Device(world.cluster[0], 1)
+
+    def test_two_gpus_have_independent_engines(self, dual_gpu_world):
+        world, _ = dual_gpu_world
+        node = world.cluster[0]
+        assert node.gpus[0] is not node.gpus[1]
+        assert node.pcies[0] is not node.pcies[1]
+
+    def test_memory_accounted_per_gpu(self, dual_gpu_world):
+        world, preset = dual_gpu_world
+        ctxs, _ = build_rank(world, preset, 0)
+        ctxs[0].create_buffer(1 << 20)
+        assert ctxs[0].device.gpu.allocated_bytes == 1 << 20
+        assert ctxs[1].device.gpu.allocated_bytes == 0
+
+    def test_kernels_on_two_gpus_overlap(self, dual_gpu_world):
+        world, preset = dual_gpu_world
+        ctxs, _ = build_rank(world, preset, 0)
+        from repro.ocl import Kernel
+        k = Kernel("k", cost=lambda gpu: 0.5)
+
+        def main():
+            q0 = ctxs[0].create_queue()
+            q1 = ctxs[1].create_queue()
+            yield from q0.enqueue_nd_range_kernel(k, ())
+            yield from q1.enqueue_nd_range_kernel(k, ())
+            yield from q0.finish()
+            yield from q1.finish()
+            return world.env.now
+
+        p = world.env.process(main())
+        world.env.run()
+        assert p.value < 0.6  # parallel, not 1.0
+
+
+class TestMultiCommunicatorDevices:
+    def test_both_gpus_transfer_with_unique_tags(self, dual_gpu_world):
+        """Each of rank 0's two GPUs sends to the matching GPU of rank 1,
+        distinguished only by tag — the §IV.A prescription."""
+        world, preset = dual_gpu_world
+        n = 256 << 10
+        payloads = [np.full(n, 11, np.uint8), np.full(n, 22, np.uint8)]
+
+        def main(comm):
+            ctxs, _rt = build_rank(world, preset, comm.rank)
+            queues = [c.create_queue() for c in ctxs]
+            bufs = [c.create_buffer(n) for c in ctxs]
+            if comm.rank == 0:
+                for dev in (0, 1):
+                    bufs[dev].bytes_view()[:] = payloads[dev]
+                    yield from clmpi.enqueue_send_buffer(
+                        queues[dev], bufs[dev], False, 0, n, 1,
+                        tag=dev, comm=comm)
+            else:
+                # receive in swapped order: tags do the matching
+                for dev in (1, 0):
+                    yield from clmpi.enqueue_recv_buffer(
+                        queues[dev], bufs[dev], False, 0, n, 0,
+                        tag=dev, comm=comm)
+            for q in queues:
+                yield from q.finish()
+            if comm.rank == 1:
+                return [int(b.bytes_view()[0]) for b in bufs]
+
+        out = world.run(main)[1]
+        assert out == [11, 22]
+
+    def test_single_runtime_serves_both_devices(self, dual_gpu_world):
+        world, preset = dual_gpu_world
+
+        def main(comm):
+            ctxs, rt = build_rank(world, preset, comm.rank)
+            assert ctxs[0].clmpi_runtime is rt
+            assert ctxs[1].clmpi_runtime is rt
+            yield comm.env.timeout(0)
+            return True
+
+        assert all(world.run(main))
+
+    def test_gpu_to_gpu_same_node(self, dual_gpu_world):
+        """Device 0 -> device 1 of the SAME rank via loopback."""
+        world, preset = dual_gpu_world
+        n = 64 << 10
+
+        def main(comm):
+            if comm.rank != 0:
+                yield comm.env.timeout(0)
+                return None
+            ctxs, _rt = build_rank(world, preset, 0)
+            q0 = ctxs[0].create_queue()
+            q1 = ctxs[1].create_queue()
+            src = ctxs[0].create_buffer(n)
+            dst = ctxs[1].create_buffer(n)
+            src.bytes_view()[:] = 99
+            yield from clmpi.enqueue_send_buffer(
+                q0, src, False, 0, n, 0, 5, comm)
+            yield from clmpi.enqueue_recv_buffer(
+                q1, dst, False, 0, n, 0, 5, comm)
+            yield from q0.finish()
+            yield from q1.finish()
+            return int(dst.bytes_view()[0])
+
+        assert world.run(main)[0] == 99

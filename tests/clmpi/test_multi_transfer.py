@@ -1,0 +1,150 @@
+"""Multi-transfer scenarios: tag disambiguation, concurrency, contention.
+
+§IV.A: "If one MPI process needs to use multiple communicator devices, a
+unique tag is given to each" — our analogue is multiple concurrent
+transfers between the same rank pair disambiguated purely by tags.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi
+from repro.systems import cichlid, ricc
+
+
+class TestTagDisambiguation:
+    def test_two_concurrent_transfers_distinct_tags(self, cichlid_preset):
+        """Two queues, two buffers, two tags — both arrive intact."""
+        app = ClusterApp(cichlid_preset, 2)
+        n = 256 << 10
+        payload_a = np.full(n, 1, dtype=np.uint8)
+        payload_b = np.full(n, 2, dtype=np.uint8)
+
+        def main(ctx):
+            qa, qb = ctx.queue(), ctx.queue()
+            ba = ctx.ocl.create_buffer(n)
+            bb = ctx.ocl.create_buffer(n)
+            if ctx.rank == 0:
+                ba.bytes_view()[:] = payload_a
+                bb.bytes_view()[:] = payload_b
+                yield from clmpi.enqueue_send_buffer(
+                    qa, ba, False, 0, n, 1, 100, ctx.comm)
+                yield from clmpi.enqueue_send_buffer(
+                    qb, bb, False, 0, n, 1, 200, ctx.comm)
+            else:
+                # receive in the *opposite* tag order: matching is by
+                # tag, not arrival
+                yield from clmpi.enqueue_recv_buffer(
+                    qb, bb, False, 0, n, 0, 200, ctx.comm)
+                yield from clmpi.enqueue_recv_buffer(
+                    qa, ba, False, 0, n, 0, 100, ctx.comm)
+            yield from qa.finish()
+            yield from qb.finish()
+            if ctx.rank == 1:
+                return (bool(np.array_equal(ba.bytes_view(), payload_a)),
+                        bool(np.array_equal(bb.bytes_view(), payload_b)))
+
+        a_ok, b_ok = app.run(main)[1]
+        assert a_ok and b_ok
+
+    def test_opposite_direction_transfers_overlap(self, ricc_preset):
+        """A send and a receive between the same pair run full duplex."""
+        app = ClusterApp(ricc_preset, 2, functional=False)
+        n = 16 << 20
+
+        def main(ctx):
+            qs, qr = ctx.queue(), ctx.queue()
+            b1 = ctx.ocl.create_buffer(n)
+            b2 = ctx.ocl.create_buffer(n)
+            peer = 1 - ctx.rank
+            yield from clmpi.enqueue_send_buffer(
+                qs, b1, False, 0, n, peer, 10 + ctx.rank, ctx.comm)
+            yield from clmpi.enqueue_recv_buffer(
+                qr, b2, False, 0, n, peer, 10 + peer, ctx.comm)
+            yield from qs.finish()
+            yield from qr.finish()
+            return ctx.env.now
+
+        t = max(app.run(main))
+        one_way = n / ricc_preset.cluster.fabric.nic.bandwidth
+        # full duplex: both directions in well under 2x one-way time
+        assert t < 1.6 * one_way
+
+    def test_same_direction_transfers_share_the_wire(self, ricc_preset):
+        """Two big same-direction transfers serialize on the NIC."""
+        app = ClusterApp(ricc_preset, 2, functional=False,
+                         force_mode="pinned")
+        n = 16 << 20
+
+        def main(ctx):
+            qa, qb = ctx.queue(), ctx.queue()
+            b1 = ctx.ocl.create_buffer(n)
+            b2 = ctx.ocl.create_buffer(n)
+            if ctx.rank == 0:
+                yield from clmpi.enqueue_send_buffer(
+                    qa, b1, False, 0, n, 1, 1, ctx.comm)
+                yield from clmpi.enqueue_send_buffer(
+                    qb, b2, False, 0, n, 1, 2, ctx.comm)
+            else:
+                yield from clmpi.enqueue_recv_buffer(
+                    qa, b1, False, 0, n, 0, 1, ctx.comm)
+                yield from clmpi.enqueue_recv_buffer(
+                    qb, b2, False, 0, n, 0, 2, ctx.comm)
+            yield from qa.finish()
+            yield from qb.finish()
+            return ctx.env.now
+
+        t = max(app.run(main))
+        one_way = n / ricc_preset.cluster.fabric.nic.bandwidth
+        assert t >= 2 * one_way  # NIC is a serialized resource
+
+    def test_ring_of_four(self, cichlid_preset):
+        """Every rank sends to its right neighbour simultaneously."""
+        app = ClusterApp(cichlid_preset, 4)
+        n = 128 << 10
+
+        def main(ctx):
+            qs, qr = ctx.queue(), ctx.queue()
+            out = ctx.ocl.create_buffer(n)
+            inn = ctx.ocl.create_buffer(n)
+            out.bytes_view()[:] = ctx.rank + 1
+            right = (ctx.rank + 1) % 4
+            left = (ctx.rank - 1) % 4
+            yield from clmpi.enqueue_send_buffer(
+                qs, out, False, 0, n, right, 7, ctx.comm)
+            yield from clmpi.enqueue_recv_buffer(
+                qr, inn, False, 0, n, left, 7, ctx.comm)
+            yield from qs.finish()
+            yield from qr.finish()
+            return int(inn.bytes_view()[0])
+
+        assert app.run(main) == [4, 1, 2, 3]
+
+    def test_in_order_queue_serializes_own_transfers(self, cichlid_preset):
+        """Two sends on ONE in-order queue do not overlap each other —
+        exactly the OpenCL semantics the paper builds on."""
+        from repro.ocl.enums import CommandStatus
+        app = ClusterApp(cichlid_preset, 2, functional=False)
+        n = 4 << 20
+
+        def main(ctx):
+            q = ctx.queue()
+            b1 = ctx.ocl.create_buffer(n)
+            b2 = ctx.ocl.create_buffer(n)
+            if ctx.rank == 0:
+                e1 = yield from clmpi.enqueue_send_buffer(
+                    q, b1, False, 0, n, 1, 1, ctx.comm)
+                e2 = yield from clmpi.enqueue_send_buffer(
+                    q, b2, False, 0, n, 1, 2, ctx.comm)
+                yield from q.finish()
+                return (e1.profile[CommandStatus.COMPLETE],
+                        e2.profile[CommandStatus.RUNNING])
+            else:
+                yield from clmpi.enqueue_recv_buffer(
+                    q, b1, False, 0, n, 0, 1, ctx.comm)
+                yield from clmpi.enqueue_recv_buffer(
+                    q, b2, False, 0, n, 0, 2, ctx.comm)
+                yield from q.finish()
+
+        done1, start2 = app.run(main)[0]
+        assert start2 >= done1

@@ -1,0 +1,107 @@
+"""Property-based clMPI tests: arbitrary sizes/offsets/engines round-trip."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import ClusterApp, clmpi
+from repro.systems import cichlid, ricc
+
+MODES = st.sampled_from(["pinned", "mapped", "pipelined", None])
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 18),
+       offset=st.integers(min_value=0, max_value=4096),
+       mode=MODES,
+       block=st.integers(min_value=1, max_value=1 << 16),
+       seed=st.integers(0, 1 << 16))
+@settings(max_examples=25, deadline=None)
+def test_device_transfer_roundtrip(nbytes, offset, mode, block, seed):
+    """Any (size, offset, engine, block) combination moves bytes intact
+    and leaves the rest of the destination buffer untouched."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+    bufsize = offset + nbytes + 64
+    app = ClusterApp(cichlid(), 2, force_mode=mode, force_block=block)
+
+    def main(ctx):
+        q = ctx.queue()
+        buf = ctx.ocl.create_buffer(bufsize)
+        if ctx.rank == 0:
+            buf.bytes_view(offset, nbytes)[:] = data
+            yield from clmpi.enqueue_send_buffer(
+                q, buf, False, offset, nbytes, 1, 0, ctx.comm)
+        else:
+            yield from clmpi.enqueue_recv_buffer(
+                q, buf, False, offset, nbytes, 0, 0, ctx.comm)
+        yield from q.finish()
+        if ctx.rank == 1:
+            body_ok = bool(np.array_equal(buf.bytes_view(offset, nbytes),
+                                          data))
+            halo_ok = bool(np.all(buf.bytes_view(0, offset) == 0)
+                           and np.all(buf.bytes_view(offset + nbytes) == 0))
+            return body_ok and halo_ok
+
+    assert app.run(main)[1] is True
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 20),
+       mode=st.sampled_from(["pinned", "mapped", "pipelined"]))
+@settings(max_examples=25, deadline=None)
+def test_transfer_time_at_least_wire_time(nbytes, mode):
+    """No engine beats the physical wire lower bound."""
+    preset = ricc()
+    app = ClusterApp(preset, 2, functional=False, force_mode=mode,
+                     force_block=max(1, nbytes // 4))
+
+    def main(ctx):
+        q = ctx.queue()
+        buf = ctx.ocl.create_buffer(max(1, nbytes))
+        if ctx.rank == 0:
+            yield from clmpi.enqueue_send_buffer(
+                q, buf, False, 0, nbytes, 1, 0, ctx.comm)
+        else:
+            yield from clmpi.enqueue_recv_buffer(
+                q, buf, False, 0, nbytes, 0, 0, ctx.comm)
+        yield from q.finish()
+        return ctx.env.now
+
+    t = max(app.run(main))
+    assert t >= nbytes / preset.cluster.fabric.nic.bandwidth
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 14),
+                      min_size=1, max_size=6),
+       seed=st.integers(0, 1 << 16))
+@settings(max_examples=20, deadline=None)
+def test_back_to_back_transfers_on_same_tag(sizes, seed):
+    """Sequential clMPI transfers on one tag arrive in order, intact."""
+    rng = np.random.default_rng(seed)
+    payloads = [rng.integers(0, 256, size=n, dtype=np.uint8) for n in sizes]
+    app = ClusterApp(cichlid(), 2)
+
+    def main(ctx):
+        q = ctx.queue()
+        ok = True
+        for data in payloads:
+            buf = ctx.ocl.create_buffer(data.nbytes)
+            if ctx.rank == 0:
+                buf.bytes_view()[:] = data
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, True, 0, data.nbytes, 1, 0, ctx.comm)
+            else:
+                yield from clmpi.enqueue_recv_buffer(
+                    q, buf, True, 0, data.nbytes, 0, 0, ctx.comm)
+                ok &= bool(np.array_equal(buf.bytes_view(), data))
+            buf.release()
+        return ok
+
+    assert all(app.run(main))
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 19))
+@settings(max_examples=20, deadline=None)
+def test_selector_block_never_exceeds_size(nbytes):
+    app = ClusterApp(ricc(), 2)
+    desc = app.contexts[0].runtime.describe(nbytes, 0)
+    if desc.block is not None:
+        assert 1 <= desc.block <= max(1, nbytes)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.launcher import ClusterApp
+from repro.mpi.world import MpiWorld
+from repro.sim import Environment, Tracer
+from repro.systems import cichlid, ricc
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def traced_env() -> Environment:
+    e = Environment()
+    e.tracer = Tracer()
+    return e
+
+
+@pytest.fixture
+def cichlid_preset():
+    return cichlid()
+
+
+@pytest.fixture
+def ricc_preset():
+    return ricc()
+
+
+@pytest.fixture
+def world2(cichlid_preset) -> MpiWorld:
+    """A 2-rank MPI world on Cichlid."""
+    return MpiWorld(cichlid_preset, num_nodes=2)
+
+
+@pytest.fixture
+def world4(cichlid_preset) -> MpiWorld:
+    """A 4-rank MPI world on Cichlid."""
+    return MpiWorld(cichlid_preset, num_nodes=4)
+
+
+@pytest.fixture
+def app2(cichlid_preset) -> ClusterApp:
+    """A 2-rank full-stack cluster app on Cichlid."""
+    return ClusterApp(cichlid_preset, 2)
+
+
+def run_ranks(world: MpiWorld, main, *args, **kwargs):
+    """Run a rank coroutine on every rank of a world; return values."""
+    return world.run(main, *args, **kwargs)
+
+
+def payload(nbytes: int, seed: int = 0) -> np.ndarray:
+    """Deterministic byte payload."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=nbytes, dtype=np.uint8)

@@ -1,0 +1,47 @@
+"""Harness paths not covered by the shape tests: functional runs, scale."""
+
+import pytest
+
+from repro.harness import run_fig9, run_fig10
+
+
+class TestFunctionalHarness:
+    def test_fig9_functional_small(self):
+        """The --functional CLI path on a small grid."""
+        t = run_fig9("cichlid", nodes=[1, 2], size="XS", iterations=2,
+                     functional=True, verbose=False)
+        assert len(t.rows) == 2
+        for row in t.rows:
+            assert row[1] > 0 and row[2] > 0 and row[3] > 0
+
+    def test_fig10_functional_test_scale(self):
+        t = run_fig10(nodes=[1, 2], steps=1, functional=True,
+                      verbose=False)
+        assert len(t.rows) == 2
+
+
+class TestScale:
+    def test_64_node_ricc_run(self):
+        """The simulator handles the largest RICC configuration the
+        preset allows without superlinear cost."""
+        import time
+
+        from repro.apps.himeno import HimenoConfig, run_himeno
+        from repro.systems import ricc
+
+        start = time.monotonic()
+        res = run_himeno(ricc(), 64, "clmpi",
+                         HimenoConfig(size="L", iterations=3),
+                         functional=False)
+        elapsed = time.monotonic() - start
+        assert res.gflops > 0
+        assert elapsed < 30.0  # real seconds; typically ~2 s
+
+    def test_40_node_nanopowder(self):
+        from repro.apps.nanopowder import NanoConfig, run_nanopowder
+        from repro.systems import ricc
+
+        res = run_nanopowder(ricc(), 40, "clmpi",
+                             NanoConfig.paper_scale(steps=1),
+                             functional=False)
+        assert res.steps_per_second > 0

@@ -1,0 +1,89 @@
+"""Tests of the report renderer and the CLI runner."""
+
+import pytest
+
+from repro.harness.report import Table, format_table
+from repro.harness.runner import build_parser, main
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("Demo", ["a", "b"])
+        t.add(1, 2.5)
+        t.add("x", 0.001)
+        out = t.render()
+        assert "Demo" in out and "a" in out and "2.50" in out
+
+    def test_wrong_arity_rejected(self):
+        t = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_float_formats(self):
+        t = Table("F", ["v"])
+        t.add(123456.0)
+        t.add(0.000123)
+        t.add(float("nan"))
+        t.add(0.0)
+        md = t.to_markdown()
+        assert "1.23e+05" in md
+        assert "0.000123" in md
+        assert "| - |" in md
+        assert "| 0 |" in md
+
+    def test_markdown_structure(self):
+        t = Table("T", ["x", "y"])
+        t.add(1, 2)
+        md = t.to_markdown()
+        lines = md.splitlines()
+        assert lines[0] == "**T**"
+        assert lines[2] == "| x | y |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| 1 | 2 |"
+
+    def test_format_table_alignment(self):
+        out = format_table("T", ["col"], [[1], [22], [333]])
+        rows = out.splitlines()
+        assert rows[-2].endswith("333")
+
+    def test_empty_table(self):
+        out = format_table("Empty", ["a"], [])
+        assert "Empty" in out
+
+
+class TestRunnerCli:
+    def test_parser_subcommands(self):
+        p = build_parser()
+        for cmd in ("table1", "fig8", "fig9", "fig10", "fig4", "all"):
+            args = p.parse_args([cmd] if cmd != "fig9"
+                                else ["fig9", "--nodes", "1,2"])
+            assert args.experiment == cmd
+
+    def test_nodes_list_parsing(self):
+        p = build_parser()
+        args = p.parse_args(["fig9", "--nodes", "1,2,4"])
+        assert args.nodes == [1, 2, 4]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig8", "--system", "summit"])
+
+    def test_main_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Cichlid" in out
+
+    def test_main_fig9_small(self, capsys):
+        assert main(["fig9", "--system", "cichlid", "--nodes", "1,2",
+                     "--size", "XS", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 9(a)" in out and "hand-optimized" in out
+
+    def test_main_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4(a)" in out and "overlap" in out

@@ -1,0 +1,119 @@
+"""Property-based collective tests: random shapes, ops, rank counts."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import MpiWorld
+from repro.systems import custom
+
+
+def make_world(p):
+    preset = custom("prop", net_bandwidth=1e9, net_latency=5e-6,
+                    gpu_gflops=10.0, pinned_bandwidth=5e9,
+                    mapped_bandwidth=2e9, max_nodes=8)
+    return MpiWorld(preset, p)
+
+
+OPS = st.sampled_from(["sum", "max", "min", "prod"])
+
+
+@given(p=st.integers(min_value=1, max_value=6),
+       n=st.integers(min_value=1, max_value=3000),
+       op=OPS, seed=st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_allreduce_matches_numpy(p, n, op, seed):
+    """allreduce(op) equals the NumPy reduction over per-rank inputs,
+    regardless of payload size (and hence of algorithm choice)."""
+    rng = np.random.default_rng(seed)
+    inputs = rng.integers(-50, 50, size=(p, n)).astype(np.float64)
+    world = make_world(p)
+
+    def main(comm):
+        out = np.zeros(n)
+        yield from comm.allreduce(inputs[comm.rank].copy(), out, op)
+        return out
+
+    results = world.run(main)
+    ufunc = {"sum": np.add, "max": np.maximum, "min": np.minimum,
+             "prod": np.multiply}[op]
+    expected = ufunc.reduce(inputs, axis=0)
+    for out in results:
+        assert np.allclose(out, expected)
+
+
+@given(p=st.integers(min_value=2, max_value=6),
+       n=st.integers(min_value=1, max_value=500),
+       root=st.integers(min_value=0, max_value=5),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=25, deadline=None)
+def test_bcast_delivers_root_data(p, n, root, seed):
+    root = root % p
+    rng = np.random.default_rng(seed)
+    payload = rng.normal(size=n)
+    world = make_world(p)
+
+    def main(comm):
+        buf = payload.copy() if comm.rank == root else np.zeros(n)
+        yield from comm.bcast(buf, root=root)
+        return buf
+
+    for out in world.run(main):
+        assert np.array_equal(out, payload)
+
+
+@given(p=st.integers(min_value=2, max_value=6),
+       blk=st.integers(min_value=1, max_value=200),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_alltoall_is_transpose(p, blk, seed):
+    rng = np.random.default_rng(seed)
+    mats = rng.integers(0, 100, size=(p, p, blk)).astype(np.float64)
+    world = make_world(p)
+
+    def main(comm):
+        recv = np.zeros((p, blk))
+        yield from comm.alltoall(mats[comm.rank].copy(), recv)
+        return recv
+
+    results = world.run(main)
+    for r, recv in enumerate(results):
+        for i in range(p):
+            assert np.array_equal(recv[i], mats[i][r])
+
+
+@given(p=st.integers(min_value=1, max_value=6),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_gather_scatter_roundtrip(p, seed):
+    """scatter followed by gather reconstructs the root's matrix."""
+    rng = np.random.default_rng(seed)
+    mat = rng.normal(size=(p, 7))
+    world = make_world(p)
+
+    def main(comm):
+        mine = np.zeros(7)
+        yield from comm.scatter(mat.copy() if comm.rank == 0 else None,
+                                mine, root=0)
+        back = np.zeros((p, 7)) if comm.rank == 0 else None
+        yield from comm.gather(mine, back, root=0)
+        return back
+
+    out = world.run(main)[0]
+    assert np.array_equal(out, mat)
+
+
+@given(p=st.integers(min_value=2, max_value=6),
+       skew=st.lists(st.floats(min_value=0.0, max_value=1.0,
+                               allow_nan=False), min_size=6, max_size=6))
+@settings(max_examples=20, deadline=None)
+def test_barrier_releases_no_one_early(p, skew):
+    world = make_world(p)
+
+    def main(comm):
+        yield comm.env.timeout(skew[comm.rank])
+        yield from comm.barrier()
+        return comm.env.now
+
+    times = world.run(main)
+    latest_arrival = max(skew[:p])
+    assert all(t >= latest_arrival for t in times)

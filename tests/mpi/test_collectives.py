@@ -1,0 +1,325 @@
+"""Collective-operation tests across 2 and 4 ranks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import MpiWorld
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self, world4):
+        def main(comm):
+            yield comm.env.timeout(float(comm.rank))  # skewed arrival
+            yield from comm.barrier()
+            return comm.env.now
+
+        times = world4.run(main)
+        assert min(times) >= 3.0  # nobody leaves before the last arrival
+
+    def test_barrier_single_rank(self, cichlid_preset):
+        world = MpiWorld(cichlid_preset, 1)
+
+        def main(comm):
+            yield from comm.barrier()
+            return "done"
+
+        assert world.run(main) == ["done"]
+
+
+class TestBcast:
+    def test_bcast_from_root(self, world4):
+        def main(comm):
+            buf = np.full(16, float(comm.rank))
+            if comm.rank == 2:
+                buf[:] = 99.0
+            yield from comm.bcast(buf, root=2)
+            return buf[0]
+
+        assert world4.run(main) == [99.0] * 4
+
+    def test_bcast_large_payload(self, world2):
+        n = 1 << 19
+
+        def main(comm):
+            buf = (np.arange(n, dtype=np.float32) if comm.rank == 0
+                   else np.zeros(n, dtype=np.float32))
+            yield from comm.bcast(buf, root=0)
+            return float(buf[-1])
+
+        assert world2.run(main) == [float(n - 1)] * 2
+
+
+class TestReduce:
+    def test_sum_to_root(self, world4):
+        def main(comm):
+            send = np.full(4, float(comm.rank + 1))
+            recv = np.zeros(4)
+            yield from comm.reduce(send, recv, "sum", root=0)
+            return recv[0]
+
+        out = world4.run(main)
+        assert out[0] == 10.0  # 1+2+3+4
+        assert out[1] == 0.0   # untouched off-root
+
+    def test_max_and_min(self, world4):
+        def main(comm):
+            send = np.array([float(comm.rank)])
+            mx, mn = np.zeros(1), np.zeros(1)
+            yield from comm.allreduce(send, mx, "max")
+            yield from comm.allreduce(send, mn, "min")
+            return (mx[0], mn[0])
+
+        assert world4.run(main) == [(3.0, 0.0)] * 4
+
+    def test_prod(self, world2):
+        def main(comm):
+            send = np.array([float(comm.rank + 2)])
+            out = np.zeros(1)
+            yield from comm.allreduce(send, out, "prod")
+            return out[0]
+
+        assert world2.run(main) == [6.0, 6.0]
+
+    def test_unknown_op_rejected(self, world2):
+        def main(comm):
+            yield from comm.allreduce(np.zeros(1), np.zeros(1), "xor")
+
+        with pytest.raises(MpiError, match="unknown reduction"):
+            world2.run(main)
+
+
+class TestAllreduce:
+    def test_everyone_gets_result(self, world4):
+        def main(comm):
+            send = np.array([float(comm.rank)])
+            recv = np.zeros(1)
+            yield from comm.allreduce(send, recv, "sum")
+            return recv[0]
+
+        assert world4.run(main) == [6.0] * 4
+
+
+class TestGatherScatter:
+    def test_gather(self, world4):
+        def main(comm):
+            send = np.full(3, float(comm.rank))
+            recv = np.zeros((4, 3)) if comm.rank == 0 else None
+            yield from comm.gather(send, recv, root=0)
+            if comm.rank == 0:
+                return recv[:, 0].tolist()
+
+        assert world4.run(main)[0] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_scatter(self, world4):
+        def main(comm):
+            send = None
+            if comm.rank == 0:
+                send = np.arange(8.0).reshape(4, 2)
+            recv = np.zeros(2)
+            yield from comm.scatter(send, recv, root=0)
+            return recv.tolist()
+
+        assert world4.run(main) == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_gather_bad_recvbuf(self, world2):
+        def main(comm):
+            recv = np.zeros((3, 1)) if comm.rank == 0 else None
+            yield from comm.gather(np.zeros(1), recv, root=0)
+
+        with pytest.raises(MpiError, match="leading axis"):
+            world2.run(main)
+
+
+class TestAllgather:
+    def test_ring_allgather(self, world4):
+        def main(comm):
+            send = np.array([float(comm.rank * 10)])
+            recv = np.zeros((4, 1))
+            yield from comm.allgather(send, recv)
+            return recv[:, 0].tolist()
+
+        assert world4.run(main) == [[0.0, 10.0, 20.0, 30.0]] * 4
+
+
+class TestNonblockingCollectives:
+    def test_ibarrier_overlaps_work(self, world2):
+        def main(comm):
+            req = comm.ibarrier()
+            yield comm.env.timeout(1e-3)  # overlapped work
+            yield from req.wait()
+            return comm.env.now
+
+        times = world2.run(main)
+        assert all(t >= 1e-3 for t in times)
+
+    def test_ibcast(self, world2):
+        def main(comm):
+            buf = (np.full(8, 5.0) if comm.rank == 0 else np.zeros(8))
+            req = comm.ibcast(buf, root=0)
+            yield from req.wait()
+            return buf[0]
+
+        assert world2.run(main) == [5.0, 5.0]
+
+    def test_iallreduce(self, world4):
+        def main(comm):
+            send = np.array([1.0])
+            recv = np.zeros(1)
+            req = comm.iallreduce(send, recv, "sum")
+            yield from req.wait()
+            return recv[0]
+
+        assert world4.run(main) == [4.0] * 4
+
+
+class TestCommDup:
+    def test_dup_isolates_matching(self, world2):
+        """A message on the dup cannot be received on the parent."""
+        def main(comm):
+            dup = comm.dup()
+            if comm.rank == 0:
+                yield from dup.send(np.array([1.0]), 1, tag=0)
+                yield from comm.send(np.array([2.0]), 1, tag=0)
+            else:
+                buf = np.empty(1)
+                yield from comm.recv(buf, 0, 0)   # parent gets 2.0
+                got_parent = buf[0]
+                yield from dup.recv(buf, 0, 0)    # dup gets 1.0
+                return (got_parent, buf[0])
+
+        assert world2.run(main)[1] == (2.0, 1.0)
+
+    def test_dup_deterministic_pairing(self, world2):
+        def main(comm):
+            d1 = comm.dup()
+            d2 = comm.dup()
+            if comm.rank == 0:
+                yield from d2.send(np.array([9.0]), 1)
+            else:
+                buf = np.empty(1)
+                yield from d2.recv(buf, 0)
+                return buf[0]
+            yield comm.env.timeout(0)
+
+        assert world2.run(main)[1] == 9.0
+
+
+class TestRingAllreduce:
+    def test_large_payload_uses_ring_and_is_correct(self, world4):
+        """Above the threshold the ring algorithm runs; result matches."""
+        import numpy as np
+        n = 100_000  # 800 KB of f8 > ALLREDUCE_RING_THRESHOLD
+
+        def main(comm):
+            send = np.full(n, float(comm.rank + 1))
+            recv = np.zeros(n)
+            yield from comm.allreduce(send, recv, "sum")
+            return float(recv[0]), float(recv[-1])
+
+        assert world4.run(main) == [(10.0, 10.0)] * 4
+
+    def test_ring_matches_tree_numerically(self, world4):
+        """Ring and tree algorithms agree for integer-valued data."""
+        import numpy as np
+        from repro.mpi import collectives as coll
+
+        def main(comm):
+            data = np.arange(70_000, dtype=np.float64) % 7 + comm.rank
+            out_ring = np.zeros_like(data)
+            yield from coll._allreduce_ring(comm, data, out_ring, "sum")
+            out_tree = np.zeros_like(data)
+            yield from coll.reduce(comm, data, out_tree, "sum", root=0)
+            yield from coll.bcast(comm, out_tree, root=0)
+            return bool(np.array_equal(out_ring, out_tree))
+
+        assert all(world4.run(main))
+
+    def test_ring_max_op(self, world4):
+        import numpy as np
+
+        def main(comm):
+            from repro.mpi import collectives as coll
+            data = np.full(50_000, float(comm.rank))
+            out = np.zeros_like(data)
+            yield from coll._allreduce_ring(comm, data, out, "max")
+            return float(out[12345])
+
+        assert world4.run(main) == [3.0] * 4
+
+    def test_ring_uneven_chunks(self, world4):
+        """Element count not divisible by P still reduces correctly."""
+        import numpy as np
+
+        def main(comm):
+            from repro.mpi import collectives as coll
+            data = np.full(100_003, 1.0)
+            out = np.zeros_like(data)
+            yield from coll._allreduce_ring(comm, data, out, "sum")
+            return bool(np.all(out == 4.0))
+
+        assert all(world4.run(main))
+
+    def test_ring_cheaper_than_tree_for_big_payloads(self, cichlid_preset):
+        """The bandwidth-optimal algorithm actually wins on the wire."""
+        import numpy as np
+        from repro.mpi import MpiWorld
+        from repro.mpi import collectives as coll
+
+        def run(algo):
+            world = MpiWorld(cichlid_preset, 4)
+
+            def main(comm):
+                data = np.zeros(1_000_000)  # 8 MB
+                out = np.zeros_like(data)
+                if algo == "ring":
+                    yield from coll._allreduce_ring(comm, data, out, "sum")
+                else:
+                    yield from coll.reduce(comm, data, out, "sum", root=0)
+                    yield from coll.bcast(comm, out, root=0)
+                return comm.env.now
+
+            return max(world.run(main))
+
+        assert run("ring") < run("tree")
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self, world4):
+        import numpy as np
+
+        def main(comm):
+            send = np.array([[comm.rank * 10 + j] for j in range(4)],
+                            dtype=np.float64)
+            recv = np.zeros((4, 1))
+            yield from comm.alltoall(send, recv)
+            return recv[:, 0].tolist()
+
+        out = world4.run(main)
+        # recv[i] at rank r == send[r] at rank i == i*10 + r
+        for r, row in enumerate(out):
+            assert row == [i * 10 + r for i in range(4)]
+
+    def test_bad_buffers_rejected(self, world2):
+        import numpy as np
+        import pytest
+        from repro.errors import MpiError
+
+        def main(comm):
+            yield from comm.alltoall(np.zeros((3, 1)), np.zeros((2, 1)))
+
+        with pytest.raises(MpiError, match="leading axis"):
+            world2.run(main)
+
+
+class TestReduceScatter:
+    def test_block_semantics(self, world4):
+        import numpy as np
+
+        def main(comm):
+            send = np.ones((4, 5)) * (comm.rank + 1)
+            recv = np.zeros(5)
+            yield from comm.reduce_scatter(send, recv, "sum")
+            return float(recv[0])
+
+        assert world4.run(main) == [10.0] * 4

@@ -1,0 +1,139 @@
+"""MPI edge cases: self-sends, wildcards under rendezvous, endpoint GC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiWorld
+from repro.mpi.matching import Endpoint, Envelope
+from repro.sim import Environment, Event
+
+
+class TestSelfMessaging:
+    def test_send_to_self_nonblocking(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                sreq = yield from comm.isend(np.array([5.0]), 0, tag=1)
+                buf = np.zeros(1)
+                rreq = yield from comm.irecv(buf, 0, 1)
+                yield from sreq.wait()
+                yield from rreq.wait()
+                return buf[0]
+            yield comm.env.timeout(0)
+
+        assert world2.run(main)[0] == 5.0
+
+    def test_self_rendezvous(self, world2):
+        """A large self-send completes through the loopback path."""
+        n = 1 << 18
+
+        def main(comm):
+            if comm.rank == 0:
+                data = np.arange(n, dtype=np.uint8)
+                out = np.zeros(n, dtype=np.uint8)
+                rreq = yield from comm.irecv(out, 0, 0)
+                sreq = yield from comm.isend(data, 0, 0)
+                yield from rreq.wait()
+                yield from sreq.wait()
+                return bool(np.array_equal(out, data))
+            yield comm.env.timeout(0)
+
+        assert world2.run(main)[0] is True
+
+    def test_self_sendrecv(self, world2):
+        def main(comm):
+            mine = np.array([float(comm.rank + 10)])
+            got = np.zeros(1)
+            yield from comm.sendrecv(mine, comm.rank, 2,
+                                     got, comm.rank, 2)
+            return got[0]
+
+        assert world2.run(main) == [10.0, 11.0]
+
+
+class TestWildcardsUnderRendezvous:
+    def test_any_source_matches_rendezvous(self, world4):
+        n = 1 << 17  # above the eager threshold
+
+        def main(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(3):
+                    buf = np.zeros(n, dtype=np.uint8)
+                    status = yield from comm.recv(buf, ANY_SOURCE,
+                                                  ANY_TAG)
+                    got.append((status.source, int(buf[0])))
+                return sorted(got)
+            yield comm.env.timeout(1e-6 * comm.rank)
+            yield from comm.send(
+                np.full(n, comm.rank, dtype=np.uint8), 0, tag=comm.rank)
+
+        assert world4.run(main)[0] == [(1, 1), (2, 2), (3, 3)]
+
+
+class TestEndpointInternals:
+    def test_gc_drops_matched_heads(self):
+        ep = Endpoint()
+        env = Environment()
+        for i in range(3):
+            ep.deliver(Envelope(src=0, dst=1, tag=i, comm_id=0, nbytes=1,
+                                seq=i, protocol="eager",
+                                arrived=Event(env)))
+        assert ep.unmatched_envelopes == 3
+        # matching the head lets _gc reclaim it on the next operation
+        from repro.mpi.matching import PostedRecv
+        recv = PostedRecv(source=0, tag=0, buf=None,
+                          completion=Event(env))
+        env2 = ep.post(recv)
+        assert env2 is not None and env2.tag == 0
+        ep.deliver(Envelope(src=0, dst=1, tag=9, comm_id=0, nbytes=1,
+                            seq=9, protocol="eager", arrived=Event(env)))
+        assert ep.unmatched_envelopes == 3  # tags 1, 2, 9
+
+    def test_prober_woken_only_by_match(self):
+        ep = Endpoint()
+        env = Environment()
+        waiter = Event(env)
+        ep.add_prober(source=5, tag=7, event=waiter)
+        ep.deliver(Envelope(src=1, dst=0, tag=7, comm_id=0, nbytes=1,
+                            seq=1, protocol="eager", arrived=Event(env)))
+        assert not waiter.triggered  # wrong source
+        ep.deliver(Envelope(src=5, dst=0, tag=7, comm_id=0, nbytes=1,
+                            seq=2, protocol="eager", arrived=Event(env)))
+        assert waiter.triggered
+
+
+class TestMisuse:
+    def test_isend_bytes_negative(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.isend_bytes(None, -5, 1, 0)
+            else:
+                yield comm.env.timeout(0)
+
+        with pytest.raises(MpiError, match="negative"):
+            world2.run(main)
+
+    def test_irecv_bytes_small_view(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.irecv_bytes(
+                    np.zeros(4, dtype=np.uint8), 100, 1, 0)
+            else:
+                yield comm.env.timeout(0)
+
+        with pytest.raises(MpiError, match="smaller"):
+            world2.run(main)
+
+    def test_request_value_survives_multiple_waits(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(4), 1, 0)
+            else:
+                buf = np.zeros(4)
+                req = yield from comm.irecv(buf, 0, 0)
+                s1 = yield from req.wait()
+                s2 = yield from req.wait()  # waiting again is harmless
+                return s1 == s2
+
+        assert world2.run(main)[1] is True

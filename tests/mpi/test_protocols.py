@@ -1,0 +1,179 @@
+"""Eager vs rendezvous protocol behaviour and timing."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiConfig, MpiWorld
+
+
+def _transfer_time(world, nbytes, post_recv_first=True):
+    """Virtual time from send start to recv completion."""
+
+    def main(comm):
+        data = np.zeros(nbytes, dtype=np.uint8)
+        if comm.rank == 0:
+            if not post_recv_first:
+                yield comm.env.timeout(0)  # let receiver lag
+            t0 = comm.env.now
+            yield from comm.send(data, 1)
+            return ("send", t0, comm.env.now)
+        else:
+            buf = np.empty(nbytes, dtype=np.uint8)
+            if not post_recv_first:
+                yield comm.env.timeout(5.0)  # late receiver
+            t0 = comm.env.now
+            yield from comm.recv(buf, 0)
+            return ("recv", t0, comm.env.now)
+
+    return world.run(main)
+
+
+class TestEager:
+    def test_small_send_completes_without_receiver(self, cichlid_preset):
+        """Eager sends complete locally even with a (very) late receiver."""
+        world = MpiWorld(cichlid_preset, 2)
+        res = _transfer_time(world, 1024, post_recv_first=False)
+        _, s0, s1 = res[0]
+        assert s1 - s0 < 1.0  # sender did NOT wait the 5 s
+
+    def test_eager_threshold_respected(self, cichlid_preset):
+        world = MpiWorld(cichlid_preset, 2,
+                         config=MpiConfig(eager_threshold=100))
+
+        def main(comm):
+            data = np.zeros(1000, dtype=np.uint8)  # > threshold: rndv
+            if comm.rank == 0:
+                t0 = comm.env.now
+                yield from comm.send(data, 1)
+                return comm.env.now - t0
+            else:
+                yield comm.env.timeout(2.0)
+                yield from comm.recv(np.empty(1000, dtype=np.uint8), 0)
+
+        elapsed = world.run(main)[0]
+        assert elapsed > 2.0  # rendezvous: sender waited for the receiver
+
+    def test_unexpected_message_buffered_and_delivered(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.full(16, 3.0), 1)
+            else:
+                yield comm.env.timeout(0.1)  # message arrives before post
+                buf = np.empty(16)
+                yield from comm.recv(buf, 0)
+                return buf[0]
+
+        assert world2.run(main)[1] == 3.0
+
+
+class TestRendezvous:
+    def test_large_payload_intact(self, world2):
+        n = 1 << 20
+
+        def main(comm):
+            if comm.rank == 0:
+                data = np.arange(n, dtype=np.uint8)
+                yield from comm.send(data, 1)
+            else:
+                buf = np.empty(n, dtype=np.uint8)
+                yield from comm.recv(buf, 0)
+                return bool(np.array_equal(buf, np.arange(n, dtype=np.uint8)))
+
+        assert world2.run(main)[1] is True
+
+    def test_large_transfer_time_tracks_wire(self, cichlid_preset):
+        """An 8 MiB transfer over GbE takes ~ size/bandwidth."""
+        world = MpiWorld(cichlid_preset, 2)
+        nbytes = 8 << 20
+        res = _transfer_time(world, nbytes)
+        _, r0, r1 = res[1]
+        wire = nbytes / cichlid_preset.cluster.fabric.nic.bandwidth
+        assert r1 - r0 == pytest.approx(wire, rel=0.05)
+
+    def test_ricc_much_faster_than_cichlid(self, cichlid_preset,
+                                           ricc_preset):
+        nbytes = 8 << 20
+        t_gbe = _transfer_time(MpiWorld(cichlid_preset, 2), nbytes)[1]
+        t_ib = _transfer_time(MpiWorld(ricc_preset, 2), nbytes)[1]
+        assert (t_gbe[2] - t_gbe[1]) > 5 * (t_ib[2] - t_ib[1])
+
+
+class TestTimingOnlyMessages:
+    def test_none_view_moves_no_data_but_time(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                req = yield from comm.isend_bytes(None, 1 << 20, 1, 0)
+                yield from req.wait()
+                return comm.env.now
+            else:
+                req = yield from comm.irecv_bytes(None, 1 << 20, 0, 0)
+                yield from req.wait()
+                return comm.env.now
+
+        times = world2.run(main)
+        wire = (1 << 20) / 117e6
+        assert times[1] >= wire
+
+    def test_mixed_real_send_none_recv(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                req = yield from comm.isend_bytes(
+                    np.ones(64, dtype=np.uint8), 64, 1, 0)
+                yield from req.wait()
+            else:
+                req = yield from comm.irecv_bytes(None, 64, 0, 0)
+                status = yield from req.wait()
+                return status.count
+
+        assert world2.run(main)[1] == 64
+
+    def test_view_size_mismatch_rejected(self, world2):
+        from repro.errors import MpiError
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.isend_bytes(
+                    np.ones(10, dtype=np.uint8), 20, 1, 0)
+            else:
+                yield comm.env.timeout(0)
+
+        with pytest.raises(MpiError, match="does not match"):
+            world2.run(main)
+
+
+class TestRateLimit:
+    def test_sender_rate_limit_slows_wire(self, cichlid_preset):
+        def run(rate):
+            world = MpiWorld(cichlid_preset, 2)
+
+            def main(comm):
+                if comm.rank == 0:
+                    req = yield from comm.isend_bytes(
+                        None, 1 << 22, 1, 0, rate_limit=rate)
+                    yield from req.wait()
+                else:
+                    req = yield from comm.irecv_bytes(None, 1 << 22, 0, 0)
+                    yield from req.wait()
+                    return comm.env.now
+
+            return world.run(main)[1]
+
+        assert run(10e6) > run(None) * 5
+
+    def test_receiver_rate_limit_applies_on_rendezvous(self, cichlid_preset):
+        def run(rate):
+            world = MpiWorld(cichlid_preset, 2)
+
+            def main(comm):
+                if comm.rank == 0:
+                    req = yield from comm.isend_bytes(None, 1 << 22, 1, 0)
+                    yield from req.wait()
+                else:
+                    req = yield from comm.irecv_bytes(None, 1 << 22, 0, 0,
+                                                      rate_limit=rate)
+                    yield from req.wait()
+                    return comm.env.now
+
+            return world.run(main)[1]
+
+        assert run(10e6) > run(None) * 5

@@ -1,0 +1,238 @@
+"""Point-to-point MPI semantics: blocking/nonblocking, objects, probe."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiWorld
+from repro.mpi.request import waitall, waitany
+
+
+class TestBlocking:
+    def test_send_recv_roundtrip(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.arange(10.0), 1, tag=3)
+            else:
+                buf = np.empty(10)
+                status = yield from comm.recv(buf, 0, 3)
+                assert status.source == 0 and status.tag == 3
+                assert status.count == 80
+                return buf.copy()
+
+        out = world2.run(main)[1]
+        assert np.array_equal(out, np.arange(10.0))
+
+    def test_wildcard_source_and_tag(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.array([7.0]), 1, tag=42)
+            else:
+                buf = np.empty(1)
+                status = yield from comm.recv(buf, ANY_SOURCE, ANY_TAG)
+                return (status.source, status.tag, buf[0])
+
+        assert world2.run(main)[1] == (0, 42, 7.0)
+
+    def test_sendrecv_exchanges(self, world2):
+        def main(comm):
+            mine = np.array([float(comm.rank)])
+            theirs = np.empty(1)
+            peer = 1 - comm.rank
+            yield from comm.sendrecv(mine, peer, 0, theirs, peer, 0)
+            return theirs[0]
+
+        assert world2.run(main) == [1.0, 0.0]
+
+    def test_truncation_error(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.empty(100), 1)
+            else:
+                small = np.empty(10)
+                yield from comm.recv(small, 0)
+
+        with pytest.raises(MpiError, match="truncated"):
+            world2.run(main)
+
+    def test_recv_larger_buffer_ok(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.full(4, 2.0), 1)
+            else:
+                big = np.zeros(10)
+                status = yield from comm.recv(big, 0)
+                return (status.count, big[:4].tolist(), big[4])
+
+        count, head, tail = world2.run(main)[1]
+        assert count == 32 and head == [2.0] * 4 and tail == 0.0
+
+    def test_noncontiguous_buffer_rejected(self, world2):
+        def main(comm):
+            arr = np.zeros((4, 4))[:, 0]
+            if comm.rank == 0:
+                yield from comm.send(arr, 1)
+            else:
+                yield from comm.recv(np.zeros(4), 0)
+
+        with pytest.raises(MpiError, match="contiguous"):
+            world2.run(main)
+
+    def test_recv_requires_buffer(self, world2):
+        def main(comm):
+            if comm.rank == 1:
+                yield from comm.recv(None, 0)
+            else:
+                yield from comm.send(np.zeros(1), 1)
+
+        with pytest.raises(MpiError, match="buffer"):
+            world2.run(main)
+
+    def test_bad_peer_rank(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(1), 5)
+            else:
+                yield comm.env.timeout(0)
+
+        with pytest.raises(MpiError, match="out of range"):
+            world2.run(main)
+
+    def test_negative_tag_rejected(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(1), 1, tag=-3)
+            else:
+                yield comm.env.timeout(0)
+
+        with pytest.raises(MpiError, match="non-negative"):
+            world2.run(main)
+
+
+class TestNonblocking:
+    def test_isend_irecv_overlap(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                req = yield from comm.isend(np.full(1000, 5.0), 1)
+                # host free to do other things before waiting
+                yield comm.env.timeout(1e-6)
+                yield from req.wait()
+            else:
+                buf = np.empty(1000)
+                req = yield from comm.irecv(buf, 0)
+                status = yield from req.wait()
+                return buf[0], status.count
+
+        assert world2.run(main)[1] == (5.0, 8000)
+
+    def test_request_test_and_done(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(4), 1)
+            else:
+                buf = np.empty(4)
+                req = yield from comm.irecv(buf, 0)
+                done_before, _ = req.test()
+                yield from req.wait()
+                done_after, status = req.test()
+                return done_after and status is not None
+
+        assert world2.run(main)[1] is True
+
+    def test_waitall(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = []
+                for i in range(5):
+                    reqs.append((yield from comm.isend(
+                        np.full(8, float(i)), 1, tag=i)))
+                yield from waitall(comm.env, reqs)
+            else:
+                bufs = [np.empty(8) for _ in range(5)]
+                reqs = []
+                for i, b in enumerate(bufs):
+                    reqs.append((yield from comm.irecv(b, 0, i)))
+                yield from waitall(comm.env, reqs)
+                return [b[0] for b in bufs]
+
+        assert world2.run(main)[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_waitany_returns_first(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(1), 1, tag=9)
+                yield comm.env.timeout(1.0)
+                yield from comm.send(np.zeros(1), 1, tag=8)
+            else:
+                b1, b2 = np.empty(1), np.empty(1)
+                r_slow = yield from comm.irecv(b1, 0, 8)
+                r_fast = yield from comm.irecv(b2, 0, 9)
+                idx, _ = yield from waitany(comm.env, [r_slow, r_fast])
+                yield from r_slow.wait()
+                return idx
+
+        assert world2.run(main)[1] == 1
+
+
+class TestObjectApi:
+    def test_object_roundtrip(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send_obj({"k": [1, 2, 3]}, 1, tag=5)
+            else:
+                obj, status = yield from comm.recv_obj(0, 5)
+                return obj, status.source
+
+        obj, src = world2.run(main)[1]
+        assert obj == {"k": [1, 2, 3]} and src == 0
+
+    def test_object_buffer_mismatch_raises(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send_obj("text", 1, tag=0)
+            else:
+                yield from comm.recv(np.empty(4), 0, 0)
+
+        with pytest.raises(MpiError, match="mismatch"):
+            world2.run(main)
+
+
+class TestProbe:
+    def test_iprobe_none_then_status(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                assert comm.iprobe() is None
+                yield from comm.send(np.zeros(3), 1, tag=4)
+            else:
+                status = yield from comm.probe(0, 4)
+                buf = np.empty(3)
+                yield from comm.recv(buf, status.source, status.tag)
+                return status.count
+
+        assert world2.run(main)[1] == 24
+
+    def test_probe_does_not_consume(self, world2):
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(2), 1, tag=1)
+            else:
+                yield from comm.probe(0, 1)
+                # message still matchable after the probe
+                st = comm.iprobe(0, 1)
+                assert st is not None
+                yield from comm.recv(np.empty(2), 0, 1)
+                return True
+
+        assert world2.run(main)[1] is True
+
+
+class TestDeadlockDetection:
+    def test_unmatched_recv_reports_deadlock(self, world2):
+        def main(comm):
+            if comm.rank == 1:
+                yield from comm.recv(np.empty(1), 0, 0)  # never sent
+            else:
+                yield comm.env.timeout(0)
+
+        with pytest.raises(MpiError, match="deadlock"):
+            world2.run(main)

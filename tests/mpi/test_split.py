@@ -1,0 +1,112 @@
+"""Tests of MPI_Comm_split sub-communicators."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi
+from repro.mpi import MpiWorld
+from repro.systems import cichlid
+
+
+class TestSplit:
+    def test_even_odd_groups(self, world4):
+        def main(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.name)
+
+        out = world4.run(main)
+        assert [(r, s) for r, s, _ in out] == \
+            [(0, 2), (0, 2), (1, 2), (1, 2)]
+        assert out[0][2] != out[1][2]  # distinct sub-communicators
+
+    def test_key_reorders_ranks(self, world4):
+        def main(comm):
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        # descending key: old rank 3 becomes new rank 0
+        assert world4.run(main) == [3, 2, 1, 0]
+
+    def test_messages_stay_inside_group(self, world4):
+        def main(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            buf = np.array([float(comm.rank)])
+            out = np.empty(1)
+            peer = 1 - sub.rank
+            yield from sub.sendrecv(buf, peer, 0, out, peer, 0)
+            return out[0]
+
+        # evens exchange 0<->2, odds 1<->3
+        assert world4.run(main) == [2.0, 3.0, 0.0, 1.0]
+
+    def test_collectives_on_subcomm(self, world4):
+        def main(comm):
+            sub = yield from comm.split(color=comm.rank // 2)
+            send = np.array([float(comm.rank)])
+            recv = np.zeros(1)
+            yield from sub.allreduce(send, recv, "sum")
+            return recv[0]
+
+        # groups {0,1} and {2,3}
+        assert world4.run(main) == [1.0, 1.0, 5.0, 5.0]
+
+    def test_node_mapping_preserved(self, world4):
+        """Sub-communicator ranks still resolve to the right nodes."""
+        def main(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            yield comm.env.timeout(0)
+            return sub.node().node_id
+
+        assert world4.run(main) == [0, 1, 2, 3]
+
+    def test_subcomm_timing_uses_real_nodes(self, cichlid_preset):
+        """A transfer between sub-ranks 0 and 1 of the odd group crosses
+        the physical wire between nodes 1 and 3."""
+        world = MpiWorld(cichlid_preset, 4)
+        nbytes = 1 << 20
+
+        def main(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            if comm.rank % 2 == 1:
+                data = np.zeros(nbytes, dtype=np.uint8)
+                t0 = comm.env.now
+                if sub.rank == 0:
+                    yield from sub.send(data, 1, 0)
+                else:
+                    yield from sub.recv(data, 0, 0)
+                return comm.env.now - t0
+            yield comm.env.timeout(0)
+
+        times = world.run(main)
+        wire = nbytes / cichlid_preset.cluster.fabric.nic.bandwidth
+        assert times[3] >= wire
+
+    def test_clmpi_over_subcomm(self, cichlid_preset):
+        """clMPI commands work on sub-communicators."""
+        app = ClusterApp(cichlid_preset, 4)
+        n = 64 << 10
+
+        def main(ctx):
+            sub = yield from ctx.comm.split(color=ctx.rank % 2)
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(n)
+            if ctx.rank % 2 == 0:  # even group: sub ranks 0 (node0), 1 (node2)
+                if sub.rank == 0:
+                    buf.bytes_view()[:] = 77
+                    yield from clmpi.enqueue_send_buffer(
+                        q, buf, True, 0, n, 1, 0, sub)
+                else:
+                    yield from clmpi.enqueue_recv_buffer(
+                        q, buf, True, 0, n, 0, 0, sub)
+                    return int(buf.bytes_view()[0])
+            yield ctx.env.timeout(0)
+
+        assert app.run(main)[2] == 77
+
+    def test_split_of_split(self, world4):
+        def main(comm):
+            half = yield from comm.split(color=comm.rank // 2)
+            solo = yield from half.split(color=half.rank)
+            return (solo.size, solo.rank)
+
+        assert world4.run(main) == [(1, 0)] * 4

@@ -1,0 +1,23 @@
+"""OpenCL-layer fixtures: a single simulated node with a context."""
+
+import pytest
+
+from repro.mpi.world import MpiWorld
+from repro.ocl import Context, Device
+from repro.systems import cichlid
+
+
+@pytest.fixture
+def node_env():
+    """(env, Context) for one Cichlid node."""
+    world = MpiWorld(cichlid(), 1)
+    ctx = Context(Device(world.cluster[0]))
+    return world.env, ctx
+
+
+@pytest.fixture
+def timing_only_env():
+    """(env, Context) with functional execution disabled."""
+    world = MpiWorld(cichlid(), 1)
+    ctx = Context(Device(world.cluster[0]), functional=False)
+    return world.env, ctx

@@ -1,0 +1,222 @@
+"""Buffer and event object semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OclError
+from repro.ocl import CommandStatus, UserEvent
+from repro.ocl.event import CLEvent
+
+
+class TestBuffer:
+    def test_create_and_view(self, node_env):
+        _, ctx = node_env
+        buf = ctx.create_buffer(64)
+        v = buf.view("f4")
+        assert v.shape == (16,)
+        v[:] = 3.0
+        assert np.all(buf.bytes_view(0, 4).view("f4") == 3.0)
+
+    def test_hostbuf_copy_semantics(self, node_env):
+        _, ctx = node_env
+        init = np.arange(8, dtype=np.float64)
+        buf = ctx.create_buffer(64, hostbuf=init)
+        init[:] = 0  # COPY_HOST_PTR: later host changes are invisible
+        assert np.array_equal(buf.view("f8"), np.arange(8.0))
+
+    def test_hostbuf_too_large(self, node_env):
+        _, ctx = node_env
+        with pytest.raises(OclError, match="CL_INVALID_HOST_PTR"):
+            ctx.create_buffer(8, hostbuf=np.zeros(100))
+
+    def test_zero_size_rejected(self, node_env):
+        _, ctx = node_env
+        with pytest.raises(OclError, match="CL_INVALID_BUFFER_SIZE"):
+            ctx.create_buffer(0)
+
+    def test_bounds_checking(self, node_env):
+        _, ctx = node_env
+        buf = ctx.create_buffer(100)
+        with pytest.raises(OclError, match="CL_INVALID_VALUE"):
+            buf.bytes_view(90, 20)
+        with pytest.raises(OclError, match="CL_INVALID_VALUE"):
+            buf.bytes_view(-1, 10)
+
+    def test_check_range_does_not_materialize(self, node_env):
+        _, ctx = node_env
+        buf = ctx.create_buffer(1 << 20)
+        buf.check_range(0, 1 << 20)
+        assert buf._data is None  # still lazy
+
+    def test_release_frees_device_memory(self, node_env):
+        _, ctx = node_env
+        gpu = ctx.device.gpu
+        before = gpu.allocated_bytes
+        buf = ctx.create_buffer(1 << 20)
+        assert gpu.allocated_bytes == before + (1 << 20)
+        buf.release()
+        assert gpu.allocated_bytes == before
+
+    def test_use_after_release(self, node_env):
+        _, ctx = node_env
+        buf = ctx.create_buffer(16)
+        buf.release()
+        with pytest.raises(OclError, match="CL_INVALID_MEM_OBJECT"):
+            buf.bytes_view()
+
+    def test_device_memory_exhaustion(self, node_env):
+        _, ctx = node_env
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="exhausted"):
+            ctx.create_buffer(ctx.device.global_mem_size + 1)
+
+    def test_typed_view_with_shape_and_offset(self, node_env):
+        _, ctx = node_env
+        buf = ctx.create_buffer(64)
+        buf.bytes_view()[:] = 0
+        v = buf.view("i4", shape=(2, 4), offset=16)
+        v[:] = 7
+        assert np.all(buf.bytes_view(16, 32).view("i4") == 7)
+        assert np.all(buf.bytes_view(0, 16) == 0)
+
+    def test_map_unmap_bookkeeping(self, node_env):
+        _, ctx = node_env
+        buf = ctx.create_buffer(16)
+        assert not buf.is_mapped
+        buf._map()
+        assert buf.is_mapped
+        buf._unmap()
+        with pytest.raises(OclError):
+            buf._unmap()
+
+
+class TestCLEvent:
+    def test_initial_status_queued(self, node_env):
+        env, _ = node_env
+        ev = CLEvent(env)
+        assert ev.status == CommandStatus.QUEUED
+        assert not ev.is_complete
+
+    def test_lifecycle_and_profiling(self, node_env):
+        env, _ = node_env
+        ev = CLEvent(env)
+        ev._advance(CommandStatus.SUBMITTED)
+        ev._advance(CommandStatus.RUNNING)
+        ev._advance(CommandStatus.COMPLETE)
+        assert ev.is_complete
+        for s in CommandStatus:
+            assert s in ev.profile
+
+    def test_backwards_transition_rejected(self, node_env):
+        env, _ = node_env
+        ev = CLEvent(env)
+        ev._advance(CommandStatus.RUNNING)
+        with pytest.raises(OclError):
+            ev._advance(CommandStatus.SUBMITTED)
+
+    def test_duration_requires_run(self, node_env):
+        env, _ = node_env
+        ev = CLEvent(env)
+        with pytest.raises(OclError, match="PROFILING"):
+            ev.duration()
+
+    def test_callback_on_complete(self, node_env):
+        env, _ = node_env
+        ev = CLEvent(env)
+        seen = []
+        ev.set_callback(lambda e, s: seen.append(s))
+        ev._advance(CommandStatus.RUNNING)
+        assert seen == []
+        ev._advance(CommandStatus.COMPLETE)
+        assert seen == [CommandStatus.COMPLETE]
+        env.run()
+
+    def test_callback_fires_immediately_if_reached(self, node_env):
+        env, _ = node_env
+        ev = CLEvent(env)
+        ev._advance(CommandStatus.RUNNING)
+        ev._advance(CommandStatus.COMPLETE)
+        seen = []
+        ev.set_callback(lambda e, s: seen.append(s))
+        assert seen == [CommandStatus.COMPLETE]
+        env.run()
+
+    def test_wait_coroutine(self, node_env):
+        env, _ = node_env
+        ev = CLEvent(env)
+
+        def waiter(env):
+            got = yield from ev.wait()
+            return got is ev
+
+        def completer(env):
+            yield env.timeout(1.0)
+            ev._advance(CommandStatus.RUNNING)
+            ev._advance(CommandStatus.COMPLETE)
+
+        p = env.process(waiter(env))
+        env.process(completer(env))
+        env.run()
+        assert p.value is True
+
+
+class TestUserEvent:
+    def test_starts_submitted(self, node_env):
+        env, ctx = node_env
+        uev = ctx.create_user_event()
+        assert uev.status == CommandStatus.SUBMITTED
+
+    def test_set_complete(self, node_env):
+        env, ctx = node_env
+        uev = ctx.create_user_event()
+        uev.set_complete()
+        assert uev.is_complete
+        env.run()
+
+    def test_double_complete_rejected(self, node_env):
+        env, ctx = node_env
+        uev = ctx.create_user_event()
+        uev.set_complete()
+        with pytest.raises(OclError):
+            uev.set_complete()
+        env.run()
+
+    def test_set_failed_propagates_to_waiters(self, node_env):
+        env, ctx = node_env
+        uev = ctx.create_user_event()
+
+        def waiter(env):
+            try:
+                yield uev.completion
+            except RuntimeError:
+                return "failed"
+
+        p = env.process(waiter(env))
+        uev.set_failed(RuntimeError("user abort"))
+        env.run()
+        assert p.value == "failed"
+
+    def test_mimics_command_event_in_wait_lists(self, node_env):
+        """§V.A: user events must behave like command events — a command
+        can wait on one."""
+        env, ctx = node_env
+        q = ctx.create_queue()
+        uev = ctx.create_user_event()
+        buf = ctx.create_buffer(16)
+        host = np.ones(16, dtype=np.uint8)
+
+        def main():
+            evt = yield from q.enqueue_write_buffer(
+                buf, False, 0, 16, host, wait_for=(uev,))
+            return evt
+
+        def release(env):
+            yield env.timeout(0.5)
+            uev.set_complete()
+
+        p = env.process(main())
+        env.process(release(env))
+        env.run()
+        evt = p.value
+        from repro.ocl.enums import CommandStatus as CS
+        assert evt.profile[CS.RUNNING] >= 0.5

@@ -1,0 +1,170 @@
+"""OpenCL error paths and less-travelled API corners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OclError
+from repro.ocl import CommandStatus, Kernel
+
+
+class TestBufferErrors:
+    def test_read_from_released_buffer(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        buf = ctx.create_buffer(16)
+        buf.release()
+
+        def main():
+            yield from q.enqueue_read_buffer(
+                buf, True, 0, 16, np.zeros(16, dtype=np.uint8))
+
+        p = env.process(main())
+        with pytest.raises(OclError, match="released"):
+            env.run()
+
+    def test_double_release_is_idempotent(self, node_env):
+        _, ctx = node_env
+        buf = ctx.create_buffer(16)
+        buf.release()
+        buf.release()  # no error, no double-free of the accounting
+
+    def test_write_past_end(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        buf = ctx.create_buffer(10)
+
+        def main():
+            yield from q.enqueue_write_buffer(
+                buf, True, 8, 8, np.zeros(8, dtype=np.uint8))
+
+        p = env.process(main())
+        with pytest.raises(OclError, match="CL_INVALID_VALUE"):
+            env.run()
+
+    def test_copy_between_ranges_bounds(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        a, b = ctx.create_buffer(10), ctx.create_buffer(10)
+
+        def main():
+            yield from q.enqueue_copy_buffer(a, b, 5, 8, 5)
+
+        env.process(main())
+        with pytest.raises(OclError, match="CL_INVALID_VALUE"):
+            env.run()
+
+    def test_noncontiguous_host_array_rejected(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        buf = ctx.create_buffer(16)
+        host = np.zeros((4, 4), dtype=np.uint8)[:, 0]
+
+        def main():
+            yield from q.enqueue_write_buffer(buf, True, 0, 4, host)
+
+        env.process(main())
+        with pytest.raises(OclError, match="contiguous"):
+            env.run()
+
+
+class TestUnmapErrors:
+    def test_unmap_unmapped_buffer_fails_event(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        buf = ctx.create_buffer(16)
+
+        def main():
+            evt = yield from q.enqueue_unmap_mem_object(buf)
+            try:
+                yield evt.completion
+            except OclError as exc:
+                return exc.code
+
+        p = env.process(main())
+        env.run()
+        assert p.value == "CL_INVALID_OPERATION"
+
+    def test_nested_maps(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        buf = ctx.create_buffer(16)
+
+        def main():
+            yield from q.enqueue_map_buffer(buf, True)
+            yield from q.enqueue_map_buffer(buf, True)
+            assert buf.is_mapped
+            yield from q.enqueue_unmap_mem_object(buf)
+            yield from q.finish()
+            assert buf.is_mapped  # still one mapping outstanding
+            yield from q.enqueue_unmap_mem_object(buf)
+            yield from q.finish()
+            return buf.is_mapped
+
+        p = env.process(main())
+        env.run()
+        assert p.value is False
+
+
+class TestEventErrorObservation:
+    def test_error_attribute_set_on_failure(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        bad = Kernel("bad", body=lambda: 1 / 0, flops=1.0)
+
+        def main():
+            evt = yield from q.enqueue_nd_range_kernel(bad, ())
+            yield from q.finish()
+            return evt
+
+        p = env.process(main())
+        env.run()
+        evt = p.value
+        assert isinstance(evt.error, ZeroDivisionError)
+        assert evt.is_complete  # failure is a terminal COMPLETE state
+
+    def test_unobserved_failure_does_not_crash_run(self, node_env):
+        """OpenCL semantics: nobody waiting on a failed command is fine."""
+        env, ctx = node_env
+        q = ctx.create_queue()
+        bad = Kernel("bad", body=lambda: 1 / 0, flops=1.0)
+
+        def main():
+            yield from q.enqueue_nd_range_kernel(bad, ())
+            yield env.timeout(1.0)
+            return "alive"
+
+        p = env.process(main())
+        env.run()
+        assert p.value == "alive"
+
+    def test_queue_continues_after_failed_command(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        bad = Kernel("bad", body=lambda: 1 / 0, flops=1.0)
+        marker = []
+        good = Kernel("good", body=lambda: marker.append(1), flops=1.0)
+
+        def main():
+            yield from q.enqueue_nd_range_kernel(bad, ())
+            yield from q.enqueue_nd_range_kernel(good, ())
+            yield from q.finish()
+
+        env.process(main())
+        env.run()
+        assert marker == [1]
+
+    def test_intermediate_status_callback(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+        seen = []
+
+        def main():
+            evt = yield from q.enqueue_nd_range_kernel(
+                Kernel("k", cost=lambda gpu: 0.1), ())
+            evt.set_callback(lambda e, s: seen.append(s),
+                             CommandStatus.RUNNING)
+            yield from q.finish()
+
+        env.process(main())
+        env.run()
+        assert seen == [CommandStatus.RUNNING]

@@ -1,0 +1,121 @@
+"""Kernel and Context unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OclError
+from repro.hardware.gpu import GpuSpec
+from repro.ocl.kernel import Kernel
+
+
+GPU = GpuSpec(name="t", sustained_gflops=10.0, mem_bandwidth=50e9,
+              launch_overhead=1e-6)
+
+
+class TestKernelCostModel:
+    def test_roofline_from_scalars(self):
+        k = Kernel("k", flops=10e9)
+        assert k.duration(GPU) == pytest.approx(1.0 + 1e-6)
+
+    def test_roofline_from_callables(self):
+        k = Kernel("k", flops=lambda n: n * 2.0, mem_bytes=lambda n: n)
+        # n=5e9: compute 1.0 s vs memory 0.1 s -> compute bound
+        assert k.duration(GPU, 5e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_explicit_cost_overrides_roofline(self):
+        k = Kernel("k", cost=lambda gpu, x: x * 0.5, flops=1e18)
+        assert k.duration(GPU, 2.0) == 1.0
+
+    def test_negative_cost_rejected(self):
+        k = Kernel("k", cost=lambda gpu: -1.0)
+        with pytest.raises(OclError, match="negative"):
+            k.duration(GPU)
+
+    def test_body_skipped_when_not_functional(self):
+        hits = []
+        k = Kernel("k", body=lambda: hits.append(1), flops=1.0)
+        k.run(functional=False)
+        assert hits == []
+        k.run(functional=True)
+        assert hits == [1]
+
+    def test_no_body_is_fine(self):
+        Kernel("k", flops=1.0).run(functional=True)
+
+
+class TestContext:
+    def test_release_frees_all_buffers(self, node_env):
+        _, ctx = node_env
+        gpu = ctx.device.gpu
+        base = gpu.allocated_bytes
+        ctx.create_buffer(1000)
+        ctx.create_buffer(2000)
+        assert gpu.allocated_bytes == base + 3000
+        ctx.release()
+        assert gpu.allocated_bytes == base
+
+    def test_queue_registry(self, node_env):
+        _, ctx = node_env
+        q = ctx.create_queue(name="mine")
+        assert q in ctx.queues
+        assert q.name == "mine"
+
+    def test_user_event_factory(self, node_env):
+        _, ctx = node_env
+        uev = ctx.create_user_event("tag")
+        assert uev.label == "tag"
+
+    def test_check_buffer_rejects_non_buffer(self, node_env):
+        _, ctx = node_env
+        with pytest.raises(OclError, match="CL_INVALID_MEM_OBJECT"):
+            ctx._check_buffer("not a buffer")
+
+
+class TestRequestHelpers:
+    def test_testall(self, world2):
+        from repro.mpi.request import testall
+
+        def main(comm):
+            if comm.rank == 0:
+                reqs = []
+                for i in range(3):
+                    reqs.append((yield from comm.isend(
+                        np.zeros(4), 1, tag=i)))
+                before = testall(reqs)
+                for r in reqs:
+                    yield from r.wait()
+                return before, testall(reqs)
+            else:
+                for i in range(3):
+                    yield from comm.recv(np.zeros(4), 0, i)
+
+        before, after = world2.run(main)[0]
+        assert after is True
+
+
+class TestPlatform:
+    def test_enumerates_devices(self, node_env):
+        from repro.ocl import Platform
+        _, ctx = node_env
+        plat = Platform(ctx.device.node)
+        devices = plat.get_devices()
+        assert len(devices) == 1
+        assert devices[0].name == ctx.device.name
+        assert "OpenCL 1.1" in plat.version
+
+    def test_create_context(self, node_env):
+        from repro.ocl import Platform
+        _, ctx = node_env
+        plat = Platform(ctx.device.node)
+        c2 = plat.create_context(functional=False)
+        assert c2.functional is False
+        assert c2.device in plat.get_devices()
+
+    def test_foreign_device_rejected(self, node_env, timing_only_env):
+        from repro.errors import OclError
+        from repro.ocl import Platform
+        _, ctx = node_env
+        _, other = timing_only_env
+        plat = Platform(ctx.device.node)
+        with pytest.raises(OclError, match="CL_INVALID_DEVICE"):
+            plat.create_context(other.device)

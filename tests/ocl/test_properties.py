@@ -1,0 +1,168 @@
+"""Property-based OpenCL-layer tests: ordering invariants under random
+command graphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.world import MpiWorld
+from repro.ocl import CommandStatus, Context, Device, Kernel
+from repro.systems import cichlid
+
+
+def fresh_ctx():
+    world = MpiWorld(cichlid(), 1)
+    return world.env, Context(Device(world.cluster[0]))
+
+
+@given(durations=st.lists(st.floats(min_value=1e-6, max_value=0.1,
+                                    allow_nan=False),
+                          min_size=1, max_size=12),
+       dep_seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_in_order_queue_profile_invariants(durations, dep_seed):
+    """For any command sequence with random wait-list edges on an
+    in-order queue: (1) consecutive commands never overlap; (2) no
+    command starts before any of its wait-list dependencies completes."""
+    import random
+    rng = random.Random(dep_seed)
+    env, ctx = fresh_ctx()
+    q = ctx.create_queue()
+
+    def main():
+        events = []
+        deps = []
+        for i, d in enumerate(durations):
+            wait = tuple(rng.sample(events, rng.randint(0, len(events)))
+                         if events else ())
+            k = Kernel(f"k{i}", cost=lambda gpu, d=d: d)
+            ev = yield from q.enqueue_nd_range_kernel(k, (), wait_for=wait)
+            events.append(ev)
+            deps.append(wait)
+        yield from q.finish()
+        return events, deps
+
+    p = env.process(main())
+    env.run()
+    events, deps = p.value
+    eps = 1e-12
+    for a, b in zip(events, events[1:]):
+        assert (a.profile[CommandStatus.COMPLETE]
+                <= b.profile[CommandStatus.RUNNING] + eps)
+    for ev, wait in zip(events, deps):
+        for dep in wait:
+            assert (dep.profile[CommandStatus.COMPLETE]
+                    <= ev.profile[CommandStatus.RUNNING] + eps)
+
+
+@given(durations=st.lists(st.floats(min_value=1e-6, max_value=0.05,
+                                    allow_nan=False),
+                          min_size=1, max_size=10),
+       dep_seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_out_of_order_queue_respects_only_waitlists(durations, dep_seed):
+    """Out-of-order: wait-list edges hold; the single compute engine
+    serializes total busy time to the sum of durations."""
+    import random
+    rng = random.Random(dep_seed)
+    env, ctx = fresh_ctx()
+    q = ctx.create_queue(in_order=False)
+
+    def main():
+        events, deps = [], []
+        for i, d in enumerate(durations):
+            wait = tuple(rng.sample(events, min(len(events),
+                                                rng.randint(0, 2))))
+            k = Kernel(f"k{i}", cost=lambda gpu, d=d: d)
+            ev = yield from q.enqueue_nd_range_kernel(k, (), wait_for=wait)
+            events.append(ev)
+            deps.append(wait)
+        yield from q.finish()
+        return events, deps
+
+    p = env.process(main())
+    env.run()
+    events, deps = p.value
+    eps = 1e-12
+    for ev, wait in zip(events, deps):
+        for dep in wait:
+            assert (dep.profile[CommandStatus.COMPLETE]
+                    <= ev.profile[CommandStatus.RUNNING] + eps)
+    # one compute engine serializes all kernels: the makespan is at least
+    # the summed kernel time (RUNNING spans include engine-wait, so
+    # per-pair exclusivity is checked at the resource, not the profile;
+    # explicit cost models replace — not add to — the launch overhead)
+    assert env.now >= sum(durations) - eps
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=1 << 16),
+                      min_size=1, max_size=8),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_write_read_roundtrip_any_sizes(sizes, seed):
+    """Arbitrary interleavings of writes and reads round-trip bytes."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    env, ctx = fresh_ctx()
+    q = ctx.create_queue()
+    total = sum(sizes)
+    buf = ctx.create_buffer(total)
+    payloads = [rng.integers(0, 256, size=n, dtype=np.uint8)
+                for n in sizes]
+
+    def main():
+        off = 0
+        for pay in payloads:
+            yield from q.enqueue_write_buffer(buf, False, off, pay.nbytes,
+                                              pay)
+            off += pay.nbytes
+        outs = []
+        off = 0
+        for pay in payloads:
+            out = np.empty(pay.nbytes, dtype=np.uint8)
+            yield from q.enqueue_read_buffer(buf, False, off, pay.nbytes,
+                                             out)
+            outs.append(out)
+            off += pay.nbytes
+        yield from q.finish()
+        return outs
+
+    p = env.process(main())
+    env.run()
+    import numpy as np
+    for pay, out in zip(payloads, p.value):
+        assert np.array_equal(pay, out)
+
+
+@given(n_events=st.integers(min_value=1, max_value=8),
+       complete_order=st.randoms())
+@settings(max_examples=25, deadline=None)
+def test_user_events_release_in_any_order(n_events, complete_order):
+    """Commands gated on user events start exactly when released,
+    regardless of release order."""
+    env, ctx = fresh_ctx()
+    q = ctx.create_queue(in_order=False)
+    uevs = [ctx.create_user_event(f"u{i}") for i in range(n_events)]
+    order = list(range(n_events))
+    complete_order.shuffle(order)
+
+    def main():
+        events = []
+        for i in range(n_events):
+            k = Kernel(f"k{i}", cost=lambda gpu: 1e-6)
+            ev = yield from q.enqueue_nd_range_kernel(
+                k, (), wait_for=(uevs[i],))
+            events.append(ev)
+        return events
+
+    def releaser(env):
+        for j, i in enumerate(order):
+            yield env.timeout(0.1)
+            uevs[i].set_complete()
+
+    p = env.process(main())
+    env.process(releaser(env))
+    env.run()
+    events = p.value
+    for j, i in enumerate(order):
+        release_time = 0.1 * (j + 1)
+        assert (events[i].profile[CommandStatus.RUNNING]
+                >= release_time - 1e-9)

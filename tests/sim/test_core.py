@@ -1,0 +1,386 @@
+"""Unit tests of the DES engine: events, timeouts, processes, conditions."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_run_empty_calendar(self, env):
+        env.run()
+        assert env.now == 0.0
+
+    def test_run_until_advances_clock_without_events(self, env):
+        env.run(until=3.0)
+        assert env.now == 3.0
+
+    def test_run_until_in_past_rejected(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5.0)
+
+    def test_peek_empty(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_time(self, env):
+        env.timeout(2.5)
+        assert env.peek() == 2.5
+
+
+class TestTimeout:
+    def test_advances_clock(self, env):
+        def proc(env):
+            yield env.timeout(1.5)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 1.5
+
+    def test_zero_delay_allowed(self, env):
+        def proc(env):
+            yield env.timeout(0.0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_timeout_value_passed_through(self, env):
+        def proc(env):
+            got = yield env.timeout(1.0, value="hello")
+            return got
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "hello"
+
+    def test_sequential_timeouts_accumulate(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 3.0
+
+
+class TestEvent:
+    def test_pending_value_undefined(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_succeed_delivers_value(self, env):
+        ev = env.event()
+
+        def proc(env):
+            return (yield ev)
+
+        p = env.process(proc(env))
+        ev.succeed(123)
+        env.run()
+        assert p.value == 123
+
+    def test_double_succeed_rejected(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_raises_in_waiter(self, env):
+        ev = env.event()
+
+        def proc(env):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(proc(env))
+        ev.fail(RuntimeError("boom"))
+        env.run()
+        assert p.value == "caught boom"
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_unhandled_failure_propagates_to_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("unwatched"))
+        with pytest.raises(ValueError, match="unwatched"):
+            env.run()
+
+    def test_yield_already_processed_event(self, env):
+        ev = env.event()
+        ev.succeed("early")
+        env.run()
+        assert ev.processed
+
+        def proc(env):
+            return (yield ev)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "early"
+
+    def test_trigger_from_success(self, env):
+        a, b = env.event(), env.event()
+        a.succeed(7)
+        env.run()
+        b.trigger_from(a)
+        env.run()
+        assert b.value == 7
+
+    def test_callbacks_run_on_trigger(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed(9)
+        env.run()
+        assert seen == [9]
+
+
+class TestProcess:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 42
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 42
+
+    def test_is_alive_lifecycle(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_yield_non_event_is_error(self, env):
+        def proc(env):
+            yield 42
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError, match="yield from"):
+            env.run()
+
+    def test_exception_fails_process_event(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise KeyError("inside")
+
+        def watcher(env, p):
+            try:
+                yield p
+            except KeyError:
+                return "saw it"
+
+        p = env.process(bad(env))
+        w = env.process(watcher(env, p))
+        env.run()
+        assert w.value == "saw it"
+
+    def test_subcoroutine_composition(self, env):
+        def inner(env):
+            yield env.timeout(2)
+            return "inner-done"
+
+        def outer(env):
+            result = yield from inner(env)
+            return result + "!"
+
+        p = env.process(outer(env))
+        env.run()
+        assert p.value == "inner-done!"
+
+    def test_waiting_on_another_process(self, env):
+        def a(env):
+            yield env.timeout(3)
+            return "A"
+
+        def b(env, pa):
+            got = yield pa
+            return got + "B"
+
+        pa = env.process(a(env))
+        pb = env.process(b(env, pa))
+        env.run()
+        assert pb.value == "AB"
+        assert env.now == 3.0
+
+    def test_interrupt_wakes_process(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        p = env.process(sleeper(env))
+
+        def killer(env):
+            yield env.timeout(5)
+            p.interrupt("stop")
+
+        env.process(killer(env))
+        env.run()
+        assert p.value == ("interrupted", "stop", 5.0)
+
+    def test_interrupt_dead_process_rejected(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, env):
+        def proc(env):
+            t1 = env.timeout(1, "a")
+            t2 = env.timeout(2, "b")
+            values = yield env.all_of([t1, t2])
+            return values, env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (["a", "b"], 2.0)
+
+    def test_all_of_empty_fires_immediately(self, env):
+        def proc(env):
+            return (yield env.all_of([]))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == []
+
+    def test_any_of_returns_first(self, env):
+        def proc(env):
+            slow = env.timeout(10, "slow")
+            fast = env.timeout(1, "fast")
+            event, value = yield env.any_of([slow, fast])
+            return value, env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ("fast", 1.0)
+
+    def test_all_of_propagates_failure(self, env):
+        bad = env.event()
+        good = env.timeout(1)
+
+        def proc(env):
+            try:
+                yield env.all_of([good, bad])
+            except ValueError:
+                return "failed"
+
+        p = env.process(proc(env))
+        bad.fail(ValueError("x"))
+        env.run()
+        assert p.value == "failed"
+
+    def test_all_of_with_already_processed_children(self, env):
+        t = env.timeout(1, "early")
+        env.run()
+
+        def proc(env):
+            return (yield env.all_of([t]))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["early"]
+
+    def test_mixed_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            env.all_of([other.timeout(1)])
+
+    def test_all_of_mixed_processed_and_pending(self, env):
+        """Regression: a processed first child must not fire the AllOf
+        while later children are still pending."""
+        done = env.timeout(1, "early")
+        env.run()  # 'done' is processed now
+        late = env.timeout(5, "late")
+
+        def proc(env):
+            values = yield env.all_of([done, late])
+            return values, env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (["early", "late"], 6.0)
+
+    def test_all_of_all_processed_children(self, env):
+        ts = [env.timeout(i, i) for i in range(3)]
+        env.run()
+
+        def proc(env):
+            return (yield env.all_of(ts))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == [0, 1, 2]
+
+
+class TestDeterminism:
+    def test_same_timestamp_fifo_order(self, env):
+        order = []
+
+        def proc(env, name):
+            yield env.timeout(1.0)
+            order.append(name)
+
+        for name in "abcde":
+            env.process(proc(env, name))
+        env.run()
+        assert order == list("abcde")
+
+    def test_two_identical_runs_identical_traces(self):
+        def build():
+            env = Environment()
+            log = []
+
+            def worker(env, i):
+                yield env.timeout(0.5 * (i % 3))
+                log.append((env.now, i))
+                yield env.timeout(1.0)
+                log.append((env.now, i))
+
+            for i in range(10):
+                env.process(worker(env, i))
+            env.run()
+            return log
+
+        assert build() == build()

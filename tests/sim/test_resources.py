@@ -1,0 +1,176 @@
+"""Unit tests of Resource / Store / PriorityStore."""
+
+import pytest
+
+from repro.sim import Environment, Resource, Store, PriorityStore
+from repro.sim.core import SimulationError
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_when_free(self, env):
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            grant = yield from res.acquire()
+            assert res.count == 1
+            res.release(grant)
+            assert res.count == 0
+            return "ok"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "ok"
+
+    def test_serializes_to_capacity(self, env):
+        res = Resource(env, capacity=1)
+        spans = []
+
+        def user(env, i):
+            grant = yield from res.acquire()
+            start = env.now
+            yield env.timeout(1.0)
+            res.release(grant)
+            spans.append((i, start, env.now))
+
+        for i in range(3):
+            env.process(user(env, i))
+        env.run()
+        # strictly back-to-back, FIFO order
+        assert spans == [(0, 0.0, 1.0), (1, 1.0, 2.0), (2, 2.0, 3.0)]
+
+    def test_capacity_two_overlaps(self, env):
+        res = Resource(env, capacity=2)
+        done = []
+
+        def user(env, i):
+            grant = yield from res.acquire()
+            yield env.timeout(1.0)
+            res.release(grant)
+            done.append((i, env.now))
+
+        for i in range(4):
+            env.process(user(env, i))
+        env.run()
+        assert done == [(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0)]
+
+    def test_queue_len(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.count == 1
+        assert res.queue_len == 2
+
+    def test_release_unheld_grant_rejected(self, env):
+        res = Resource(env, capacity=1)
+        a = res.request()
+        res.release(a)
+        with pytest.raises(SimulationError):
+            res.release(a)
+
+    def test_cancel_queued_request(self, env):
+        res = Resource(env, capacity=1)
+        a = res.request()
+        b = res.request()  # queued
+        res.release(b)     # cancels the queued request
+        assert res.queue_len == 0
+        assert res.count == 1
+        res.release(a)
+        assert res.count == 0
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+
+        def proc(env):
+            return (yield store.get())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def getter(env):
+            item = yield store.get()
+            return (item, env.now)
+
+        def putter(env):
+            yield env.timeout(2.0)
+            store.put("late")
+
+        g = env.process(getter(env))
+        env.process(putter(env))
+        env.run()
+        assert g.value == ("late", 2.0)
+
+    def test_fifo_delivery(self, env):
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def getter(env):
+            for _ in range(5):
+                got.append((yield store.get()))
+
+        env.process(getter(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_each_item_to_one_getter(self, env):
+        store = Store(env)
+        got = []
+
+        def getter(env, name):
+            item = yield store.get()
+            got.append((name, item))
+
+        env.process(getter(env, "a"))
+        env.process(getter(env, "b"))
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert got == [("a", 1), ("b", 2)]
+
+    def test_try_get(self, env):
+        store = Store(env)
+        assert store.try_get() == (False, None)
+        store.put("v")
+        assert store.try_get() == (True, "v")
+        assert len(store) == 0
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestPriorityStore:
+    def test_smallest_first(self, env):
+        store = PriorityStore(env)
+        for v in (3, 1, 2):
+            store.put(v)
+        got = []
+
+        def getter(env):
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(getter(env))
+        env.run()
+        assert got == [1, 2, 3]
+
+    def test_try_get_pops_smallest(self, env):
+        store = PriorityStore(env)
+        store.put((2, "b"))
+        store.put((1, "a"))
+        assert store.try_get() == (True, (1, "a"))

@@ -1,0 +1,193 @@
+"""Tests of the CUDA-flavoured facade (§VI portability demonstration)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, cuda
+from repro.errors import OclError
+from repro.ocl import Kernel
+from repro.systems import cichlid, ricc
+
+
+class TestStreamsAndMemcpy:
+    def test_memcpy_roundtrip(self, app2):
+        def main(ctx):
+            s = cuda.Stream(ctx)
+            d = cuda.malloc(ctx, 4096)
+            src = np.arange(1024, dtype=np.float32)
+            dst = np.zeros(1024, dtype=np.float32)
+            yield from cuda.memcpy_htod_async(s, d, src)
+            yield from cuda.memcpy_dtoh_async(s, dst, d)
+            yield from s.synchronize()
+            return bool(np.array_equal(src, dst))
+
+        assert all(app2.run(main))
+
+    def test_stream_is_in_order(self, app2):
+        def main(ctx):
+            s = cuda.Stream(ctx)
+            d = cuda.malloc(ctx, 400)
+            add1 = Kernel("add1",
+                          body=lambda b: b.view("f4").__iadd__(
+                              np.float32(1)),
+                          flops=100.0)
+            for _ in range(5):
+                yield from cuda.launch_kernel(s, add1, d)
+            yield from s.synchronize()
+            return float(d.view("f4")[0])
+
+        assert app2.run(main) == [5.0, 5.0]
+
+    def test_free_releases_memory(self, app2):
+        def main(ctx):
+            before = ctx.device.gpu.allocated_bytes
+            d = cuda.malloc(ctx, 1 << 20)
+            d.free()
+            yield ctx.env.timeout(0)
+            return ctx.device.gpu.allocated_bytes == before
+
+        assert all(app2.run(main))
+
+
+class TestEvents:
+    def test_record_and_synchronize(self, app2):
+        def main(ctx):
+            s = cuda.Stream(ctx)
+            slow = Kernel("slow", cost=lambda gpu, *a: 0.4)
+            yield from cuda.launch_kernel(s, slow)
+            ev = cuda.CudaEvent(ctx)
+            yield from ev.record(s)
+            yield from ev.synchronize()
+            return ctx.env.now
+
+        assert all(t >= 0.4 for t in app2.run(main))
+
+    def test_elapsed_time(self, app2):
+        def main(ctx):
+            s = cuda.Stream(ctx)
+            e0, e1 = cuda.CudaEvent(ctx), cuda.CudaEvent(ctx)
+            yield from e0.record(s)
+            yield from cuda.launch_kernel(
+                s, Kernel("k", cost=lambda gpu: 0.25))
+            yield from e1.record(s)
+            yield from s.synchronize()
+            return e0.elapsed_time(e1)
+
+        for dt in app2.run(main):
+            assert dt == pytest.approx(0.25, rel=0.05)
+
+    def test_unrecorded_event_rejected(self, app2):
+        def main(ctx):
+            ev = cuda.CudaEvent(ctx)
+            yield ctx.env.timeout(0)
+            try:
+                yield from ev.synchronize()
+            except OclError:
+                return "rejected"
+
+        assert app2.run(main) == ["rejected", "rejected"]
+
+    def test_stream_wait_event_cross_stream(self, app2):
+        """cudaStreamWaitEvent orders work across streams, host-free."""
+        def main(ctx):
+            s1, s2 = cuda.Stream(ctx), cuda.Stream(ctx)
+            d = cuda.malloc(ctx, 64)
+            slow_fill = Kernel("fill",
+                               body=lambda b: b.view("u1").__setitem__(
+                                   slice(None), 9),
+                               cost=lambda gpu, b: 0.3)
+            yield from cuda.launch_kernel(s1, slow_fill, d)
+            ev = cuda.CudaEvent(ctx)
+            yield from ev.record(s1)
+            s2.wait_event(ev)
+            out = np.zeros(64, dtype=np.uint8)
+            e_read = yield from cuda.memcpy_dtoh_async(s2, out, d)
+            yield from s2.synchronize()
+            from repro.ocl.enums import CommandStatus
+            return (e_read.profile[CommandStatus.RUNNING] >= 0.3,
+                    bool(np.all(out == 9)))
+
+        for gated, ok in app2.run(main):
+            assert gated and ok
+
+
+class TestCudaClmpi:
+    def test_device_to_device_over_streams(self, ricc_preset):
+        """The clMPI mechanism works identically under the CUDA facade."""
+        app = ClusterApp(ricc_preset, 2)
+        payload = np.arange(2 << 20, dtype=np.uint8) % 251
+
+        def main(ctx):
+            s = cuda.Stream(ctx)
+            d = cuda.malloc(ctx, payload.nbytes)
+            if ctx.rank == 0:
+                yield from cuda.memcpy_htod_async(s, d, payload)
+                yield from cuda.send_async(s, d, dest=1, tag=0)
+            else:
+                yield from cuda.recv_async(s, d, source=0, tag=0)
+            yield from s.synchronize()
+            if ctx.rank == 1:
+                return bool(np.array_equal(d.view("u1"), payload))
+
+        assert app.run(main)[1] is True
+
+    def test_mixed_opencl_and_cuda_ranks(self, cichlid_preset):
+        """Rank 0 speaks the OpenCL API, rank 1 the CUDA facade — the
+        wire protocol is the runtime's, so they interoperate."""
+        from repro import clmpi
+        app = ClusterApp(cichlid_preset, 2)
+
+        def main(ctx):
+            if ctx.rank == 0:
+                q = ctx.queue()
+                buf = ctx.ocl.create_buffer(4096)
+                buf.bytes_view()[:] = 42
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, True, 0, 4096, 1, 0, ctx.comm)
+            else:
+                s = cuda.Stream(ctx)
+                d = cuda.malloc(ctx, 4096)
+                yield from cuda.recv_async(s, d, source=0, tag=0)
+                yield from s.synchronize()
+                return bool(np.all(d.view("u1") == 42))
+
+        assert app.run(main)[1] is True
+
+    def test_same_engine_selection_as_opencl_path(self, ricc_preset):
+        """Timing equivalence: the facade adds no overhead of its own."""
+        from repro import clmpi
+        N = 8 << 20
+
+        def run_ocl():
+            app = ClusterApp(ricc_preset, 2, functional=False)
+
+            def main(ctx):
+                q = ctx.queue()
+                buf = ctx.ocl.create_buffer(N)
+                if ctx.rank == 0:
+                    yield from clmpi.enqueue_send_buffer(
+                        q, buf, False, 0, N, 1, 0, ctx.comm)
+                else:
+                    yield from clmpi.enqueue_recv_buffer(
+                        q, buf, False, 0, N, 0, 0, ctx.comm)
+                yield from q.finish()
+
+            app.run(main)
+            return app.env.now
+
+        def run_cuda():
+            app = ClusterApp(ricc_preset, 2, functional=False)
+
+            def main(ctx):
+                s = cuda.Stream(ctx)
+                d = cuda.malloc(ctx, N)
+                if ctx.rank == 0:
+                    yield from cuda.send_async(s, d, 1, 0)
+                else:
+                    yield from cuda.recv_async(s, d, 0, 0)
+                yield from s.synchronize()
+
+            app.run(main)
+            return app.env.now
+
+        assert run_ocl() == pytest.approx(run_cuda(), rel=1e-9)

@@ -1,0 +1,19 @@
+"""Docstring examples stay executable."""
+
+import doctest
+
+import pytest
+
+import repro.launcher
+import repro.mpi.world
+import repro.sim
+
+MODULES = [repro.sim, repro.mpi.world, repro.launcher]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0

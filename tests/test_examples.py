@@ -1,0 +1,25 @@
+"""Smoke tests: every example script runs to completion (they contain
+their own assertions)."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example reports something
+
+
+def test_all_paper_listings_covered():
+    """Figures 1, 5, 6, 7 (the paper's code listings) each have a script."""
+    names = {p.name for p in EXAMPLES}
+    for fig in ("fig1", "fig5", "fig6", "fig7"):
+        assert any(n.startswith(fig) for n in names), f"missing {fig} example"
+    assert "quickstart.py" in names

@@ -1,0 +1,182 @@
+"""Cross-feature integration scenarios.
+
+Each test exercises several subsystems together in one realistic program,
+the way a downstream user would combine them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi, cuda
+from repro.apps.himeno import HimenoConfig, run_himeno
+from repro.mpi.datatypes import CL_MEM
+from repro.ocl import Kernel
+from repro.systems import cichlid, custom, ricc
+
+
+class TestHaloExchangePlusCheckpoint:
+    def test_compute_exchange_checkpoint_pipeline(self, ricc_preset):
+        """A stencil step, a clMPI halo exchange, and a file checkpoint,
+        all chained by events on one rank pair."""
+        app = ClusterApp(ricc_preset, 2)
+        n = 1 << 20
+
+        def main(ctx):
+            q = ctx.queue()
+            io_q = ctx.queue()
+            buf = ctx.ocl.create_buffer(n)
+            fill = Kernel("fill",
+                          body=lambda b, v: b.view("u1").__setitem__(
+                              slice(None), v),
+                          flops=n / 4)
+            ek = yield from q.enqueue_nd_range_kernel(
+                fill, (buf, ctx.rank + 1))
+            peer = 1 - ctx.rank
+            # send and recv on separate queues (Fig 6 style): an in-order
+            # queue would serialize them into a rendezvous deadlock
+            qr = ctx.queue()
+            es = yield from clmpi.enqueue_send_buffer(
+                q, buf, False, 0, n // 2, peer, ctx.rank, ctx.comm,
+                wait_for=(ek,))
+            er = yield from clmpi.enqueue_recv_buffer(
+                qr, buf, False, n // 2, n // 2, peer, peer, ctx.comm,
+                wait_for=(ek,))
+            f = ctx.node.storage.open(f"state{ctx.rank}.bin", size=n)
+            yield from clmpi.enqueue_write_file(
+                io_q, buf, False, 0, n, f, wait_for=(es, er))
+            yield from q.finish()
+            yield from io_q.finish()
+            half = f.data[:n // 2], f.data[n // 2:]
+            return (int(half[0][0]), int(half[1][0]))
+
+        out = app.run(main)
+        # own fill in the low half, peer's fill in the high half
+        assert out == [(1, 2), (2, 1)]
+
+    def test_cl_mem_wrapper_feeding_kernel_chain(self, ricc_preset):
+        """Fig 7-style interop inside a longer pipeline: host data to a
+        remote device, kernel on arrival, result back to the host."""
+        app = ClusterApp(ricc_preset, 2)
+        n_items = 1 << 16
+        src = np.arange(n_items, dtype=np.float32)
+
+        def main(ctx):
+            q = ctx.queue()
+            if ctx.rank == 0:
+                req = yield from clmpi.isend(
+                    ctx.runtime, src, 1, 0, ctx.comm, CL_MEM)
+                yield from req.wait()
+                # receive the doubled result back (device -> host)
+                out = np.zeros(n_items, dtype=np.float32)
+                yield from clmpi.recv(ctx.runtime, out, 1, 1, ctx.comm)
+                return bool(np.array_equal(out, src * 2))
+            else:
+                buf = ctx.ocl.create_buffer(src.nbytes)
+                er = yield from clmpi.enqueue_recv_buffer(
+                    q, buf, False, 0, src.nbytes, 0, 0, ctx.comm)
+                double = Kernel(
+                    "double",
+                    body=lambda b: b.view("f4").__imul__(np.float32(2)),
+                    flops=float(n_items))
+                yield from q.enqueue_nd_range_kernel(double, (buf,),
+                                                     wait_for=(er,))
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, False, 0, src.nbytes, 0, 1, ctx.comm)
+                yield from q.finish()
+
+        assert app.run(main)[0] is True
+
+
+class TestScalingSanity:
+    def test_himeno_weak_comm_strong_compute_scales(self):
+        """On a hypothetical fat-network system, Himeno scales near-
+        linearly — the simulator doesn't invent artificial barriers."""
+        preset = custom("fatnet", net_bandwidth=50e9, net_latency=2e-6,
+                        gpu_gflops=40.0, pinned_bandwidth=10e9,
+                        mapped_bandwidth=8e9, max_nodes=8)
+        cfg = HimenoConfig(size="M", iterations=3)
+        t1 = run_himeno(preset, 1, "clmpi", cfg, functional=False).time
+        t8 = run_himeno(preset, 8, "clmpi", cfg, functional=False).time
+        assert t1 / t8 > 5.5  # ~8x ideal, allow overheads
+
+    def test_serial_never_beats_overlap(self):
+        """Across systems and node counts, serial <= hand-opt, clmpi."""
+        cfg = HimenoConfig(size="S", iterations=2)
+        for preset in (cichlid(), ricc()):
+            for n in (2, 4):
+                ts = run_himeno(preset, n, "serial", cfg,
+                                functional=False).time
+                th = run_himeno(preset, n, "hand-optimized", cfg,
+                                functional=False).time
+                tc = run_himeno(preset, n, "clmpi", cfg,
+                                functional=False).time
+                assert th <= ts * 1.001
+                assert tc <= ts * 1.001
+
+
+class TestMixedApis:
+    def test_three_ranks_three_programming_models(self, cichlid_preset):
+        """Rank 0 uses raw MPI + OpenCL (Fig 1 style), rank 1 clMPI
+        commands, rank 2 the CUDA facade — one job, all interoperating."""
+        app = ClusterApp(cichlid_preset, 3)
+        n = 64 << 10
+
+        def main(ctx):
+            if ctx.rank == 0:
+                # classic joint programming: host-managed
+                q = ctx.queue()
+                buf = ctx.ocl.create_buffer(n)
+                buf.bytes_view()[:] = 10
+                host = np.empty(n, dtype=np.uint8)
+                yield from q.enqueue_read_buffer(buf, True, 0, n, host)
+                yield from ctx.comm.send(host, 1, tag=0)
+                return "sent-mpi"
+            elif ctx.rank == 1:
+                # clMPI: receive from host-managed rank, forward by command
+                q = ctx.queue()
+                host = np.empty(n, dtype=np.uint8)
+                yield from ctx.comm.recv(host, 0, tag=0)
+                buf = ctx.ocl.create_buffer(n)
+                yield from q.enqueue_write_buffer(buf, True, 0, n, host)
+                yield from clmpi.enqueue_send_buffer(
+                    q, buf, True, 0, n, 2, 1, ctx.comm)
+                return "forwarded-clmpi"
+            else:
+                s = cuda.Stream(ctx)
+                d = cuda.malloc(ctx, n)
+                yield from cuda.recv_async(s, d, source=1, tag=1)
+                yield from s.synchronize()
+                return int(d.view("u1")[0])
+
+        assert app.run(main) == ["sent-mpi", "forwarded-clmpi", 10]
+
+
+class TestDeterminism:
+    def test_full_stack_replay_is_bit_identical(self):
+        """Two identical 8-node Himeno runs produce identical traces and
+        clocks — the foundation every figure rests on."""
+        from repro.apps.himeno import HimenoConfig, run_himeno
+
+        def run():
+            res = run_himeno(ricc(), 8, "clmpi",
+                             HimenoConfig(size="S", iterations=3),
+                             functional=False, trace=True)
+            events = [(r.lane, r.label, r.start, r.end)
+                      for r in res.tracer.records]
+            return res.time, events
+
+        t1, e1 = run()
+        t2, e2 = run()
+        assert t1 == t2
+        assert e1 == e2
+
+    def test_functional_and_timing_traces_match(self):
+        """Data movement does not perturb the virtual timeline."""
+        from repro.apps.nanopowder import NanoConfig, run_nanopowder
+
+        cfg = NanoConfig.test_scale(steps=2, cells=4)
+        t_f = run_nanopowder(ricc(), 2, "clmpi", cfg,
+                             functional=True).time
+        t_t = run_nanopowder(ricc(), 2, "clmpi", cfg,
+                             functional=False).time
+        assert t_f == pytest.approx(t_t, rel=1e-12)

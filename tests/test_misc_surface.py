@@ -1,0 +1,85 @@
+"""Remaining small API surfaces."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, cuda
+from repro.sim.trace import Tracer
+from repro.systems import cichlid
+from repro.systems.presets import TransferPolicy
+
+
+class TestGanttOptions:
+    def test_lane_filter(self):
+        tr = Tracer()
+        tr.record("keep", "a", 0, 1, "compute")
+        tr.record("drop", "b", 0, 1, "net")
+        chart = tr.render_gantt(width=20, lanes=["keep"])
+        assert "keep" in chart and "drop" not in chart
+
+    def test_width_respected(self):
+        tr = Tracer()
+        tr.record("l", "a", 0, 10, "compute")
+        chart = tr.render_gantt(width=30)
+        row = chart.splitlines()[0]
+        assert row.count("#") <= 30
+
+
+class TestSimFileTruncate:
+    def test_shrink_preserves_prefix(self, env):
+        from repro.hardware.storage import SimFile, StorageModel, StorageSpec
+        f = SimFile(StorageModel(env, StorageSpec()), "f", 10)
+        f.data[:] = np.arange(10, dtype=np.uint8)
+        f.truncate(4)
+        assert f.size == 4
+        assert np.array_equal(f.data, np.arange(4, dtype=np.uint8))
+
+
+class TestCudaViews:
+    def test_device_array_shaped_view(self, app2):
+        def main(ctx):
+            d = cuda.malloc(ctx, 64)
+            v = d.view("f4", shape=(4, 4))
+            v[:] = 3.0
+            yield ctx.env.timeout(0)
+            return float(d.buffer.view("f4")[0])
+
+        assert app2.run(main) == [3.0, 3.0]
+
+    def test_event_query_before_and_after(self, app2):
+        def main(ctx):
+            s = cuda.Stream(ctx)
+            ev = cuda.CudaEvent(ctx)
+            assert not ev.recorded and not ev.done
+            yield from ev.record(s)
+            yield from s.synchronize()
+            return ev.done
+
+        assert all(app2.run(main))
+
+
+class TestPolicyCustomization:
+    def test_custom_block_function_used(self):
+        pol = TransferPolicy(pipeline_threshold=1,
+                             pipeline_block=lambda n: 1234)
+        mode, block = pol.select(1 << 20)
+        assert mode == "pipelined" and block == 1234
+
+    def test_policy_drives_cluster_app(self, cichlid_preset):
+        from dataclasses import replace
+        from repro.systems.presets import SystemPreset
+
+        pol = TransferPolicy(small_mode="pinned",
+                             pipeline_threshold=1 << 30)
+        preset = SystemPreset(cluster=cichlid_preset.cluster, policy=pol)
+        app = ClusterApp(preset, 2)
+        desc = app.contexts[0].runtime.describe(16 << 20, 0)
+        assert desc.mode == "pinned"  # threshold never reached
+
+
+class TestRepr:
+    def test_reprs_do_not_crash(self, app2):
+        ctx = app2.contexts[0]
+        buf = ctx.ocl.create_buffer(16)
+        for obj in (buf, ctx.device, app2.world.cluster[0]):
+            assert repr(obj)
