@@ -32,16 +32,15 @@ def main(ctx):
         body=lambda b: b.view("f4").__iadd__(np.float32(1.0)),
         flops=lambda b: 2.0 * (b.size // 4))
 
-    e_ckpt = None
     for it in range(ITERS):
         # compute step; must wait until the previous checkpoint's snapshot
         # (the copy into `shadow`) has been taken
-        e_k = yield from compute_q.enqueue_nd_range_kernel(step, (state,))
+        yield from compute_q.enqueue_nd_range_kernel(step, (state,))
         # snapshot + write-behind checkpoint, overlapping the next kernel
         e_cp = yield from compute_q.enqueue_copy_buffer(state, shadow,
                                                         0, 0, N)
         f = ctx.node.storage.open(f"ckpt_{ctx.rank}_{it}.bin", size=N)
-        e_ckpt = yield from clmpi.enqueue_write_file(
+        yield from clmpi.enqueue_write_file(
             io_q, shadow, False, 0, N, f, wait_for=(e_cp,))
     yield from compute_q.finish()
     yield from io_q.finish()

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro import ClusterApp
 from repro.ocl import Kernel
-from repro.ocl.api import wait_for_events
 from repro.systems import cichlid
 
 CELLS = 1 << 16

@@ -27,10 +27,10 @@ def main(ctx):
         payload = np.arange(N // 4, dtype=np.float32)
         yield from queue.enqueue_write_buffer(buf, True, 0, N, payload)
         # the GPU becomes the communicator device: no MPI calls in sight
-        event = yield from clmpi.enqueue_send_buffer(
+        yield from clmpi.enqueue_send_buffer(
             queue, buf, False, 0, N, dest=1, tag=0, comm=ctx.comm)
     else:
-        event = yield from clmpi.enqueue_recv_buffer(
+        yield from clmpi.enqueue_recv_buffer(
             queue, buf, False, 0, N, source=0, tag=0, comm=ctx.comm)
 
     # the host thread is free here — it only waits at the very end

@@ -1,0 +1,28 @@
+"""repro.analysis: a clMPI sanitizer.
+
+Correctness tooling over the event/queue/request graph of a run:
+
+* :class:`Sanitizer` / :func:`autosanitize` — record a run and detect
+  deadlocks (with labeled witness chains), data races on buffers, API
+  misuse, and leaks;
+* :func:`lint_paths` — AST lint of host code for statically visible
+  misuse (``python -m repro.analysis lint <paths>``);
+* ``python -m repro.analysis run script.py`` — run a script with every
+  environment sanitized.
+
+See ``docs/sanitizer.md`` for the hazard taxonomy and report format.
+"""
+
+from repro.analysis.graph import ExecutionGraph, Node
+from repro.analysis.lint import lint_paths, lint_source
+from repro.analysis.recorder import Recorder
+from repro.analysis.report import Finding, Report
+from repro.analysis.sanitizer import Sanitizer, analyze, autosanitize
+
+__all__ = [
+    "ExecutionGraph", "Node",
+    "Finding", "Report",
+    "Recorder",
+    "Sanitizer", "analyze", "autosanitize",
+    "lint_paths", "lint_source",
+]

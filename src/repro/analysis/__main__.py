@@ -1,0 +1,77 @@
+"""CLI for the sanitizer and lint.
+
+Usage::
+
+    python -m repro.analysis run script.py [script args...]
+    python -m repro.analysis lint path [path...]
+
+``run`` executes the script with :func:`~repro.analysis.autosanitize`
+active, prints the merged report, and exits 1 on findings (or 2 if the
+script itself raised).  ``lint`` statically checks the given files or
+directories and exits 1 on findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+import traceback
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.sanitizer import autosanitize
+
+
+def _cmd_run(args) -> int:
+    script_argv = [args.script] + args.args
+    old_argv, sys.argv = sys.argv, script_argv
+    failed = False
+    try:
+        with autosanitize() as session:
+            try:
+                runpy.run_path(args.script, run_name="__main__")
+            except SystemExit as exc:
+                failed = bool(exc.code)
+            except BaseException:
+                traceback.print_exc()
+                failed = True
+    finally:
+        sys.argv = old_argv
+    print(session.report.render())
+    if failed:
+        return 2
+    return 0 if session.report.ok else 1
+
+
+def _cmd_lint(args) -> int:
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.render())
+    print(f"lint: {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="clMPI sanitizer: dynamic run analysis and static "
+                    "lint")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a script under the sanitizer")
+    p_run.add_argument("script", help="python script to execute")
+    p_run.add_argument("args", nargs=argparse.REMAINDER,
+                       help="arguments passed to the script")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_lint = sub.add_parser("lint", help="statically lint host code")
+    p_lint.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    p_lint.set_defaults(func=_cmd_lint)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

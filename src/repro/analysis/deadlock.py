@@ -1,0 +1,332 @@
+"""Deadlock detection over the wait-for graph at quiescence.
+
+When the calendar drains with work still outstanding, something is stuck.
+This module reconstructs *why*: it builds a *wait-for* graph over the
+stuck entities (commands, user events, MPI operations, blocked
+processes), finds cycles, and — for acyclic stalls — walks the chain of
+waiters down to the root cause (an unmatched receive, a user event nobody
+completes, ...).  Every finding carries a labeled witness chain naming
+each entity along the way.
+
+Wait-for edges (X → Y: "X cannot make progress until Y does"):
+
+* a queued command → its incomplete wait-list events, and (in-order
+  queues) → its queue predecessor (head-of-line blocking);
+* a *running* command → its in-flight MPI operations;
+* an incomplete user event → the MPI request it bridges, or the process
+  that created it (the thread expected to complete it);
+* a blocked process → whatever its suspended ``yield`` targets resolve
+  to (command events, request completions, clMPI transfers).
+
+Root causes have no outgoing edges: an unmatched receive (nothing was
+sent), an unmatched rendezvous send (no receive was posted), a user
+event whose creator is gone.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.analysis import graph as G
+from repro.analysis.report import Finding
+
+__all__ = ["detect_deadlocks"]
+
+#: witness chains are truncated beyond this many hops
+_MAX_CHAIN = 16
+
+
+def _resolve_wait_target(rec, target) -> list:
+    """Map a process's suspended ``yield`` target to graph nodes."""
+    events = getattr(target, "events", None)
+    if events is not None:  # AllOf / AnyOf
+        out = []
+        for child in events:
+            nid = rec.node_for_sim_event(child)
+            if nid is not None:
+                out.append(nid)
+        return out
+    nid = rec.node_for_sim_event(target)
+    return [] if nid is None else [nid]
+
+
+def _build_wait_graph(rec):
+    """Returns ``(stuck, edges)``: the stuck node set and labeled
+    wait-for edges ``{nid: [(target_nid, reason), ...]}``."""
+    graph = rec.graph
+    edges: dict[int, list] = defaultdict(list)
+    stuck: set[int] = set()
+
+    pending_cmds = dict(rec.pending_commands())
+    pending_ops = set(rec.pending_ops())
+    ops_of_parent: dict[int, list] = defaultdict(list)
+    for op in pending_ops:
+        parent = graph.nodes[op].parent
+        if parent is not None:
+            ops_of_parent[parent].append(op)
+
+    # -- commands -----------------------------------------------------
+    for nid, cmd in pending_cmds.items():
+        stuck.add(nid)
+        node = graph.nodes[nid]
+        if node.started:
+            for op in ops_of_parent.get(nid, ()):
+                edges[nid].append((op, "is executing a transfer that "
+                                       "never completed"))
+            continue
+        for w in node.extra.get("wait", ()):
+            if not graph.nodes[w].completed:
+                edges[nid].append((w, "waits on its wait-list event"))
+        pred = node.extra.get("queue_pred")
+        if pred is not None and not graph.nodes[pred].completed:
+            edges[nid].append((pred, "is queued behind (in-order "
+                                     "head-of-line)"))
+
+    # -- process nodes (created lazily, deduplicated by identity) -----
+    proc_nodes: dict[int, int] = {}
+
+    def process_node(proc, role: str) -> int:
+        key = id(proc)
+        if key not in proc_nodes:
+            pnode = graph.add_node(
+                G.PROCESS, getattr(proc, "name", "process"), role)
+            pnode.extra["proc"] = proc
+            proc_nodes[key] = pnode.nid
+            stuck.add(pnode.nid)
+            target = proc._waiting_on
+            if target is not None:
+                for t in _resolve_wait_target(rec, target):
+                    edges[pnode.nid].append((t, "is blocked waiting for"))
+        return proc_nodes[key]
+
+    for rank, proc in rec.rank_procs:
+        if proc.is_alive:
+            process_node(proc, f"rank {rank} main thread")
+
+    # -- user events --------------------------------------------------
+    for nid, uev in rec.incomplete_user_events():
+        stuck.add(nid)
+        node = rec.node(nid)
+        bridge = node.extra.get("bridge")
+        if bridge is not None:
+            edges[nid].append((bridge, "completes when the MPI request "
+                                       "completes"))
+            continue
+        creator = node.extra.get("creator")
+        if creator is not None and creator.is_alive:
+            edges[nid].append((process_node(creator, "creating thread"),
+                               "must be completed by its creating thread"))
+
+    # -- MPI / clMPI operations ---------------------------------------
+    for op in pending_ops:
+        stuck.add(op)
+        node = graph.nodes[op]
+        if node.kind == G.CLMPI_TRANSFER:
+            for child in ops_of_parent.get(op, ()):
+                edges[op].append((child, "is driving a transfer "
+                                         "operation"))
+    return stuck, edges
+
+
+def _find_cycles(stuck, edges):
+    """Simple-cycle enumeration via iterative DFS (each cycle once)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {nid: 0 for nid in stuck}
+    cycles = []
+    for start in sorted(stuck):
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(edges.get(start, ())))]
+        path = [start]
+        color[start] = GRAY
+        while stack:
+            nid, it = stack[-1]
+            advanced = False
+            for succ, _reason in it:
+                if succ not in color:
+                    continue
+                if color[succ] == GRAY:
+                    cycles.append(path[path.index(succ):] + [succ])
+                elif color[succ] == WHITE:
+                    color[succ] = GRAY
+                    path.append(succ)
+                    stack.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[nid] = BLACK
+                path.pop()
+                stack.pop()
+    return cycles
+
+
+def _edge_reason(edges, a, b) -> str:
+    for succ, reason in edges.get(a, ()):
+        if succ == b:
+            return reason
+    return "waits for"  # pragma: no cover
+
+
+def _witness_chain(rec, edges, root: int) -> list:
+    """Path from the furthest blocked waiter down to ``root``,
+    preferring a process (a named rank thread) as the origin."""
+    incoming = defaultdict(list)
+    for a, targets in edges.items():
+        for b, _reason in targets:
+            incoming[b].append(a)
+    # BFS upstream from the root; remember parents to rebuild the path
+    seen = {root: None}
+    frontier = [root]
+    origin = root
+    found_process = False
+    while frontier and not found_process:
+        nxt = []
+        for nid in frontier:
+            for waiter in incoming.get(nid, ()):
+                if waiter in seen:
+                    continue
+                seen[waiter] = nid
+                nxt.append(waiter)
+                origin = waiter
+                if rec.node(waiter).kind == G.PROCESS:
+                    found_process = True
+                    break
+            if found_process:
+                break
+        frontier = nxt
+    chain = []
+    nid: Optional[int] = origin
+    while nid is not None and len(chain) < _MAX_CHAIN:
+        nxt = seen[nid]
+        if nxt is None:
+            chain.append(rec.node(nid).describe())
+        else:
+            chain.append(f"{rec.node(nid).describe()} "
+                         f"{_edge_reason(edges, nid, nxt)} ->")
+        nid = nxt
+    return chain
+
+
+def _root_cause_finding(rec, node, n_waiters: int) -> Finding:
+    """Classify a stuck entity with no outgoing wait edges."""
+    extra = node.extra
+    if node.kind == G.MPI_RECV and not extra["posted"].matched:
+        posted = extra["posted"]
+        src = "any source" if posted.source < 0 else f"rank {posted.source}"
+        tag = "any tag" if posted.tag < 0 else f"tag {posted.tag}"
+        return Finding(
+            "unmatched-recv",
+            f"{node.label} on {extra['comm']!r} was never matched: no "
+            f"message from {src} with {tag} ever reached rank "
+            f"{extra['rank']}")
+    if node.kind == G.MPI_SEND and not extra["envelope"].matched:
+        return Finding(
+            "unmatched-send",
+            f"{node.label} on {extra['comm']!r} was never matched: rank "
+            f"{extra['peer']} never posted a matching receive "
+            f"({extra['envelope'].protocol} protocol holds the sender)")
+    if node.kind == G.USER_EVENT:
+        return Finding(
+            "user-event-never-completed",
+            f"user event {node.label!r} was never completed "
+            f"(clSetUserEventStatus never called) and {n_waiters} "
+            "entity(ies) wait on it")
+    return Finding(
+        f"stalled-{node.kind}",
+        f"{node.describe()} never completed and nothing it waits on is "
+        "tracked (stuck outside the modeled entities)")
+
+
+def _comm_cycles(rec) -> list:
+    """Rank-level communication cycles from the endpoint ground truth:
+    an unmatched receive on rank r from rank s means r waits for s; an
+    unmatched rendezvous send from s to d means s waits for d."""
+    findings = []
+    per_comm: dict[str, list] = defaultdict(list)
+    for comm_name, rank, envelopes, posted in rec.endpoint_sweep():
+        for p in posted:
+            if p.source >= 0:
+                per_comm[comm_name].append((rank, p.source,
+                                            f"rank {rank} waits to receive "
+                                            f"from rank {p.source} "
+                                            f"(tag {p.tag})"))
+        for e in envelopes:
+            if e.protocol == "rndv" and not e.matched:
+                per_comm[comm_name].append((e.src, e.dst,
+                                            f"rank {e.src} waits for rank "
+                                            f"{e.dst} to post a receive "
+                                            f"(tag {e.tag}, rendezvous)"))
+    for comm_name, wants in per_comm.items():
+        adj = defaultdict(list)
+        for a, b, why in wants:
+            adj[a].append((b, why))
+        seen_cycles = set()
+        for start in sorted(adj):
+            path, whys, cur = [start], [], start
+            visited = {start}
+            while True:
+                nxts = adj.get(cur)
+                if not nxts:
+                    break
+                nxt, why = nxts[0]
+                whys.append(why)
+                if nxt in visited:
+                    cyc = tuple(sorted(set(path[path.index(nxt):])))
+                    if cyc not in seen_cycles:
+                        seen_cycles.add(cyc)
+                        ranks = " -> ".join(
+                            f"rank {r}" for r in path[path.index(nxt):]
+                        ) + f" -> rank {nxt}"
+                        findings.append(Finding(
+                            "communication-deadlock",
+                            f"rank-level wait cycle on {comm_name!r}: "
+                            f"{ranks}",
+                            witness=whys))
+                    break
+                visited.add(nxt)
+                path.append(nxt)
+                cur = nxt
+    return findings
+
+
+def detect_deadlocks(rec) -> list:
+    """Analyze quiescence state; returns deadlock findings."""
+    stuck, edges = _build_wait_graph(rec)
+    if not stuck:
+        return []
+    findings = []
+
+    cycles = _find_cycles(stuck, edges)
+    in_cycle = set()
+    for cycle in cycles:
+        in_cycle.update(cycle)
+        witness = []
+        for a, b in zip(cycle, cycle[1:]):
+            witness.append(f"{rec.node(a).describe()} "
+                           f"{_edge_reason(edges, a, b)} ->")
+        witness.append(f"{rec.node(cycle[-1]).describe()}  "
+                       "[cycle closes]")
+        names = ", ".join(repr(rec.node(n).label) for n in cycle[:-1])
+        findings.append(Finding(
+            "deadlock-cycle",
+            f"wait cycle of {len(cycle) - 1} entities: {names}",
+            witness=witness))
+
+    # root causes: stuck entities that block others yet wait on nothing
+    incoming_count = defaultdict(int)
+    for a, targets in edges.items():
+        for b, _reason in targets:
+            incoming_count[b] += 1
+    for nid in sorted(stuck):
+        if nid in in_cycle or edges.get(nid):
+            continue
+        n_waiters = incoming_count[nid]
+        if n_waiters == 0:
+            continue  # nothing waits on it: the leak checker's business
+        finding = _root_cause_finding(rec, rec.node(nid), n_waiters)
+        finding.witness = _witness_chain(rec, edges, nid)
+        findings.append(finding)
+
+    findings.extend(_comm_cycles(rec))
+    return findings

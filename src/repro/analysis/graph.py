@@ -1,0 +1,112 @@
+"""The execution graph: nodes for every command, event, and MPI operation.
+
+The :class:`~repro.analysis.recorder.Recorder` builds one
+:class:`ExecutionGraph` per run.  Nodes are created in program order, and
+every **happens-before** edge points from an older node to a newer one
+(wait-list events exist before the commands that wait on them; queue
+predecessors are enqueued before their successors; host-sync nodes are
+created before the commands enqueued after the sync).  Node-id order is
+therefore a topological order, which makes ancestor computation a single
+linear pass with bitsets.
+
+Two relations live here:
+
+* **happens-before** (``preds``): A completes before B starts.  Used by
+  the race detector.
+* **wait-for** edges are *not* stored here — the deadlock detector
+  derives them from entity state at quiescence (see
+  :mod:`repro.analysis.deadlock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Node", "ExecutionGraph"]
+
+#: node kinds
+COMMAND = "command"
+USER_EVENT = "user-event"
+SYNC = "host-sync"
+MPI_SEND = "mpi-send"
+MPI_RECV = "mpi-recv"
+CLMPI_TRANSFER = "clmpi-transfer"
+PROCESS = "process"
+
+
+@dataclass
+class Node:
+    """One vertex of the execution graph."""
+
+    nid: int
+    kind: str
+    label: str
+    detail: str = ""
+    #: lifecycle (maintained by the recorder)
+    started: bool = False
+    completed: bool = False
+    failed: Optional[BaseException] = None
+    #: enclosing command/transfer node (MPI ops posted by a command)
+    parent: Optional[int] = None
+    #: free-form per-kind state (entity refs, queue name, wait lists, ...)
+    extra: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in witness chains."""
+        core = f"{self.kind} {self.label!r}"
+        return f"{core} ({self.detail})" if self.detail else core
+
+
+class ExecutionGraph:
+    """Append-only DAG of run entities with happens-before edges."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        #: happens-before predecessors, per node id
+        self.preds: list[list[int]] = []
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def add_node(self, kind: str, label: str, detail: str = "") -> Node:
+        node = Node(len(self.nodes), kind, label, detail)
+        self.nodes.append(node)
+        self.preds.append([])
+        return node
+
+    def add_hb(self, pred: Optional[int], succ: int) -> None:
+        """Record "``pred`` completes before ``succ`` starts"."""
+        if pred is None or pred == succ:
+            return
+        if pred > succ:  # pragma: no cover - recorder invariant
+            raise ValueError(f"happens-before edge {pred}->{succ} is not "
+                             "in creation order")
+        self.preds[succ].append(pred)
+
+    def successors(self) -> list[list[int]]:
+        """Happens-before successor lists (inverse of ``preds``)."""
+        succs: list[list[int]] = [[] for _ in self.nodes]
+        for nid, plist in enumerate(self.preds):
+            for p in plist:
+                succs[p].append(nid)
+        return succs
+
+    def ancestor_bits(self) -> list[int]:
+        """Bitset of transitive happens-before ancestors per node.
+
+        ``bits[b] >> a & 1`` answers "does ``a`` happen before ``b``".
+        Node-id order is topological (edges only point old → new), so one
+        forward pass suffices.
+        """
+        bits = [0] * len(self.nodes)
+        for nid, plist in enumerate(self.preds):
+            acc = 0
+            for p in plist:
+                acc |= bits[p] | (1 << p)
+            bits[nid] = acc
+        return bits
+
+    @staticmethod
+    def happens_before(a: int, b: int, bits: list[int]) -> bool:
+        return bool(bits[b] >> a & 1)

@@ -1,0 +1,99 @@
+"""Leak checking at environment teardown.
+
+Quieter than a deadlock — nothing hangs — but still wrong: resources
+that reached the end of the run in a state the program never observed.
+
+* **leaked user events**: created, never completed, with nobody waiting
+  (an event someone *does* wait on is the deadlock detector's case);
+* **never-waited requests**: nonblocking operations that completed but
+  were never ``wait``/``test``-ed (bridged requests are exempt — the
+  clMPI event took ownership, §IV.C);
+* **pending requests**: operations still in flight at teardown;
+* **queues with pending commands**: work enqueued and abandoned;
+* **unreceived messages**: envelopes that arrived at an endpoint no one
+  ever received (straight from the matching engine's ground truth).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.report import Finding
+
+__all__ = ["detect_leaks"]
+
+_CAP = 8  # per-kind listing cap inside one finding
+
+
+def _clip(labels: list) -> str:
+    shown = ", ".join(labels[:_CAP])
+    if len(labels) > _CAP:
+        shown += f", ... ({len(labels) - _CAP} more)"
+    return shown
+
+
+def detect_leaks(rec, deadlocked: bool) -> list:
+    """Sweep the recorder's entity tables; returns leak findings.
+
+    ``deadlocked`` suppresses the noisy secondary leaks (pending
+    commands/requests) that are mere symptoms when the deadlock
+    detector already reported the cause.
+    """
+    findings = []
+    succs = rec.graph.successors()
+
+    for nid, uev in rec.incomplete_user_events():
+        if succs[nid]:
+            continue  # something waits on it: deadlock territory
+        if rec.node(nid).extra.get("bridge") is not None:
+            continue  # completes with its request; counted below if stuck
+        findings.append(Finding(
+            "leaked-user-event",
+            f"user event {uev.label!r} was created but never completed "
+            "and nothing ever waited on it (clSetUserEventStatus "
+            "missing, or the event is dead code)",
+            severity="warning",
+            witness=[rec.node(nid).describe()]))
+
+    unconsumed = rec.unconsumed_requests()
+    if unconsumed:
+        findings.append(Finding(
+            "never-waited-request",
+            f"{len(unconsumed)} request(s) completed but were never "
+            f"consumed by wait/test: "
+            f"{_clip([r.label for r, _ in unconsumed])} (MPI requires "
+            "every nonblocking operation to be completed by "
+            "MPI_Wait/MPI_Test)",
+            severity="warning"))
+
+    if not deadlocked:
+        in_flight = [rec.node(nid) for nid in rec.pending_ops()]
+        if in_flight:
+            findings.append(Finding(
+                "pending-operation",
+                f"{len(in_flight)} operation(s) still in flight at "
+                f"teardown: {_clip([n.label for n in in_flight])}",
+                severity="warning"))
+
+    by_queue = defaultdict(list)
+    for nid, cmd in rec.pending_commands():
+        by_queue[rec.queue_of(nid)].append(cmd.label)
+    for queue_name, labels in sorted(by_queue.items()):
+        findings.append(Finding(
+            "pending-queue-commands",
+            f"queue {queue_name!r} torn down with {len(labels)} "
+            f"command(s) never completed: {_clip(labels)}",
+            severity="warning"))
+
+    for comm_name, rank, envelopes, _posted in rec.endpoint_sweep():
+        if not envelopes:
+            continue
+        labels = [f"from r{e.src} tag={e.tag} ({e.nbytes}B)"
+                  for e in envelopes]
+        findings.append(Finding(
+            "unreceived-message",
+            f"rank {rank} on {comm_name!r} holds {len(envelopes)} "
+            f"arrived message(s) that were never received: "
+            f"{_clip(labels)}",
+            severity="warning"))
+    return findings

@@ -1,0 +1,167 @@
+"""Static (AST) lint for host code using the repro/clMPI API.
+
+Complements the runtime sanitizer: these hazards are visible in the
+source without running anything.
+
+Rules
+-----
+``CLM001`` *discarded coroutine*: a simulation coroutine called as a
+bare statement.  Every ``enqueue_*``/``finish``/``wait``/``send``/...
+in this library returns a generator that does nothing until driven with
+``yield from``; discarding it silently drops the operation.
+
+``CLM002`` *blocking call in event callback*: a function registered via
+``set_callback`` calls a blocking/coroutine API or is itself a
+generator.  Event callbacks run synchronously inside the simulator (as
+driver callbacks run on the driver thread) and must not block — the
+OpenCL spec makes calling blocking API from a callback undefined
+behavior.
+
+``CLM003`` *user event never completed*: a module creates user events
+(``create_user_event``) but never calls ``set_complete``/``set_failed``
+on anything — nobody will ever complete them.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.report import Finding
+
+__all__ = ["lint_source", "lint_paths", "COROUTINE_APIS", "BLOCKING_APIS"]
+
+#: API names that return simulation coroutines (must be ``yield from``-ed)
+COROUTINE_APIS = frozenset({
+    "enqueue_nd_range_kernel", "enqueue_read_buffer",
+    "enqueue_write_buffer", "enqueue_copy_buffer", "enqueue_map_buffer",
+    "enqueue_unmap_mem_object", "enqueue_marker", "enqueue_barrier",
+    "enqueue_custom", "enqueue_send_buffer", "enqueue_recv_buffer",
+    "finish", "wait", "wait_for_events", "waitall", "waitany",
+    "send", "recv", "sendrecv", "isend", "irecv", "send_obj", "recv_obj",
+    "bcast", "ibcast_wait", "reduce", "allreduce", "alltoall", "gather",
+    "allgather", "scatter", "barrier", "probe",
+})
+
+#: API names an event callback must never call (they block or yield)
+BLOCKING_APIS = frozenset(COROUTINE_APIS | {"run"})
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, filename: str):
+        self.filename = filename
+        self.findings: list[Finding] = []
+        #: function definitions by name (all scopes), for callback lookup
+        self.functions: dict[str, ast.AST] = {}
+        self.callback_names: set[str] = set()
+        self.callback_lambdas: list[ast.Lambda] = []
+        self.user_event_sites: list[ast.Call] = []
+        self.completes = 0
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule, message,
+            location=f"{self.filename}:{getattr(node, 'lineno', 0)}"))
+
+    # -- collection ---------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.functions.setdefault(node.name, node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        # CLM001: a coroutine API called and thrown away
+        if isinstance(node.value, ast.Call):
+            name = _call_name(node.value)
+            if name in COROUTINE_APIS:
+                self._emit(
+                    "CLM001", node,
+                    f"result of {name}() is discarded: simulation "
+                    "coroutines do nothing unless driven with "
+                    "'yield from'")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name == "set_callback" and node.args:
+            fn = node.args[0]
+            if isinstance(fn, ast.Name):
+                self.callback_names.add(fn.id)
+            elif isinstance(fn, ast.Lambda):
+                self.callback_lambdas.append(fn)
+        elif name == "create_user_event":
+            self.user_event_sites.append(node)
+        elif name in ("set_complete", "set_failed"):
+            self.completes += 1
+        self.generic_visit(node)
+
+    # -- per-rule sweeps ----------------------------------------------
+    def _check_callback_body(self, label: str, fn: ast.AST) -> None:
+        for sub in ast.walk(fn):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                self._emit(
+                    "CLM002", sub,
+                    f"event callback {label} yields: callbacks run "
+                    "synchronously on the driver thread and cannot be "
+                    "simulation coroutines")
+                return
+            if isinstance(sub, ast.Call):
+                name = _call_name(sub)
+                if name in BLOCKING_APIS:
+                    self._emit(
+                        "CLM002", sub,
+                        f"event callback {label} calls {name}(): "
+                        "blocking API from an event callback is "
+                        "undefined behavior (deadlocks the driver "
+                        "thread); complete a user event instead")
+
+    def finish_module(self) -> None:
+        for name in sorted(self.callback_names):
+            fn = self.functions.get(name)
+            if fn is not None:
+                self._check_callback_body(f"{name}()", fn)
+        for lam in self.callback_lambdas:
+            self._check_callback_body("<lambda>", lam)
+        if self.user_event_sites and not self.completes:
+            for site in self.user_event_sites:
+                self._emit(
+                    "CLM003", site,
+                    "user event is created here but this module never "
+                    "calls set_complete()/set_failed() on anything — "
+                    "waiters will hang forever")
+
+
+def lint_source(source: str, filename: str = "<string>") -> list:
+    """Lint one module's source text; returns findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Finding("syntax-error", str(exc),
+                        location=f"{filename}:{exc.lineno or 0}")]
+    linter = _Linter(filename)
+    linter.visit(tree)
+    linter.finish_module()
+    return linter.findings
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> list:
+    """Lint files and directories (``.py`` files, recursively)."""
+    findings = []
+    for path in paths:
+        path = Path(path)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            findings.extend(lint_source(file.read_text(encoding="utf-8"),
+                                        str(file)))
+    return findings

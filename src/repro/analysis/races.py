@@ -1,0 +1,98 @@
+"""Data-race detection over buffer access intervals.
+
+Every command that touches a :class:`~repro.ocl.buffer.Buffer` declares
+its access at enqueue time — transfers intrinsically
+(``read_buffer``/``write_buffer``/``copy_buffer`` and the clMPI
+``enqueue_send_buffer``/``enqueue_recv_buffer`` know their byte ranges),
+kernels via the opt-in :attr:`~repro.ocl.kernel.Kernel.arg_access`
+declaration (kernels without one are not checked: the analysis cannot
+know which bytes a kernel touches, and assuming "all of them" would
+flag the paper's deliberate compute/halo-transfer overlap as racy).
+
+Two accesses race when they touch overlapping byte ranges of the same
+buffer, at least one writes, and neither command *happens-before* the
+other — no chain of wait-list events, in-order queue positions, or host
+synchronization points orders them.  The detector answers the
+happens-before question with the recorder's graph (bitset reachability;
+node order is topological).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Finding
+
+__all__ = ["detect_races"]
+
+#: beyond this graph size the bitset pass is skipped (quadratic memory);
+#: recorded in report stats so the omission is visible
+MAX_NODES_FOR_RACES = 20_000
+
+#: at most this many races are reported per buffer
+_PER_BUFFER_CAP = 4
+
+
+def _conflicts(a_mode: str, b_mode: str) -> bool:
+    return "w" in a_mode or "w" in b_mode
+
+
+def _overlaps(a_off: int, a_size: int, b_off: int, b_size: int) -> bool:
+    return a_off < b_off + b_size and b_off < a_off + a_size
+
+
+def detect_races(rec, stats: dict) -> list:
+    """Pairwise-check all declared accesses; returns race findings."""
+    per_buffer = rec.buffer_accesses()
+    candidates = []
+    for buf, accs in per_buffer:
+        for i in range(len(accs)):
+            nid_a, off_a, size_a, mode_a = accs[i]
+            for j in range(i + 1, len(accs)):
+                nid_b, off_b, size_b, mode_b = accs[j]
+                if nid_a == nid_b:
+                    continue  # one command, two args (e.g. copy src=dst)
+                if not _conflicts(mode_a, mode_b):
+                    continue
+                if not _overlaps(off_a, size_a, off_b, size_b):
+                    continue
+                candidates.append((buf, accs[i], accs[j]))
+    stats["race_candidates"] = len(candidates)
+    if not candidates:
+        return []
+    if len(rec.graph) > MAX_NODES_FOR_RACES:  # pragma: no cover
+        stats["races_skipped"] = f"graph too large ({len(rec.graph)} nodes)"
+        return []
+
+    bits = rec.graph.ancestor_bits()
+    findings = []
+    reported: dict[int, int] = {}
+    for buf, (nid_a, off_a, size_a, mode_a), \
+            (nid_b, off_b, size_b, mode_b) in candidates:
+        if (rec.graph.happens_before(nid_a, nid_b, bits)
+                or rec.graph.happens_before(nid_b, nid_a, bits)):
+            continue
+        count = reported.get(id(buf), 0)
+        reported[id(buf)] = count + 1
+        if count >= _PER_BUFFER_CAP:
+            continue
+        a, b = rec.node(nid_a), rec.node(nid_b)
+        word = {True: "write", False: "read"}
+        findings.append(Finding(
+            "data-race",
+            f"buffer {buf.name!r}: unordered accesses to overlapping "
+            f"byte ranges (no happens-before edge in either direction)",
+            witness=[
+                f"{word['w' in mode_a]} of [{off_a}, {off_a + size_a}) "
+                f"by {a.describe()}",
+                f"{word['w' in mode_b]} of [{off_b}, {off_b + size_b}) "
+                f"by {b.describe()}",
+                "order them with an event wait list, an in-order queue, "
+                "or a host-side wait",
+            ]))
+    for key, count in reported.items():
+        if count > _PER_BUFFER_CAP:
+            findings.append(Finding(
+                "data-race",
+                f"... and {count - _PER_BUFFER_CAP} more race pair(s) on "
+                "the same buffer (suppressed)",
+                severity="warning"))
+    return findings

@@ -1,0 +1,67 @@
+"""Findings and reports produced by the sanitizer detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Report"]
+
+#: severities
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass
+class Finding:
+    """One diagnosed hazard.
+
+    ``kind`` is a stable machine-readable tag (``deadlock-cycle``,
+    ``unmatched-recv``, ``data-race``, ``leaked-user-event``,
+    ``callback-error``, ``misuse:...``, lint rule ids, ...).  ``witness``
+    is the labeled chain of entities that substantiates the finding,
+    outermost first.
+    """
+
+    kind: str
+    message: str
+    severity: str = ERROR
+    witness: list = field(default_factory=list)
+    #: optional source location for lint findings ("file:line")
+    location: str = ""
+
+    def render(self) -> str:
+        head = f"[{self.severity}] {self.kind}: {self.message}"
+        if self.location:
+            head = f"{self.location}: {head}"
+        lines = [head]
+        lines.extend(f"    {step}" for step in self.witness)
+        return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """The aggregate result of one sanitized run."""
+
+    findings: list = field(default_factory=list)
+    #: run statistics (node/edge/access counts, detectors that ran)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def kinds(self) -> list:
+        return [f.kind for f in self.findings]
+
+    def by_kind(self, kind: str) -> list:
+        return [f for f in self.findings if f.kind == kind]
+
+    def render(self) -> str:
+        if not self.findings:
+            return "sanitizer: no findings"
+        errors = sum(1 for f in self.findings if f.severity == ERROR)
+        warnings = len(self.findings) - errors
+        lines = [f"sanitizer: {errors} error(s), {warnings} warning(s)"]
+        for f in self.findings:
+            lines.append(f.render())
+        return "\n".join(lines)

@@ -179,8 +179,8 @@ def cg_main(ctx: RankContext, cfg: CgConfig,
         return req, out
 
     def read_dot():
-        evt = yield from q0.enqueue_read_buffer(dot_buf, True, 0, 8,
-                                                dot_host)
+        yield from q0.enqueue_read_buffer(dot_buf, True, 0, 8,
+                                          dot_host)
         return float(dot_host[0])
 
     yield from comm.barrier()

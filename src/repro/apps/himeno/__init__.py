@@ -17,24 +17,24 @@ All three produce **bit-identical** pressure fields (tested against the
 pure-NumPy dataflow emulator in :mod:`repro.apps.himeno.reference`).
 """
 
-from repro.apps.himeno.config import HimenoConfig, SIZES
+from repro.apps.himeno.clmpi_impl import clmpi_main
+from repro.apps.himeno.config import SIZES, HimenoConfig
+from repro.apps.himeno.decomp import Partition
+from repro.apps.himeno.driver import IMPLEMENTATIONS, HimenoResult, run_himeno
+from repro.apps.himeno.gpu_aware_impl import gpu_aware_main
+from repro.apps.himeno.hand_optimized import hand_optimized_main
 from repro.apps.himeno.reference import (
+    distributed_reference,
     init_pressure,
     jacobi_rows,
     run_reference,
-    distributed_reference,
 )
-from repro.apps.himeno.decomp import Partition
 from repro.apps.himeno.serial import serial_main
-from repro.apps.himeno.hand_optimized import hand_optimized_main
-from repro.apps.himeno.clmpi_impl import clmpi_main
-from repro.apps.himeno.gpu_aware_impl import gpu_aware_main
-from repro.apps.himeno.driver import HimenoResult, run_himeno, IMPLEMENTATIONS
 from repro.apps.himeno.twod import (
     Partition2D,
     clmpi_2d_main,
-    run_himeno_2d,
     reference_2d,
+    run_himeno_2d,
 )
 
 __all__ = [

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from repro.apps.himeno.common import (
-    HimenoState,
     finalize,
     read_gosa,
     setup_rank,

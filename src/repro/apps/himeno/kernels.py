@@ -8,8 +8,6 @@ bitwise with the dataflow reference.  The cost model charges the official
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.apps.himeno.config import FLOPS_PER_CELL
 from repro.apps.himeno.reference import jacobi_rows
 from repro.ocl.kernel import Kernel

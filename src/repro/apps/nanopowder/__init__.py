@@ -19,26 +19,26 @@ Two implementations, as evaluated:
   inter-node transfer with the host→device copy.
 """
 
-from repro.apps.nanopowder.model import NanoConfig
-from repro.apps.nanopowder.physics import (
-    section_volumes,
-    section_compositions,
-    species_mass,
-    temperature,
-    coagulation_coefficients,
-    nucleation_rate,
-    host_phase,
-    coagulation_substeps,
-    total_mass,
-    pack_coefficients,
-    unpack_coefficients,
-)
 from repro.apps.nanopowder.baseline import baseline_main
 from repro.apps.nanopowder.clmpi_impl import clmpi_main
 from repro.apps.nanopowder.driver import (
+    IMPLEMENTATIONS,
     NanopowderResult,
     run_nanopowder,
-    IMPLEMENTATIONS,
+)
+from repro.apps.nanopowder.model import NanoConfig
+from repro.apps.nanopowder.physics import (
+    coagulation_coefficients,
+    coagulation_substeps,
+    host_phase,
+    nucleation_rate,
+    pack_coefficients,
+    section_compositions,
+    section_volumes,
+    species_mass,
+    temperature,
+    total_mass,
+    unpack_coefficients,
 )
 
 __all__ = [

@@ -16,7 +16,6 @@ import numpy as np
 from repro.apps.nanopowder.common import (
     TAG_COEFF,
     TAG_STATE,
-    NanoState,
     initial_state,
     mass_of,
     rank0_host_phase,

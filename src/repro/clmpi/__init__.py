@@ -15,21 +15,21 @@ application messages) and the three transfer engines of §III — *pinned*,
 *mapped* and *pipelined(N)* — behind the automatic :class:`TransferSelector`.
 """
 
+from repro.clmpi import dcgn, gpu_aware
+from repro.clmpi.api import (
+    enqueue_recv_buffer,
+    enqueue_send_buffer,
+    event_from_mpi_request,
+    irecv,
+    isend,
+    recv,
+    send,
+)
+from repro.clmpi.autotune import TuneReport, tune_policy
+from repro.clmpi.fileio import enqueue_read_file, enqueue_write_file
 from repro.clmpi.runtime import ClmpiRuntime
 from repro.clmpi.selector import TransferSelector
-from repro.clmpi.api import (
-    enqueue_send_buffer,
-    enqueue_recv_buffer,
-    event_from_mpi_request,
-    isend,
-    irecv,
-    send,
-    recv,
-)
 from repro.clmpi.transfers.base import TRANSFER_MODES, TransferDescriptor
-from repro.clmpi.fileio import enqueue_read_file, enqueue_write_file
-from repro.clmpi.autotune import TuneReport, tune_policy
-from repro.clmpi import gpu_aware, dcgn
 
 __all__ = [
     "ClmpiRuntime",

@@ -29,7 +29,6 @@ from repro.errors import ClmpiError
 from repro.mpi.comm import Communicator
 from repro.mpi.datatypes import CL_MEM, Datatype
 from repro.mpi.request import Request
-from repro.mpi.status import Status
 from repro.ocl.buffer import Buffer
 from repro.ocl.enums import CommandType
 from repro.ocl.event import CLEvent, UserEvent
@@ -43,7 +42,8 @@ def _runtime_of(queue: CommandQueue) -> ClmpiRuntime:
     rt = queue.context.clmpi_runtime
     if rt is None:
         raise ClmpiError(
-            "no ClmpiRuntime attached to this queue's context; create one "
+            f"no ClmpiRuntime attached to the context of queue "
+            f"{queue.name!r} (device {queue.device.name!r}); create one "
             "with ClmpiRuntime(context, comm, policy=...)")
     return rt
 
@@ -73,7 +73,7 @@ def enqueue_send_buffer(queue: CommandQueue, buf: Buffer, blocking: bool,
     return (yield from queue.enqueue_custom(
         CommandType.SEND_BUFFER, f"clmpi.send->r{dest} t{tag}", execute,
         wait_for=wait_for, blocking=blocking, nbytes=size, peer=dest,
-        tag=tag))
+        tag=tag, comm=comm, accesses=[(buf, offset, size, "r")]))
 
 
 def enqueue_recv_buffer(queue: CommandQueue, buf: Buffer, blocking: bool,
@@ -93,7 +93,7 @@ def enqueue_recv_buffer(queue: CommandQueue, buf: Buffer, blocking: bool,
     return (yield from queue.enqueue_custom(
         CommandType.RECV_BUFFER, f"clmpi.recv<-r{source} t{tag}", execute,
         wait_for=wait_for, blocking=blocking, nbytes=size, peer=source,
-        tag=tag))
+        tag=tag, comm=comm, accesses=[(buf, offset, size, "w")]))
 
 
 def event_from_mpi_request(context, request: Request,
@@ -103,8 +103,25 @@ def event_from_mpi_request(context, request: Request,
     Returns an OpenCL user event that completes exactly when the
     nonblocking MPI operation behind ``request`` completes, so OpenCL
     commands can wait on MPI progress with no host involvement.
+
+    The request must still be live: once a ``wait``/``test`` has consumed
+    it, the handle is the analogue of ``MPI_REQUEST_NULL`` and bridging
+    it is a use-after-free (raises :class:`ClmpiError`).  Bridging a
+    request that has *completed* but has not been waited on is fine —
+    the returned event is complete immediately.
     """
+    env = request.env
+    if request.consumed:
+        message = (f"request {request.label!r} was already consumed by "
+                   "wait/test (MPI_REQUEST_NULL); create the event before "
+                   "waiting on the request")
+        if env.monitor is not None:
+            env.monitor.on_misuse("bridge-consumed-request", message,
+                                  entity=request)
+        raise ClmpiError(message)
     uev = context.create_user_event(label)
+    if env.monitor is not None:
+        env.monitor.on_event_bridge(request, uev)
 
     def _fire(ev):
         if ev.ok:
@@ -140,7 +157,11 @@ def isend(runtime: ClmpiRuntime, array: Optional[np.ndarray], dest: int,
     proc = runtime.env.process(
         runtime.do_send(side, dest, tag, comm),
         name=f"clmpi.host-send r{comm.rank}->r{dest}")
-    return Request(runtime.env, proc, kind="clmpi-send")
+    req = Request(runtime.env, proc, kind="clmpi-send")
+    if runtime.env.monitor is not None:
+        runtime.env.monitor.on_clmpi_host_transfer(
+            req, proc, "send", comm, dest, tag, size)
+    return req
 
 
 def irecv(runtime: ClmpiRuntime, array: Optional[np.ndarray], source: int,
@@ -155,7 +176,11 @@ def irecv(runtime: ClmpiRuntime, array: Optional[np.ndarray], source: int,
     proc = runtime.env.process(
         runtime.do_recv(side, source, tag, comm),
         name=f"clmpi.host-recv r{comm.rank}<-r{source}")
-    return Request(runtime.env, proc, kind="clmpi-recv")
+    req = Request(runtime.env, proc, kind="clmpi-recv")
+    if runtime.env.monitor is not None:
+        runtime.env.monitor.on_clmpi_host_transfer(
+            req, proc, "recv", comm, source, tag, size)
+    return req
 
 
 def _payload_size(array: Optional[np.ndarray], nbytes: Optional[int]) -> int:

@@ -17,7 +17,7 @@ difference the paper measures.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Sequence
+from typing import Any, Generator, Sequence
 
 from repro.clmpi.runtime import ClmpiRuntime
 from repro.mpi.comm import Communicator

@@ -29,9 +29,9 @@ import numpy as np
 
 from repro.clmpi.selector import TransferSelector
 from repro.clmpi.transfers.base import (
+    TRANSFER_MODES,
     Side,
     TransferDescriptor,
-    TRANSFER_MODES,
 )
 from repro.errors import ClmpiError
 from repro.mpi.comm import Communicator
@@ -125,6 +125,8 @@ class ClmpiRuntime:
         """Sender endpoint of one clMPI transfer."""
         side.rt = self.rt_comm(comm)
         desc = self.describe(side.nbytes, tag)
+        if self.env.monitor is not None:
+            self.env.monitor.on_transfer("send", dest, tag, desc)
         send_fn, _ = TRANSFER_MODES[desc.mode]
         yield from send_fn(side, dest, desc)
 
@@ -133,6 +135,8 @@ class ClmpiRuntime:
         """Receiver endpoint of one clMPI transfer."""
         side.rt = self.rt_comm(comm)
         desc = self.describe(side.nbytes, tag)
+        if self.env.monitor is not None:
+            self.env.monitor.on_transfer("recv", source, tag, desc)
         _, recv_fn = TRANSFER_MODES[desc.mode]
         yield from recv_fn(side, source, desc)
 

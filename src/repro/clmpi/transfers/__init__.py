@@ -1,13 +1,13 @@
 """The three inter-node transfer engines of §III / §V.B."""
 
+from repro.clmpi.transfers import mapped, pinned, pipelined  # registers modes
 from repro.clmpi.transfers.base import (
+    TRANSFER_MODES,
     Side,
     TransferDescriptor,
-    TRANSFER_MODES,
-    send_data,
     recv_data,
+    send_data,
 )
-from repro.clmpi.transfers import pinned, mapped, pipelined  # registers modes
 
 __all__ = ["Side", "TransferDescriptor", "TRANSFER_MODES",
            "send_data", "recv_data", "pinned", "mapped", "pipelined"]

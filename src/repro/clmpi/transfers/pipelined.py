@@ -20,7 +20,6 @@ from typing import Any, Generator
 from repro.clmpi.transfers.base import (
     Side,
     TransferDescriptor,
-    recv_data,
     register_mode,
     send_data,
 )

@@ -16,7 +16,7 @@ Mapping (CUDA concept → substrate object):
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Sequence
+from typing import Any, Generator, Optional
 
 import numpy as np
 

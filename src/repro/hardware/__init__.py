@@ -7,13 +7,13 @@ are all first-order effects.  All constants live in
 :mod:`repro.systems.presets`, never hard-coded here.
 """
 
-from repro.hardware.link import Link, LinkSpec
+from repro.hardware.cluster import Cluster, ClusterSpec
 from repro.hardware.gpu import GpuModel, GpuSpec
 from repro.hardware.host import HostModel, HostSpec
-from repro.hardware.pcie import PcieModel, PcieSpec
-from repro.hardware.network import Nic, NicSpec, Fabric, FabricSpec
+from repro.hardware.link import Link, LinkSpec
+from repro.hardware.network import Fabric, FabricSpec, Nic, NicSpec
 from repro.hardware.node import Node, NodeSpec
-from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.pcie import PcieModel, PcieSpec
 
 __all__ = [
     "Link",

@@ -6,9 +6,9 @@ import argparse
 import sys
 from typing import Optional
 
+from repro.harness.fig10 import run_fig10
 from repro.harness.fig8 import run_fig8
 from repro.harness.fig9 import run_fig9
-from repro.harness.fig10 import run_fig10
 from repro.harness.table1 import run_table1
 from repro.harness.timeline import run_fig4
 
@@ -76,7 +76,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         run_fig10(nodes=args.nodes, steps=args.steps,
                   functional=args.functional)
     elif args.experiment == "fig4":
-        panels = run_fig4(system=args.system)
+        run_fig4(system=args.system)
         if args.chrome_trace:
             from repro.apps.himeno import HimenoConfig, run_himeno
             from repro.systems import get_system

@@ -121,13 +121,19 @@ class ClusterApp:
         Returns the per-rank return values; the virtual makespan is
         ``self.env.now`` afterwards.
         """
-        procs = [self.env.process(main(ctx, *args, **kwargs),
-                                  name=f"rank{ctx.rank}.main")
-                 for ctx in self.contexts]
+        procs = []
+        for ctx in self.contexts:
+            proc = self.env.process(main(ctx, *args, **kwargs),
+                                    name=f"rank{ctx.rank}.main")
+            if self.env.monitor is not None:
+                self.env.monitor.on_rank_process(ctx.rank, proc)
+            procs.append(proc)
         self.env.run(until=until)
         stuck = [p.name for p in procs if p.is_alive]
         if stuck and until is None:
-            raise ReproError(f"deadlock: ranks never terminated: {stuck}")
+            raise ReproError(
+                f"deadlock: ranks never terminated: {stuck} (run under "
+                "repro.analysis.Sanitizer for a witness chain)")
         return [p.value if p.triggered else None for p in procs]
 
 

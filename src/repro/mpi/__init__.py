@@ -13,19 +13,19 @@ thread or the clMPI runtime's communication thread — may call into the
 communicator concurrently.
 """
 
+from repro.mpi.comm import Communicator, MpiConfig
 from repro.mpi.datatypes import (
-    Datatype,
     BYTE,
-    INT32,
-    INT64,
+    CL_MEM,
     FLOAT32,
     FLOAT64,
-    CL_MEM,
+    INT32,
+    INT64,
+    Datatype,
     from_numpy_dtype,
 )
-from repro.mpi.status import Status, ANY_SOURCE, ANY_TAG
-from repro.mpi.request import Request, waitall, waitany, testall
-from repro.mpi.comm import Communicator, MpiConfig
+from repro.mpi.request import Request, testall, waitall, waitany
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
 from repro.mpi.world import MpiWorld
 
 __all__ = [

@@ -280,6 +280,8 @@ class Communicator:
             envelope.cts = Event(env)
 
         matched = state.endpoints[dest].deliver(envelope)
+        if env.monitor is not None:
+            env.monitor.on_mpi_send(self, envelope, completion, matched)
         if matched is not None:
             self._start_recv_finish(envelope, matched, unexpected=False)
         env.process(self._send_proc(envelope, completion, rate_limit),
@@ -352,6 +354,8 @@ class Communicator:
                             completion=Event(env), is_object=is_object,
                             rate_limit=rate_limit)
         envelope = state.endpoints[self._rank].post(posted)
+        if env.monitor is not None:
+            env.monitor.on_mpi_recv(self, posted, envelope)
         if envelope is not None:
             self._start_recv_finish(envelope, posted, unexpected=True)
         return Request(env, posted.completion, kind="recv")

@@ -10,7 +10,7 @@ their envelopes in program order and both queues are FIFO.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
@@ -77,7 +77,7 @@ class Endpoint:
         self._posted: deque[PostedRecv] = deque()
         self._probers: list[tuple[int, int, Event]] = []
 
-    # -- introspection (used by tests) ------------------------------------
+    # -- introspection (used by tests and repro.analysis) ------------------
     @property
     def unmatched_envelopes(self) -> int:
         return sum(1 for e in self._arrivals if not e.matched)
@@ -85,6 +85,14 @@ class Endpoint:
     @property
     def pending_recvs(self) -> int:
         return sum(1 for p in self._posted if not p.matched)
+
+    def unmatched_envelope_list(self) -> list[Envelope]:
+        """The arrived-but-unreceived envelopes (sanitizer ground truth)."""
+        return [e for e in self._arrivals if not e.matched]
+
+    def pending_recv_list(self) -> list[PostedRecv]:
+        """The posted-but-unmatched receives (sanitizer ground truth)."""
+        return [p for p in self._posted if not p.matched]
 
     # -- matching -----------------------------------------------------------
     def deliver(self, env: Envelope) -> Optional[PostedRecv]:

@@ -22,24 +22,37 @@ class Request:
         status = yield from req.wait()
     """
 
+    _ids = 0
+
     def __init__(self, env: Environment, completion: Event, kind: str = "op"):
+        Request._ids += 1
         self.env = env
         self.completion = completion
         self.kind = kind
+        self.label = f"{kind}#{Request._ids}"
+        #: True once the request has been consumed by a successful
+        #: ``wait``/``test`` (the analogue of MPI freeing the request and
+        #: replacing the handle with ``MPI_REQUEST_NULL``)
+        self.consumed = False
+        mon = env.monitor
+        if mon is not None:
+            mon.on_request_created(self)
 
     @property
     def done(self) -> bool:
-        """True once the operation has completed."""
+        """True once the operation has completed (non-consuming probe)."""
         return self.completion.triggered
 
     def wait(self) -> Generator[Any, Any, Any]:
         """Coroutine: block until completion; returns the Status (recv)."""
         result = yield self.completion
+        self.consumed = True
         return result
 
     def test(self) -> tuple[bool, Optional[Any]]:
         """Nonblocking completion probe: ``(done, status-or-None)``."""
         if self.completion.triggered:
+            self.consumed = True
             return True, self.completion.value
         return False, None
 
@@ -47,7 +60,10 @@ class Request:
 def waitall(env: Environment,
             requests: Iterable[Request]) -> Generator[Any, Any, list]:
     """Coroutine: wait for every request; returns their values in order."""
+    requests = list(requests)
     values = yield env.all_of([r.completion for r in requests])
+    for r in requests:
+        r.consumed = True
     return values
 
 
@@ -57,6 +73,7 @@ def waitany(env: Environment,
     event, value = yield env.any_of([r.completion for r in requests])
     for i, req in enumerate(requests):
         if req.completion is event:
+            req.consumed = True
             return i, value
     raise RuntimeError("completed event not among requests")  # pragma: no cover
 

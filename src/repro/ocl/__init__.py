@@ -12,15 +12,15 @@ Naming maps 1:1 to the C API (``clEnqueueReadBuffer`` →
 blocking call is a simulation coroutine: use ``yield from``.
 """
 
+from repro.ocl.api import wait_for_events
+from repro.ocl.buffer import Buffer
+from repro.ocl.context import Context
+from repro.ocl.device import Device
 from repro.ocl.enums import CommandStatus, CommandType
 from repro.ocl.event import CLEvent, UserEvent
-from repro.ocl.buffer import Buffer
 from repro.ocl.kernel import Kernel
-from repro.ocl.device import Device
 from repro.ocl.platform import Platform
-from repro.ocl.context import Context
-from repro.ocl.queue import CommandQueue, Command
-from repro.ocl.api import wait_for_events
+from repro.ocl.queue import Command, CommandQueue
 
 __all__ = [
     "CommandStatus",

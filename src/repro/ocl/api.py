@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Generator, Iterable
 
 from repro.errors import OclError
 from repro.ocl.event import CLEvent
@@ -24,11 +24,27 @@ def wait_for_events(events: Iterable[CLEvent],
     env = events[0].env
     if all(e.is_complete for e in events):
         # No blocking happened: the call returns immediately.
+        _check_failed(events)
+        if env.monitor is not None:
+            env.monitor.on_host_sync(events)
         if host is not None:
             yield from host.api_call()
         else:
             yield env.timeout(0.0)
         return
     yield env.all_of([e.completion for e in events])
+    _check_failed(events)
+    if env.monitor is not None:
+        env.monitor.on_host_sync(events)
     if host is not None:
         yield from host.sync_wakeup()
+
+
+def _check_failed(events: list[CLEvent]) -> None:
+    """clWaitForEvents errors when any waited event failed; name them."""
+    failed = [e for e in events if e.error is not None]
+    if failed:
+        names = ", ".join(repr(e.label) for e in failed)
+        raise OclError(
+            "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST",
+            f"waited event(s) {names} failed: {failed[0].error}")

@@ -11,6 +11,10 @@ runtime, exactly as §V.A describes) completes it explicitly.  Our user
 events mimic command events fully — status, profiling, callbacks — which
 is the property the paper's implementation had to build by hand on top of
 NVIDIA's runtime.
+
+When an :class:`~repro.analysis.Sanitizer` is active, every lifecycle
+transition is reported to ``env.monitor`` so the analysis layer can build
+its happens-before graph (see :mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -42,8 +46,11 @@ class CLEvent:
         self.completion = Event(env)
         self._callbacks: list[tuple[CommandStatus,
                                     Callable[["CLEvent", CommandStatus], None]]] = []
-        #: failure exception, if the command failed
+        #: failure exception, if the command failed (or a callback raised)
         self.error: Optional[BaseException] = None
+        mon = env.monitor
+        if mon is not None:
+            mon.on_event_created(self)
 
     # -- status -----------------------------------------------------------
     @property
@@ -58,13 +65,16 @@ class CLEvent:
     def _advance(self, status: CommandStatus) -> None:
         if status.value >= self._status.value and status != self._status:
             raise OclError("CL_INVALID_OPERATION",
-                           f"event status cannot go {self._status.name} -> "
-                           f"{status.name}")
+                           f"event {self.label!r}: status cannot go "
+                           f"{self._status.name} -> {status.name}")
         self._status = status
         self.profile[status] = self.env.now
+        mon = self.env.monitor
+        if mon is not None:
+            mon.on_event_status(self, status)
         for trigger, fn in list(self._callbacks):
             if trigger == status:
-                fn(self, status)
+                self._dispatch_callback(fn, status)
         if status == CommandStatus.COMPLETE:
             self.completion.succeed(self)
 
@@ -72,14 +82,42 @@ class CLEvent:
         self.error = exc
         self._status = CommandStatus.COMPLETE
         self.profile[CommandStatus.COMPLETE] = self.env.now
+        mon = self.env.monitor
+        if mon is not None:
+            mon.on_event_failed(self, exc)
         for trigger, fn in list(self._callbacks):
             if trigger == CommandStatus.COMPLETE:
-                fn(self, CommandStatus.COMPLETE)
+                self._dispatch_callback(fn, CommandStatus.COMPLETE)
         self.completion.fail(exc)
         # OpenCL semantics: a command failure is event *status*, observed
         # by whoever waits on the event (possibly later, possibly never) —
         # it must not crash the world when unobserved at fire time.
         self.completion._defused = True
+
+    def _dispatch_callback(self, fn: Callable[["CLEvent", CommandStatus], None],
+                           status: CommandStatus) -> None:
+        """Run one ``clSetEventCallback`` callback.
+
+        A raising callback must not unwind the simulator (the real driver
+        runs callbacks on an internal thread the application cannot
+        crash): the exception is captured on :attr:`error` and surfaced
+        through the sanitizer's report instead.
+        """
+        try:
+            fn(self, status)
+        except Exception as exc:
+            if self.error is None:
+                self.error = exc
+            mon = self.env.monitor
+            if mon is not None:
+                mon.on_callback_error(self, exc)
+
+    def _misuse(self, kind: str, message: str) -> None:
+        """Report an API-misuse to the monitor, then raise it."""
+        mon = self.env.monitor
+        if mon is not None:
+            mon.on_misuse(kind, message, entity=self)
+        raise OclError("CL_INVALID_OPERATION", message)
 
     # -- public API --------------------------------------------------------
     def set_callback(self, fn: Callable[["CLEvent", CommandStatus], None],
@@ -87,13 +125,16 @@ class CLEvent:
         """Register ``fn(event, status)`` for a status transition
         (``clSetEventCallback``).  Fires immediately if already reached."""
         if self._status.value <= status.value:
-            fn(self, status)
+            self._dispatch_callback(fn, status)
         else:
             self._callbacks.append((status, fn))
 
     def wait(self) -> Generator[Any, Any, "CLEvent"]:
         """Coroutine: suspend until complete (``clWaitForEvents`` on one)."""
         yield self.completion
+        mon = self.env.monitor
+        if mon is not None:
+            mon.on_host_sync([self])
         return self
 
     def duration(self) -> float:
@@ -120,14 +161,18 @@ class UserEvent(CLEvent):
     def set_complete(self) -> None:
         """Mark the user event complete (``clSetUserEventStatus(CL_COMPLETE)``)."""
         if self.is_complete:
-            raise OclError("CL_INVALID_OPERATION",
-                           "user event already completed")
+            self._misuse(
+                "double-complete",
+                f"user event {self.label!r} has already completed; "
+                "clSetUserEventStatus may be called at most once")
         self._advance(CommandStatus.RUNNING)
         self._advance(CommandStatus.COMPLETE)
 
     def set_failed(self, exc: BaseException) -> None:
         """Mark the user event failed (negative status in the C API)."""
         if self.is_complete:
-            raise OclError("CL_INVALID_OPERATION",
-                           "user event already completed")
+            self._misuse(
+                "double-complete",
+                f"user event {self.label!r} has already completed; "
+                "it cannot be failed afterwards")
         self._fail(exc)

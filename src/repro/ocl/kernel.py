@@ -38,6 +38,14 @@ class Kernel:
     flops, mem_bytes:
         Optional per-launch totals (numbers or callables of the kernel
         args) feeding the default roofline cost.
+    arg_access:
+        Optional per-argument memory-access declaration used by the
+        sanitizer's data-race detector (:mod:`repro.analysis`): one entry
+        per kernel argument, ``'r'`` / ``'w'`` / ``'rw'`` for buffer
+        arguments and ``None`` for scalars.  Kernels without a
+        declaration are *not* race-checked (their access pattern is
+        unknown — e.g. the Himeno kernels touch row subranges selected
+        by scalar arguments).
     """
 
     name: str
@@ -45,6 +53,7 @@ class Kernel:
     cost: Optional[Callable[..., float]] = None
     flops: Any = 0.0
     mem_bytes: Any = 0.0
+    arg_access: Optional[tuple] = None
 
     def duration(self, gpu: GpuSpec, *args) -> float:
         """Modelled execution time on ``gpu``."""

@@ -15,7 +15,7 @@ calling host thread the API-call overhead and may block when
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional, Sequence
+from typing import Any, Callable, Generator, Optional, Sequence
 
 import numpy as np
 
@@ -72,13 +72,17 @@ class CommandQueue:
         self._all_enqueued.append(cmd.event)
         cmd.event.completion.callbacks.append(
             lambda _e: self._pending.discard(cmd.event))
-        if self.in_order:
-            self._fifo.put(cmd)
-        else:
+        if not self.in_order:
             if (self._ooo_barrier is not None
                     and cmd.type != CommandType.BARRIER
                     and not self._ooo_barrier.is_complete):
                 cmd.wait_events = cmd.wait_events + (self._ooo_barrier,)
+        mon = self.env.monitor
+        if mon is not None:
+            mon.on_command_enqueued(self, cmd)
+        if self.in_order:
+            self._fifo.put(cmd)
+        else:
             self.env.process(self._run_one(cmd),
                              name=f"{self.name}.{cmd.label}")
 
@@ -93,12 +97,18 @@ class CommandQueue:
             try:
                 yield self.env.all_of([e.completion for e in cmd.wait_events])
             except BaseException as exc:
+                failed = ", ".join(repr(e.label) for e in cmd.wait_events
+                                   if e.error is not None) or repr(str(exc))
                 cmd.event._fail(OclError(
                     "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST",
-                    f"{cmd.label}: a wait-list event failed: {exc}"))
+                    f"{cmd.label!r} on queue {self.name!r}: wait-list "
+                    f"event(s) {failed} failed: {exc}"))
                 return
         cmd.event._advance(CommandStatus.SUBMITTED)
         cmd.event._advance(CommandStatus.RUNNING)
+        mon = self.env.monitor
+        if mon is not None:
+            mon.on_command_running(cmd)
         try:
             yield from cmd.execute()
         except BaseException as exc:
@@ -123,6 +133,9 @@ class CommandQueue:
         self._submit(cmd)
         if blocking:
             yield cmd.event.completion
+            mon = self.env.monitor
+            if mon is not None:
+                mon.on_host_sync([cmd.event])
             yield from self.context.host.sync_wakeup()
         return cmd.event
 
@@ -151,8 +164,14 @@ class CommandQueue:
             yield from self.device.gpu.run_kernel(duration, label)
             kernel.run(*args, functional=self.context.functional)
 
+        accesses = []
+        if kernel.arg_access is not None:
+            for a, mode in zip(args, kernel.arg_access):
+                if isinstance(a, Buffer) and mode:
+                    accesses.append((a, 0, a.size, mode))
         cmd = self._new_command(CommandType.NDRANGE_KERNEL, label, wait_for,
-                                execute, kernel=kernel.name)
+                                execute, kernel=kernel.name,
+                                accesses=accesses)
         return (yield from self._enqueue(cmd))
 
     # ------------------------------------------------------------------
@@ -189,7 +208,8 @@ class CommandQueue:
                 dst[:size] = buf.bytes_view(offset, size)
 
         cmd = self._new_command(CommandType.READ_BUFFER, f"read:{buf.name}",
-                                wait_for, execute, nbytes=size)
+                                wait_for, execute, nbytes=size,
+                                accesses=[(buf, offset, size, "r")])
         return (yield from self._enqueue(cmd, blocking))
 
     def enqueue_write_buffer(self, buf: Buffer, blocking: bool, offset: int,
@@ -218,7 +238,8 @@ class CommandQueue:
                 buf.bytes_view(offset, size)[:] = src[:size]
 
         cmd = self._new_command(CommandType.WRITE_BUFFER, f"write:{buf.name}",
-                                wait_for, execute, nbytes=size)
+                                wait_for, execute, nbytes=size,
+                                accesses=[(buf, offset, size, "w")])
         return (yield from self._enqueue(cmd, blocking))
 
     def enqueue_copy_buffer(self, src: Buffer, dst: Buffer, src_offset: int,
@@ -242,7 +263,9 @@ class CommandQueue:
 
         cmd = self._new_command(CommandType.COPY_BUFFER,
                                 f"copy:{src.name}->{dst.name}", wait_for,
-                                execute, nbytes=size)
+                                execute, nbytes=size,
+                                accesses=[(src, src_offset, size, "r"),
+                                          (dst, dst_offset, size, "w")])
         return (yield from self._enqueue(cmd))
 
     # ------------------------------------------------------------------
@@ -343,16 +366,21 @@ class CommandQueue:
         drains.  Free when the queue is already empty (no wait, no
         wake-up — as with the real call)."""
         blocked = False
+        drained: list[CLEvent] = []
         while self._pending:
             blocked = True
+            waited = tuple(self._pending)
+            drained.extend(waited)
             try:
-                yield self.env.all_of(
-                    [e.completion for e in tuple(self._pending)])
+                yield self.env.all_of([e.completion for e in waited])
             except BaseException:
                 # a command failed; its error lives on its event
                 # (clFinish itself still just waits for the drain)
                 pass
         if blocked:
+            mon = self.env.monitor
+            if mon is not None:
+                mon.on_host_sync(drained)
             yield from self.context.host.sync_wakeup()
         else:
             yield from self.context.host.api_call()

@@ -29,20 +29,20 @@ Example
 """
 
 from repro.sim.core import (
-    Environment,
-    Event,
-    Timeout,
-    Process,
-    AllOf,
-    AnyOf,
-    Interrupt,
-    SimulationError,
-    NORMAL,
     HIGH,
     LOW,
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
 )
-from repro.sim.resources import Resource, Store, PriorityStore
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.trace import Tracer, TraceRecord
 
 __all__ = [
     "Environment",

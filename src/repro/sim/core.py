@@ -332,6 +332,9 @@ class Environment:
         self._active_process: Optional[Process] = None
         #: Optional tracer; hardware layers append timeline records here.
         self.tracer = None
+        #: Optional correctness monitor (see :mod:`repro.analysis`); the
+        #: ocl/mpi/clmpi layers notify it of lifecycle transitions.
+        self.monitor = None
 
     # -- clock -------------------------------------------------------------
     @property

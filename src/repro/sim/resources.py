@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from repro.sim.core import Environment, Event, SimulationError
 

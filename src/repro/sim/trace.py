@@ -11,7 +11,7 @@ ends", etc.).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Optional
 
 __all__ = ["TraceRecord", "Tracer"]
 
@@ -142,7 +142,8 @@ class Tracer:
                     row[k] = ch
             out.append(f"{lane:<{name_w}} |{''.join(row)}|")
         legend = "  ".join(f"{g}={c}" for c, g in _CATEGORY_GLYPH.items())
-        out.append(f"{'':<{name_w}}  [{lo * 1e3:.3f} ms .. {hi * 1e3:.3f} ms]  {legend}")
+        span = f"[{lo * 1e3:.3f} ms .. {hi * 1e3:.3f} ms]"
+        out.append(f"{'':<{name_w}}  {span}  {legend}")
         return "\n".join(out)
 
 

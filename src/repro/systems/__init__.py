@@ -1,13 +1,13 @@
 """System presets encoding the paper's Table I testbeds."""
 
 from repro.systems.presets import (
-    cichlid,
-    ricc,
-    custom,
-    TransferPolicy,
-    SystemPreset,
-    get_system,
     SYSTEMS,
+    SystemPreset,
+    TransferPolicy,
+    cichlid,
+    custom,
+    get_system,
+    ricc,
 )
 
 __all__ = [

@@ -1,0 +1,91 @@
+"""The `python -m repro.analysis` command line."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+CLEAN_SCRIPT = """\
+from repro import launch
+from repro.systems import cichlid
+
+def main(ctx):
+    yield from ctx.comm.barrier()
+    return ctx.rank
+
+print(launch(cichlid(), 2, main))
+"""
+
+LEAKY_SCRIPT = """\
+from repro import ClusterApp
+from repro.systems import cichlid
+
+def main(ctx):
+    ctx.ocl.create_user_event("orphan")
+    ev = ctx.ocl.create_user_event("used")
+    ev.set_complete()
+    yield ctx.env.timeout(0)
+
+ClusterApp(cichlid(), 1).run(main)
+print("done")
+"""
+
+CRASHING_SCRIPT = "raise RuntimeError('script exploded')\n"
+
+
+class TestRun:
+    def test_clean_script_exit_zero(self, tmp_path, capsys):
+        script = tmp_path / "clean.py"
+        script.write_text(CLEAN_SCRIPT)
+        assert main(["run", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        script = tmp_path / "leaky.py"
+        script.write_text(LEAKY_SCRIPT)
+        assert main(["run", str(script)]) == 1
+        out = capsys.readouterr().out
+        assert "leaked-user-event" in out and "'orphan'" in out
+
+    def test_script_crash_exit_two(self, tmp_path, capsys):
+        script = tmp_path / "crash.py"
+        script.write_text(CRASHING_SCRIPT)
+        assert main(["run", str(script)]) == 2
+
+    def test_script_sees_its_argv(self, tmp_path, capsys):
+        script = tmp_path / "argv.py"
+        script.write_text("import sys; print('ARGS', sys.argv[1:])\n")
+        assert main(["run", str(script), "--alpha", "beta"]) == 0
+        assert "ARGS ['--alpha', 'beta']" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_lint_clean_exit_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("def main(ctx):\n    yield from ctx.queue().finish()\n")
+        assert main(["lint", str(good)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(textwrap.dedent("""\
+            def main(ctx):
+                ctx.queue().finish()
+                yield ctx.env.timeout(0)
+            """))
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "CLM001" in out and "bad.py:2" in out
+
+    def test_lint_directory(self, tmp_path, capsys):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("comm.barrier()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "b.py:1" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,211 @@
+"""Error-path behavior: each misuse raises a labeled error AND leaves a
+sanitizer finding; callback exceptions never unwind the simulator."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi
+from repro.analysis import Sanitizer
+from repro.errors import ClmpiError, OclError
+from repro.ocl import CommandStatus, wait_for_events
+from repro.systems import cichlid
+
+
+def sanitized_app(nodes=1):
+    return ClusterApp(cichlid(), nodes)
+
+
+class TestDoubleComplete:
+    def test_raises_with_label_and_finding(self):
+        app = sanitized_app()
+
+        def main(ctx):
+            uev = ctx.ocl.create_user_event("flag")
+            uev.set_complete()
+            with pytest.raises(OclError, match="'flag'.*at most once"):
+                uev.set_complete()
+            yield ctx.env.timeout(0)
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        misuse = san.report.by_kind("misuse:double-complete")
+        assert misuse, san.report.render()
+        assert "'flag'" in misuse[0].message
+
+    def test_fail_after_complete_also_rejected(self):
+        app = sanitized_app()
+
+        def main(ctx):
+            uev = ctx.ocl.create_user_event("flag")
+            uev.set_complete()
+            with pytest.raises(OclError, match="cannot be failed"):
+                uev.set_failed(RuntimeError("late"))
+            yield ctx.env.timeout(0)
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        assert san.report.by_kind("misuse:double-complete")
+
+
+class TestFailedWaitList:
+    def test_dependent_command_error_names_failed_event(self):
+        """A command whose wait list contains a failed event fails with
+        an error naming the culprit."""
+        app = sanitized_app()
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(64)
+            bad = ctx.ocl.create_user_event("bad-gate")
+            bad.set_failed(RuntimeError("producer exploded"))
+            ev = yield from q.enqueue_write_buffer(
+                buf, False, 0, 64, np.zeros(64, np.uint8),
+                wait_for=(bad,))
+            with pytest.raises(OclError) as err:
+                yield from ev.wait()
+            assert "'bad-gate'" in str(err.value)
+            assert "wait-list" in str(err.value)
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        # both the user event failure and the cascade are findings
+        failed = san.report.by_kind("event-failed")
+        assert len(failed) >= 2, san.report.render()
+        assert any("bad-gate" in f.message for f in failed)
+
+    def test_wait_for_events_raises_on_failed_event(self):
+        app = sanitized_app()
+
+        def main(ctx):
+            bad = ctx.ocl.create_user_event("bad")
+            bad.set_failed(RuntimeError("boom"))
+            with pytest.raises(OclError, match="'bad'"):
+                yield from wait_for_events([bad])
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        assert san.report.by_kind("event-failed")
+
+
+class TestBridgeConsumedRequest:
+    def test_raises_and_finding(self):
+        app = sanitized_app(2)
+
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(np.zeros(4), 1, 0)
+            else:
+                req = yield from ctx.comm.irecv(np.empty(4), 0, 0)
+                yield from req.wait()
+                with pytest.raises(ClmpiError,
+                                   match="consumed.*MPI_REQUEST_NULL"):
+                    clmpi.event_from_mpi_request(ctx.ocl, req)
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        misuse = san.report.by_kind("misuse:bridge-consumed-request")
+        assert misuse, san.report.render()
+        assert "recv" in misuse[0].message
+
+
+class TestCallbackHardening:
+    def test_raising_callback_does_not_unwind(self):
+        """An exception inside clSetEventCallback's callback is captured
+        on the event, the run completes, and the sanitizer reports it."""
+        app = sanitized_app()
+        seen = []
+
+        def main(ctx):
+            q = ctx.queue()
+            buf = ctx.ocl.create_buffer(64)
+            ev = yield from q.enqueue_write_buffer(
+                buf, False, 0, 64, np.zeros(64, np.uint8))
+
+            def boom(event, status):
+                seen.append(status)
+                raise ValueError("callback bug")
+
+            ev.set_callback(boom)
+            yield from q.finish()
+            return ctx.env.now
+
+        with Sanitizer(app) as san:
+            results = app.run(main)   # must not raise
+        assert results[0] is not None
+        assert seen == [CommandStatus.COMPLETE]
+        findings = san.report.by_kind("callback-error")
+        assert findings, san.report.render()
+        assert "callback bug" in findings[0].message
+
+    def test_error_captured_on_event(self):
+        app = sanitized_app()
+
+        def main(ctx):
+            uev = ctx.ocl.create_user_event("cb")
+            uev.set_callback(lambda e, s: 1 / 0)
+            uev.set_complete()
+            assert isinstance(uev.error, ZeroDivisionError)
+            yield ctx.env.timeout(0)
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        assert san.report.by_kind("callback-error")
+
+    def test_immediate_callback_also_hardened(self):
+        """set_callback on an already-complete event dispatches
+        immediately — exceptions there are captured too."""
+        app = sanitized_app()
+
+        def main(ctx):
+            uev = ctx.ocl.create_user_event("late")
+            uev.set_complete()
+            uev.set_callback(lambda e, s: (_ for _ in ()).throw(
+                RuntimeError("late cb")))
+            assert isinstance(uev.error, RuntimeError)
+            yield ctx.env.timeout(0)
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        assert san.report.by_kind("callback-error")
+
+    def test_callbacks_fire_without_monitor(self):
+        """Hardening is independent of the sanitizer being attached."""
+        app = sanitized_app()
+
+        def main(ctx):
+            uev = ctx.ocl.create_user_event("plain")
+            uev.set_callback(lambda e, s: 1 / 0)
+            uev.set_complete()
+            assert isinstance(uev.error, ZeroDivisionError)
+            yield ctx.env.timeout(0)
+            return True
+
+        assert app.run(main) == [True]
+
+
+class TestSanitizerLifecycle:
+    def test_double_attach_rejected(self):
+        from repro.errors import ReproError
+        app = sanitized_app()
+        with Sanitizer(app):
+            with pytest.raises(ReproError, match="already has a monitor"):
+                with Sanitizer(app):
+                    pass
+
+    def test_assert_clean_raises_with_report(self):
+        from repro.errors import ReproError
+        app = sanitized_app()
+
+        def main(ctx):
+            ctx.ocl.create_user_event("orphan")
+            yield ctx.env.timeout(0)
+
+        with Sanitizer(app) as san:
+            app.run(main)
+        with pytest.raises(ReproError, match="leaked-user-event"):
+            san.assert_clean()
+
+    def test_needs_an_environment(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="Environment"):
+            Sanitizer(object())

@@ -1,0 +1,118 @@
+"""Static lint rules (python -m repro.analysis lint)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def lint(code):
+    return lint_source(textwrap.dedent(code), "snippet.py")
+
+
+class TestDiscardedCoroutine:
+    def test_bare_enqueue_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                q = ctx.queue()
+                q.enqueue_barrier()
+                yield from q.finish()
+            """)
+        assert [f.kind for f in findings] == ["CLM001"]
+        assert "enqueue_barrier" in findings[0].message
+        assert findings[0].location == "snippet.py:4"
+
+    def test_bare_send_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                ctx.comm.send(data, 1, 0)
+                yield ctx.env.timeout(0)
+            """)
+        assert [f.kind for f in findings] == ["CLM001"]
+
+    def test_yield_from_is_clean(self):
+        findings = lint("""
+            def main(ctx):
+                yield from ctx.comm.send(data, 1, 0)
+                ev = yield from ctx.queue().enqueue_barrier()
+            """)
+        assert findings == []
+
+    def test_unrelated_calls_ignored(self):
+        assert lint("""
+            def f():
+                print("hello")
+                obj.flush()
+            """) == []
+
+
+class TestCallbackRules:
+    def test_blocking_call_in_callback(self):
+        findings = lint("""
+            def cb(event, status):
+                next_stage.wait()
+
+            def main(ctx):
+                ev.set_callback(cb)
+                yield ctx.env.timeout(0)
+            """)
+        assert any(f.kind == "CLM002" for f in findings)
+        msg = next(f for f in findings if f.kind == "CLM002").message
+        assert "wait()" in msg and "undefined behavior" in msg
+
+    def test_generator_callback_flagged(self):
+        findings = lint("""
+            def cb(event, status):
+                yield env.timeout(1)
+
+            ev.set_callback(cb)
+            """)
+        assert any(f.kind == "CLM002" and "yields" in f.message
+                   for f in findings)
+
+    def test_lambda_callback_checked(self):
+        findings = lint("""
+            ev.set_callback(lambda e, s: q.finish())
+            """)
+        assert any(f.kind == "CLM002" for f in findings)
+
+    def test_benign_callback_clean(self):
+        assert lint("""
+            def cb(event, status):
+                done.set_complete()
+
+            ev.set_callback(cb)
+            """) == []
+
+
+class TestUserEventRule:
+    def test_never_completed_module_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                gate = ctx.ocl.create_user_event("gate")
+                yield gate.completion
+            """)
+        assert [f.kind for f in findings] == ["CLM003"]
+
+    def test_completed_somewhere_is_clean(self):
+        assert lint("""
+            def main(ctx):
+                gate = ctx.ocl.create_user_event("gate")
+                gate.set_complete()
+                yield gate.completion
+            """) == []
+
+
+class TestSelfLint:
+    def test_src_and_examples_lint_clean(self):
+        """Our own host code passes our own lint."""
+        findings = lint_paths([ROOT / "src", ROOT / "examples"])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_paths([bad])
+        assert [f.kind for f in findings] == ["syntax-error"]

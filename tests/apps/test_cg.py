@@ -5,7 +5,6 @@ import pytest
 
 from repro.apps.cg import CgConfig, reference_solution, run_cg
 from repro.errors import ConfigurationError
-from repro.systems import cichlid, ricc
 
 CFG = CgConfig(grid=(12, 6, 6), max_iters=400, tol=1e-9)
 

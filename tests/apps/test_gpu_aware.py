@@ -10,7 +10,6 @@ from repro.apps.himeno import (
     run_himeno,
 )
 from repro.clmpi import gpu_aware
-from repro.systems import cichlid, ricc
 
 CFG = HimenoConfig(size="XS", iterations=3)
 

@@ -13,7 +13,6 @@ from repro.apps.himeno import (
     run_reference,
 )
 from repro.errors import ConfigurationError
-from repro.systems import cichlid, ricc
 
 CFG = HimenoConfig(size="XS", iterations=3)
 

@@ -10,7 +10,6 @@ from repro.apps.himeno.twod import (
     run_himeno_2d,
 )
 from repro.errors import ConfigurationError
-from repro.systems import cichlid, ricc
 
 CFG = HimenoConfig(size="XXS", iterations=3)
 

@@ -17,7 +17,6 @@ from repro.apps.nanopowder import (
     unpack_coefficients,
 )
 from repro.errors import ConfigurationError
-from repro.systems import ricc
 
 CFG = NanoConfig.test_scale(steps=2, cells=4)
 

@@ -8,7 +8,6 @@ from repro.apps.pingpong import (
     measure_bandwidth,
 )
 from repro.errors import ConfigurationError
-from repro.systems import cichlid, ricc
 
 
 class TestMeasureBandwidth:

@@ -8,7 +8,6 @@ from repro.clmpi.selector import TransferSelector
 from repro.errors import ClmpiError, OclError
 from repro.mpi.datatypes import CL_MEM, FLOAT64
 from repro.ocl import CommandStatus, Kernel
-from repro.systems import cichlid, ricc
 from repro.systems.presets import TransferPolicy
 
 
@@ -27,7 +26,7 @@ class TestEnqueueCommands:
             yield from clmpi.enqueue_send_buffer(
                 q, buf, False, 0, 16, 1, 0, world.comm(0))
 
-        p = world.env.process(main())
+        world.env.process(main())
         with pytest.raises(ClmpiError, match="no ClmpiRuntime"):
             world.env.run()
 
@@ -130,6 +129,23 @@ class TestEventFromMpiRequest:
         assert t >= 0.5
 
     def test_event_for_completed_request(self, app2):
+        """Bridging a request that already completed (but has not been
+        consumed by wait/test) yields an immediately-complete event."""
+        def main(ctx):
+            if ctx.rank == 0:
+                yield from ctx.comm.send(np.zeros(4), 1, 0)
+                yield ctx.env.timeout(0)
+            else:
+                req = yield from ctx.comm.irecv(np.empty(4), 0, 0)
+                while not req.done:  # non-consuming probe
+                    yield ctx.env.timeout(1e-3)
+                uev = clmpi.event_from_mpi_request(ctx.ocl, req)
+                return uev.is_complete
+
+        assert app2.run(main)[1] is True
+
+    def test_event_for_consumed_request_rejected(self, app2):
+        """After wait() the handle is MPI_REQUEST_NULL: bridging raises."""
         def main(ctx):
             if ctx.rank == 0:
                 yield from ctx.comm.send(np.zeros(4), 1, 0)
@@ -137,8 +153,9 @@ class TestEventFromMpiRequest:
             else:
                 req = yield from ctx.comm.irecv(np.empty(4), 0, 0)
                 yield from req.wait()
-                uev = clmpi.event_from_mpi_request(ctx.ocl, req)
-                return uev.is_complete
+                with pytest.raises(ClmpiError, match="consumed"):
+                    clmpi.event_from_mpi_request(ctx.ocl, req)
+                return True
 
         assert app2.run(main)[1] is True
 

@@ -6,7 +6,6 @@ import pytest
 from repro import ClusterApp, clmpi
 from repro.clmpi.dcgn import DcgnConfig, DcgnMonitor
 from repro.errors import ClmpiError
-from repro.systems import cichlid, ricc
 
 
 def dcgn_transfer(preset, nbytes, poll_interval=200e-6, functional=True):

@@ -6,7 +6,6 @@ import pytest
 from repro import ClusterApp, clmpi
 from repro.clmpi.transfers.pipelined import blocks_of, pipeline_time_bounds
 from repro.errors import ClmpiError
-from repro.systems import cichlid, ricc
 
 
 def device_transfer(preset, nbytes, mode=None, block=None, offset=0,

@@ -6,10 +6,10 @@ devices' contexts to one per-rank runtime, and disambiguate concurrent
 transfers purely by tag.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
-
-from dataclasses import replace
 
 from repro import clmpi
 from repro.errors import OclError

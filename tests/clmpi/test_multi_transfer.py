@@ -6,10 +6,8 @@ transfers between the same rank pair disambiguated purely by tags.
 """
 
 import numpy as np
-import pytest
 
 from repro import ClusterApp, clmpi
-from repro.systems import cichlid, ricc
 
 
 class TestTagDisambiguation:

@@ -4,8 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster
-from repro.sim import Environment
-from repro.systems import cichlid, custom, get_system, ricc
+from repro.systems import custom, get_system
 from repro.systems.presets import TransferPolicy
 
 

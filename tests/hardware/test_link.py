@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.hardware.link import Link, LinkSpec
-from repro.sim import Environment, Tracer
 
 
 class TestLinkSpec:

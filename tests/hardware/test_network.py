@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.hardware.network import Fabric, FabricSpec, NicSpec
-from repro.sim import Environment
 
 
 def nic(**kw):

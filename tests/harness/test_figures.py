@@ -7,10 +7,10 @@ the qualitative claims of the corresponding evaluation artefact.
 import pytest
 
 from repro.harness import (
+    run_fig10,
     run_fig4,
     run_fig8,
     run_fig9,
-    run_fig10,
     run_table1,
 )
 

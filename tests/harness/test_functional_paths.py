@@ -1,8 +1,7 @@
 """Harness paths not covered by the shape tests: functional runs, scale."""
 
-import pytest
 
-from repro.harness import run_fig9, run_fig10
+from repro.harness import run_fig10, run_fig9
 
 
 class TestFunctionalHarness:

@@ -192,7 +192,7 @@ class TestCommDup:
 
     def test_dup_deterministic_pairing(self, world2):
         def main(comm):
-            d1 = comm.dup()
+            comm.dup()
             d2 = comm.dup()
             if comm.rank == 0:
                 yield from d2.send(np.array([9.0]), 1)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import MpiError
-from repro.mpi import ANY_SOURCE, ANY_TAG, MpiWorld
+from repro.mpi import ANY_SOURCE, ANY_TAG
 from repro.mpi.matching import Endpoint, Envelope
 from repro.sim import Environment, Event
 

@@ -1,11 +1,9 @@
 """Tests of MPI_Comm_split sub-communicators."""
 
 import numpy as np
-import pytest
 
 from repro import ClusterApp, clmpi
 from repro.mpi import MpiWorld
-from repro.systems import cichlid
 
 
 class TestSplit:

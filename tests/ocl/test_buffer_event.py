@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import OclError
-from repro.ocl import CommandStatus, UserEvent
+from repro.ocl import CommandStatus
 from repro.ocl.event import CLEvent
 
 

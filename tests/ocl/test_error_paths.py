@@ -18,7 +18,7 @@ class TestBufferErrors:
             yield from q.enqueue_read_buffer(
                 buf, True, 0, 16, np.zeros(16, dtype=np.uint8))
 
-        p = env.process(main())
+        env.process(main())
         with pytest.raises(OclError, match="released"):
             env.run()
 
@@ -37,7 +37,7 @@ class TestBufferErrors:
             yield from q.enqueue_write_buffer(
                 buf, True, 8, 8, np.zeros(8, dtype=np.uint8))
 
-        p = env.process(main())
+        env.process(main())
         with pytest.raises(OclError, match="CL_INVALID_VALUE"):
             env.run()
 

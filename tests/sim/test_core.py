@@ -2,16 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    Environment,
-    Event,
-    Interrupt,
-    Process,
-    SimulationError,
-    Timeout,
-)
+from repro.sim import Environment, Interrupt, SimulationError
 
 
 class TestClock:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Resource, Store, PriorityStore
+from repro.sim import PriorityStore, Resource, Store
 from repro.sim.core import SimulationError
 
 

@@ -1,6 +1,6 @@
 """Unit tests of the tracing layer."""
 
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace import Tracer, TraceRecord
 
 
 class TestTraceRecord:

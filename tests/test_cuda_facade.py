@@ -6,7 +6,6 @@ import pytest
 from repro import ClusterApp, cuda
 from repro.errors import OclError
 from repro.ocl import Kernel
-from repro.systems import cichlid, ricc
 
 
 class TestStreamsAndMemcpy:

@@ -1,11 +1,9 @@
 """Remaining small API surfaces."""
 
 import numpy as np
-import pytest
 
 from repro import ClusterApp, cuda
 from repro.sim.trace import Tracer
-from repro.systems import cichlid
 from repro.systems.presets import TransferPolicy
 
 
@@ -66,7 +64,6 @@ class TestPolicyCustomization:
         assert mode == "pipelined" and block == 1234
 
     def test_policy_drives_cluster_app(self, cichlid_preset):
-        from dataclasses import replace
         from repro.systems.presets import SystemPreset
 
         pol = TransferPolicy(small_mode="pinned",
