@@ -1,0 +1,65 @@
+"""Build a ``BENCH_<tag>.json`` before/after record from two
+pytest-benchmark JSON files.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_simulator.py \
+        --benchmark-enable --benchmark-json=after.json
+    # (run the 'before' measurement from a checkout of the base commit)
+    python benchmarks/make_bench_record.py before.json after.json \
+        -o BENCH_PR2.json --note "engine hot-path optimization"
+
+The record keeps both raw means and the speedup so the perf trajectory
+of the repository is one file per PR, diffable and machine-readable.
+See docs/performance.md for how to read BENCH_*.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _means(path: str) -> dict[str, float]:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def build_record(before_path: str, after_path: str,
+                 note: str = "") -> dict:
+    before = _means(before_path)
+    after = _means(after_path)
+    benchmarks = {}
+    for name in sorted(set(before) & set(after)):
+        benchmarks[name] = {
+            "before_mean_s": before[name],
+            "after_mean_s": after[name],
+            "speedup": before[name] / after[name],
+        }
+    return {"note": note, "benchmarks": benchmarks}
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("before", help="pytest-benchmark JSON of the base commit")
+    p.add_argument("after", help="pytest-benchmark JSON of this change")
+    p.add_argument("-o", "--output", required=True,
+                   help="record to write (e.g. BENCH_PR2.json)")
+    p.add_argument("--note", default="",
+                   help="one-line description of the measured change")
+    args = p.parse_args(argv)
+    record = build_record(args.before, args.after, note=args.note)
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, r in record["benchmarks"].items():
+        print(f"{name}: {r['before_mean_s'] * 1e3:.2f} ms -> "
+              f"{r['after_mean_s'] * 1e3:.2f} ms "
+              f"({r['speedup']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

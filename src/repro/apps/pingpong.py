@@ -15,7 +15,8 @@ from repro.errors import ConfigurationError
 from repro.launcher import ClusterApp, RankContext
 from repro.systems.presets import SystemPreset
 
-__all__ = ["BandwidthResult", "measure_bandwidth", "bandwidth_sweep"]
+__all__ = ["BandwidthResult", "measure_bandwidth", "bandwidth_sweep",
+           "bandwidth_point", "bandwidth_specs"]
 
 #: message sizes of the Fig 8 sweep (64 KiB .. 64 MiB)
 DEFAULT_SIZES = [1 << s for s in range(16, 27)]
@@ -78,26 +79,69 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
                            seconds=max(results))
 
 
+def bandwidth_point(spec: dict) -> dict:
+    """Sweep worker: one Fig 8 data point from a JSON-able spec dict.
+
+    Module-level and dict-in/dict-out so it can cross a process-pool
+    boundary (the system presets themselves hold lambdas and cannot be
+    pickled — workers rebuild them by name) and a cache round-trip
+    without changing shape.  See :mod:`repro.harness.parallel`.
+    """
+    from repro.systems import get_system
+
+    r = measure_bandwidth(get_system(spec["system"]), spec["nbytes"],
+                          spec["mode"], block=spec.get("block"),
+                          repeats=spec.get("repeats", 4),
+                          functional=spec.get("functional", False))
+    return {"system": r.system, "mode": r.mode, "block": r.block,
+            "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds}
+
+
+def bandwidth_specs(system: str,
+                    sizes: Optional[list[int]] = None,
+                    pipeline_blocks: Optional[list[int]] = None,
+                    repeats: int = 4) -> list[dict]:
+    """The Fig 8 grid as spec dicts, in canonical (reporting) order."""
+    sizes = sizes or DEFAULT_SIZES
+    pipeline_blocks = pipeline_blocks or [1 << 20, 1 << 22, 1 << 24]
+    specs: list[dict] = []
+    for nbytes in sizes:
+        specs.append({"system": system, "nbytes": nbytes, "mode": "pinned",
+                      "block": None, "repeats": repeats})
+        specs.append({"system": system, "nbytes": nbytes, "mode": "mapped",
+                      "block": None, "repeats": repeats})
+        for blk in pipeline_blocks:
+            if blk <= nbytes:
+                specs.append({"system": system, "nbytes": nbytes,
+                              "mode": "pipelined", "block": blk,
+                              "repeats": repeats})
+        specs.append({"system": system, "nbytes": nbytes, "mode": None,
+                      "block": None, "repeats": repeats})
+    return specs
+
+
 def bandwidth_sweep(system: SystemPreset,
                     sizes: Optional[list[int]] = None,
                     pipeline_blocks: Optional[list[int]] = None,
-                    repeats: int = 4) -> list[BandwidthResult]:
+                    repeats: int = 4,
+                    jobs: Optional[int] = 1,
+                    cache=None) -> list[BandwidthResult]:
     """The full Fig 8 sweep for one system.
 
     Curves: pinned, mapped, pipelined(B) for each block size, plus the
-    automatic selector.
+    automatic selector.  ``jobs``/``cache`` fan the grid out over a
+    process pool and/or the result cache (see
+    :mod:`repro.harness.parallel`); results come back in grid order
+    either way.
     """
-    sizes = sizes or DEFAULT_SIZES
-    pipeline_blocks = pipeline_blocks or [1 << 20, 1 << 22, 1 << 24]
-    out: list[BandwidthResult] = []
-    for nbytes in sizes:
-        out.append(measure_bandwidth(system, nbytes, "pinned",
-                                     repeats=repeats))
-        out.append(measure_bandwidth(system, nbytes, "mapped",
-                                     repeats=repeats))
-        for blk in pipeline_blocks:
-            if blk <= nbytes:
-                out.append(measure_bandwidth(system, nbytes, "pipelined",
-                                             block=blk, repeats=repeats))
-        out.append(measure_bandwidth(system, nbytes, None, repeats=repeats))
-    return out
+    from repro.harness.parallel import sweep  # avoid an import cycle
+
+    specs = bandwidth_specs(system.name, sizes=sizes,
+                            pipeline_blocks=pipeline_blocks,
+                            repeats=repeats)
+    rows = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
+                 kind="bandwidth")
+    return [BandwidthResult(system=d["system"], mode=d["mode"],
+                            block=d["block"], nbytes=d["nbytes"],
+                            repeats=d["repeats"], seconds=d["seconds"])
+            for d in rows]

@@ -36,28 +36,64 @@ class TuneReport:
 
 
 def tune_policy(system: SystemPreset, sizes=None, blocks=None,
-                repeats: int = 2) -> TuneReport:
-    """Probe the system and build an empirically optimal policy."""
-    from repro.apps.pingpong import measure_bandwidth
+                repeats: int = 2, jobs=1, cache=None) -> TuneReport:
+    """Probe the system and build an empirically optimal policy.
+
+    The probe grid consists of independent simulations, so it fans out
+    over the parallel sweep runner; ``jobs``/``cache`` are forwarded to
+    :func:`repro.harness.parallel.sweep`.  Probe points share the
+    ``bandwidth`` cache namespace with the Fig 8 harness.
+    """
+    # Imported lazily: repro.clmpi must stay importable without pulling
+    # in the whole harness/apps stack at module-import time.
+    from repro.apps.pingpong import bandwidth_point, measure_bandwidth
+    from repro.errors import ConfigurationError
+    from repro.harness.parallel import sweep
+    from repro.systems.presets import get_system
+
+    worker = bandwidth_point
+    try:
+        get_system(system.name)
+    except ConfigurationError:
+        # Custom preset outside the registry: workers cannot rebuild it
+        # by name in another process (and its lambdas keep it out of the
+        # cache key), so probe in-process with the live object instead.
+        jobs, cache = 1, None
+
+        def worker(spec: dict) -> dict:
+            r = measure_bandwidth(system, spec["nbytes"], spec["mode"],
+                                  block=spec.get("block"),
+                                  repeats=spec.get("repeats", 4))
+            return {"system": r.system, "mode": r.mode, "block": r.block,
+                    "nbytes": r.nbytes, "repeats": r.repeats,
+                    "seconds": r.seconds}
 
     sizes = sizes or DEFAULT_SIZES
     blocks = blocks or DEFAULT_BLOCKS
-    measurements: dict = {}
-    winners: dict = {}
+    specs: list[dict] = []
     for nbytes in sizes:
-        candidates: list[tuple[float, str, int | None]] = []
         for mode in ("pinned", "mapped"):
-            bw = measure_bandwidth(system, nbytes, mode,
-                                   repeats=repeats).bandwidth
-            measurements[(mode, None, nbytes)] = bw
-            candidates.append((bw, mode, None))
+            specs.append({"system": system.name, "nbytes": nbytes,
+                          "mode": mode, "block": None, "repeats": repeats})
         for blk in blocks:
             if blk <= nbytes:
-                bw = measure_bandwidth(system, nbytes, "pipelined",
-                                       block=blk, repeats=repeats).bandwidth
-                measurements[("pipelined", blk, nbytes)] = bw
-                candidates.append((bw, "pipelined", blk))
-        bw, mode, blk = max(candidates)
+                specs.append({"system": system.name, "nbytes": nbytes,
+                              "mode": "pipelined", "block": blk,
+                              "repeats": repeats})
+    rows = sweep(worker, specs, jobs=jobs, cache=cache,
+                 kind="bandwidth")
+
+    measurements: dict = {}
+    for r in rows:
+        bw = r["nbytes"] * r["repeats"] / r["seconds"]
+        measurements[(r["mode"], r["block"], r["nbytes"])] = bw
+    winners: dict = {}
+    for nbytes in sizes:
+        candidates = [(bw, mode, blk)
+                      for (mode, blk, size), bw in measurements.items()
+                      if size == nbytes]
+        bw, mode, blk = max(
+            candidates, key=lambda c: (c[0], c[1], c[2] is not None, c[2]))
         winners[nbytes] = (mode, blk, bw)
 
     # fit the TransferPolicy structure: a small-message engine and a

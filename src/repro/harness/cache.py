@@ -1,0 +1,160 @@
+"""Content-addressed cache for simulation sweep results.
+
+Every sweep point the harness runs is a pure function of (experiment
+kind, spec dict, code version): the DES engine is deterministic, so the
+result of a configuration never changes until the code does.  The cache
+exploits that — each result is stored as JSON under ``.repro_cache/``,
+keyed by a SHA-256 over the canonical JSON of the three components.
+
+The *code version* is a digest over every ``.py`` file of the installed
+``repro`` package, so any source edit (engine, apps, harness) silently
+invalidates all prior entries: stale keys are simply never looked up
+again and the files become dead weight that ``clear()`` can drop.
+
+Layout::
+
+    .repro_cache/
+        stats.json            # persistent {"hits": N, "misses": N}
+        <kind>/<hash>.json    # {"spec": ..., "result": ...}
+
+Cache reads and writes happen only in the parent process of a sweep
+(see :mod:`repro.harness.parallel`), never in pool workers, so no file
+locking is needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultCache", "code_version", "default_cache_dir"]
+
+#: cached digest of the repro sources (computed once per process)
+_CODE_VERSION: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``.repro_cache`` under the working dir."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def code_version() -> str:
+    """Digest of every ``repro``-package source file (hex, 16 chars).
+
+    Hashes relative path + contents of all ``.py`` files in sorted
+    order, so the digest is stable across machines and invocations but
+    changes whenever any shipped source line does.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """JSON result store addressed by (kind, spec, code version).
+
+    ``spec`` must be a JSON-able dict — it doubles as the human-readable
+    record of what produced the entry.  Pass an explicit ``version`` to
+    pin or test invalidation behaviour; the default tracks the sources.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 version: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------------
+    def key(self, kind: str, spec: dict) -> str:
+        """Stable content hash of one sweep point."""
+        payload = _canonical({"kind": kind, "spec": spec,
+                              "version": self.version})
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def _path(self, kind: str, spec: dict) -> Path:
+        return self.root / kind / f"{self.key(kind, spec)}.json"
+
+    # -- access -------------------------------------------------------------
+    def get(self, kind: str, spec: dict) -> Optional[Any]:
+        """The cached result for ``spec``, or None (counts hit/miss)."""
+        path = self._path(kind, spec)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            self._bump_stats(hit=False)
+            return None
+        self.hits += 1
+        self._bump_stats(hit=True)
+        return entry["result"]
+
+    def put(self, kind: str, spec: dict, result: Any) -> None:
+        """Store ``result``; atomic so an interrupted run never leaves a
+        truncated entry behind."""
+        path = self._path(kind, spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(_canonical({"spec": spec, "result": result}))
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every entry (and the stats); returns entries removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                path.unlink()
+                removed += 1
+            for sub in sorted(self.root.iterdir()):
+                if sub.is_dir() and not any(sub.iterdir()):
+                    sub.rmdir()
+        self.hits = self.misses = 0
+        return removed
+
+    # -- stats --------------------------------------------------------------
+    @property
+    def _stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    def _bump_stats(self, hit: bool) -> None:
+        stats = self.read_stats()
+        stats["hits" if hit else "misses"] += 1
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self._stats_path.with_suffix(".tmp")
+            tmp.write_text(_canonical(stats))
+            tmp.replace(self._stats_path)
+        except OSError:  # stats are best-effort; never fail a sweep
+            pass
+
+    def read_stats(self) -> dict:
+        """Persistent lifetime hit/miss counters for this cache dir."""
+        try:
+            stats = json.loads(self._stats_path.read_text())
+            return {"hits": int(stats["hits"]),
+                    "misses": int(stats["misses"])}
+        except (OSError, ValueError, KeyError, TypeError):
+            return {"hits": 0, "misses": 0}
+
+    def entry_count(self) -> int:
+        """Number of stored results."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for p in self.root.rglob("*.json")
+                   if p.name != "stats.json")

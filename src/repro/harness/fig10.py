@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.apps.nanopowder import NanoConfig, run_nanopowder
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import sweep
 from repro.harness.report import Table
 from repro.systems import get_system
 
@@ -13,30 +14,53 @@ __all__ = ["run_fig10"]
 #: the node counts of §V.D ("the number of nodes must be a divisor of 40")
 DEFAULT_NODES = [1, 2, 4, 5, 8, 10, 20, 40]
 
+IMPLS = ("baseline", "clmpi")
+
+
+def nanopowder_point(spec: dict) -> dict:
+    """Sweep worker: one (nodes, implementation) nanopowder run.
+
+    Dict-in/dict-out and module-level so the point can cross a process
+    pool and the result cache (see :mod:`repro.harness.parallel`).
+    """
+    from repro.apps.nanopowder import NanoConfig, run_nanopowder
+
+    cfg = (NanoConfig.paper_scale(steps=spec["steps"])
+           if spec["scale"] == "paper"
+           else NanoConfig.test_scale(steps=spec["steps"]))
+    res = run_nanopowder(get_system(spec["system"]), spec["nodes"],
+                         spec["impl"], cfg,
+                         functional=spec.get("functional", False))
+    return {"steps_per_second": res.steps_per_second}
+
 
 def run_fig10(system: str = "ricc",
               nodes: Optional[list[int]] = None,
               steps: int = 2, functional: bool = False,
-              verbose: bool = True) -> Table:
+              verbose: bool = True,
+              jobs: Optional[int] = 1,
+              cache: Optional[ResultCache] = None) -> Table:
     """Regenerate Fig 10: simulation throughput per implementation."""
     preset = get_system(system)
     nodes = nodes or DEFAULT_NODES
-    cfg = (NanoConfig.paper_scale(steps=steps) if not functional
-           else NanoConfig.test_scale(steps=steps))
+    scale = "test" if functional else "paper"
+    specs = [{"system": preset.name, "nodes": n, "impl": impl,
+              "steps": steps, "scale": scale, "functional": functional}
+             for n in nodes for impl in IMPLS]
+    results = sweep(nanopowder_point, specs, jobs=jobs, cache=cache,
+                    kind="nanopowder")
     table = Table(
         f"Fig 10: nanopowder throughput on {preset.name} (steps/s)",
         ["nodes", "baseline", "clMPI", "clMPI gain", "clMPI speedup vs 1"])
     base1 = None
-    for n in nodes:
-        rb = run_nanopowder(preset, n, "baseline", cfg,
-                            functional=functional)
-        rc = run_nanopowder(preset, n, "clmpi", cfg, functional=functional)
+    for i, n in enumerate(nodes):
+        sb = results[i * 2]["steps_per_second"]
+        sc = results[i * 2 + 1]["steps_per_second"]
         if base1 is None:
-            base1 = rc
-        table.add(n, round(rb.steps_per_second, 3),
-                  round(rc.steps_per_second, 3),
-                  f"{(rc.steps_per_second / rb.steps_per_second - 1) * 100:+.1f}%",
-                  round(rc.speedup_vs(base1), 2))
+            base1 = sc
+        table.add(n, round(sb, 3), round(sc, 3),
+                  f"{(sc / sb - 1) * 100:+.1f}%",
+                  round(sc / base1, 2))
     if verbose:
         print(table.render())
     return table

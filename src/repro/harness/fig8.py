@@ -1,14 +1,18 @@
 """Fig 8 — point-to-point sustained bandwidth, per transfer engine.
 
 Regenerates the pinned / mapped / pipelined(N) curves of Fig 8(a)
-(Cichlid/GbE) and Fig 8(b) (RICC/IB DDR).
+(Cichlid/GbE) and Fig 8(b) (RICC/IB DDR).  The grid fans out over the
+parallel sweep runner and the result cache; serial, parallel, and
+warm-cache runs produce byte-identical tables.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.apps.pingpong import bandwidth_sweep
+from repro.apps.pingpong import bandwidth_point, bandwidth_specs
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import sweep
 from repro.harness.report import Table
 from repro.systems import get_system
 
@@ -20,22 +24,28 @@ MiB = 1 << 20
 def run_fig8(system: str = "cichlid",
              sizes: Optional[list[int]] = None,
              pipeline_blocks: Optional[list[int]] = None,
-             repeats: int = 4, verbose: bool = True) -> Table:
+             repeats: int = 4, verbose: bool = True,
+             jobs: Optional[int] = 1,
+             cache: Optional[ResultCache] = None) -> Table:
     """Regenerate Fig 8(a) or 8(b); one row per message size, one column
     per transfer implementation (MB/s)."""
     preset = get_system(system)
     blocks = pipeline_blocks or [1 * MiB, 4 * MiB, 16 * MiB]
-    results = bandwidth_sweep(preset, sizes=sizes, pipeline_blocks=blocks,
-                              repeats=repeats)
+    specs = bandwidth_specs(preset.name, sizes=sizes,
+                            pipeline_blocks=blocks, repeats=repeats)
+    results = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
+                    kind="bandwidth")
     curves: dict[str, dict[int, float]] = {}
     all_sizes: list[int] = []
     for r in results:
-        name = r.mode if r.block is None else \
-            f"pipelined({r.block // MiB}M)" if r.block >= MiB else \
-            f"pipelined({r.block // 1024}K)"
-        curves.setdefault(name, {})[r.nbytes] = r.bandwidth / 1e6
-        if r.nbytes not in all_sizes:
-            all_sizes.append(r.nbytes)
+        mode, block = r["mode"], r["block"]
+        name = mode if block is None else \
+            f"pipelined({block // MiB}M)" if block >= MiB else \
+            f"pipelined({block // 1024}K)"
+        bandwidth = r["nbytes"] * r["repeats"] / r["seconds"]
+        curves.setdefault(name, {})[r["nbytes"]] = bandwidth / 1e6
+        if r["nbytes"] not in all_sizes:
+            all_sizes.append(r["nbytes"])
     sub = "a" if preset.name.lower() == "cichlid" else "b"
     names = list(curves)
     table = Table(f"Fig 8({sub}): sustained bandwidth on {preset.name} (MB/s)",

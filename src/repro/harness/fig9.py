@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.apps.himeno import HimenoConfig, run_himeno
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import sweep
 from repro.harness.report import Table
 from repro.systems import get_system
 
@@ -17,11 +18,30 @@ __all__ = ["run_fig9"]
 
 DEFAULT_NODES = {"cichlid": [1, 2, 4], "ricc": [1, 2, 4, 8, 16, 32]}
 
+IMPLS = ("serial", "hand-optimized", "clmpi")
+
+
+def himeno_point(spec: dict) -> dict:
+    """Sweep worker: one (system, nodes, implementation) Himeno run.
+
+    Dict-in/dict-out and module-level so the point can cross a process
+    pool and the result cache (see :mod:`repro.harness.parallel`).
+    """
+    from repro.apps.himeno import HimenoConfig, run_himeno
+
+    cfg = HimenoConfig(size=spec["size"], iterations=spec["iterations"])
+    res = run_himeno(get_system(spec["system"]), spec["nodes"],
+                     spec["impl"], cfg,
+                     functional=spec.get("functional", False))
+    return {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio}
+
 
 def run_fig9(system: str = "cichlid",
              nodes: Optional[list[int]] = None,
              size: str = "M", iterations: int = 4,
-             functional: bool = False, verbose: bool = True) -> Table:
+             functional: bool = False, verbose: bool = True,
+             jobs: Optional[int] = 1,
+             cache: Optional[ResultCache] = None) -> Table:
     """Regenerate Fig 9(a) or (b): sustained GFLOP/s per implementation.
 
     ``functional=False`` (default) runs timing-only at the paper's M size;
@@ -29,22 +49,24 @@ def run_fig9(system: str = "cichlid",
     """
     preset = get_system(system)
     nodes = nodes or DEFAULT_NODES.get(system.lower(), [1, 2, 4])
-    cfg = HimenoConfig(size=size, iterations=iterations)
+    specs = [{"system": preset.name, "nodes": n, "impl": impl,
+              "size": size, "iterations": iterations,
+              "functional": functional}
+             for n in nodes for impl in IMPLS]
+    results = sweep(himeno_point, specs, jobs=jobs, cache=cache,
+                    kind="himeno")
     sub = "a" if preset.name.lower() == "cichlid" else "b"
     table = Table(
         f"Fig 9({sub}): Himeno {size}-size sustained GFLOP/s on {preset.name}",
         ["nodes", "serial", "hand-optimized", "clMPI",
          "serial comp/comm", "clMPI vs hand-opt"])
-    for n in nodes:
-        res = {}
-        for impl in ("serial", "hand-optimized", "clmpi"):
-            res[impl] = run_himeno(preset, n, impl, cfg,
-                                   functional=functional)
-        gain = res["clmpi"].gflops / res["hand-optimized"].gflops - 1
-        table.add(n, round(res["serial"].gflops, 2),
-                  round(res["hand-optimized"].gflops, 2),
-                  round(res["clmpi"].gflops, 2),
-                  round(res["serial"].comp_comm_ratio, 2),
+    for i, n in enumerate(nodes):
+        res = dict(zip(IMPLS, results[i * len(IMPLS):(i + 1) * len(IMPLS)]))
+        gain = res["clmpi"]["gflops"] / res["hand-optimized"]["gflops"] - 1
+        table.add(n, round(res["serial"]["gflops"], 2),
+                  round(res["hand-optimized"]["gflops"], 2),
+                  round(res["clmpi"]["gflops"], 2),
+                  round(res["serial"]["comp_comm_ratio"], 2),
                   f"{gain * 100:+.1f}%")
     if verbose:
         print(table.render())

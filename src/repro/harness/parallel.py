@@ -1,0 +1,73 @@
+"""Deterministic fan-out of independent sweep points.
+
+Every harness artefact (Fig 8/9/10, Table 1, the autotune survey) is a
+grid of *independent* simulations, each fully described by a small
+JSON-able spec dict.  :func:`sweep` maps a picklable worker over such a
+grid, optionally through a :class:`~repro.harness.cache.ResultCache`,
+and returns results **in spec order** regardless of completion order —
+so a serial run, a parallel run, and a warm-cache run produce
+byte-identical reports.
+
+Contract for workers:
+
+* a module-level function (picklable by reference) taking one spec dict;
+* returns a JSON-able dict of primitives — no tuples, no objects — so
+  the value survives both the pickle hop from a pool worker and the
+  JSON round-trip through the cache without changing shape.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Optional, Sequence
+
+from repro.harness.cache import ResultCache
+
+__all__ = ["resolve_jobs", "sweep"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker-count policy: None/0 → one per CPU, else the given count."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    return jobs
+
+
+def sweep(worker: Callable[[dict], Any], specs: Sequence[dict],
+          jobs: Optional[int] = None,
+          cache: Optional[ResultCache] = None,
+          kind: str = "sweep") -> list[Any]:
+    """``[worker(s) for s in specs]``, cached and fanned out.
+
+    Cache lookups and stores happen here in the parent — pool workers
+    never touch the cache directory, so no locking is needed and the
+    hit/miss counters are exact.  ``jobs=1`` (or a one-point grid) runs
+    inline with no pool at all; results are identical either way because
+    each point is an isolated simulation.
+    """
+    results: list[Any] = [None] * len(specs)
+    todo: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            hit = cache.get(kind, spec)
+            if hit is not None:
+                results[i] = hit
+                continue
+        todo.append(i)
+
+    njobs = resolve_jobs(jobs)
+    if todo:
+        if njobs <= 1 or len(todo) == 1:
+            computed = [worker(specs[i]) for i in todo]
+        else:
+            with ProcessPoolExecutor(max_workers=min(njobs,
+                                                     len(todo))) as pool:
+                computed = list(pool.map(worker, [specs[i] for i in todo]))
+        for i, result in zip(todo, computed):
+            if cache is not None:
+                cache.put(kind, specs[i], result)
+            results[i] = result
+    return results

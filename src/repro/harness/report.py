@@ -26,6 +26,18 @@ class Table:
     def render(self) -> str:
         return format_table(self.title, self.columns, self.rows)
 
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace).
+
+        This is the byte-exact artefact the determinism suite compares
+        across serial, parallel, and cached harness runs.
+        """
+        import json
+
+        return json.dumps({"title": self.title, "columns": self.columns,
+                           "rows": self.rows},
+                          sort_keys=True, separators=(",", ":"))
+
     def to_markdown(self) -> str:
         """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
         head = "| " + " | ".join(self.columns) + " |"

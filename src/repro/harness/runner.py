@@ -6,6 +6,7 @@ import argparse
 import sys
 from typing import Optional
 
+from repro.harness.cache import ResultCache
 from repro.harness.fig10 import run_fig10
 from repro.harness.fig8 import run_fig8
 from repro.harness.fig9 import run_fig9
@@ -24,16 +25,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="clmpi-harness",
         description="Regenerate the paper's evaluation tables and figures "
                     "on the simulated clusters.")
+    p.add_argument("--cache-stats", action="store_true",
+                   help="print result-cache hit/miss counters and exit "
+                        "(usable without an experiment)")
     sub = p.add_subparsers(dest="experiment", required=True)
 
-    sub.add_parser("table1", help="Table I: system specifications")
+    # Sweep-wide options shared by every experiment subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-j", "--jobs", type=int, default=1,
+                        help="sweep worker processes (0 = one per CPU; "
+                             "default 1 = serial)")
+    common.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, bypassing "
+                             ".repro_cache/")
+    common.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the table as canonical JSON")
 
-    f8 = sub.add_parser("fig8", help="Fig 8: pt2pt sustained bandwidth")
+    sub.add_parser("table1", parents=[common],
+                   help="Table I: system specifications")
+
+    f8 = sub.add_parser("fig8", parents=[common],
+                        help="Fig 8: pt2pt sustained bandwidth")
     f8.add_argument("--system", default="cichlid",
                     choices=["cichlid", "ricc"])
     f8.add_argument("--repeats", type=int, default=4)
 
-    f9 = sub.add_parser("fig9", help="Fig 9: Himeno benchmark")
+    f9 = sub.add_parser("fig9", parents=[common],
+                        help="Fig 9: Himeno benchmark")
     f9.add_argument("--system", default="cichlid",
                     choices=["cichlid", "ricc"])
     f9.add_argument("--nodes", type=_nodes_list, default=None)
@@ -42,39 +60,72 @@ def build_parser() -> argparse.ArgumentParser:
     f9.add_argument("--functional", action="store_true",
                     help="run the NumPy kernels for real (slower)")
 
-    f10 = sub.add_parser("fig10", help="Fig 10: nanopowder simulation")
+    f10 = sub.add_parser("fig10", parents=[common],
+                         help="Fig 10: nanopowder simulation")
     f10.add_argument("--nodes", type=_nodes_list, default=None)
     f10.add_argument("--steps", type=int, default=2)
     f10.add_argument("--functional", action="store_true")
 
-    f4 = sub.add_parser("fig4", help="Fig 4: overlap timelines")
+    f4 = sub.add_parser("fig4", parents=[common],
+                        help="Fig 4: overlap timelines")
     f4.add_argument("--system", default="cichlid",
                     choices=["cichlid", "ricc"])
     f4.add_argument("--chrome-trace", metavar="PATH", default=None,
                     help="also export panel (c)'s trace as a Chrome-"
                          "tracing JSON (chrome://tracing / Perfetto)")
 
-    tn = sub.add_parser("tune", help="empirically auto-tune the transfer "
-                                     "policy (§V.B extension)")
+    tn = sub.add_parser("tune", parents=[common],
+                        help="empirically auto-tune the transfer "
+                             "policy (§V.B extension)")
     tn.add_argument("--system", default="ricc",
                     choices=["cichlid", "ricc"])
 
-    sub.add_parser("all", help="run every experiment at default settings")
+    sub.add_parser("all", parents=[common],
+                   help="run every experiment at default settings")
     return p
 
 
+def _print_cache_stats() -> None:
+    cache = ResultCache()
+    stats = cache.read_stats()
+    print(f"cache dir: {cache.root}")
+    print(f"entries:   {cache.entry_count()}")
+    print(f"hits:      {stats['hits']}")
+    print(f"misses:    {stats['misses']}")
+
+
+def _write_json(table, path: Optional[str]) -> None:
+    if path:
+        with open(path, "w") as fh:
+            fh.write(table.to_json() + "\n")
+        print(f"JSON written to {path}")
+
+
 def main(argv: Optional[list[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # ``--cache-stats`` works standalone (no experiment required), so it
+    # is handled before argparse enforces the subcommand.
+    if "--cache-stats" in argv:
+        _print_cache_stats()
+        return 0
     args = build_parser().parse_args(argv)
+    jobs = getattr(args, "jobs", 1)
+    cache = None if getattr(args, "no_cache", False) else ResultCache()
+    json_path = getattr(args, "json", None)
     if args.experiment == "table1":
-        run_table1()
+        _write_json(run_table1(), json_path)
     elif args.experiment == "fig8":
-        run_fig8(system=args.system, repeats=args.repeats)
+        _write_json(run_fig8(system=args.system, repeats=args.repeats,
+                             jobs=jobs, cache=cache), json_path)
     elif args.experiment == "fig9":
-        run_fig9(system=args.system, nodes=args.nodes, size=args.size,
-                 iterations=args.iterations, functional=args.functional)
+        _write_json(run_fig9(system=args.system, nodes=args.nodes,
+                             size=args.size, iterations=args.iterations,
+                             functional=args.functional,
+                             jobs=jobs, cache=cache), json_path)
     elif args.experiment == "fig10":
-        run_fig10(nodes=args.nodes, steps=args.steps,
-                  functional=args.functional)
+        _write_json(run_fig10(nodes=args.nodes, steps=args.steps,
+                              functional=args.functional,
+                              jobs=jobs, cache=cache), json_path)
     elif args.experiment == "fig4":
         run_fig4(system=args.system)
         if args.chrome_trace:
@@ -89,7 +140,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         from repro.clmpi.autotune import tune_policy
         from repro.harness.report import Table
         from repro.systems import get_system
-        report = tune_policy(get_system(args.system))
+        report = tune_policy(get_system(args.system), jobs=jobs,
+                             cache=cache)
         table = Table(f"Auto-tuned transfer policy for {report.system}",
                       ["message size", "winner", "block", "MB/s"])
         for nbytes, (mode, blk, bw) in sorted(report.winners.items()):
@@ -100,13 +152,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"small-message engine: {report.policy.small_mode}; "
               f"pipeline threshold: "
               f"{report.policy.pipeline_threshold / 2**20:.2f} MiB")
+        _write_json(table, json_path)
     elif args.experiment == "all":
         run_table1()
-        run_fig8(system="cichlid")
-        run_fig8(system="ricc")
-        run_fig9(system="cichlid")
-        run_fig9(system="ricc")
-        run_fig10()
+        run_fig8(system="cichlid", jobs=jobs, cache=cache)
+        run_fig8(system="ricc", jobs=jobs, cache=cache)
+        run_fig9(system="cichlid", jobs=jobs, cache=cache)
+        run_fig9(system="ricc", jobs=jobs, cache=cache)
+        run_fig10(jobs=jobs, cache=cache)
         run_fig4()
     return 0
 

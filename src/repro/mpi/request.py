@@ -25,11 +25,10 @@ class Request:
     _ids = 0
 
     def __init__(self, env: Environment, completion: Event, kind: str = "op"):
-        Request._ids += 1
         self.env = env
         self.completion = completion
         self.kind = kind
-        self.label = f"{kind}#{Request._ids}"
+        self._label: Optional[str] = None
         #: True once the request has been consumed by a successful
         #: ``wait``/``test`` (the analogue of MPI freeing the request and
         #: replacing the handle with ``MPI_REQUEST_NULL``)
@@ -37,6 +36,14 @@ class Request:
         mon = env.monitor
         if mon is not None:
             mon.on_request_created(self)
+
+    @property
+    def label(self) -> str:
+        """Human-readable handle name, materialized on first use."""
+        if self._label is None:
+            Request._ids += 1
+            self._label = f"{self.kind}#{Request._ids}"
+        return self._label
 
     @property
     def done(self) -> bool:

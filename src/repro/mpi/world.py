@@ -61,7 +61,9 @@ class MpiWorld:
             cluster_spec = system
             self.preset = None
         self.config = config or MpiConfig()
-        self.env = Environment()
+        # The MPI layer dominates timeout churn; recycling is safe here
+        # because no rank code holds Timeout references across yields.
+        self.env = Environment(reuse_timeouts=True)
         if trace:
             self.env.tracer = Tracer()
         self.cluster = Cluster(self.env, cluster_spec, num_nodes)

@@ -4,12 +4,34 @@ The engine is a classic calendar-queue simulator.  The event heap is
 ordered by ``(time, priority, sequence)`` so runs are bit-for-bit
 reproducible: ties at equal timestamps resolve first by priority band and
 then by scheduling order.
+
+Hot-path notes (see docs/performance.md)
+----------------------------------------
+A sweep spends nearly all of its real time inside this module, so the
+inner loop is written for CPython's profile rather than for symmetry:
+
+* ``succeed``/``fail``/``Timeout`` push onto the calendar directly
+  instead of going through :meth:`Environment._schedule` (one call frame
+  per event saved; ``_schedule`` remains for subclasses and tests).
+* Each :class:`Process` caches its bound ``_resume`` once instead of
+  materialising a fresh bound method per wait.
+* Resuming a process that yielded an *already processed* event, and
+  bootstrapping a new process, both reuse pooled one-shot "kick" events
+  (:class:`_Kick`) rather than allocating a fresh :class:`Event`.
+* ``Environment.run`` inlines :meth:`step` so the drain loop costs one
+  heappop plus one callback dispatch per event.
+* ``Environment(reuse_timeouts=True)`` opts into a slotted freelist that
+  recycles :class:`Timeout` instances the moment they fire, guarded by a
+  refcount check so user-held timeouts are never reused underneath the
+  caller.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from sys import getrefcount
 
 __all__ = [
     "Environment",
@@ -34,6 +56,10 @@ LOW = 2
 PENDING = 0
 TRIGGERED = 1  # scheduled on the heap, callbacks not yet run
 PROCESSED = 2  # callbacks have run
+
+#: Upper bounds for the per-environment object pools.
+_KICK_POOL_MAX = 64
+_TIMEOUT_POOL_MAX = 256
 
 
 class SimulationError(RuntimeError):
@@ -101,7 +127,9 @@ class Event:
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.env._schedule(self, priority)
+        env = self.env
+        env._seq += 1
+        heappush(env._heap, (env._now, priority, env._seq, self))
         return self
 
     def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
@@ -113,7 +141,9 @@ class Event:
         self._ok = False
         self._value = exc
         self._state = TRIGGERED
-        self.env._schedule(self, priority)
+        env = self.env
+        env._seq += 1
+        heappush(env._heap, (env._now, priority, env._seq, self))
         return self
 
     def trigger_from(self, other: "Event") -> None:
@@ -147,11 +177,33 @@ class Timeout(Event):
                  priority: int = NORMAL):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
-        env._schedule(self, priority, delay)
+        self._defused = False
+        env._seq += 1
+        heappush(env._heap, (env._now + delay, priority, env._seq, self))
+
+
+class _Kick(Event):
+    """Pooled one-shot event used to defer a resume to the next round.
+
+    Kicks never escape the engine (no user code ever holds one), so once
+    their callbacks have run inside :meth:`Environment.run` they are reset
+    and returned to the environment's pool for reuse.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = PENDING
+        self._defused = False
 
 
 class Process(Event):
@@ -162,20 +214,29 @@ class Process(Event):
     exception if the coroutine raised.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "_resume_cb", "name")
 
     def __init__(self, env: "Environment", generator: Generator,
                  name: str = ""):
         if not hasattr(generator, "throw"):
             raise TypeError(f"process() requires a generator, got {generator!r}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = PENDING
+        self._defused = False
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume the coroutine at the current time.
-        boot = Event(env)
-        boot.callbacks.append(self._resume)
-        boot.succeed(priority=HIGH)
+        pool = env._kick_pool
+        boot = pool.pop() if pool else _Kick(env)
+        boot.callbacks.append(self._resume_cb)
+        boot._state = TRIGGERED
+        env._seq += 1
+        heappush(env._heap, (env._now, HIGH, env._seq, boot))
 
     @property
     def is_alive(self) -> bool:
@@ -187,9 +248,9 @@ class Process(Event):
         if not self.is_alive:
             raise SimulationError(f"{self!r} has already terminated")
         target = self._waiting_on
-        if target is not None and target.callbacks is not None:
+        if target is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._waiting_on = None
@@ -199,7 +260,8 @@ class Process(Event):
 
     # -- coroutine stepping -------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
                 target = self._generator.send(event._value)
@@ -207,14 +269,31 @@ class Process(Event):
                 event._defused = True
                 target = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
-            self.succeed(stop.value)
+            env._active_process = None
+            if self.callbacks:
+                self.succeed(stop.value)
+            else:
+                # No waiters: complete in place, skipping the calendar
+                # round-trip.  Anyone who yields or inspects the process
+                # afterwards sees an ordinary processed event.  (Failures
+                # below always go through the calendar so an unhandled
+                # one still propagates out of Environment.run.)
+                self._value = stop.value
+                self._state = PROCESSED
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
+        # Fast path: waiting on a live event — append the cached bound
+        # resume to its callbacks.  Everything else (processed targets,
+        # non-events) takes the slow path.
+        if target.__class__ is Timeout or isinstance(target, Event):
+            if target._state != PROCESSED:
+                target.callbacks.append(self._resume_cb)
+                self._waiting_on = target
+                return
         self._wait_on(target)
 
     def _throw(self, exc: BaseException) -> None:
@@ -223,7 +302,11 @@ class Process(Event):
             target = self._generator.throw(exc)
         except StopIteration as stop:
             self.env._active_process = None
-            self.succeed(stop.value)
+            if self.callbacks:
+                self.succeed(stop.value)
+            else:
+                self._value = stop.value
+                self._state = PROCESSED
             return
         except BaseException as err:
             self.env._active_process = None
@@ -237,18 +320,23 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; coroutines must "
                 "yield Event instances (did you forget 'yield from'?)")
-        if target.processed:
-            # Already fired: resume on the next scheduling round.
-            kick = Event(self.env)
-            kick._ok, kick._value = target._ok, target._value
+        if target._state == PROCESSED:
+            # Already fired: resume on the next scheduling round, via a
+            # pooled kick (no fresh Event allocation on this path).
+            env = self.env
+            pool = env._kick_pool
+            kick = pool.pop() if pool else _Kick(env)
+            kick._ok = target._ok
+            kick._value = target._value
             if not target._ok:
                 target._defused = True
-            kick.callbacks.append(self._resume)
+            kick.callbacks.append(self._resume_cb)
             kick._state = TRIGGERED
-            self.env._schedule(kick, HIGH)
+            env._seq += 1
+            heappush(env._heap, (env._now, HIGH, env._seq, kick))
             self._waiting_on = kick
         else:
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
             self._waiting_on = target
 
 
@@ -280,6 +368,16 @@ class _Condition(Event):
     def _check(self, event: Event, immediate: bool = False) -> None:
         raise NotImplementedError
 
+    def _late_child(self, event: Event) -> None:
+        """Handle a child firing after the condition itself has fired.
+
+        A late *failure* must still be defused: the condition no longer
+        propagates it (it already has an outcome), and without defusing it
+        the exception would escape :meth:`Environment.run`.
+        """
+        if not event._ok:
+            event._defused = True
+
 
 class AllOf(_Condition):
     """Fires when every child event has fired; value is the list of values."""
@@ -292,6 +390,7 @@ class AllOf(_Condition):
 
     def _check(self, event: Event, immediate: bool = False) -> None:
         if self._state != PENDING:
+            self._late_child(event)
             return
         if not event._ok:
             event._defused = True
@@ -314,6 +413,7 @@ class AnyOf(_Condition):
 
     def _check(self, event: Event, immediate: bool = False) -> None:
         if self._state != PENDING:
+            self._late_child(event)
             return
         if not event._ok:
             event._defused = True
@@ -323,13 +423,26 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation environment: virtual clock plus the event calendar."""
+    """The simulation environment: virtual clock plus the event calendar.
 
-    def __init__(self, initial_time: float = 0.0):
+    ``reuse_timeouts=True`` opts into the timeout freelist: plain
+    :class:`Timeout` events created through :meth:`timeout` are recycled
+    once fired *if nothing else still references them* (checked via the
+    refcount), trading a tiny per-event check for zero allocation on the
+    dominant event type.  Off by default — holding a fired timeout and
+    reading its ``value`` later is legal API use and only guaranteed
+    stable when the freelist is off or the caller keeps a reference.
+    """
+
+    def __init__(self, initial_time: float = 0.0,
+                 reuse_timeouts: bool = False):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._kick_pool: list[_Kick] = []
+        self._timeout_pool: Optional[list[Timeout]] = \
+            [] if reuse_timeouts else None
         #: Optional tracer; hardware layers append timeline records here.
         self.tracer = None
         #: Optional correctness monitor (see :mod:`repro.analysis`); the
@@ -354,7 +467,26 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        pool = self._timeout_pool
+        if pool:
+            to = pool.pop()
+            to._value = value
+            to._state = TRIGGERED
+        else:
+            # Inline Timeout construction: this is the single hottest
+            # allocation in any sweep, so skip the __init__ call frame.
+            to = Timeout.__new__(Timeout)
+            to.env = self
+            to.callbacks = []
+            to._value = value
+            to._ok = True
+            to._state = TRIGGERED
+            to._defused = False
+        self._seq += 1
+        heappush(self._heap, (self._now + delay, NORMAL, self._seq, to))
+        return to
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a coroutine for execution; returns its Process event."""
@@ -372,13 +504,11 @@ class Environment:
     def _schedule(self, event: Event, priority: int = NORMAL,
                   delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heappush(self._heap, (self._now + delay, priority, self._seq, event))
 
     def step(self) -> None:
         """Process the single next event on the calendar."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - defensive
-            raise SimulationError("time ran backwards")
+        when, _prio, _seq, event = heappop(self._heap)
         self._now = when
         event._run_callbacks()
 
@@ -387,14 +517,47 @@ class Environment:
 
         Unhandled process failures propagate out of ``run`` (matching the
         behaviour of an uncaught exception on a real thread).
+
+        The loop inlines :meth:`Event._run_callbacks` (engine classes do
+        not override it) so each event costs one heappop plus the
+        callback dispatch — no per-event method-call frames.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pool = self._timeout_pool
+        kick_pool = self._kick_pool
+        while heap:
+            if until is not None and heap[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            when, _p, _s, event = heappop(heap)
+            self._now = when
+            event._state = PROCESSED
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for cb in callbacks:
+                    cb(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            cls = event.__class__
+            if cls is Timeout:
+                if (pool is not None and not event.callbacks
+                        and getrefcount(event) == 2
+                        and len(pool) < _TIMEOUT_POOL_MAX):
+                    # Nothing else references the fired timeout: recycle.
+                    event._state = PENDING
+                    event._value = None
+                    event._defused = False
+                    pool.append(event)
+            elif cls is _Kick:
+                event._state = PENDING
+                event._ok = True
+                event._value = None
+                event._defused = False
+                if len(kick_pool) < _KICK_POOL_MAX:
+                    kick_pool.append(event)
         if until is not None:
             self._now = until
 

@@ -11,6 +11,16 @@ from repro.sim import Environment, Tracer
 from repro.systems import cichlid, ricc
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the harness result cache at a per-test directory.
+
+    Keeps test runs from reading or polluting the developer's
+    ``.repro_cache/`` in the repository root.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+
+
 @pytest.fixture
 def env() -> Environment:
     return Environment()

@@ -1,0 +1,178 @@
+"""Determinism and cache semantics of the sweep pipeline.
+
+The PR-level acceptance criterion: a sweep run serially, in parallel,
+and from a warm cache yields byte-identical report JSON, and the cache
+invalidates when the configuration or the code version changes.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import ResultCache, run_fig10, run_fig8, run_fig9
+from repro.harness.cache import code_version
+from repro.harness.parallel import resolve_jobs, sweep
+from repro.harness.runner import main
+
+
+def _square(spec):
+    return {"sq": spec["x"] * spec["x"]}
+
+
+class TestSweep:
+    def test_results_in_spec_order(self):
+        specs = [{"x": i} for i in range(7)]
+        assert sweep(_square, specs, jobs=1) == \
+            [{"sq": i * i} for i in range(7)]
+
+    def test_parallel_matches_serial(self):
+        specs = [{"x": i} for i in range(6)]
+        assert sweep(_square, specs, jobs=2) == sweep(_square, specs, jobs=1)
+
+    def test_cache_short_circuits_worker(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c")
+        specs = [{"x": 3}]
+        first = sweep(_square, specs, cache=cache, kind="t")
+        calls = []
+
+        def poisoned(spec):
+            calls.append(spec)
+            return {"sq": -1}
+
+        second = sweep(poisoned, specs, cache=cache, kind="t")
+        assert first == second == [{"sq": 9}]
+        assert calls == []  # warm cache: the worker never ran
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c")
+        spec = {"system": "Cichlid", "nbytes": 1024}
+        assert cache.get("bw", spec) is None
+        cache.put("bw", spec, {"seconds": 0.125})
+        assert cache.get("bw", spec) == {"seconds": 0.125}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_changes_with_spec(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c")
+        a = cache.key("bw", {"nbytes": 1024})
+        b = cache.key("bw", {"nbytes": 2048})
+        assert a != b
+        assert cache.key("other", {"nbytes": 1024}) != a
+
+    def test_key_changes_with_code_version(self, tmp_path):
+        spec = {"nbytes": 1024}
+        v1 = ResultCache(root=tmp_path / "c", version="aaaa")
+        v2 = ResultCache(root=tmp_path / "c", version="bbbb")
+        assert v1.key("bw", spec) != v2.key("bw", spec)
+        v1.put("bw", spec, {"seconds": 1.0})
+        assert v2.get("bw", spec) is None  # new code: entry unreachable
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_stats_persist_across_instances(self, tmp_path):
+        root = tmp_path / "c"
+        c1 = ResultCache(root=root)
+        c1.get("bw", {"x": 1})          # miss
+        c1.put("bw", {"x": 1}, {"r": 2})
+        c1.get("bw", {"x": 1})          # hit
+        c2 = ResultCache(root=root)
+        assert c2.read_stats() == {"hits": 1, "misses": 1}
+        assert c2.entry_count() == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c")
+        cache.put("bw", {"x": 1}, {"r": 1})
+        cache.put("bw", {"x": 2}, {"r": 2})
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+
+SMALL_FIG8 = dict(sizes=[1 << 18, 1 << 22], pipeline_blocks=[1 << 20],
+                  repeats=2, verbose=False)
+
+
+class TestReportDeterminism:
+    """Serial, parallel, and cached runs: byte-identical to_json()."""
+
+    def test_fig8(self, tmp_path):
+        serial = run_fig8("cichlid", jobs=1, **SMALL_FIG8).to_json()
+        par = run_fig8("cichlid", jobs=2, **SMALL_FIG8).to_json()
+        cache = ResultCache(root=tmp_path / "c")
+        cold = run_fig8("cichlid", cache=cache, **SMALL_FIG8).to_json()
+        warm = run_fig8("cichlid", cache=cache, **SMALL_FIG8).to_json()
+        assert serial == par == cold == warm
+        assert cache.hits > 0
+
+    def test_fig9(self, tmp_path):
+        kw = dict(nodes=[1, 2], size="XS", iterations=2, verbose=False)
+        serial = run_fig9("cichlid", jobs=1, **kw).to_json()
+        par = run_fig9("cichlid", jobs=2, **kw).to_json()
+        cache = ResultCache(root=tmp_path / "c")
+        run_fig9("cichlid", cache=cache, **kw)
+        warm = run_fig9("cichlid", cache=cache, **kw).to_json()
+        assert serial == par == warm
+
+    def test_fig10(self, tmp_path):
+        kw = dict(nodes=[1, 2], steps=1, verbose=False)
+        serial = run_fig10(jobs=1, **kw).to_json()
+        par = run_fig10(jobs=2, **kw).to_json()
+        cache = ResultCache(root=tmp_path / "c")
+        run_fig10(cache=cache, **kw)
+        warm = run_fig10(cache=cache, **kw).to_json()
+        assert serial == par == warm
+
+    def test_tune(self, tmp_path):
+        from repro.clmpi.autotune import tune_policy
+        from repro.systems import ricc
+
+        kw = dict(sizes=[1 << 18, 4 << 20], blocks=[1 << 20])
+        serial = tune_policy(ricc(), jobs=1, **kw)
+        cache = ResultCache(root=tmp_path / "c")
+        tune_policy(ricc(), cache=cache, **kw)
+        warm = tune_policy(ricc(), cache=cache, **kw)
+        assert serial.winners == warm.winners
+        assert serial.measurements == warm.measurements
+
+
+class TestCli:
+    def test_cache_stats_standalone(self, capsys):
+        assert main(["--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "hits:" in out and "misses:" in out
+
+    def test_no_cache_flag(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        assert main(["fig10", "--nodes", "1", "--steps", "1",
+                     "--no-cache"]) == 0
+        cache = ResultCache(root=tmp_path / "cc")
+        assert cache.entry_count() == 0  # bypassed entirely
+
+    def test_json_output_identical_serial_vs_warm(self, capsys,
+                                                  monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["fig10", "--nodes", "1,2", "--steps", "1",
+                     "--json", str(p1)]) == 0
+        assert main(["fig10", "--nodes", "1,2", "--steps", "1",
+                     "--json", str(p2)]) == 0
+        assert p1.read_bytes() == p2.read_bytes()
+        table = json.loads(p1.read_text())
+        assert table["columns"][0] == "nodes"
+        stats = ResultCache(root=tmp_path / "cc").read_stats()
+        assert stats["hits"] >= 2
+
+    def test_jobs_flag(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        assert main(["fig10", "--nodes", "1", "--steps", "1",
+                     "--jobs", "2", "--no-cache"]) == 0
+        assert "Fig 10" in capsys.readouterr().out

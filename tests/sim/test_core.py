@@ -375,3 +375,170 @@ class TestDeterminism:
             return log
 
         assert build() == build()
+
+
+class TestLateChildFailures:
+    """A child failing after its AllOf/AnyOf already fired must be
+    defused, or the stray failure escapes Environment.run()."""
+
+    def test_all_of_defuses_failure_after_condition_failed(self, env):
+        first = env.event()
+        second = env.event()
+        cond = env.all_of([first, second])
+        caught = []
+
+        def proc(env):
+            try:
+                yield cond
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        env.process(proc(env))
+        first.fail(RuntimeError("early"))   # condition fails now
+        second.fail(RuntimeError("late"))   # fires after the condition
+        env.run()  # must not raise the late failure
+        assert len(caught) == 1
+        assert str(caught[0]) == "early"
+
+    def test_any_of_defuses_failure_after_win(self, env):
+        winner = env.event()
+        loser = env.event()
+        cond = env.any_of([winner, loser])
+        got = []
+
+        def proc(env):
+            got.append((yield cond))
+
+        env.process(proc(env))
+        winner.succeed("ok")
+        loser.fail(RuntimeError("late failure"))
+        env.run()  # must not raise
+        assert got[0][1] == "ok"
+
+    def test_late_success_is_harmless(self, env):
+        winner = env.event()
+        slow = env.event()
+        cond = env.any_of([winner, slow])
+
+        def proc(env):
+            yield cond
+
+        env.process(proc(env))
+        winner.succeed(1)
+        slow.succeed(2)
+        env.run()
+        assert cond.ok and slow.processed
+
+
+class TestInterruptAfterFire:
+    def test_interrupt_while_target_already_triggered(self, env):
+        """Interrupting a process whose wait target has fired but not yet
+        been processed must not deliver both the value and the
+        Interrupt."""
+        seen = []
+
+        def proc(env):
+            try:
+                yield env.timeout(5.0)
+                seen.append("timeout")
+            except Interrupt as i:
+                seen.append(("interrupt", i.cause))
+            yield env.timeout(1.0)
+            seen.append("after")
+
+        p = env.process(proc(env))
+        env.run(until=1.0)
+        p.interrupt(cause="now")
+        env.run()
+        assert seen == [("interrupt", "now"), "after"]
+
+    def test_interrupt_after_processed_target(self, env):
+        """The waited-on event's callbacks list is always a list (never
+        None) after it has been processed; interrupt must cope."""
+        gate = env.event()
+        seen = []
+
+        def proc(env):
+            try:
+                yield gate
+                yield env.timeout(10.0)
+            except Interrupt:
+                seen.append("interrupted")
+
+        p = env.process(proc(env))
+        gate.succeed()
+        env.run(until=1.0)
+        assert gate.processed and gate.callbacks == []
+        p.interrupt()
+        env.run()
+        assert seen == ["interrupted"]
+
+
+class TestObjectPools:
+    def test_kick_pool_reuses_events(self):
+        env = Environment()
+
+        def proc(env):
+            done = env.event()
+            done.succeed()
+            yield done        # processed-target wait -> kick
+            yield env.timeout(0.0)
+
+        for _ in range(5):
+            env.process(proc(env))
+        env.run()
+        assert len(env._kick_pool) >= 1
+        # Pool survives across runs and is drawn down by new processes.
+        before = len(env._kick_pool)
+        env.process(proc(env))
+        assert len(env._kick_pool) == before - 1
+        env.run()
+
+    def test_timeout_freelist_recycles(self):
+        env = Environment(reuse_timeouts=True)
+
+        def proc(env):
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert len(env._timeout_pool) >= 1
+
+    def test_freelist_never_steals_held_timeouts(self):
+        env = Environment(reuse_timeouts=True)
+        held = []
+
+        def proc(env):
+            t = env.timeout(1.0, value="precious")
+            held.append(t)
+            yield t
+            yield env.timeout(1.0)
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        # The referenced timeout was not recycled: its value is intact.
+        assert held[0].value == "precious"
+        assert held[0] not in env._timeout_pool
+
+    def test_freelist_off_by_default(self):
+        env = Environment()
+        assert env._timeout_pool is None
+
+    def test_pooling_does_not_change_schedule(self):
+        def build(reuse):
+            env = Environment(reuse_timeouts=reuse)
+            log = []
+
+            def worker(env, i):
+                for k in range(5):
+                    yield env.timeout(0.25 * ((i + k) % 4))
+                    log.append((round(env.now, 6), i, k))
+
+            for i in range(8):
+                env.process(worker(env, i))
+            env.run()
+            return log
+
+        assert build(False) == build(True)
