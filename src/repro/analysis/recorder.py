@@ -24,7 +24,7 @@ from typing import Any, Optional
 
 from repro.analysis import graph as G
 from repro.analysis.graph import ExecutionGraph
-from repro.analysis.report import Finding
+from repro.analysis.report import Finding, WARNING
 
 __all__ = ["Recorder"]
 
@@ -37,6 +37,8 @@ class Recorder:
         self.graph = ExecutionGraph()
         #: findings that are conclusive at notification time
         self.direct_findings: list[Finding] = []
+        #: fault-injection / tolerance records (see Recorder.on_fault)
+        self.fault_records: list[dict] = []
         # -- entity tables (ids stay valid: _keep pins every object) -----
         self._keep: list[Any] = []
         self._event_node: dict[int, int] = {}      # id(CLEvent) -> nid
@@ -117,10 +119,27 @@ class Recorder:
             witness = [node.describe()]
         else:  # pragma: no cover - event predates the monitor
             witness = []
+        if getattr(exc, "injected", False):
+            # Deliberately injected by repro.faults: report it (the user
+            # wants to see what the plan did) but as a warning — it is
+            # the experiment, not a program bug.
+            self.direct_findings.append(Finding(
+                "injected-fault",
+                f"event {ev.label!r} failed by fault injection: {exc}",
+                severity=WARNING, witness=witness))
+            return
         self.direct_findings.append(Finding(
             "event-failed",
             f"event {ev.label!r} failed: {exc}",
             witness=witness))
+
+    def on_fault(self, record: dict) -> None:
+        """A fault injector (or tolerance layer) reports one occurrence.
+
+        Injected faults are experiment input, not hazards: they are
+        tallied in the stats, not turned into findings.
+        """
+        self.fault_records.append(record)
 
     def on_callback_error(self, ev, exc) -> None:
         self.direct_findings.append(Finding(
@@ -344,4 +363,5 @@ class Recorder:
             "commands": len(self._commands),
             "buffers": len(self._buffers),
             "requests": len(self._requests),
+            "faults": len(self.fault_records),
         }

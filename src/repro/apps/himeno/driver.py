@@ -63,7 +63,7 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
                functional: bool = True, collect: bool = False,
                force_mode: Optional[str] = None,
                force_block: Optional[int] = None,
-               trace: bool = False) -> HimenoResult:
+               trace: bool = False, faults=None) -> HimenoResult:
     """Run the Himeno benchmark once and return its result.
 
     Parameters mirror the paper's setup: ``implementation`` is one of
@@ -80,7 +80,7 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
     config = config or HimenoConfig()
     app = ClusterApp(system, nodes, functional=functional,
                      force_mode=force_mode, force_block=force_block,
-                     trace=trace)
+                     trace=trace, faults=faults)
     results = app.run(main, config, collect)
     time = max(r["time"] for r in results)
     gosa_series = results[0]["gosa_per_iter"]

@@ -32,6 +32,9 @@ class BandwidthResult:
     nbytes: int
     repeats: int
     seconds: float
+    #: injected-fault tally ({"total": N, "by_kind": {...}}), if a
+    #: fault plan was active for this point
+    fault_summary: Optional[dict] = None
 
     @property
     def bandwidth(self) -> float:
@@ -62,21 +65,26 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
                       mode: Optional[str] = None,
                       block: Optional[int] = None,
                       repeats: int = 4,
-                      functional: bool = False) -> BandwidthResult:
+                      functional: bool = False,
+                      faults=None) -> BandwidthResult:
     """One Fig 8 data point.
 
     ``mode=None`` lets the runtime's automatic selector choose (§V.B);
     otherwise the engine is forced on both endpoints, as the paper does
-    for its per-implementation curves.
+    for its per-implementation curves.  ``faults`` (a
+    :class:`~repro.faults.FaultPlan` or plan dict) measures the point
+    under fault injection — the paper's lossy-interconnect scenario.
     """
     if nbytes <= 0 or repeats <= 0:
         raise ConfigurationError("nbytes and repeats must be positive")
     app = ClusterApp(system, 2, functional=functional,
-                     force_mode=mode, force_block=block)
+                     force_mode=mode, force_block=block, faults=faults)
     results = app.run(_pingpong_main, nbytes, repeats)
     return BandwidthResult(system=system.name, mode=mode or "auto",
                            block=block, nbytes=nbytes, repeats=repeats,
-                           seconds=max(results))
+                           seconds=max(results),
+                           fault_summary=(app.faults.summary()
+                                          if app.faults else None))
 
 
 def bandwidth_point(spec: dict) -> dict:
@@ -92,16 +100,24 @@ def bandwidth_point(spec: dict) -> dict:
     r = measure_bandwidth(get_system(spec["system"]), spec["nbytes"],
                           spec["mode"], block=spec.get("block"),
                           repeats=spec.get("repeats", 4),
-                          functional=spec.get("functional", False))
+                          functional=spec.get("functional", False),
+                          faults=spec.get("faults"))
     return {"system": r.system, "mode": r.mode, "block": r.block,
-            "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds}
+            "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds,
+            "faults": r.fault_summary}
 
 
 def bandwidth_specs(system: str,
                     sizes: Optional[list[int]] = None,
                     pipeline_blocks: Optional[list[int]] = None,
-                    repeats: int = 4) -> list[dict]:
-    """The Fig 8 grid as spec dicts, in canonical (reporting) order."""
+                    repeats: int = 4,
+                    faults: Optional[dict] = None) -> list[dict]:
+    """The Fig 8 grid as spec dicts, in canonical (reporting) order.
+
+    ``faults`` (a JSON-able fault-plan dict) rides inside every spec, so
+    the result cache addresses faulty and fault-free runs of the same
+    point as distinct entries.
+    """
     sizes = sizes or DEFAULT_SIZES
     pipeline_blocks = pipeline_blocks or [1 << 20, 1 << 22, 1 << 24]
     specs: list[dict] = []
@@ -117,6 +133,9 @@ def bandwidth_specs(system: str,
                               "repeats": repeats})
         specs.append({"system": system, "nbytes": nbytes, "mode": None,
                       "block": None, "repeats": repeats})
+    if faults is not None:
+        for spec in specs:
+            spec["faults"] = faults
     return specs
 
 
@@ -125,23 +144,26 @@ def bandwidth_sweep(system: SystemPreset,
                     pipeline_blocks: Optional[list[int]] = None,
                     repeats: int = 4,
                     jobs: Optional[int] = 1,
-                    cache=None) -> list[BandwidthResult]:
+                    cache=None,
+                    faults: Optional[dict] = None) -> list[BandwidthResult]:
     """The full Fig 8 sweep for one system.
 
     Curves: pinned, mapped, pipelined(B) for each block size, plus the
     automatic selector.  ``jobs``/``cache`` fan the grid out over a
     process pool and/or the result cache (see
     :mod:`repro.harness.parallel`); results come back in grid order
-    either way.
+    either way.  Points that failed (crashed workers) are dropped from
+    the returned list — inspect the raw sweep for their error records.
     """
-    from repro.harness.parallel import sweep  # avoid an import cycle
+    from repro.harness.parallel import is_error_record, sweep
 
     specs = bandwidth_specs(system.name, sizes=sizes,
                             pipeline_blocks=pipeline_blocks,
-                            repeats=repeats)
+                            repeats=repeats, faults=faults)
     rows = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
                  kind="bandwidth")
     return [BandwidthResult(system=d["system"], mode=d["mode"],
                             block=d["block"], nbytes=d["nbytes"],
-                            repeats=d["repeats"], seconds=d["seconds"])
-            for d in rows]
+                            repeats=d["repeats"], seconds=d["seconds"],
+                            fault_summary=d.get("faults"))
+            for d in rows if not is_error_record(d)]

@@ -27,18 +27,26 @@ from typing import Any, Generator, Optional
 
 import numpy as np
 
+from dataclasses import replace
+
 from repro.clmpi.selector import TransferSelector
 from repro.clmpi.transfers.base import (
     TRANSFER_MODES,
     Side,
     TransferDescriptor,
 )
-from repro.errors import ClmpiError
+from repro.errors import ClmpiError, MpiError, OclError
 from repro.mpi.comm import Communicator
 from repro.ocl.buffer import Buffer
 from repro.ocl.context import Context
 
-__all__ = ["ClmpiRuntime"]
+__all__ = ["ClmpiRuntime", "FALLBACK_LADDER"]
+
+#: graceful-degradation order under fault injection: each engine in turn
+#: trades peak throughput for fewer moving parts (pipelined needs staging
+#: + many wire messages; pinned one staging copy + one message; mapped a
+#: single capped stream with no staging at all)
+FALLBACK_LADDER = ("pipelined", "pinned", "mapped")
 
 
 class ClmpiRuntime:
@@ -127,8 +135,11 @@ class ClmpiRuntime:
         desc = self.describe(side.nbytes, tag)
         if self.env.monitor is not None:
             self.env.monitor.on_transfer("send", dest, tag, desc)
-        send_fn, _ = TRANSFER_MODES[desc.mode]
-        yield from send_fn(side, dest, desc)
+        if self.env.faults is None:
+            send_fn, _ = TRANSFER_MODES[desc.mode]
+            yield from send_fn(side, dest, desc)
+            return
+        yield from self._degraded("send", side, dest, desc)
 
     def do_recv(self, side: Side, source: int, tag: int,
                 comm: Communicator) -> Generator[Any, Any, None]:
@@ -137,8 +148,59 @@ class ClmpiRuntime:
         desc = self.describe(side.nbytes, tag)
         if self.env.monitor is not None:
             self.env.monitor.on_transfer("recv", source, tag, desc)
-        _, recv_fn = TRANSFER_MODES[desc.mode]
-        yield from recv_fn(side, source, desc)
+        if self.env.faults is None:
+            _, recv_fn = TRANSFER_MODES[desc.mode]
+            yield from recv_fn(side, source, desc)
+            return
+        yield from self._degraded("recv", side, source, desc)
+
+    @staticmethod
+    def _attempt_modes(mode: str) -> tuple[str, ...]:
+        """Retry-then-degrade sequence starting from the chosen engine.
+
+        One retry of the chosen mode (a transient fault — a NIC flap, a
+        burst of drops — may have passed), then each simpler engine of
+        :data:`FALLBACK_LADDER` once.  Both endpoints derive the same
+        sequence independently, so attempt *k* always pairs the same
+        engines and (salted) tags on both sides with no control traffic.
+        """
+        if mode in FALLBACK_LADDER:
+            rest = FALLBACK_LADDER[FALLBACK_LADDER.index(mode) + 1:]
+        else:
+            rest = FALLBACK_LADDER
+        return (mode, mode) + rest
+
+    def _degraded(self, op: str, side: Side, peer: int,
+                  desc: TransferDescriptor) -> Generator[Any, Any, None]:
+        """Run one endpoint through the retry/degrade attempt sequence."""
+        env = self.env
+        modes = self._attempt_modes(desc.mode)
+        last: Optional[BaseException] = None
+        for attempt, mode in enumerate(modes):
+            d = replace(desc, mode=mode, attempt=attempt)
+            fn = TRANSFER_MODES[mode][0 if op == "send" else 1]
+            try:
+                yield from fn(side, peer, d)
+                return
+            except (MpiError, OclError) as exc:
+                # The peer's attempt fails at the same simulated time
+                # (delivery failure poisons both endpoints' events), so
+                # both sides advance to the next rung together.
+                last = exc
+                mon = env.monitor
+                if mon is not None:
+                    hook = getattr(mon, "on_fault", None)
+                    if hook is not None:
+                        hook({"kind": "clmpi_degrade", "time": env.now,
+                              "op": op, "peer": peer, "tag": desc.tag,
+                              "mode": mode, "attempt": attempt,
+                              "error": str(exc)})
+        exc = ClmpiError(
+            f"clMPI {op} with peer {peer} tag {desc.tag} ({desc.nbytes} B) "
+            f"failed in every transfer mode (attempts: {', '.join(modes)}); "
+            f"last error: {last}")
+        exc.injected = getattr(last, "injected", False)
+        raise exc from last
 
     # convenience entry points used by the API layer -----------------------
     def device_send(self, buf: Buffer, offset: int, size: int, dest: int,

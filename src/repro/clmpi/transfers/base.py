@@ -35,6 +35,13 @@ __all__ = ["Side", "TransferDescriptor", "TRANSFER_MODES", "register_mode",
 #: separates clMPI data from the runtime's other internal traffic)
 DATA_TAG_BASE = 1 << 27
 
+#: tag stride between fault-tolerance attempts of one transfer: a retried
+#: or degraded attempt talks on fresh tags, so stale messages / posted
+#: receives abandoned by a failed attempt can never match the new one.
+#: (Attempts stay < 8, keeping data tags far below the 1 << 29 runtime
+#: object-tag space and the 1 << 30 collective tag space.)
+ATTEMPT_TAG_STRIDE = 1 << 24
+
 
 @dataclass(frozen=True)
 class TransferDescriptor:
@@ -50,10 +57,12 @@ class TransferDescriptor:
     block: Optional[int] = None
     #: staging engine under pipelining: 'pinned' | 'mapped'
     base: str = "pinned"
+    #: fault-tolerance attempt number (0 = first try; same at both ends)
+    attempt: int = 0
 
     @property
     def data_tag(self) -> int:
-        return DATA_TAG_BASE + self.tag
+        return DATA_TAG_BASE + self.attempt * ATTEMPT_TAG_STRIDE + self.tag
 
 
 @dataclass

@@ -1,0 +1,37 @@
+"""Deterministic fault injection for the simulated cluster.
+
+``repro.faults`` turns the perfect simulated machines into the flaky
+real ones of Table I: message drop and corruption, NIC flaps, fail-stop
+node crashes, straggler derating, and GPU command failures — all driven
+by a seeded, content-addressable :class:`FaultPlan` and injected through
+the ``env.faults`` attachment hook (zero cost when detached).
+
+Typical use::
+
+    from repro.faults import FaultPlan, FaultInjector
+
+    plan = FaultPlan.from_dict({
+        "seed": 7,
+        "events": [
+            {"kind": "drop", "probability": 0.01},
+            {"kind": "nic_flap", "node": 1, "at": 1e-3, "duration": 5e-4},
+        ],
+    })
+    app = ClusterApp(system, num_nodes=2, faults=plan)
+
+See ``docs/faults.md`` for the plan format, the determinism guarantees,
+and the tolerance mechanisms (MPI retransmit, clMPI fallback ladder)
+that the rest of the stack layers on top.
+"""
+
+from repro.faults.injector import FaultInjector, as_injector, injected
+from repro.faults.plan import FAULT_KINDS, STRAGGLER_RESOURCES, FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "STRAGGLER_RESOURCES",
+    "as_injector",
+    "injected",
+]

@@ -1,0 +1,219 @@
+"""Deterministic fault schedules (:class:`FaultPlan`).
+
+A plan is a *value*: a seed plus a tuple of JSON-able event dicts, frozen
+and canonically serializable.  That makes fault experiments first-class
+citizens of the result cache — a plan embedded in a sweep spec changes
+the content address exactly like any other parameter, so a cached point
+is always the product of one specific fault schedule.
+
+Fault classes (the ``kind`` field of each event):
+
+``node_crash``
+    ``{"kind": "node_crash", "node": N, "at": T}`` — node ``N``'s NIC
+    goes dark permanently at time ``T`` (a fail-stop crash as seen from
+    the network; the node's local coroutines keep simulating, exactly
+    like a partitioned host that no one can reach).
+
+``nic_flap``
+    ``{"kind": "nic_flap", "node": N, "at": T, "duration": D}`` — the
+    NIC drops every message touching it during ``[T, T+D)``.
+
+``drop`` / ``corrupt``
+    ``{"kind": "drop", "probability": P, "src": S?, "dst": D?}`` — each
+    message on a matching link is lost (or delivered corrupted and
+    discarded by the receiver's checksum) with probability ``P``, drawn
+    from the plan's seeded RNG.  ``src``/``dst`` omitted or None match
+    any endpoint.
+
+``straggler``
+    ``{"kind": "straggler", "node": N?, "resource": R, "factor": F,
+    "from": T0?, "until": T1?}`` — derate resource ``R`` (one of
+    ``cpu``, ``gpu``, ``pcie``, ``nic``) by slowdown factor ``F >= 1``
+    during ``[T0, T1)`` (defaults: the whole run).
+
+``gpu_fail``
+    ``{"kind": "gpu_fail", "node": N?, "at": T, "code": C?}`` — the
+    first GPU command running on node ``N`` at or after ``T`` fails
+    with CL error ``C`` (default ``CL_OUT_OF_RESOURCES``); or
+    ``{"kind": "gpu_fail", "probability": P, ...}`` for a seeded
+    per-command failure rate.
+
+Determinism guarantee: the DES engine consumes the plan's single RNG
+stream in calendar order, so one ``(plan, workload)`` pair always yields
+the same injected faults, the same retransmits, and the same virtual
+makespan — across processes, machines, and cache round trips.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultPlan", "FAULT_KINDS", "STRAGGLER_RESOURCES"]
+
+#: recognised event kinds
+FAULT_KINDS = ("node_crash", "nic_flap", "drop", "corrupt", "straggler",
+               "gpu_fail")
+
+#: resources a straggler event may derate
+STRAGGLER_RESOURCES = ("cpu", "gpu", "pcie", "nic")
+
+#: default CL error code of an injected GPU command failure
+DEFAULT_GPU_ERROR = "CL_OUT_OF_RESOURCES"
+
+
+def _need_number(event: Mapping, key: str, minimum: float = 0.0,
+                 maximum: Optional[float] = None) -> float:
+    value = event.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(
+            f"fault event {event!r}: {key!r} must be a number")
+    if value < minimum or (maximum is not None and value > maximum):
+        hi = "inf" if maximum is None else maximum
+        raise ConfigurationError(
+            f"fault event {event!r}: {key!r}={value} outside [{minimum}, {hi}]")
+    return float(value)
+
+
+def _need_node(event: Mapping, key: str = "node",
+               optional: bool = False) -> Optional[int]:
+    value = event.get(key)
+    if value is None and optional:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ConfigurationError(
+            f"fault event {event!r}: {key!r} must be a non-negative node id")
+    return value
+
+
+def _validate_event(event: Mapping) -> dict:
+    if not isinstance(event, Mapping):
+        raise ConfigurationError(f"fault event must be a dict, got {event!r}")
+    kind = event.get("kind")
+    if kind not in FAULT_KINDS:
+        raise ConfigurationError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+    out = dict(event)
+    if kind == "node_crash":
+        _need_node(event)
+        _need_number(event, "at")
+    elif kind == "nic_flap":
+        _need_node(event)
+        _need_number(event, "at")
+        _need_number(event, "duration")
+    elif kind in ("drop", "corrupt"):
+        _need_number(event, "probability", 0.0, 1.0)
+        _need_node(event, "src", optional=True)
+        _need_node(event, "dst", optional=True)
+    elif kind == "straggler":
+        _need_node(event, optional=True)
+        resource = event.get("resource")
+        if resource not in STRAGGLER_RESOURCES:
+            raise ConfigurationError(
+                f"straggler resource {resource!r} must be one of "
+                f"{STRAGGLER_RESOURCES}")
+        if _need_number(event, "factor") < 1.0:
+            raise ConfigurationError(
+                f"fault event {event!r}: slowdown factor must be >= 1")
+        if "from" in event and event["from"] is not None:
+            _need_number(event, "from")
+        if "until" in event and event["until"] is not None:
+            _need_number(event, "until")
+    elif kind == "gpu_fail":
+        _need_node(event, optional=True)
+        has_at = event.get("at") is not None
+        has_prob = event.get("probability") is not None
+        if has_at == has_prob:
+            raise ConfigurationError(
+                f"gpu_fail event {event!r} needs exactly one of "
+                "'at' (one-shot) or 'probability' (seeded rate)")
+        if has_at:
+            _need_number(event, "at")
+        else:
+            _need_number(event, "probability", 0.0, 1.0)
+        code = event.get("code", DEFAULT_GPU_ERROR)
+        if not isinstance(code, str) or not code:
+            raise ConfigurationError(
+                f"gpu_fail event {event!r}: 'code' must be a CL error name")
+        out["code"] = code
+    return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault events (see module docs)."""
+
+    seed: int = 0
+    events: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError(
+                f"FaultPlan seed must be an int, got {self.seed!r}")
+        validated = tuple(_validate_event(e) for e in self.events)
+        object.__setattr__(self, "events", validated)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Build (and validate) a plan from a JSON-able mapping."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(f"fault plan must be a dict, got {data!r}")
+        unknown = set(data) - {"seed", "events"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan keys: {sorted(unknown)}")
+        return cls(seed=data.get("seed", 0),
+                   events=tuple(data.get("events", ())))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from a JSON document string."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid fault plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan from a ``plan.json`` file."""
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read fault plan {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able form; embeddable in sweep specs (cache-addressable)."""
+        return {"seed": self.seed, "events": [dict(e) for e in self.events]}
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    # -- derivation ---------------------------------------------------------
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same schedule under a different RNG seed."""
+        return replace(self, seed=seed)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """The plan's events of one ``kind``, in plan order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    @classmethod
+    def lossy(cls, probability: float = 0.01, seed: int = 0,
+              corrupt_probability: float = 0.0) -> "FaultPlan":
+        """Convenience: a uniformly lossy network (README's lossy GbE)."""
+        events: list[dict] = [{"kind": "drop", "probability": probability}]
+        if corrupt_probability:
+            events.append({"kind": "corrupt",
+                           "probability": corrupt_probability})
+        return cls(seed=seed, events=tuple(events))

@@ -68,10 +68,12 @@ class GpuSpec:
 class GpuModel:
     """A :class:`GpuSpec` bound to the simulator."""
 
-    def __init__(self, env: Environment, spec: GpuSpec, lane: str = "gpu"):
+    def __init__(self, env: Environment, spec: GpuSpec, lane: str = "gpu",
+                 node_id: int = 0):
         self.env = env
         self.spec = spec
         self.lane = lane
+        self.node_id = node_id
         self.compute = Resource(env, capacity=1, name=f"{spec.name}.compute")
         self._allocated = 0
 
@@ -103,6 +105,15 @@ class GpuModel:
         grant = yield from self.compute.acquire()
         start = self.env.now
         try:
+            faults = self.env.faults
+            if faults is not None:
+                # An injected failure surfaces here, at the moment the
+                # command starts on the engine — the queue dispatcher
+                # catches it and fails the command's event.
+                faults.check_gpu(self.node_id, label)
+                derate = faults.slowdown("gpu", self.node_id)
+                if derate > 1.0:
+                    duration *= derate
             yield self.env.timeout(duration)
         finally:
             self.compute.release(grant)

@@ -73,13 +73,18 @@ class HostModel:
     """
 
     def __init__(self, env: Environment, spec: HostSpec, cores: int = 4,
-                 lane: str = "host"):
+                 lane: str = "host", node_id: int = 0):
         if cores < 1:
             raise ConfigurationError("host needs at least one core")
         self.env = env
         self.spec = spec
         self.lane = lane
+        self.node_id = node_id
         self.cores = Resource(env, capacity=cores, name=f"{spec.name}.cores")
+
+    def _derate(self) -> float:
+        faults = self.env.faults
+        return 1.0 if faults is None else faults.slowdown("cpu", self.node_id)
 
     def compute(self, flops: float,
                 label: str = "host-compute") -> Generator[Any, Any, float]:
@@ -87,7 +92,8 @@ class HostModel:
         grant = yield from self.cores.acquire()
         start = self.env.now
         try:
-            yield self.env.timeout(self.spec.compute_time(flops))
+            yield self.env.timeout(self.spec.compute_time(flops)
+                                   * self._derate())
         finally:
             self.cores.release(grant)
         if self.env.tracer is not None:
@@ -101,7 +107,8 @@ class HostModel:
         grant = yield from self.cores.acquire()
         start = self.env.now
         try:
-            yield self.env.timeout(self.spec.memcpy_time(nbytes))
+            yield self.env.timeout(self.spec.memcpy_time(nbytes)
+                                   * self._derate())
         finally:
             self.cores.release(grant)
         if self.env.tracer is not None:

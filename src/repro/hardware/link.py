@@ -62,16 +62,21 @@ class Link:
         return self.resource.count > 0
 
     def transfer(self, nbytes: int, label: str = "xfer",
-                 category: str = "net") -> Generator[Any, Any, float]:
+                 category: str = "net",
+                 derate: float = 1.0) -> Generator[Any, Any, float]:
         """Coroutine: occupy one channel for the modelled duration.
 
-        Returns the transfer duration.  Records a trace interval when the
-        environment has a tracer attached.
+        ``derate`` (>= 1) stretches the transfer — used by fault
+        injection to model straggling buses.  Returns the transfer
+        duration.  Records a trace interval when the environment has a
+        tracer attached.
         """
         grant = yield from self.resource.acquire()
         start = self.env.now
         try:
             cost = self.spec.time(nbytes)
+            if derate > 1.0:
+                cost *= derate
             yield self.env.timeout(cost)
         finally:
             self.resource.release(grant)

@@ -10,6 +10,7 @@ therefore appears exactly where the paper sees it: at the endpoints.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import index
 from typing import Any, Generator
 
 from repro.errors import ConfigurationError
@@ -93,6 +94,20 @@ class Fabric:
         self.spec = spec
         self.nics = [Nic(env, spec.nic, i) for i in range(num_nodes)]
 
+    def _check_node(self, node: int, role: str) -> int:
+        """Validate a src/dst node id; returns it as a plain index."""
+        try:
+            idx = index(node)
+        except TypeError:
+            raise ConfigurationError(
+                f"fabric {role} node id must be an integer, "
+                f"got {node!r}") from None
+        if not 0 <= idx < len(self.nics):
+            raise ConfigurationError(
+                f"fabric {role} node id {idx} out of range "
+                f"[0, {len(self.nics)})")
+        return idx
+
     def unloaded_time(self, nbytes: int, src: int, dst: int,
                       rate_limit: float | None = None) -> float:
         """Contention-free one-way message time.
@@ -118,6 +133,8 @@ class Fabric:
         message duration (store-and-forward at message granularity, which
         is how MPI-over-sockets and IPoIB behave for the sizes evaluated).
         """
+        src = self._check_node(src, "src")
+        dst = self._check_node(dst, "dst")
         start = self.env.now
         if src == dst:
             yield self.env.timeout(nbytes / self.spec.loopback_bandwidth)
@@ -131,9 +148,7 @@ class Fabric:
         rx_grant = rx.request()
         yield rx_grant
         try:
-            bw = self.spec.nic.bandwidth
-            if rate_limit is not None and rate_limit < bw:
-                bw = rate_limit
+            bw = self._effective_bandwidth(src, dst, rate_limit)
             yield self.env.timeout(self.spec.nic.latency + nbytes / bw
                                    + self.spec.switch_latency)
         finally:
@@ -145,14 +160,90 @@ class Fabric:
                                    nbytes=nbytes, dst=dst)
         return self.env.now - start
 
-    def control_message(self, src: int, dst: int) -> Generator[Any, Any, None]:
-        """Coroutine: a tiny control packet (rendezvous RTS/CTS).
+    def _effective_bandwidth(self, src: int, dst: int,
+                             rate_limit: float | None) -> float:
+        """NIC bandwidth after rate limiting and straggler derating."""
+        bw = self.spec.nic.bandwidth
+        if rate_limit is not None and rate_limit < bw:
+            bw = rate_limit
+        faults = self.env.faults
+        if faults is not None:
+            derate = faults.slowdown("nic", src)
+            other = faults.slowdown("nic", dst)
+            if other > derate:
+                derate = other
+            if derate > 1.0:
+                bw /= derate
+        return bw
+
+    def send_checked(self, src: int, dst: int, nbytes: int,
+                     label: str = "msg",
+                     rate_limit: float | None = None,
+                     ) -> Generator[Any, Any, tuple[float, str]]:
+        """Coroutine: a fault-aware :meth:`send`; returns ``(elapsed, fate)``.
+
+        The frame's fate comes from ``env.faults`` (``"ok"`` when no
+        injector is attached):
+
+        * ``"ok"`` — behaves exactly like :meth:`send`.
+        * ``"drop"`` / ``"corrupt"`` — the frame occupies the wire for
+          its full duration (the bytes travel; the receiver discards
+          them), so a retransmitting sender pays realistic time.
+        * ``"down"`` / ``"dead"`` — the local NIC stack detects the
+          unreachable peer after its own latency; the ports are never
+          occupied.
+        """
+        env = self.env
+        src = self._check_node(src, "src")
+        dst = self._check_node(dst, "dst")
+        start = env.now
+        if src == dst:
+            # Loopback is a memcpy — nothing on the wire to drop.
+            yield env.timeout(nbytes / self.spec.loopback_bandwidth)
+            return env.now - start, "ok"
+        faults = env.faults
+        fate = ("ok" if faults is None
+                else faults.link_fate(src, dst, nbytes, label))
+        if fate in ("down", "dead"):
+            yield env.timeout(self.spec.nic.latency)
+            return env.now - start, fate
+        tx, rx = self.nics[src].tx, self.nics[dst].rx
+        tx_grant = tx.request()
+        yield tx_grant
+        rx_grant = rx.request()
+        yield rx_grant
+        try:
+            bw = self._effective_bandwidth(src, dst, rate_limit)
+            yield env.timeout(self.spec.nic.latency + nbytes / bw
+                              + self.spec.switch_latency)
+        finally:
+            rx.release(rx_grant)
+            tx.release(tx_grant)
+        if env.tracer is not None:
+            env.tracer.record(self.nics[src].lane + ".tx",
+                              label if fate == "ok" else f"{label}!{fate}",
+                              start, env.now, "net", nbytes=nbytes, dst=dst)
+        return env.now - start, fate
+
+    def control_message(self, src: int,
+                        dst: int) -> Generator[Any, Any, str]:
+        """Coroutine: a tiny control packet (rendezvous RTS/CTS, acks).
 
         Does not occupy the ports — control traffic rides the wire
-        alongside bulk data.
+        alongside bulk data.  Returns the packet's fate: ``"ok"``, or
+        ``"down"``/``"dead"`` when a fault injector has taken an
+        endpoint's NIC offline (control packets are never dropped or
+        corrupted — they are tiny and checksummed/retried below the
+        layer we model).
         """
-        if src != dst:
-            yield self.env.timeout(self.spec.nic.latency
-                                   + self.spec.switch_latency)
-        else:
+        src = self._check_node(src, "src")
+        dst = self._check_node(dst, "dst")
+        if src == dst:
             yield self.env.timeout(0.0)
+            return "ok"
+        faults = self.env.faults
+        fate = ("ok" if faults is None
+                else faults.control_fate(src, dst))
+        yield self.env.timeout(self.spec.nic.latency
+                               + self.spec.switch_latency)
+        return fate

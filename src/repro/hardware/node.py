@@ -51,15 +51,17 @@ class Node:
         self.node_id = node_id
         prefix = f"node{node_id}"
         self.host = HostModel(env, spec.host, cores=spec.host_cores,
-                              lane=f"{prefix}.host")
+                              lane=f"{prefix}.host", node_id=node_id)
         self.gpus = [GpuModel(env, spec.gpu,
                               lane=(f"{prefix}.gpu" if spec.num_gpus == 1
-                                    else f"{prefix}.gpu{i}"))
+                                    else f"{prefix}.gpu{i}"),
+                              node_id=node_id)
                      for i in range(spec.num_gpus)]
         self.pcies = [PcieModel(env, spec.pcie,
                                 copy_engines=spec.gpu.copy_engines,
                                 lane=(f"{prefix}.pcie" if spec.num_gpus == 1
-                                      else f"{prefix}.pcie{i}"))
+                                      else f"{prefix}.pcie{i}"),
+                                node_id=node_id)
                       for i in range(spec.num_gpus)]
         self.storage = StorageModel(env, spec.storage,
                                     lane=f"{prefix}.disk")

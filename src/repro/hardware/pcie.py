@@ -61,10 +61,11 @@ class PcieModel:
     """
 
     def __init__(self, env: Environment, spec: PcieSpec, copy_engines: int = 2,
-                 lane: str = "pcie"):
+                 lane: str = "pcie", node_id: int = 0):
         self.env = env
         self.spec = spec
         self.lane = lane
+        self.node_id = node_id
         if copy_engines == 2:
             self._d2h = Link(env, LinkSpec(spec.copy_latency,
                                            spec.pinned_bandwidth, "pcie.d2h"),
@@ -97,16 +98,22 @@ class PcieModel:
         """Host→device explicit copy; returns elapsed time."""
         return (yield from self._copy(self._h2d, nbytes, pinned, label, "h2d"))
 
+    def _derate(self) -> float:
+        faults = self.env.faults
+        return 1.0 if faults is None else faults.slowdown("pcie", self.node_id)
+
     def _copy(self, link: Link, nbytes: int, pinned: bool, label: str,
               category: str) -> Generator[Any, Any, float]:
         if nbytes < 0:
             raise ValueError("negative copy size")
         if pinned:
-            return (yield from link.transfer(nbytes, label, category))
+            return (yield from link.transfer(nbytes, label, category,
+                                             derate=self._derate()))
         # Pageable copies bounce through the driver's staging buffer:
         # model as the same engine at reduced bandwidth.
         scale = self.spec.pinned_bandwidth / self.spec.pageable_bandwidth
-        return (yield from link.transfer(int(nbytes * scale), label, category))
+        return (yield from link.transfer(int(nbytes * scale), label, category,
+                                         derate=self._derate()))
 
     # -- mapped access -------------------------------------------------------------
     def map_buffer(self) -> Generator[Any, Any, float]:
@@ -118,9 +125,11 @@ class PcieModel:
     def mapped_read(self, nbytes: int,
                     label: str = "mapped-read") -> Generator[Any, Any, float]:
         """Stream ``nbytes`` out of a mapped device buffer."""
-        return (yield from self._mapped.transfer(nbytes, label, "d2h"))
+        return (yield from self._mapped.transfer(nbytes, label, "d2h",
+                                                 derate=self._derate()))
 
     def mapped_write(self, nbytes: int,
                      label: str = "mapped-write") -> Generator[Any, Any, float]:
         """Stream ``nbytes`` into a mapped device buffer."""
-        return (yield from self._mapped.transfer(nbytes, label, "h2d"))
+        return (yield from self._mapped.transfer(nbytes, label, "h2d",
+                                                 derate=self._derate()))

@@ -93,17 +93,34 @@ class ResultCache:
 
     # -- access -------------------------------------------------------------
     def get(self, kind: str, spec: dict) -> Optional[Any]:
-        """The cached result for ``spec``, or None (counts hit/miss)."""
+        """The cached result for ``spec``, or None (counts hit/miss).
+
+        A file that exists but cannot be parsed — truncated by a crash
+        or power loss, bit-rotted, hand-edited — is deleted and treated
+        as a plain miss, so the point is recomputed and the bad entry
+        can never poison a figure.
+        """
         path = self._path(kind, spec)
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            self._bump_stats(hit=False)
+            return None
+        try:
+            entry = json.loads(text)
+            result = entry["result"]
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing deletion
+                pass
             self.misses += 1
             self._bump_stats(hit=False)
             return None
         self.hits += 1
         self._bump_stats(hit=True)
-        return entry["result"]
+        return result
 
     def put(self, kind: str, spec: dict, result: Any) -> None:
         """Store ``result``; atomic so an interrupted run never leaves a

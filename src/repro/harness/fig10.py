@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import sweep
+from repro.harness.parallel import is_error_record, sweep
 from repro.harness.report import Table
 from repro.systems import get_system
 
@@ -49,13 +49,23 @@ def run_fig10(system: str = "ricc",
              for n in nodes for impl in IMPLS]
     results = sweep(nanopowder_point, specs, jobs=jobs, cache=cache,
                     kind="nanopowder")
+    errors = [r for r in results if is_error_record(r)]
     table = Table(
         f"Fig 10: nanopowder throughput on {preset.name} (steps/s)",
         ["nodes", "baseline", "clMPI", "clMPI gain", "clMPI speedup vs 1"])
     base1 = None
     for i, n in enumerate(nodes):
-        sb = results[i * 2]["steps_per_second"]
-        sc = results[i * 2 + 1]["steps_per_second"]
+        rb, rc = results[i * 2], results[i * 2 + 1]
+        if is_error_record(rb) or is_error_record(rc):
+            table.add(n,
+                      "ERROR" if is_error_record(rb)
+                      else round(rb["steps_per_second"], 3),
+                      "ERROR" if is_error_record(rc)
+                      else round(rc["steps_per_second"], 3),
+                      "n/a", "n/a")
+            continue
+        sb = rb["steps_per_second"]
+        sc = rc["steps_per_second"]
         if base1 is None:
             base1 = sc
         table.add(n, round(sb, 3), round(sc, 3),
@@ -63,4 +73,11 @@ def run_fig10(system: str = "ricc",
                   round(sc / base1, 2))
     if verbose:
         print(table.render())
+        if errors:
+            print(f"WARNING: partial figure — {len(errors)} of "
+                  f"{len(results)} points failed:")
+            for e in errors:
+                err, spec = e["sweep_error"], e["sweep_error"]["spec"]
+                print(f"  {spec['impl']} @ {spec['nodes']} nodes: "
+                      f"{err['type']}: {err['message']}")
     return table

@@ -12,7 +12,7 @@ from typing import Optional
 
 from repro.apps.pingpong import bandwidth_point, bandwidth_specs
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import sweep
+from repro.harness.parallel import is_error_record, sweep
 from repro.harness.report import Table
 from repro.systems import get_system
 
@@ -26,18 +26,32 @@ def run_fig8(system: str = "cichlid",
              pipeline_blocks: Optional[list[int]] = None,
              repeats: int = 4, verbose: bool = True,
              jobs: Optional[int] = 1,
-             cache: Optional[ResultCache] = None) -> Table:
+             cache: Optional[ResultCache] = None,
+             faults: Optional[dict] = None) -> Table:
     """Regenerate Fig 8(a) or 8(b); one row per message size, one column
-    per transfer implementation (MB/s)."""
+    per transfer implementation (MB/s).
+
+    With ``faults`` (a fault-plan dict, see :mod:`repro.faults`), every
+    point runs under injection; the tally is printed below the table.
+    Points whose worker crashed are skipped (blank cells) and listed —
+    a partial figure beats no figure.
+    """
     preset = get_system(system)
     blocks = pipeline_blocks or [1 * MiB, 4 * MiB, 16 * MiB]
     specs = bandwidth_specs(preset.name, sizes=sizes,
-                            pipeline_blocks=blocks, repeats=repeats)
+                            pipeline_blocks=blocks, repeats=repeats,
+                            faults=faults)
     results = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
                     kind="bandwidth")
+    errors = [r for r in results if is_error_record(r)]
+    fault_totals: dict[str, int] = {}
     curves: dict[str, dict[int, float]] = {}
     all_sizes: list[int] = []
     for r in results:
+        if is_error_record(r):
+            continue
+        for knd, n in ((r.get("faults") or {}).get("by_kind") or {}).items():
+            fault_totals[knd] = fault_totals.get(knd, 0) + n
         mode, block = r["mode"], r["block"]
         name = mode if block is None else \
             f"pipelined({block // MiB}M)" if block >= MiB else \
@@ -56,6 +70,17 @@ def run_fig8(system: str = "cichlid",
                     for n in names])
     if verbose:
         print(table.render())
+        if fault_totals:
+            tally = ", ".join(f"{k}: {n}"
+                              for k, n in sorted(fault_totals.items()))
+            print(f"injected faults across the sweep — {tally}")
+        if errors:
+            print(f"WARNING: partial figure — {len(errors)} of "
+                  f"{len(results)} points failed:")
+            for e in errors:
+                err, spec = e["sweep_error"], e["sweep_error"]["spec"]
+                print(f"  {spec['mode'] or 'auto'} @ {spec['nbytes']}B: "
+                      f"{err['type']}: {err['message']}")
     return table
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import sweep
+from repro.harness.parallel import is_error_record, sweep
 from repro.harness.report import Table
 from repro.systems import get_system
 
@@ -32,7 +32,8 @@ def himeno_point(spec: dict) -> dict:
     cfg = HimenoConfig(size=spec["size"], iterations=spec["iterations"])
     res = run_himeno(get_system(spec["system"]), spec["nodes"],
                      spec["impl"], cfg,
-                     functional=spec.get("functional", False))
+                     functional=spec.get("functional", False),
+                     faults=spec.get("faults"))
     return {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio}
 
 
@@ -41,11 +42,13 @@ def run_fig9(system: str = "cichlid",
              size: str = "M", iterations: int = 4,
              functional: bool = False, verbose: bool = True,
              jobs: Optional[int] = 1,
-             cache: Optional[ResultCache] = None) -> Table:
+             cache: Optional[ResultCache] = None,
+             faults: Optional[dict] = None) -> Table:
     """Regenerate Fig 9(a) or (b): sustained GFLOP/s per implementation.
 
     ``functional=False`` (default) runs timing-only at the paper's M size;
-    the virtual clock is identical either way.
+    the virtual clock is identical either way.  Points whose worker
+    crashed render as ``ERROR`` cells instead of aborting the figure.
     """
     preset = get_system(system)
     nodes = nodes or DEFAULT_NODES.get(system.lower(), [1, 2, 4])
@@ -53,8 +56,12 @@ def run_fig9(system: str = "cichlid",
               "size": size, "iterations": iterations,
               "functional": functional}
              for n in nodes for impl in IMPLS]
+    if faults is not None:
+        for spec in specs:
+            spec["faults"] = faults
     results = sweep(himeno_point, specs, jobs=jobs, cache=cache,
                     kind="himeno")
+    errors = [r for r in results if is_error_record(r)]
     sub = "a" if preset.name.lower() == "cichlid" else "b"
     table = Table(
         f"Fig 9({sub}): Himeno {size}-size sustained GFLOP/s on {preset.name}",
@@ -62,12 +69,27 @@ def run_fig9(system: str = "cichlid",
          "serial comp/comm", "clMPI vs hand-opt"])
     for i, n in enumerate(nodes):
         res = dict(zip(IMPLS, results[i * len(IMPLS):(i + 1) * len(IMPLS)]))
-        gain = res["clmpi"]["gflops"] / res["hand-optimized"]["gflops"] - 1
-        table.add(n, round(res["serial"]["gflops"], 2),
-                  round(res["hand-optimized"]["gflops"], 2),
-                  round(res["clmpi"]["gflops"], 2),
-                  round(res["serial"]["comp_comm_ratio"], 2),
-                  f"{gain * 100:+.1f}%")
+
+        def cell(impl, field="gflops"):
+            return ("ERROR" if is_error_record(res[impl])
+                    else round(res[impl][field], 2))
+
+        if (is_error_record(res["clmpi"])
+                or is_error_record(res["hand-optimized"])):
+            gain = "n/a"
+        else:
+            rel = (res["clmpi"]["gflops"]
+                   / res["hand-optimized"]["gflops"] - 1)
+            gain = f"{rel * 100:+.1f}%"
+        table.add(n, cell("serial"), cell("hand-optimized"), cell("clmpi"),
+                  cell("serial", "comp_comm_ratio"), gain)
     if verbose:
         print(table.render())
+        if errors:
+            print(f"WARNING: partial figure — {len(errors)} of "
+                  f"{len(results)} points failed:")
+            for e in errors:
+                err, spec = e["sweep_error"], e["sweep_error"]["spec"]
+                print(f"  {spec['impl']} @ {spec['nodes']} nodes: "
+                      f"{err['type']}: {err['message']}")
     return table

@@ -14,17 +14,24 @@ Contract for workers:
 * returns a JSON-able dict of primitives — no tuples, no objects — so
   the value survives both the pickle hop from a pool worker and the
   JSON round-trip through the cache without changing shape.
+
+A sweep never dies with its points: a worker that raises — or a pool
+process that is killed outright — yields an *error record* (see
+:func:`is_error_record`) in that point's slot, and every other point
+still completes.  Error records are never written to the cache, so a
+repaired run recomputes exactly the failed points.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Optional, Sequence
 
 from repro.harness.cache import ResultCache
 
-__all__ = ["resolve_jobs", "sweep"]
+__all__ = ["resolve_jobs", "sweep", "is_error_record", "error_record"]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -36,17 +43,36 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def error_record(spec: dict, exc: BaseException,
+                 message: Optional[str] = None) -> dict:
+    """Structured record for a sweep point that could not be computed."""
+    return {"sweep_error": {
+        "type": type(exc).__name__,
+        "message": message if message is not None else str(exc),
+        "spec": spec,
+    }}
+
+
+def is_error_record(result: Any) -> bool:
+    """True for the error records :func:`sweep` leaves in failed slots."""
+    return isinstance(result, dict) and "sweep_error" in result
+
+
 def sweep(worker: Callable[[dict], Any], specs: Sequence[dict],
           jobs: Optional[int] = None,
           cache: Optional[ResultCache] = None,
           kind: str = "sweep") -> list[Any]:
-    """``[worker(s) for s in specs]``, cached and fanned out.
+    """``[worker(s) for s in specs]``, cached, fanned out, crash-proof.
 
     Cache lookups and stores happen here in the parent — pool workers
     never touch the cache directory, so no locking is needed and the
     hit/miss counters are exact.  ``jobs=1`` (or a one-point grid) runs
     inline with no pool at all; results are identical either way because
     each point is an isolated simulation.
+
+    A point whose worker raises (or whose pool process dies) comes back
+    as an error record instead of aborting the sweep; the figure code
+    skips such slots and reports a partial result.
     """
     results: list[Any] = [None] * len(specs)
     todo: list[int] = []
@@ -60,14 +86,58 @@ def sweep(worker: Callable[[dict], Any], specs: Sequence[dict],
 
     njobs = resolve_jobs(jobs)
     if todo:
+        pending = [specs[i] for i in todo]
         if njobs <= 1 or len(todo) == 1:
-            computed = [worker(specs[i]) for i in todo]
+            computed = [_run_inline(worker, spec) for spec in pending]
         else:
-            with ProcessPoolExecutor(max_workers=min(njobs,
-                                                     len(todo))) as pool:
-                computed = list(pool.map(worker, [specs[i] for i in todo]))
+            computed = _run_pool(worker, pending, njobs)
         for i, result in zip(todo, computed):
-            if cache is not None:
+            if cache is not None and not is_error_record(result):
                 cache.put(kind, specs[i], result)
             results[i] = result
     return results
+
+
+def _run_inline(worker: Callable[[dict], Any], spec: dict) -> Any:
+    try:
+        return worker(spec)
+    except Exception as exc:
+        return error_record(spec, exc)
+
+
+def _run_pool(worker: Callable[[dict], Any], pending: list[dict],
+              njobs: int) -> list[Any]:
+    """Fan ``pending`` over a process pool, isolating failures per slot."""
+    computed: list[Any] = [None] * len(pending)
+    broken: list[int] = []
+    with ProcessPoolExecutor(max_workers=min(njobs, len(pending))) as pool:
+        futures = [(pool.submit(worker, spec), k)
+                   for k, spec in enumerate(pending)]
+        for fut, k in futures:
+            try:
+                computed[k] = fut.result()
+            except BrokenProcessPool:
+                # A killed worker process poisons the *whole* pool:
+                # every still-pending future fails with this, no matter
+                # which spec actually crashed.  Defer them all.
+                broken.append(k)
+            except Exception as exc:
+                computed[k] = error_record(pending[k], exc)
+    # Isolation round: rerun each deferred point in its own one-worker
+    # pool, so only the spec that genuinely kills its interpreter ends
+    # up as an error record — innocent bystanders just recompute.
+    for k in broken:
+        computed[k] = _run_isolated(worker, pending[k])
+    return computed
+
+
+def _run_isolated(worker: Callable[[dict], Any], spec: dict) -> Any:
+    try:
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(worker, spec).result()
+    except BrokenProcessPool as exc:
+        return error_record(
+            spec, exc, "worker process died (killed, or it crashed "
+            "the interpreter) while computing this point")
+    except Exception as exc:
+        return error_record(spec, exc)

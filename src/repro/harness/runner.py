@@ -40,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
                              ".repro_cache/")
     common.add_argument("--json", metavar="PATH", default=None,
                         help="also write the table as canonical JSON")
+    common.add_argument("--faults", metavar="PATH", default=None,
+                        help="JSON fault plan injected into every sweep "
+                             "point (see docs/faults.md); supported by "
+                             "fig8 and fig9")
+    common.add_argument("--fault-seed", type=int, default=None,
+                        help="override the plan's RNG seed (distinct "
+                             "seeds give distinct fault histories)")
 
     sub.add_parser("table1", parents=[common],
                    help="Table I: system specifications")
@@ -94,6 +101,22 @@ def _print_cache_stats() -> None:
     print(f"misses:    {stats['misses']}")
 
 
+def _load_faults(args) -> Optional[dict]:
+    """Resolve --faults/--fault-seed into a JSON-able plan dict."""
+    path = getattr(args, "faults", None)
+    seed = getattr(args, "fault_seed", None)
+    if path is None:
+        if seed is not None:
+            raise SystemExit("--fault-seed requires --faults PATH")
+        return None
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.load(path)
+    if seed is not None:
+        plan = plan.with_seed(seed)
+    return plan.to_dict()
+
+
 def _write_json(table, path: Optional[str]) -> None:
     if path:
         with open(path, "w") as fh:
@@ -112,16 +135,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     jobs = getattr(args, "jobs", 1)
     cache = None if getattr(args, "no_cache", False) else ResultCache()
     json_path = getattr(args, "json", None)
+    faults = _load_faults(args)
+    if faults is not None and args.experiment not in ("fig8", "fig9"):
+        print(f"warning: {args.experiment} does not support fault "
+              "injection; --faults ignored", file=sys.stderr)
+        faults = None
     if args.experiment == "table1":
         _write_json(run_table1(), json_path)
     elif args.experiment == "fig8":
         _write_json(run_fig8(system=args.system, repeats=args.repeats,
-                             jobs=jobs, cache=cache), json_path)
+                             jobs=jobs, cache=cache, faults=faults),
+                    json_path)
     elif args.experiment == "fig9":
         _write_json(run_fig9(system=args.system, nodes=args.nodes,
                              size=args.size, iterations=args.iterations,
                              functional=args.functional,
-                             jobs=jobs, cache=cache), json_path)
+                             jobs=jobs, cache=cache, faults=faults),
+                    json_path)
     elif args.experiment == "fig10":
         _write_json(run_fig10(nodes=args.nodes, steps=args.steps,
                               functional=args.functional,

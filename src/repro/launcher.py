@@ -83,18 +83,24 @@ class ClusterApp:
         (Fig 8's per-engine sweeps).
     trace:
         Attach a tracer for Fig 4-style timelines.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (or plan dict / prebuilt
+        :class:`~repro.faults.FaultInjector`) to inject into the run.
     """
 
     def __init__(self, system: SystemPreset, num_nodes: int,
                  functional: bool = True,
                  force_mode: Optional[str] = None,
                  force_block: Optional[int] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 faults=None):
         if not isinstance(system, SystemPreset):
             raise ReproError("ClusterApp needs a SystemPreset")
         self.system = system
-        self.world = MpiWorld(system, num_nodes=num_nodes, trace=trace)
+        self.world = MpiWorld(system, num_nodes=num_nodes, trace=trace,
+                              faults=faults)
         self.env = self.world.env
+        self.faults = self.world.faults
         self.contexts: list[RankContext] = []
         for rank in range(self.world.size):
             comm = self.world.comm(rank)

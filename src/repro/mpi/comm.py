@@ -41,6 +41,13 @@ class MpiConfig:
     eager_threshold: int = 64 * 1024
     #: modelled wire size of a pickled control object
     object_nbytes: int = 256
+    #: fault tolerance (active only while a fault injector is attached):
+    #: time waited for a delivery ack before the first retransmission
+    ack_timeout: float = 1e-4
+    #: retransmissions allowed before the send fails with MpiError
+    max_retries: int = 8
+    #: multiplicative backoff applied to ack_timeout per retransmission
+    retry_backoff: float = 2.0
 
 
 _UINT8 = np.dtype(np.uint8)
@@ -320,13 +327,20 @@ class Communicator:
                 # one fused delay (nothing observes the boundary).
                 overhead += envelope.nbytes / self._memcpy_bw
             yield env.timeout(overhead)
-            yield from fabric.send(src_node, dst_node,
-                                   envelope.nbytes,
-                                   label=f"eager t{envelope.tag}"
-                                   if traced else "eager",
-                                   rate_limit=rate_limit)
-            envelope.arrived.succeed()
-            completion.succeed()
+            label = f"eager t{envelope.tag}" if traced else "eager"
+            if env.faults is None:
+                yield from fabric.send(src_node, dst_node, envelope.nbytes,
+                                       label=label, rate_limit=rate_limit)
+                envelope.arrived.succeed()
+                completion.succeed()
+                return
+            delivered = yield from self._reliable_send(
+                envelope, src_node, dst_node, label, rate_limit)
+            if delivered:
+                envelope.arrived.succeed()
+                completion.succeed()
+            else:
+                self._fail_send(envelope, completion)
         else:
             yield envelope.cts  # clear-to-send from the receiver
             yield from fabric.control_message(dst_node, src_node)
@@ -334,17 +348,85 @@ class Communicator:
             if recv_rate is not None:
                 rate_limit = (recv_rate if rate_limit is None
                               else min(rate_limit, recv_rate))
-            yield from fabric.send(src_node, dst_node,
-                                   envelope.nbytes,
-                                   label=f"rndv t{envelope.tag}"
-                                   if traced else "rndv",
-                                   rate_limit=rate_limit)
+            label = f"rndv t{envelope.tag}" if traced else "rndv"
+            if env.faults is None:
+                yield from fabric.send(src_node, dst_node, envelope.nbytes,
+                                       label=label, rate_limit=rate_limit)
+            else:
+                delivered = yield from self._reliable_send(
+                    envelope, src_node, dst_node, label, rate_limit)
+                if not delivered:
+                    self._fail_send(envelope, completion)
+                    return
             # zero-copy deposit into the matched receive buffer
             dst_buf = envelope.recv_buf
             if dst_buf is not None and envelope.payload is not None:
                 self._deposit(envelope.payload, dst_buf)
             envelope.arrived.succeed()
             completion.succeed()
+
+    def _reliable_send(self, envelope: Envelope, src_node: int,
+                       dst_node: int, label: str,
+                       rate_limit: Optional[float]
+                       ) -> Generator[Any, Any, bool]:
+        """Ack/timeout/retransmit delivery loop (fault injection active).
+
+        Each wire attempt's fate comes from the fault injector: dropped
+        or corrupted frames cost their full wire time, a downed NIC
+        costs only the local detection latency.  A successful frame is
+        acknowledged by a control packet back from the receiver; a lost
+        ack looks exactly like a lost frame.  After each failed attempt
+        the sender backs off exponentially from ``ack_timeout``.
+
+        Returns True once delivered, False when ``max_retries`` is
+        exhausted (the caller turns that into an ``MpiError``).
+        """
+        env = self.env
+        fabric = self._state.cluster.fabric
+        cfg = self._state.config
+        delay = cfg.ack_timeout
+        fate = "ok"
+        for attempt in range(cfg.max_retries + 1):
+            if attempt:
+                yield env.timeout(delay)  # backoff before retransmitting
+                delay *= cfg.retry_backoff
+            _elapsed, fate = yield from fabric.send_checked(
+                src_node, dst_node, envelope.nbytes,
+                label=label, rate_limit=rate_limit)
+            if fate != "ok":
+                envelope.retries = attempt + 1
+                continue
+            fate = yield from fabric.control_message(dst_node, src_node)
+            if fate == "ok":
+                envelope.retries = attempt
+                return True
+            envelope.retries = attempt + 1
+        envelope.last_fate = fate
+        return False
+
+    def _fail_send(self, envelope: Envelope, completion: Event) -> None:
+        """Give up on a message: fail both ends' events with MpiError."""
+        exc = MpiError(
+            f"{self.name}: message r{envelope.src}->r{envelope.dst} "
+            f"tag {envelope.tag} ({envelope.nbytes} B) undeliverable after "
+            f"{self._state.config.max_retries} retransmissions "
+            f"(last fate: {envelope.last_fate})")
+        exc.injected = True
+        # Pre-defuse: an application that never waits on the request must
+        # not have the failure escape Environment.run (same pattern as
+        # CLEvent._fail).  Waiters still get the exception re-raised at
+        # their yield site.
+        envelope.arrived.fail(exc)
+        envelope.arrived._defused = True
+        completion.fail(exc)
+        completion._defused = True
+        if self.env.monitor is not None:
+            hook = getattr(self.env.monitor, "on_fault", None)
+            if hook is not None:
+                hook({"kind": "mpi_giveup", "time": self.env.now,
+                      "src": envelope.src, "dst": envelope.dst,
+                      "tag": envelope.tag, "nbytes": envelope.nbytes,
+                      "last_fate": envelope.last_fate})
 
     @staticmethod
     def _deposit(src_bytes: np.ndarray, dst_bytes: np.ndarray) -> None:
@@ -399,6 +481,11 @@ class Communicator:
             name=f"mpi.recv r{envelope.dst}<-r{envelope.src} t{envelope.tag}"
             if self.env.monitor is not None else "mpi.recv")
 
+    def _fail_recv(self, posted: PostedRecv, exc: BaseException) -> None:
+        """Propagate a sender-side delivery failure to the receive request."""
+        posted.completion.fail(exc)
+        posted.completion._defused = True
+
     def _recv_finish(self, envelope: Envelope, posted: PostedRecv,
                      unexpected: bool):
         env = self.env
@@ -406,7 +493,11 @@ class Communicator:
             # Was the payload already buffered at the receiver when the
             # receive got matched?  Then draining it costs an extra copy.
             buffered = unexpected and envelope.arrived.triggered
-            yield envelope.arrived
+            try:
+                yield envelope.arrived
+            except MpiError as exc:
+                self._fail_recv(posted, exc)
+                return
             if envelope.is_object:
                 status = Status(envelope.src, envelope.tag, envelope.nbytes)
                 posted.completion.succeed((envelope.payload, status))
@@ -424,7 +515,11 @@ class Communicator:
             envelope.recv_buf = posted.buf
             envelope.recv_rate = posted.rate_limit
             envelope.cts.succeed()
-            yield envelope.arrived
+            try:
+                yield envelope.arrived
+            except MpiError as exc:
+                self._fail_recv(posted, exc)
+                return
             posted.completion.succeed(
                 Status(envelope.src, envelope.tag, envelope.nbytes))
 

@@ -43,6 +43,10 @@ class Envelope:
     cts: Optional[Event] = None
     #: set once matched to a posted receive
     matched: bool = False
+    #: retransmissions spent delivering the payload (fault injection)
+    retries: int = 0
+    #: fate of the last wire attempt ("ok" unless delivery gave up)
+    last_fate: str = "ok"
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope satisfy a receive for ``(source, tag)``?"""

@@ -51,8 +51,17 @@ class Request:
         return self.completion.triggered
 
     def wait(self) -> Generator[Any, Any, Any]:
-        """Coroutine: block until completion; returns the Status (recv)."""
-        result = yield self.completion
+        """Coroutine: block until completion; returns the Status (recv).
+
+        A failed operation raises out of the wait, but the request still
+        counts as consumed — MPI_Wait on an erroneous operation frees
+        the handle all the same.
+        """
+        try:
+            result = yield self.completion
+        except BaseException:
+            self.consumed = True
+            raise
         self.consumed = True
         return result
 

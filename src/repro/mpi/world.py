@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import MpiError
+from repro.faults import as_injector
 from repro.hardware.cluster import Cluster, ClusterSpec
 from repro.mpi.comm import Communicator, MpiConfig, _CommState
 from repro.sim import Environment, Process, Tracer
@@ -50,7 +51,8 @@ class MpiWorld:
 
     def __init__(self, system, num_nodes: Optional[int] = None,
                  trace: bool = False,
-                 config: Optional[MpiConfig] = None):
+                 config: Optional[MpiConfig] = None,
+                 faults=None):
         if hasattr(system, "cluster"):  # SystemPreset
             cluster_spec: ClusterSpec = system.cluster
             if config is None:
@@ -66,6 +68,10 @@ class MpiWorld:
         self.env = Environment(reuse_timeouts=True)
         if trace:
             self.env.tracer = Tracer()
+        #: optional FaultInjector (plan dict / FaultPlan also accepted)
+        self.faults = as_injector(faults)
+        if self.faults is not None:
+            self.faults.attach(self.env)
         self.cluster = Cluster(self.env, cluster_spec, num_nodes)
         self._state = _CommState(self.env, self.cluster, comm_id=0,
                                  config=self.config, name="WORLD")

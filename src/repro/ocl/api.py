@@ -32,7 +32,15 @@ def wait_for_events(events: Iterable[CLEvent],
         else:
             yield env.timeout(0.0)
         return
-    yield env.all_of([e.completion for e in events])
+    # Wait for every event individually: clWaitForEvents returns only
+    # once ALL listed events are complete, even when some fail — and a
+    # failure must surface as the CL wait-list error below, not as the
+    # command's raw internal exception.
+    for e in events:
+        try:
+            yield e.completion
+        except BaseException:
+            pass  # converted to OclError by _check_failed
     _check_failed(events)
     if env.monitor is not None:
         env.monitor.on_host_sync(events)

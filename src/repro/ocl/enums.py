@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from enum import Enum, IntEnum
 
-__all__ = ["CommandStatus", "CommandType"]
+__all__ = ["CommandStatus", "CommandType", "ERROR_CODES", "error_code"]
 
 
 class CommandStatus(IntEnum):
@@ -18,6 +18,37 @@ class CommandStatus(IntEnum):
     RUNNING = 1
     SUBMITTED = 2
     QUEUED = 3
+
+
+#: Numeric ``cl_int`` values of the symbolic error names used in this
+#: reproduction.  A failed command's event reports one of these as its
+#: (negative) execution status, per the OpenCL 1.1 spec §5.9.
+ERROR_CODES = {
+    "CL_DEVICE_NOT_AVAILABLE": -2,
+    "CL_MEM_OBJECT_ALLOCATION_FAILURE": -4,
+    "CL_OUT_OF_RESOURCES": -5,
+    "CL_OUT_OF_HOST_MEMORY": -6,
+    "CL_PROFILING_INFO_NOT_AVAILABLE": -7,
+    "CL_MAP_FAILURE": -12,
+    "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST": -14,
+    "CL_INVALID_VALUE": -30,
+    "CL_INVALID_CONTEXT": -34,
+    "CL_INVALID_COMMAND_QUEUE": -36,
+    "CL_INVALID_MEM_OBJECT": -38,
+    "CL_INVALID_KERNEL": -48,
+    "CL_INVALID_EVENT_WAIT_LIST": -57,
+    "CL_INVALID_EVENT": -58,
+    "CL_INVALID_OPERATION": -59,
+}
+
+#: fallback for error names without a standard cl_int value (e.g. faults
+#: injected with a made-up code); still negative, as the spec requires
+_UNKNOWN_ERROR_CODE = -9999
+
+
+def error_code(name: str) -> int:
+    """The (negative) ``cl_int`` value of a symbolic CL error name."""
+    return ERROR_CODES.get(name, _UNKNOWN_ERROR_CODE)
 
 
 class CommandType(Enum):

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import OclError
-from repro.ocl.enums import CommandStatus, CommandType
+from repro.ocl.enums import CommandStatus, CommandType, error_code
 from repro.sim import Environment, Event
 
 __all__ = ["CLEvent", "UserEvent"]
@@ -61,6 +61,20 @@ class CLEvent:
     @property
     def is_complete(self) -> bool:
         return self._status == CommandStatus.COMPLETE
+
+    @property
+    def execution_status(self) -> int:
+        """``CL_EVENT_COMMAND_EXECUTION_STATUS`` as a ``cl_int``.
+
+        Non-negative while the command progresses normally (QUEUED=3 …
+        COMPLETE=0); a *negative* error code once the command terminated
+        abnormally — exactly the spec's encoding, which is what the clMPI
+        runtime inspects to decide whether a transfer must degrade.
+        """
+        if self.error is not None:
+            return error_code(getattr(self.error, "code",
+                                      "CL_INVALID_OPERATION"))
+        return int(self._status)
 
     def _advance(self, status: CommandStatus) -> None:
         if status.value >= self._status.value and status != self._status:

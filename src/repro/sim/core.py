@@ -448,6 +448,9 @@ class Environment:
         #: Optional correctness monitor (see :mod:`repro.analysis`); the
         #: ocl/mpi/clmpi layers notify it of lifecycle transitions.
         self.monitor = None
+        #: Optional fault injector (see :mod:`repro.faults`); hardware and
+        #: transport layers consult it for drops, derates, and failures.
+        self.faults = None
 
     # -- clock -------------------------------------------------------------
     @property

@@ -1,0 +1,98 @@
+"""clMPI graceful degradation: retry, fall down the engine ladder, give up."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterApp, clmpi
+from repro.clmpi.runtime import FALLBACK_LADDER, ClmpiRuntime
+from repro.faults import FaultPlan, injected
+
+NB = 1 << 20
+
+
+def device_transfer(preset, plan, nbytes=NB, mode="pipelined",
+                    block=1 << 15, seed=1):
+    """One device->device clMPI transfer under ``plan``.
+
+    Returns per-rank (event status, payload_ok) plus the app, so a
+    failed transfer can be inspected through its OpenCL event — exactly
+    how an application would observe it.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+    app = ClusterApp(preset, 2, force_mode=mode, force_block=block,
+                     faults=plan)
+
+    def main(ctx):
+        q = ctx.queue()
+        buf = ctx.ocl.create_buffer(nbytes)
+        if ctx.rank == 0:
+            buf.bytes_view(0, nbytes)[:] = data
+            ev = yield from clmpi.enqueue_send_buffer(
+                q, buf, False, 0, nbytes, 1, 0, ctx.comm)
+        else:
+            ev = yield from clmpi.enqueue_recv_buffer(
+                q, buf, False, 0, nbytes, 0, 0, ctx.comm)
+        yield from q.finish()
+        ok = (ctx.rank == 0
+              or bool(np.array_equal(buf.bytes_view(0, nbytes), data)))
+        return ev.execution_status, ev.error, ok
+
+    return app.run(main), app
+
+
+class TestAttemptSequence:
+    def test_retry_then_each_simpler_engine(self):
+        assert ClmpiRuntime._attempt_modes("pipelined") == (
+            "pipelined", "pipelined", "pinned", "mapped")
+        assert ClmpiRuntime._attempt_modes("pinned") == (
+            "pinned", "pinned", "mapped")
+        assert ClmpiRuntime._attempt_modes("mapped") == (
+            "mapped", "mapped")
+
+    def test_unknown_mode_falls_back_to_full_ladder(self):
+        assert ClmpiRuntime._attempt_modes("warp") == (
+            "warp", "warp") + FALLBACK_LADDER
+
+
+class TestLadder:
+    def test_blackout_exhausts_every_mode(self, cichlid_preset):
+        plan = FaultPlan(seed=5, events=(
+            {"kind": "drop", "probability": 1.0},))
+        results, app = device_transfer(cichlid_preset, plan)
+        for status, error, _ok in results:
+            assert status < 0
+            assert "every transfer mode" in str(error)
+            assert injected(error)
+        # 4 attempts x (1 original + max_retries retransmits), both the
+        # sender's frames and nothing else: the fault history is exact.
+        per_attempt = app.world.config.max_retries + 1
+        assert app.faults.counts["drop"] == 4 * per_attempt
+
+    def test_lossy_transfer_completes_identically(self, cichlid_preset):
+        plan = FaultPlan.lossy(0.3, seed=3)
+        results, app = device_transfer(cichlid_preset, plan)
+        assert all(status == 0 and ok for status, _e, ok in results)
+        assert app.faults.summary()["total"] > 0
+
+        results2, app2 = device_transfer(cichlid_preset, plan)
+        assert app2.env.now == app.env.now
+        assert app2.faults.summary() == app.faults.summary()
+
+    def test_both_endpoints_degrade_in_lockstep(self, cichlid_preset):
+        """A mid-stream NIC flap long enough to defeat the retransmit
+        backoff kills the pipelined attempts; the transfer must still
+        finish on a simpler engine with intact bytes, with both ends
+        agreeing (no stale-tag crosstalk from abandoned attempts)."""
+        plan = FaultPlan(seed=2, events=(
+            {"kind": "nic_flap", "node": 1, "at": 0.0, "duration": 0.1},))
+        results, app = device_transfer(cichlid_preset, plan)
+        assert all(status == 0 and ok for status, _e, ok in results)
+        assert app.faults.counts.get("down", 0) > 0
+
+
+class TestFaultFreeFastPath:
+    def test_no_injector_means_single_attempt(self, cichlid_preset):
+        results, app = device_transfer(cichlid_preset, None)
+        assert app.env.faults is None
+        assert all(status == 0 and ok for status, _e, ok in results)

@@ -1,0 +1,225 @@
+"""Fault injection end to end: determinism, tolerance, derating.
+
+The acceptance scenario of the robustness work lives here: an MPI
+pingpong under a lossy GbE (1% drop) with a NIC flap completes via
+retransmission with byte-identical payloads, produces the identical
+fault history under the same seed, and a distinct-but-complete one
+under a different seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError
+from repro.faults import FaultInjector, FaultPlan, as_injector, injected
+from repro.mpi.world import MpiWorld
+from repro.ocl import Context, Device
+from repro.sim import Environment
+
+
+def payload(nbytes, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+
+
+#: lossy GbE + one NIC flap: the acceptance plan
+ACCEPTANCE_PLAN = FaultPlan(seed=7, events=(
+    {"kind": "drop", "probability": 0.01},
+    {"kind": "nic_flap", "node": 1, "at": 0.002, "duration": 0.001},
+))
+
+
+def run_pingpong(preset, plan, messages=100, nbytes=8192, data_seed=1):
+    """Rank 0 streams ``messages`` buffers to rank 1; returns
+    (received bytes, makespan, fault summary)."""
+    world = MpiWorld(preset, num_nodes=2, faults=plan)
+    data = payload(nbytes, seed=data_seed)
+
+    def main(comm):
+        if comm.rank == 0:
+            for i in range(messages):
+                yield from comm.send(data, 1, tag=i)
+        else:
+            out = np.empty((messages, nbytes), dtype=np.uint8)
+            for i in range(messages):
+                yield from comm.recv(out[i], 0, tag=i)
+            return out.copy()
+
+    received = world.run(main)[1]
+    return received, world.env.now, world.faults.summary()
+
+
+class TestAcceptance:
+    def test_lossy_flappy_pingpong_delivers_exact_bytes(self, cichlid_preset):
+        data = payload(8192, seed=1)
+        received, _, summary = run_pingpong(cichlid_preset, ACCEPTANCE_PLAN)
+        assert summary["total"] > 0, "plan never fired; weak test"
+        for row in received:
+            assert np.array_equal(row, data)
+
+    def test_same_seed_identical_run(self, cichlid_preset):
+        r1, t1, s1 = run_pingpong(cichlid_preset, ACCEPTANCE_PLAN)
+        r2, t2, s2 = run_pingpong(cichlid_preset, ACCEPTANCE_PLAN)
+        assert t1 == t2 and s1 == s2
+        assert np.array_equal(r1, r2)
+
+    def test_distinct_seed_distinct_but_complete(self, cichlid_preset):
+        data = payload(8192, seed=1)
+        _, t1, s1 = run_pingpong(cichlid_preset, ACCEPTANCE_PLAN)
+        r3, t3, s3 = run_pingpong(cichlid_preset,
+                                  ACCEPTANCE_PLAN.with_seed(99))
+        assert (t3, s3) != (t1, s1)
+        for row in r3:
+            assert np.array_equal(row, data)
+
+
+class TestGiveUp:
+    def test_node_crash_exhausts_retransmits(self, cichlid_preset):
+        plan = FaultPlan(events=(
+            {"kind": "node_crash", "node": 1, "at": 0.0},))
+        world = MpiWorld(cichlid_preset, num_nodes=2, faults=plan)
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(64), 1)
+            else:
+                yield from comm.recv(np.empty(64), 0)
+
+        with pytest.raises(MpiError, match="undeliverable") as ei:
+            world.run(main)
+        assert injected(ei.value)
+
+    def test_retry_count_recorded(self, cichlid_preset):
+        plan = FaultPlan(seed=3, events=(
+            {"kind": "drop", "probability": 1.0},))
+        world = MpiWorld(cichlid_preset, num_nodes=2, faults=plan)
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(64), 1)
+            else:
+                yield from comm.recv(np.empty(64), 0)
+
+        with pytest.raises(MpiError, match="retransmissions"):
+            world.run(main)
+        # 1 original + max_retries retransmits, all dropped
+        assert world.faults.counts["drop"] == world.config.max_retries + 1
+
+
+class TestCorruption:
+    def test_corrupt_frames_are_retransmitted(self, cichlid_preset):
+        plan = FaultPlan(seed=5, events=(
+            {"kind": "corrupt", "probability": 0.3},))
+        data = payload(4096, seed=2)
+        received, _, summary = run_pingpong(
+            cichlid_preset, plan, messages=50, nbytes=4096, data_seed=2)
+        assert summary["by_kind"].get("corrupt", 0) > 0
+        for row in received:
+            assert np.array_equal(row, data)
+
+
+class TestStraggler:
+    def test_nic_derating_stretches_makespan(self, cichlid_preset):
+        base = FaultPlan()
+        slow = FaultPlan(events=(
+            {"kind": "straggler", "node": 0, "resource": "nic",
+             "factor": 4.0},))
+        _, t_base, _ = run_pingpong(cichlid_preset, base, messages=20)
+        _, t_slow, _ = run_pingpong(cichlid_preset, slow, messages=20)
+        assert t_slow > t_base
+
+    def test_cpu_derating_stretches_host_compute(self, cichlid_preset):
+        def compute_time(plan):
+            world = MpiWorld(cichlid_preset, 1, faults=plan)
+            host = world.cluster[0].host
+
+            def main():
+                yield from host.compute(1e6)
+
+            world.env.process(main())
+            world.env.run()
+            return world.env.now
+
+        slow = FaultPlan(events=(
+            {"kind": "straggler", "node": 0, "resource": "cpu",
+             "factor": 4.0},))
+        assert compute_time(slow) == pytest.approx(
+            4.0 * compute_time(None))
+
+    def test_window_bounds_the_derate(self, env):
+        inj = FaultInjector(FaultPlan(events=(
+            {"kind": "straggler", "node": 0, "resource": "gpu",
+             "factor": 3.0, "from": 1.0, "until": 2.0},))).attach(env)
+        assert inj.slowdown("gpu", 0) == 1.0          # before the window
+        env._now = 1.5
+        assert inj.slowdown("gpu", 0) == 3.0
+        assert inj.slowdown("gpu", 1) == 1.0          # other node
+        env._now = 2.0
+        assert inj.slowdown("gpu", 0) == 1.0          # window is half-open
+
+
+class TestGpuFaults:
+    def test_one_shot_fails_exactly_one_kernel(self, cichlid_preset):
+        from repro.ocl import Kernel
+
+        plan = FaultPlan(events=(
+            {"kind": "gpu_fail", "node": 0, "at": 0.0,
+             "code": "CL_OUT_OF_RESOURCES"},))
+        world = MpiWorld(cichlid_preset, 1, faults=plan)
+        ctx = Context(Device(world.cluster[0]))
+        q = ctx.create_queue()
+
+        def main():
+            evts = []
+            for i in range(3):
+                k = Kernel(f"k{i}", cost=lambda gpu: 1e-3)
+                evts.append((yield from q.enqueue_nd_range_kernel(k, ())))
+            yield from q.finish()
+            return evts
+
+        proc = world.env.process(main())
+        world.env.run()
+        evts = proc.value
+        assert evts[0].execution_status == -5          # CL_OUT_OF_RESOURCES
+        assert injected(evts[0].error)
+        # the one-shot fired once; later commands are untouched
+        assert evts[1].error is None and evts[2].error is None
+        assert world.faults.summary() == {
+            "total": 1, "by_kind": {"gpu_fail": 1}}
+
+
+class TestInjectorPlumbing:
+    def test_as_injector_spellings(self):
+        plan = FaultPlan.lossy(0.1)
+        assert as_injector(None) is None
+        inj = as_injector(plan)
+        assert isinstance(inj, FaultInjector)
+        assert as_injector(inj) is inj
+        assert as_injector(plan.to_dict()).plan == plan
+
+    def test_attach_detach(self):
+        env = Environment()
+        inj = FaultInjector(FaultPlan()).attach(env)
+        assert env.faults is inj
+        inj.detach()
+        assert env.faults is None
+
+    def test_fault_free_env_has_no_injector(self):
+        assert Environment().faults is None
+
+    def test_log_records_have_time_and_kind(self, cichlid_preset):
+        plan = FaultPlan(seed=3, events=(
+            {"kind": "drop", "probability": 1.0},))
+        world = MpiWorld(cichlid_preset, num_nodes=2, faults=plan)
+
+        def main(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.zeros(16), 1)
+            else:
+                yield from comm.recv(np.empty(16), 0)
+
+        with pytest.raises(MpiError):
+            world.run(main)
+        assert world.faults.log
+        rec = world.faults.log[0]
+        assert rec["kind"] == "drop" and rec["src"] == 0 and rec["dst"] == 1

@@ -1,0 +1,122 @@
+"""FaultPlan value semantics: validation, serialization, derivation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FAULT_KINDS, FaultPlan
+
+
+def test_empty_plan_default():
+    plan = FaultPlan()
+    assert plan.seed == 0 and plan.events == ()
+
+
+def test_round_trip_dict_and_json():
+    plan = FaultPlan(seed=7, events=(
+        {"kind": "drop", "probability": 0.1},
+        {"kind": "nic_flap", "node": 1, "at": 0.5, "duration": 0.2},
+        {"kind": "gpu_fail", "node": 0, "at": 1.0},
+    ))
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again == plan
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_canonical_json_is_key_order_independent():
+    a = FaultPlan.from_json('{"seed": 3, "events": '
+                            '[{"kind": "drop", "probability": 0.5}]}')
+    b = FaultPlan.from_json('{"events": '
+                            '[{"probability": 0.5, "kind": "drop"}], '
+                            '"seed": 3}')
+    assert a.to_json() == b.to_json()
+
+
+def test_load_from_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(FaultPlan.lossy(0.25, seed=9).to_json())
+    plan = FaultPlan.load(path)
+    assert plan.seed == 9
+    assert plan.of_kind("drop")[0]["probability"] == 0.25
+
+
+def test_load_missing_file():
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        FaultPlan.load("/nonexistent/plan.json")
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ConfigurationError, match="invalid fault plan JSON"):
+        FaultPlan.from_json("{not json")
+
+
+def test_with_seed_keeps_schedule():
+    plan = FaultPlan.lossy(0.1, seed=1)
+    other = plan.with_seed(2)
+    assert other.seed == 2 and other.events == plan.events
+
+
+def test_of_kind_filters_in_order():
+    plan = FaultPlan(events=(
+        {"kind": "drop", "probability": 0.1},
+        {"kind": "corrupt", "probability": 0.2},
+        {"kind": "drop", "probability": 0.3},
+    ))
+    assert [e["probability"] for e in plan.of_kind("drop")] == [0.1, 0.3]
+
+
+def test_gpu_fail_gets_default_code():
+    plan = FaultPlan(events=({"kind": "gpu_fail", "at": 0.0},))
+    assert plan.events[0]["code"] == "CL_OUT_OF_RESOURCES"
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultPlan(events=({"kind": "meteor"},))
+        assert "meteor" not in FAULT_KINDS
+
+    def test_unknown_plan_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown fault plan"):
+            FaultPlan.from_dict({"seed": 0, "evnets": []})
+
+    def test_seed_must_be_int(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            FaultPlan(seed="zero")
+        with pytest.raises(ConfigurationError, match="seed"):
+            FaultPlan(seed=True)
+
+    @pytest.mark.parametrize("prob", [-0.1, 1.5, "high", None, True])
+    def test_probability_range(self, prob):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(events=({"kind": "drop", "probability": prob},))
+
+    @pytest.mark.parametrize("node", [-1, 1.5, "n0", True, None])
+    def test_node_ids(self, node):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(events=(
+                {"kind": "node_crash", "node": node, "at": 0.0},))
+
+    def test_nic_flap_needs_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultPlan(events=({"kind": "nic_flap", "node": 0, "at": 1.0},))
+
+    def test_straggler_factor_below_one(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            FaultPlan(events=({"kind": "straggler", "resource": "cpu",
+                               "factor": 0.5},))
+
+    def test_straggler_bad_resource(self):
+        with pytest.raises(ConfigurationError, match="resource"):
+            FaultPlan(events=({"kind": "straggler", "resource": "ram",
+                               "factor": 2.0},))
+
+    def test_gpu_fail_needs_exactly_one_trigger(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            FaultPlan(events=({"kind": "gpu_fail"},))
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            FaultPlan(events=({"kind": "gpu_fail", "at": 1.0,
+                               "probability": 0.5},))
+
+    def test_event_must_be_mapping(self):
+        with pytest.raises(ConfigurationError, match="must be a dict"):
+            FaultPlan(events=("drop",))

@@ -115,6 +115,40 @@ class TestFabric:
         env.run()
         assert p.value == pytest.approx(11e-6)
 
+    @pytest.mark.parametrize("src,dst", [
+        (-1, 1), (4, 1), (0, -1), (0, 4), (7, 7),
+    ])
+    def test_send_rejects_out_of_range_node(self, env, src, dst):
+        f = fabric(env)  # nodes 0..3
+        with pytest.raises(ConfigurationError, match="out of range"):
+            next(f.send(src, dst, 64))
+
+    @pytest.mark.parametrize("bad", [1.5, "1", None, (1,)])
+    def test_send_rejects_non_integer_node(self, env, bad):
+        f = fabric(env)
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            next(f.send(bad, 1, 64))
+
+    def test_send_accepts_integer_likes(self, env):
+        """Anything ``operator.index`` accepts (e.g. numpy ints) works."""
+        import numpy as np
+
+        f = fabric(env)
+
+        def proc(env):
+            yield from f.send(np.int64(0), np.int32(1), 1_000_000)
+
+        env.process(proc(env))
+        env.run()
+        assert env.now > 0
+
+    def test_control_message_validates_too(self, env):
+        f = fabric(env)
+        with pytest.raises(ConfigurationError, match="dst node id"):
+            next(f.control_message(0, 99))
+        with pytest.raises(ConfigurationError, match="src node id"):
+            next(f.control_message(-2, 1))
+
     def test_full_duplex(self, env):
         """Opposite directions between two nodes overlap (tx vs rx)."""
         f = fabric(env)

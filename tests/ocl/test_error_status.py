@@ -1,0 +1,188 @@
+"""OpenCL error-status semantics: negative execution status, wait-list
+poisoning, and ``clWaitForEvents`` on failed events.
+
+The CL spec encodes an abnormally terminated command as a *negative*
+``CL_EVENT_COMMAND_EXECUTION_STATUS``; waiters observe it as
+``CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST``.  This is the contract
+the clMPI runtime relies on to decide when a transfer must degrade.
+"""
+
+import pytest
+
+from repro.errors import OclError
+from repro.ocl import CommandStatus, Kernel
+from repro.ocl.api import wait_for_events
+from repro.ocl.enums import ERROR_CODES, error_code
+from repro.ocl.event import UserEvent
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run()
+    return p.value
+
+
+def failing_kernel(code="CL_OUT_OF_RESOURCES", duration=1e-3):
+    def body():
+        raise OclError(code, "synthetic device failure")
+    return Kernel("bad", body=body, cost=lambda gpu: duration)
+
+
+def good_kernel(name="good", duration=1e-3):
+    return Kernel(name, cost=lambda gpu: duration)
+
+
+class TestErrorCodes:
+    def test_known_codes_are_negative_cl_ints(self):
+        assert error_code("CL_OUT_OF_RESOURCES") == -5
+        assert error_code(
+            "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST") == -14
+        assert all(v < 0 for v in ERROR_CODES.values())
+
+    def test_unknown_code_maps_to_sentinel(self):
+        assert error_code("CL_TOTALLY_MADE_UP") == -9999
+
+
+class TestExecutionStatus:
+    def test_healthy_lifecycle_is_non_negative(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+
+        def main():
+            ev = yield from q.enqueue_nd_range_kernel(good_kernel(), ())
+            yield from q.finish()
+            return ev
+
+        ev = run(env, main())
+        assert ev.execution_status == int(CommandStatus.COMPLETE) == 0
+
+    def test_failed_command_reports_its_cl_code(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+
+        def main():
+            ev = yield from q.enqueue_nd_range_kernel(
+                failing_kernel("CL_MEM_OBJECT_ALLOCATION_FAILURE"), ())
+            yield from q.finish()
+            return ev
+
+        ev = run(env, main())
+        assert ev.execution_status == -4
+        assert isinstance(ev.error, OclError)
+
+    def test_failure_without_code_is_negative_too(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+
+        def main():
+            ev = yield from q.enqueue_nd_range_kernel(
+                Kernel("k", body=lambda: 1 / 0, cost=lambda gpu: 1e-3), ())
+            yield from q.finish()
+            return ev
+
+        ev = run(env, main())
+        assert ev.execution_status < 0
+
+
+class TestWaitListPoisoning:
+    def test_dependent_command_poisoned_with_wait_list_code(self, node_env):
+        env, ctx = node_env
+        q1 = ctx.create_queue(name="q1")
+        q2 = ctx.create_queue(name="q2")
+
+        def main():
+            bad = yield from q1.enqueue_nd_range_kernel(failing_kernel(), ())
+            dep = yield from q2.enqueue_nd_range_kernel(
+                good_kernel(), (), wait_for=[bad])
+            yield from q1.finish()
+            yield from q2.finish()
+            return bad, dep
+
+        bad, dep = run(env, main())
+        assert bad.execution_status == -5
+        assert dep.execution_status == -14
+        # the poisoned command never ran
+        assert CommandStatus.RUNNING not in dep.profile
+
+    def test_in_order_queue_continues_after_failure(self, node_env):
+        """In-order queues serialize execution but a failure does not
+        implicitly poison successors — only explicit wait lists do
+        (matching real CL in-order queues)."""
+        env, ctx = node_env
+        q = ctx.create_queue()
+
+        def main():
+            bad = yield from q.enqueue_nd_range_kernel(failing_kernel(), ())
+            nxt = yield from q.enqueue_nd_range_kernel(good_kernel(), ())
+            yield from q.finish()
+            return bad, nxt
+
+        bad, nxt = run(env, main())
+        assert bad.execution_status < 0
+        assert nxt.execution_status == 0
+
+
+class TestWaitForEvents:
+    def test_wait_on_already_failed_event_raises(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+
+        def main():
+            bad = yield from q.enqueue_nd_range_kernel(failing_kernel(), ())
+            yield from q.finish()       # bad is complete (failed) by now
+            yield from wait_for_events([bad])
+
+        with pytest.raises(OclError) as ei:
+            run(env, main())
+        assert ei.value.code == "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST"
+        assert error_code(ei.value.code) == -14
+
+    def test_blocked_wait_surfaces_failure_as_cl_error(self, node_env):
+        env, ctx = node_env
+        q = ctx.create_queue()
+
+        def main():
+            bad = yield from q.enqueue_nd_range_kernel(failing_kernel(), ())
+            # still running: this wait genuinely blocks
+            yield from wait_for_events([bad])
+
+        with pytest.raises(OclError, match="failed"):
+            run(env, main())
+
+    def test_wait_returns_only_after_all_events(self, node_env):
+        """clWaitForEvents waits for every listed event even when one
+        fails early — the error must not short-circuit the wait."""
+        env, ctx = node_env
+        q = ctx.create_queue()
+
+        def main():
+            bad = yield from q.enqueue_nd_range_kernel(
+                failing_kernel(duration=1e-3), ())
+            slow = yield from q.enqueue_nd_range_kernel(
+                good_kernel("slow", duration=0.5), ())
+            try:
+                yield from wait_for_events([bad, slow])
+            except OclError:
+                pass
+            return env.now, slow
+
+        now, slow = run(env, main())
+        assert slow.is_complete
+        assert now >= 0.5
+
+    def test_user_event_failure_propagates(self, node_env):
+        env, ctx = node_env
+        uev = UserEvent(env, label="app-event")
+
+        def failer():
+            yield env.timeout(1e-3)
+            uev.set_failed(OclError("CL_INVALID_OPERATION", "app aborted"))
+
+        def main():
+            yield from wait_for_events([uev])
+
+        env.process(failer())
+        with pytest.raises(OclError) as ei:
+            run(env, main())
+        assert ei.value.code == "CL_EXEC_STATUS_ERROR_FOR_EVENTS_IN_WAIT_LIST"
+        assert uev.execution_status == -59  # CL_INVALID_OPERATION
