@@ -69,6 +69,73 @@ def test_mpi_message_rate(benchmark):
     assert benchmark(run) > 0
 
 
+def _event_loop_run(metrics: bool) -> float:
+    """One 20k-event calendar drain, with or without a registry."""
+    env = Environment()
+    if metrics:
+        from repro.obs import MetricsRegistry
+        MetricsRegistry().attach(env)
+
+    def ticker(env, n):
+        for _ in range(n):
+            yield env.timeout(1e-6)
+
+    for _ in range(2):
+        env.process(ticker(env, 10_000))
+    env.run()
+    return env.now
+
+
+def test_metrics_detached_event_throughput(benchmark):
+    """Event throughput with ``env.metrics is None`` — the configuration
+    every figure run uses unless --metrics/--report is passed."""
+    assert benchmark(_event_loop_run, False) > 0
+
+
+def test_metrics_attached_event_throughput(benchmark):
+    """Same calendar drain with a registry attached (counts every
+    schedule/fire), to quantify what observability costs when on."""
+    assert benchmark(_event_loop_run, True) > 0
+
+
+def test_metrics_detached_is_free():
+    """Regression tripwire: a detached registry must cost nothing on the
+    hot path.  The attached run does strictly more work per event, so
+    best-of-N detached time must not exceed best-of-N attached time
+    (with a generous noise allowance)."""
+    import time
+
+    def best_of(metrics, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            _event_loop_run(metrics)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    best_of(False, reps=1)  # warm up allocators and imports
+    detached = best_of(False)
+    attached = best_of(True)
+    assert detached <= attached * 1.25, \
+        f"detached hot path regressed: {detached:.4f}s vs " \
+        f"attached {attached:.4f}s"
+
+
+def test_tracer_record_empty_meta_fast_path(benchmark):
+    """Meta-less ``Tracer.record`` must reuse the shared empty mapping
+    instead of allocating a dict per record."""
+    from repro.sim import Tracer
+
+    def run():
+        tr = Tracer()
+        for i in range(50_000):
+            tr.record("lane", "x", i * 1e-6, i * 1e-6 + 1e-6, "host")
+        return tr
+
+    tr = benchmark(run)
+    assert tr.records[0].meta is tr.records[-1].meta  # shared singleton
+
+
 def test_timing_only_himeno_iteration_cost(benchmark):
     """Real-time cost of one timing-only M-size Himeno run (the unit of
     the Fig 9 sweeps)."""

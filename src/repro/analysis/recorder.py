@@ -122,10 +122,15 @@ class Recorder:
         if getattr(exc, "injected", False):
             # Deliberately injected by repro.faults: report it (the user
             # wants to see what the plan did) but as a warning — it is
-            # the experiment, not a program bug.
+            # the experiment, not a program bug.  The causal flow id (if
+            # the failing transfer carried one) locates the affected
+            # message chain on the exported Perfetto timeline.
+            flow = getattr(exc, "flow", 0)
+            where = f" [flow {flow}]" if flow else ""
             self.direct_findings.append(Finding(
                 "injected-fault",
-                f"event {ev.label!r} failed by fault injection: {exc}",
+                f"event {ev.label!r} failed by fault injection: "
+                f"{exc}{where}",
                 severity=WARNING, witness=witness))
             return
         self.direct_findings.append(Finding(
@@ -357,7 +362,7 @@ class Recorder:
         return self._by_completion.get(id(event))
 
     def stats(self) -> dict:
-        return {
+        out = {
             "nodes": len(self.graph),
             "hb_edges": sum(len(p) for p in self.graph.preds),
             "commands": len(self._commands),
@@ -365,3 +370,7 @@ class Recorder:
             "requests": len(self._requests),
             "faults": len(self.fault_records),
         }
+        metrics = getattr(self.env, "metrics", None)
+        if metrics is not None:
+            out["metrics"] = metrics.snapshot()
+        return out

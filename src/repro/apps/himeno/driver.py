@@ -63,13 +63,15 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
                functional: bool = True, collect: bool = False,
                force_mode: Optional[str] = None,
                force_block: Optional[int] = None,
-               trace: bool = False, faults=None) -> HimenoResult:
+               trace: bool = False, faults=None,
+               metrics: bool = False) -> HimenoResult:
     """Run the Himeno benchmark once and return its result.
 
     Parameters mirror the paper's setup: ``implementation`` is one of
     ``'serial'``, ``'hand-optimized'``, ``'clmpi'``; ``functional=False``
     runs timing-only (identical virtual clock, no NumPy work) for
-    paper-scale sweeps.
+    paper-scale sweeps.  ``metrics=True`` attaches a
+    :class:`~repro.obs.MetricsRegistry` (exposed as ``result.metrics``).
     """
     try:
         main = IMPLEMENTATIONS[implementation]
@@ -80,7 +82,7 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
     config = config or HimenoConfig()
     app = ClusterApp(system, nodes, functional=functional,
                      force_mode=force_mode, force_block=force_block,
-                     trace=trace, faults=faults)
+                     trace=trace, faults=faults, metrics=metrics)
     results = app.run(main, config, collect)
     time = max(r["time"] for r in results)
     gosa_series = results[0]["gosa_per_iter"]
@@ -97,4 +99,6 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
         p_locals=[r["p_local"] for r in results],
     )
     res.tracer = app.tracer  # type: ignore[attr-defined]
+    res.metrics = app.metrics  # type: ignore[attr-defined]
+    res.env = app.env  # type: ignore[attr-defined]
     return res

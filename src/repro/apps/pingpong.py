@@ -35,6 +35,8 @@ class BandwidthResult:
     #: injected-fault tally ({"total": N, "by_kind": {...}}), if a
     #: fault plan was active for this point
     fault_summary: Optional[dict] = None
+    #: :class:`~repro.obs.RunReport` dict (``obs=True`` runs only)
+    report: Optional[dict] = None
 
     @property
     def bandwidth(self) -> float:
@@ -66,7 +68,7 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
                       block: Optional[int] = None,
                       repeats: int = 4,
                       functional: bool = False,
-                      faults=None) -> BandwidthResult:
+                      faults=None, obs: bool = False) -> BandwidthResult:
     """One Fig 8 data point.
 
     ``mode=None`` lets the runtime's automatic selector choose (§V.B);
@@ -74,17 +76,31 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
     for its per-implementation curves.  ``faults`` (a
     :class:`~repro.faults.FaultPlan` or plan dict) measures the point
     under fault injection — the paper's lossy-interconnect scenario.
+    ``obs=True`` runs with tracer + metrics attached and bundles a
+    :class:`~repro.obs.RunReport` dict into the result.
     """
     if nbytes <= 0 or repeats <= 0:
         raise ConfigurationError("nbytes and repeats must be positive")
     app = ClusterApp(system, 2, functional=functional,
-                     force_mode=mode, force_block=block, faults=faults)
+                     force_mode=mode, force_block=block, faults=faults,
+                     trace=obs, metrics=obs)
     results = app.run(_pingpong_main, nbytes, repeats)
+    report = None
+    if obs:
+        from repro.obs import build_report
+
+        spec = {"system": system.name, "nbytes": nbytes,
+                "mode": mode or "auto", "block": block, "repeats": repeats}
+        report = build_report(
+            "bandwidth", spec, app.env,
+            faults=(app.faults.summary()["by_kind"]
+                    if app.faults is not None else None)).to_dict()
     return BandwidthResult(system=system.name, mode=mode or "auto",
                            block=block, nbytes=nbytes, repeats=repeats,
                            seconds=max(results),
                            fault_summary=(app.faults.summary()
-                                          if app.faults else None))
+                                          if app.faults else None),
+                           report=report)
 
 
 def bandwidth_point(spec: dict) -> dict:
@@ -101,22 +117,28 @@ def bandwidth_point(spec: dict) -> dict:
                           spec["mode"], block=spec.get("block"),
                           repeats=spec.get("repeats", 4),
                           functional=spec.get("functional", False),
-                          faults=spec.get("faults"))
-    return {"system": r.system, "mode": r.mode, "block": r.block,
-            "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds,
-            "faults": r.fault_summary}
+                          faults=spec.get("faults"),
+                          obs=spec.get("obs", False))
+    row = {"system": r.system, "mode": r.mode, "block": r.block,
+           "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds,
+           "faults": r.fault_summary}
+    if r.report is not None:
+        row["report"] = r.report
+    return row
 
 
 def bandwidth_specs(system: str,
                     sizes: Optional[list[int]] = None,
                     pipeline_blocks: Optional[list[int]] = None,
                     repeats: int = 4,
-                    faults: Optional[dict] = None) -> list[dict]:
+                    faults: Optional[dict] = None,
+                    obs: bool = False) -> list[dict]:
     """The Fig 8 grid as spec dicts, in canonical (reporting) order.
 
     ``faults`` (a JSON-able fault-plan dict) rides inside every spec, so
     the result cache addresses faulty and fault-free runs of the same
-    point as distinct entries.
+    point as distinct entries.  ``obs=True`` likewise rides inside every
+    spec (distinct cache entries: obs runs carry a RunReport).
     """
     sizes = sizes or DEFAULT_SIZES
     pipeline_blocks = pipeline_blocks or [1 << 20, 1 << 22, 1 << 24]
@@ -136,6 +158,9 @@ def bandwidth_specs(system: str,
     if faults is not None:
         for spec in specs:
             spec["faults"] = faults
+    if obs:
+        for spec in specs:
+            spec["obs"] = True
     return specs
 
 

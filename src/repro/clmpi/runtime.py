@@ -133,6 +133,9 @@ class ClmpiRuntime:
         """Sender endpoint of one clMPI transfer."""
         side.rt = self.rt_comm(comm)
         desc = self.describe(side.nbytes, tag)
+        if self.env.metrics is not None:
+            self.env.metrics.inc(f"clmpi.transfer.{desc.mode}")
+            self.env.metrics.inc("clmpi.bytes", desc.nbytes)
         if self.env.monitor is not None:
             self.env.monitor.on_transfer("send", dest, tag, desc)
         if self.env.faults is None:
@@ -187,6 +190,9 @@ class ClmpiRuntime:
                 # (delivery failure poisons both endpoints' events), so
                 # both sides advance to the next rung together.
                 last = exc
+                if env.metrics is not None:
+                    env.metrics.inc("clmpi.fallback_steps")
+                    env.metrics.inc(f"clmpi.fallback.{mode}")
                 mon = env.monitor
                 if mon is not None:
                     hook = getattr(mon, "on_fault", None)
@@ -194,12 +200,14 @@ class ClmpiRuntime:
                         hook({"kind": "clmpi_degrade", "time": env.now,
                               "op": op, "peer": peer, "tag": desc.tag,
                               "mode": mode, "attempt": attempt,
-                              "error": str(exc)})
+                              "error": str(exc),
+                              "flow": getattr(exc, "flow", 0)})
         exc = ClmpiError(
             f"clMPI {op} with peer {peer} tag {desc.tag} ({desc.nbytes} B) "
             f"failed in every transfer mode (attempts: {', '.join(modes)}); "
             f"last error: {last}")
         exc.injected = getattr(last, "injected", False)
+        exc.flow = getattr(last, "flow", 0)
         raise exc from last
 
     # convenience entry points used by the API layer -----------------------

@@ -118,18 +118,24 @@ def register_mode(name: str, send: Callable, recv: Callable) -> None:
 # ---------------------------------------------------------------------------
 def send_data(side: Side, peer: int, tag: int,
               view: Optional[np.ndarray], nbytes: int,
-              rate_limit: Optional[float] = None
-              ) -> Generator[Any, Any, None]:
+              rate_limit: Optional[float] = None,
+              flow: int = 0) -> Generator[Any, Any, None]:
     """Blocking raw-byte send on the runtime communicator."""
-    req = yield from side.rt.isend_bytes(view, nbytes, peer, tag, rate_limit)
+    req = yield from side.rt.isend_bytes(view, nbytes, peer, tag, rate_limit,
+                                         flow=flow)
     yield from req.wait()
 
 
 def recv_data(side: Side, peer: int, tag: int,
               view: Optional[np.ndarray], nbytes: int,
               rate_limit: Optional[float] = None
-              ) -> Generator[Any, Any, None]:
-    """Blocking raw-byte receive on the runtime communicator."""
+              ) -> Generator[Any, Any, int]:
+    """Blocking raw-byte receive on the runtime communicator.
+
+    Returns the message's causal flow id (0 when untraced) so callers
+    can link their follow-up stages into the chain.
+    """
     req = yield from side.rt.irecv_bytes(view, nbytes, peer, tag,
                                          rate_limit=rate_limit)
     yield from req.wait()
+    return 0 if req.posted is None else req.posted.flow

@@ -27,19 +27,27 @@ __all__ = ["send", "recv"]
 def send(side: Side, peer: int,
          desc: TransferDescriptor) -> Generator[Any, Any, None]:
     """Sender half: d2h into pinned staging, then MPI send."""
+    # The staging copy, wire message, and receiver-side drain share one
+    # causal flow id so the exported trace links the stages end-to-end.
+    tracer = side.rt.env.tracer
+    flow = tracer.new_flow() if tracer is not None else 0
     if side.pcie is not None:
         yield from side.pcie.d2h(desc.nbytes, pinned=True,
-                                 label=f"clmpi.pinned d2h {desc.nbytes}B")
-    yield from send_data(side, peer, desc.data_tag, side.data, desc.nbytes)
+                                 label=f"clmpi.pinned d2h {desc.nbytes}B",
+                                 flow=flow)
+    yield from send_data(side, peer, desc.data_tag, side.data, desc.nbytes,
+                         flow=flow)
 
 
 def recv(side: Side, peer: int,
          desc: TransferDescriptor) -> Generator[Any, Any, None]:
     """Receiver half: MPI receive into pinned staging, then h2d."""
-    yield from recv_data(side, peer, desc.data_tag, side.data, desc.nbytes)
+    flow = yield from recv_data(side, peer, desc.data_tag, side.data,
+                                desc.nbytes)
     if side.pcie is not None:
         yield from side.pcie.h2d(desc.nbytes, pinned=True,
-                                 label=f"clmpi.pinned h2d {desc.nbytes}B")
+                                 label=f"clmpi.pinned h2d {desc.nbytes}B",
+                                 flow=flow)
 
 
 register_mode("pinned", send, recv)

@@ -48,12 +48,20 @@ def send(side: Side, peer: int,
     if side.pcie is not None and desc.base == "mapped":
         rate = side.mapped_bw
         yield from side.pcie.map_buffer()
+    # One causal chain per block: its d2h staging, wire message, and
+    # receiver-side h2d drain all share a flow id (the receiver reads it
+    # off the matched envelope), so the exported trace connects every
+    # pipeline stage end-to-end.
+    tracer = env.tracer
+    flows = ([tracer.new_flow() for _ in ranges] if tracer is not None
+             else [0] * len(ranges))
 
     def stager():
         for i, (lo, hi) in enumerate(ranges):
             if use_dma:
                 yield from side.pcie.d2h(hi - lo, pinned=True,
-                                         label=f"pipe d2h blk{i}")
+                                         label=f"pipe d2h blk{i}",
+                                         flow=flows[i])
             else:
                 yield env.timeout(0.0)
             staged[i].succeed()
@@ -63,7 +71,7 @@ def send(side: Side, peer: int,
             yield staged[i]
             yield from send_data(side, peer, desc.data_tag,
                                  side.slice(lo, hi), hi - lo,
-                                 rate_limit=rate)
+                                 rate_limit=rate, flow=flows[i])
 
     p1 = env.process(stager(), name="clmpi.pipe.stager")
     p2 = env.process(wire(), name="clmpi.pipe.wire")
@@ -97,8 +105,13 @@ def recv(side: Side, peer: int,
     for i, (lo, hi) in enumerate(ranges):
         yield from reqs[i].wait()
         if use_dma:
+            # Join the block's causal chain (flow id arrived with the
+            # matched envelope) so h2d links back to wire and d2h.
+            posted = reqs[i].posted
             yield from side.pcie.h2d(hi - lo, pinned=True,
-                                     label=f"pipe h2d blk{i}")
+                                     label=f"pipe h2d blk{i}",
+                                     flow=0 if posted is None
+                                     else posted.flow)
     if side.pcie is not None and desc.base == "mapped":
         yield from side.pcie.map_buffer()
 

@@ -126,6 +126,8 @@ class FaultInjector:
         if len(self.log) < _LOG_MAX:
             self.log.append(rec)
         env = self.env
+        if env is not None and env.metrics is not None:
+            env.metrics.inc(f"faults.{kind}")
         if env is not None and env.monitor is not None:
             hook = getattr(env.monitor, "on_fault", None)
             if hook is not None:
@@ -159,29 +161,34 @@ class FaultInjector:
 
     # -- network fates ------------------------------------------------------
     def link_fate(self, src: int, dst: int, nbytes: int = 0,
-                  label: str = "msg") -> str:
-        """Fate of one data frame from ``src`` to ``dst`` right now."""
+                  label: str = "msg", flow: int = 0) -> str:
+        """Fate of one data frame from ``src`` to ``dst`` right now.
+
+        ``flow`` tags the fault record with the message's causal-chain
+        id so a warning can be located on the exported timeline.
+        """
         now = self.env.now
         for node in (src, dst):
             if self.node_dead(node, now):
                 self._record("dead", src=src, dst=dst, node=node,
-                             nbytes=nbytes, label=label)
+                             nbytes=nbytes, label=label, flow=flow)
                 return "dead"
         if self.nic_down(src, now) or self.nic_down(dst, now):
-            self._record("down", src=src, dst=dst, nbytes=nbytes, label=label)
+            self._record("down", src=src, dst=dst, nbytes=nbytes, label=label,
+                         flow=flow)
             return "down"
         rng = self.rng
         for prob, s, d in self._drops:
             if (s is None or s == src) and (d is None or d == dst):
                 if rng.random() < prob:
                     self._record("drop", src=src, dst=dst, nbytes=nbytes,
-                                 label=label)
+                                 label=label, flow=flow)
                     return "drop"
         for prob, s, d in self._corrupts:
             if (s is None or s == src) and (d is None or d == dst):
                 if rng.random() < prob:
                     self._record("corrupt", src=src, dst=dst, nbytes=nbytes,
-                                 label=label)
+                                 label=label, flow=flow)
                     return "corrupt"
         return "ok"
 

@@ -96,6 +96,8 @@ class HostModel:
                                    * self._derate())
         finally:
             self.cores.release(grant)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("host.busy_s", self.env.now - start)
         if self.env.tracer is not None:
             self.env.tracer.record(self.lane, label, start, self.env.now,
                                    "host")
@@ -111,6 +113,8 @@ class HostModel:
                                    * self._derate())
         finally:
             self.cores.release(grant)
+        if self.env.metrics is not None:
+            self.env.metrics.inc("host.busy_s", self.env.now - start)
         if self.env.tracer is not None:
             self.env.tracer.record(self.lane, label, start, self.env.now,
                                    "host", nbytes=nbytes)

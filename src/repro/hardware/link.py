@@ -63,14 +63,20 @@ class Link:
 
     def transfer(self, nbytes: int, label: str = "xfer",
                  category: str = "net",
-                 derate: float = 1.0) -> Generator[Any, Any, float]:
+                 derate: float = 1.0,
+                 flow: int = 0) -> Generator[Any, Any, float]:
         """Coroutine: occupy one channel for the modelled duration.
 
         ``derate`` (>= 1) stretches the transfer — used by fault
-        injection to model straggling buses.  Returns the transfer
-        duration.  Records a trace interval when the environment has a
-        tracer attached.
+        injection to model straggling buses.  ``flow`` links the trace
+        record into a causal chain (see :class:`~repro.sim.trace.
+        TraceRecord`).  Returns the transfer duration.  Records a trace
+        interval when the environment has a tracer attached.
         """
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.gauge(f"hw.{self.spec.name}.queue_depth",
+                          self.resource.queue_len + self.resource.count)
         grant = yield from self.resource.acquire()
         start = self.env.now
         try:
@@ -80,7 +86,10 @@ class Link:
             yield self.env.timeout(cost)
         finally:
             self.resource.release(grant)
+        if metrics is not None:
+            metrics.inc(f"hw.{category}.bytes", nbytes)
+            metrics.inc(f"hw.{category}.busy_s", self.env.now - start)
         if self.env.tracer is not None:
             self.env.tracer.record(self.lane, label, start, self.env.now,
-                                   category, nbytes=nbytes)
+                                   category, flow=flow, nbytes=nbytes)
         return self.env.now - start

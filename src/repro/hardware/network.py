@@ -126,7 +126,8 @@ class Fabric:
 
     def send(self, src: int, dst: int, nbytes: int,
              label: str = "msg",
-             rate_limit: float | None = None) -> Generator[Any, Any, float]:
+             rate_limit: float | None = None,
+             flow: int = 0) -> Generator[Any, Any, float]:
         """Coroutine: move ``nbytes`` from node ``src`` to node ``dst``.
 
         Occupies the source tx port and destination rx port for the whole
@@ -154,9 +155,13 @@ class Fabric:
         finally:
             rx.release(rx_grant)
             tx.release(tx_grant)
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.inc("net.messages")
+            metrics.inc("net.bytes", nbytes)
         if self.env.tracer is not None:
             self.env.tracer.record(self.nics[src].lane + ".tx", label,
-                                   start, self.env.now, "net",
+                                   start, self.env.now, "net", flow=flow,
                                    nbytes=nbytes, dst=dst)
         return self.env.now - start
 
@@ -179,6 +184,7 @@ class Fabric:
     def send_checked(self, src: int, dst: int, nbytes: int,
                      label: str = "msg",
                      rate_limit: float | None = None,
+                     flow: int = 0,
                      ) -> Generator[Any, Any, tuple[float, str]]:
         """Coroutine: a fault-aware :meth:`send`; returns ``(elapsed, fate)``.
 
@@ -203,7 +209,7 @@ class Fabric:
             return env.now - start, "ok"
         faults = env.faults
         fate = ("ok" if faults is None
-                else faults.link_fate(src, dst, nbytes, label))
+                else faults.link_fate(src, dst, nbytes, label, flow=flow))
         if fate in ("down", "dead"):
             yield env.timeout(self.spec.nic.latency)
             return env.now - start, fate
@@ -219,10 +225,15 @@ class Fabric:
         finally:
             rx.release(rx_grant)
             tx.release(tx_grant)
+        metrics = env.metrics
+        if metrics is not None:
+            metrics.inc("net.messages")
+            metrics.inc("net.bytes", nbytes)
         if env.tracer is not None:
             env.tracer.record(self.nics[src].lane + ".tx",
                               label if fate == "ok" else f"{label}!{fate}",
-                              start, env.now, "net", nbytes=nbytes, dst=dst)
+                              start, env.now, "net", flow=flow,
+                              nbytes=nbytes, dst=dst)
         return env.now - start, fate
 
     def control_message(self, src: int,

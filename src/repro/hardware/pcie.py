@@ -89,31 +89,34 @@ class PcieModel:
 
     # -- explicit copies --------------------------------------------------------
     def d2h(self, nbytes: int, pinned: bool = True,
-            label: str = "d2h") -> Generator[Any, Any, float]:
+            label: str = "d2h", flow: int = 0) -> Generator[Any, Any, float]:
         """Device→host explicit copy; returns elapsed time."""
-        return (yield from self._copy(self._d2h, nbytes, pinned, label, "d2h"))
+        return (yield from self._copy(self._d2h, nbytes, pinned, label,
+                                      "d2h", flow))
 
     def h2d(self, nbytes: int, pinned: bool = True,
-            label: str = "h2d") -> Generator[Any, Any, float]:
+            label: str = "h2d", flow: int = 0) -> Generator[Any, Any, float]:
         """Host→device explicit copy; returns elapsed time."""
-        return (yield from self._copy(self._h2d, nbytes, pinned, label, "h2d"))
+        return (yield from self._copy(self._h2d, nbytes, pinned, label,
+                                      "h2d", flow))
 
     def _derate(self) -> float:
         faults = self.env.faults
         return 1.0 if faults is None else faults.slowdown("pcie", self.node_id)
 
     def _copy(self, link: Link, nbytes: int, pinned: bool, label: str,
-              category: str) -> Generator[Any, Any, float]:
+              category: str, flow: int = 0) -> Generator[Any, Any, float]:
         if nbytes < 0:
             raise ValueError("negative copy size")
         if pinned:
             return (yield from link.transfer(nbytes, label, category,
-                                             derate=self._derate()))
+                                             derate=self._derate(),
+                                             flow=flow))
         # Pageable copies bounce through the driver's staging buffer:
         # model as the same engine at reduced bandwidth.
         scale = self.spec.pinned_bandwidth / self.spec.pageable_bandwidth
         return (yield from link.transfer(int(nbytes * scale), label, category,
-                                         derate=self._derate()))
+                                         derate=self._derate(), flow=flow))
 
     # -- mapped access -------------------------------------------------------------
     def map_buffer(self) -> Generator[Any, Any, float]:
@@ -122,14 +125,16 @@ class PcieModel:
         yield self.env.timeout(self.spec.map_overhead)
         return self.env.now - start
 
-    def mapped_read(self, nbytes: int,
-                    label: str = "mapped-read") -> Generator[Any, Any, float]:
+    def mapped_read(self, nbytes: int, label: str = "mapped-read",
+                    flow: int = 0) -> Generator[Any, Any, float]:
         """Stream ``nbytes`` out of a mapped device buffer."""
         return (yield from self._mapped.transfer(nbytes, label, "d2h",
-                                                 derate=self._derate()))
+                                                 derate=self._derate(),
+                                                 flow=flow))
 
-    def mapped_write(self, nbytes: int,
-                     label: str = "mapped-write") -> Generator[Any, Any, float]:
+    def mapped_write(self, nbytes: int, label: str = "mapped-write",
+                     flow: int = 0) -> Generator[Any, Any, float]:
         """Stream ``nbytes`` into a mapped device buffer."""
         return (yield from self._mapped.transfer(nbytes, label, "h2d",
-                                                 derate=self._derate()))
+                                                 derate=self._derate(),
+                                                 flow=flow))

@@ -14,7 +14,7 @@ again and the files become dead weight that ``clear()`` can drop.
 Layout::
 
     .repro_cache/
-        stats.json            # persistent {"hits": N, "misses": N}
+        stats.json            # persistent {"hits", "misses", "corrupt_deleted"}
         <kind>/<hash>.json    # {"spec": ..., "result": ...}
 
 Cache reads and writes happen only in the parent process of a sweep
@@ -76,10 +76,29 @@ class ResultCache:
 
     def __init__(self, root: Optional[Path] = None,
                  version: Optional[str] = None):
+        from repro.obs import MetricsRegistry
+
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version = version if version is not None else code_version()
-        self.hits = 0
-        self.misses = 0
+        #: per-instance metrics (``cache.hits`` / ``cache.misses`` /
+        #: ``cache.corrupt_deleted``) — the source of truth for the
+        #: :attr:`hits` / :attr:`misses` views and ``--cache-stats``
+        self.metrics = MetricsRegistry()
+
+    @property
+    def hits(self) -> int:
+        """Cache hits by this instance (reads ``cache.hits``)."""
+        return self.metrics.counters.get("cache.hits", 0)
+
+    @property
+    def misses(self) -> int:
+        """Cache misses by this instance (reads ``cache.misses``)."""
+        return self.metrics.counters.get("cache.misses", 0)
+
+    @property
+    def corrupt_deleted(self) -> int:
+        """Unparseable entries this instance deleted on read."""
+        return self.metrics.counters.get("cache.corrupt_deleted", 0)
 
     # -- keys ---------------------------------------------------------------
     def key(self, kind: str, spec: dict) -> str:
@@ -104,7 +123,7 @@ class ResultCache:
         try:
             text = path.read_text()
         except OSError:
-            self.misses += 1
+            self.metrics.inc("cache.misses")
             self._bump_stats(hit=False)
             return None
         try:
@@ -115,10 +134,11 @@ class ResultCache:
                 path.unlink()
             except OSError:  # pragma: no cover - racing deletion
                 pass
-            self.misses += 1
-            self._bump_stats(hit=False)
+            self.metrics.inc("cache.corrupt_deleted")
+            self.metrics.inc("cache.misses")
+            self._bump_stats(hit=False, corrupt=True)
             return None
-        self.hits += 1
+        self.metrics.inc("cache.hits")
         self._bump_stats(hit=True)
         return result
 
@@ -141,7 +161,7 @@ class ResultCache:
             for sub in sorted(self.root.iterdir()):
                 if sub.is_dir() and not any(sub.iterdir()):
                     sub.rmdir()
-        self.hits = self.misses = 0
+        self.metrics.counters.clear()
         return removed
 
     # -- stats --------------------------------------------------------------
@@ -149,9 +169,11 @@ class ResultCache:
     def _stats_path(self) -> Path:
         return self.root / "stats.json"
 
-    def _bump_stats(self, hit: bool) -> None:
+    def _bump_stats(self, hit: bool, corrupt: bool = False) -> None:
         stats = self.read_stats()
         stats["hits" if hit else "misses"] += 1
+        if corrupt:
+            stats["corrupt_deleted"] += 1
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = self._stats_path.with_suffix(".tmp")
@@ -165,9 +187,10 @@ class ResultCache:
         try:
             stats = json.loads(self._stats_path.read_text())
             return {"hits": int(stats["hits"]),
-                    "misses": int(stats["misses"])}
+                    "misses": int(stats["misses"]),
+                    "corrupt_deleted": int(stats.get("corrupt_deleted", 0))}
         except (OSError, ValueError, KeyError, TypeError):
-            return {"hits": 0, "misses": 0}
+            return {"hits": 0, "misses": 0, "corrupt_deleted": 0}
 
     def entry_count(self) -> int:
         """Number of stored results."""

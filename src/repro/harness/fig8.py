@@ -13,7 +13,7 @@ from typing import Optional
 from repro.apps.pingpong import bandwidth_point, bandwidth_specs
 from repro.harness.cache import ResultCache
 from repro.harness.parallel import is_error_record, sweep
-from repro.harness.report import Table
+from repro.harness.report import Table, merge_point_reports
 from repro.systems import get_system
 
 __all__ = ["run_fig8"]
@@ -27,20 +27,27 @@ def run_fig8(system: str = "cichlid",
              repeats: int = 4, verbose: bool = True,
              jobs: Optional[int] = 1,
              cache: Optional[ResultCache] = None,
-             faults: Optional[dict] = None) -> Table:
+             faults: Optional[dict] = None,
+             report: Optional[str] = None,
+             show_metrics: bool = False) -> Table:
     """Regenerate Fig 8(a) or 8(b); one row per message size, one column
     per transfer implementation (MB/s).
 
     With ``faults`` (a fault-plan dict, see :mod:`repro.faults`), every
     point runs under injection; the tally is printed below the table.
     Points whose worker crashed are skipped (blank cells) and listed —
-    a partial figure beats no figure.
+    a partial figure beats no figure.  ``report`` writes the sweep's
+    merged :class:`~repro.obs.RunReport` to that path (every point then
+    runs with tracer + metrics attached and carries its own report
+    through the cache); ``show_metrics`` prints the merged metrics
+    snapshot.
     """
     preset = get_system(system)
+    obs = report is not None or show_metrics
     blocks = pipeline_blocks or [1 * MiB, 4 * MiB, 16 * MiB]
     specs = bandwidth_specs(preset.name, sizes=sizes,
                             pipeline_blocks=blocks, repeats=repeats,
-                            faults=faults)
+                            faults=faults, obs=obs)
     results = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
                     kind="bandwidth")
     errors = [r for r in results if is_error_record(r)]
@@ -81,6 +88,11 @@ def run_fig8(system: str = "cichlid",
                 err, spec = e["sweep_error"], e["sweep_error"]["spec"]
                 print(f"  {spec['mode'] or 'auto'} @ {spec['nbytes']}B: "
                       f"{err['type']}: {err['message']}")
+    if obs:
+        merged = merge_point_reports(
+            results, kind="bandwidth", path=report,
+            show_metrics=show_metrics, verbose=verbose)
+        table.report = merged  # type: ignore[attr-defined]
     return table
 
 

@@ -11,7 +11,7 @@ from typing import Optional
 
 from repro.harness.cache import ResultCache
 from repro.harness.parallel import is_error_record, sweep
-from repro.harness.report import Table
+from repro.harness.report import Table, merge_point_reports
 from repro.systems import get_system
 
 __all__ = ["run_fig9"]
@@ -29,12 +29,25 @@ def himeno_point(spec: dict) -> dict:
     """
     from repro.apps.himeno import HimenoConfig, run_himeno
 
+    obs = spec.get("obs", False)
     cfg = HimenoConfig(size=spec["size"], iterations=spec["iterations"])
     res = run_himeno(get_system(spec["system"]), spec["nodes"],
                      spec["impl"], cfg,
                      functional=spec.get("functional", False),
-                     faults=spec.get("faults"))
-    return {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio}
+                     faults=spec.get("faults"),
+                     trace=obs, metrics=obs)
+    row = {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio}
+    if obs:
+        from repro.obs import build_report
+
+        rspec = {k: spec[k] for k in ("system", "nodes", "impl", "size",
+                                      "iterations")}
+        injector = res.env.faults
+        row["report"] = build_report(
+            "himeno", rspec, res.env,
+            faults=(injector.summary()["by_kind"]
+                    if injector is not None else None)).to_dict()
+    return row
 
 
 def run_fig9(system: str = "cichlid",
@@ -43,14 +56,20 @@ def run_fig9(system: str = "cichlid",
              functional: bool = False, verbose: bool = True,
              jobs: Optional[int] = 1,
              cache: Optional[ResultCache] = None,
-             faults: Optional[dict] = None) -> Table:
+             faults: Optional[dict] = None,
+             report: Optional[str] = None,
+             show_metrics: bool = False) -> Table:
     """Regenerate Fig 9(a) or (b): sustained GFLOP/s per implementation.
 
     ``functional=False`` (default) runs timing-only at the paper's M size;
     the virtual clock is identical either way.  Points whose worker
     crashed render as ``ERROR`` cells instead of aborting the figure.
+    ``report`` writes the sweep's merged :class:`~repro.obs.RunReport`
+    to that path; ``show_metrics`` prints the merged metrics snapshot
+    (either flag attaches tracer + metrics to every point).
     """
     preset = get_system(system)
+    obs = report is not None or show_metrics
     nodes = nodes or DEFAULT_NODES.get(system.lower(), [1, 2, 4])
     specs = [{"system": preset.name, "nodes": n, "impl": impl,
               "size": size, "iterations": iterations,
@@ -59,6 +78,9 @@ def run_fig9(system: str = "cichlid",
     if faults is not None:
         for spec in specs:
             spec["faults"] = faults
+    if obs:
+        for spec in specs:
+            spec["obs"] = True
     results = sweep(himeno_point, specs, jobs=jobs, cache=cache,
                     kind="himeno")
     errors = [r for r in results if is_error_record(r)]
@@ -92,4 +114,9 @@ def run_fig9(system: str = "cichlid",
                 err, spec = e["sweep_error"], e["sweep_error"]["spec"]
                 print(f"  {spec['impl']} @ {spec['nodes']} nodes: "
                       f"{err['type']}: {err['message']}")
+    if obs:
+        merged = merge_point_reports(
+            results, kind="himeno", path=report,
+            show_metrics=show_metrics, verbose=verbose)
+        table.report = merged  # type: ignore[attr-defined]
     return table

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
-__all__ = ["Table", "format_table"]
+__all__ = ["Table", "format_table", "merge_point_reports"]
 
 
 @dataclass
@@ -58,6 +58,43 @@ def _fmt(value: Any) -> str:
             return f"{value:.3g}"
         return f"{value:.2f}"
     return str(value)
+
+
+def merge_point_reports(rows: Iterable[dict], kind: str,
+                        path: Optional[str] = None,
+                        show_metrics: bool = False,
+                        verbose: bool = True):
+    """Fold per-point ``RunReport`` dicts of a sweep into one report.
+
+    Every observability-enabled sweep point carries its own report in
+    ``row["report"]`` (so the artifact rides through the result cache
+    unchanged); this aggregates them in grid order — metrics and
+    critical-path categories sum, makespan takes the max.  Returns the
+    merged :class:`~repro.obs.RunReport`, or None when no point carried
+    one.  ``path`` additionally writes it; ``show_metrics`` prints the
+    merged metrics snapshot.
+    """
+    from repro.obs import RunReport
+
+    points = [RunReport.from_dict(r["report"]) for r in rows
+              if isinstance(r, dict) and r.get("report")]
+    if not points:
+        if verbose and (path or show_metrics):
+            print("no RunReports collected (all points failed?)")
+        return None
+    merged = points[0]
+    for point in points[1:]:
+        merged = merged.merge(point)
+    merged.kind = kind
+    if path:
+        merged.save(path)
+        if verbose:
+            print(f"RunReport ({len(points)} points) written to {path}")
+    if show_metrics:
+        import json
+
+        print(json.dumps(merged.metrics, indent=2, sort_keys=True))
+    return merged
 
 
 def format_table(title: str, columns: Iterable[str],

@@ -47,6 +47,18 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--fault-seed", type=int, default=None,
                         help="override the plan's RNG seed (distinct "
                              "seeds give distinct fault histories)")
+    common.add_argument("--report", metavar="PATH", default=None,
+                        help="write the run's merged RunReport (metrics "
+                             "snapshot, critical path, fault tallies — "
+                             "see docs/observability.md) as JSON; "
+                             "supported by fig8 and fig9")
+    common.add_argument("--metrics", action="store_true",
+                        help="print the merged metrics snapshot after "
+                             "the run; supported by fig8 and fig9")
+    common.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="export a Chrome-tracing JSON with causal "
+                             "flow arrows (chrome://tracing / Perfetto); "
+                             "supported by fig4")
 
     sub.add_parser("table1", parents=[common],
                    help="Table I: system specifications")
@@ -99,6 +111,7 @@ def _print_cache_stats() -> None:
     print(f"entries:   {cache.entry_count()}")
     print(f"hits:      {stats['hits']}")
     print(f"misses:    {stats['misses']}")
+    print(f"corrupt:   {stats['corrupt_deleted']} (deleted on read)")
 
 
 def _load_faults(args) -> Optional[dict]:
@@ -140,17 +153,30 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"warning: {args.experiment} does not support fault "
               "injection; --faults ignored", file=sys.stderr)
         faults = None
+    report = getattr(args, "report", None)
+    show_metrics = getattr(args, "metrics", False)
+    if (report or show_metrics) and args.experiment not in ("fig8", "fig9"):
+        print(f"warning: {args.experiment} does not support "
+              "--report/--metrics; ignored", file=sys.stderr)
+        report, show_metrics = None, False
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and args.experiment != "fig4":
+        print(f"warning: {args.experiment} does not support --trace-out; "
+              "ignored", file=sys.stderr)
+        trace_out = None
     if args.experiment == "table1":
         _write_json(run_table1(), json_path)
     elif args.experiment == "fig8":
         _write_json(run_fig8(system=args.system, repeats=args.repeats,
-                             jobs=jobs, cache=cache, faults=faults),
+                             jobs=jobs, cache=cache, faults=faults,
+                             report=report, show_metrics=show_metrics),
                     json_path)
     elif args.experiment == "fig9":
         _write_json(run_fig9(system=args.system, nodes=args.nodes,
                              size=args.size, iterations=args.iterations,
                              functional=args.functional,
-                             jobs=jobs, cache=cache, faults=faults),
+                             jobs=jobs, cache=cache, faults=faults,
+                             report=report, show_metrics=show_metrics),
                     json_path)
     elif args.experiment == "fig10":
         _write_json(run_fig10(nodes=args.nodes, steps=args.steps,
@@ -158,14 +184,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                               jobs=jobs, cache=cache), json_path)
     elif args.experiment == "fig4":
         run_fig4(system=args.system)
-        if args.chrome_trace:
+        trace_path = trace_out or args.chrome_trace
+        if trace_path:
             from repro.apps.himeno import HimenoConfig, run_himeno
             from repro.systems import get_system
             res = run_himeno(get_system(args.system), 4, "clmpi",
                              HimenoConfig(size="M", iterations=2),
                              functional=False, trace=True)
-            res.tracer.save_chrome_trace(args.chrome_trace)
-            print(f"\nChrome trace written to {args.chrome_trace}")
+            res.tracer.save_chrome_trace(trace_path)
+            print(f"\nChrome trace written to {trace_path}")
     elif args.experiment == "tune":
         from repro.clmpi.autotune import tune_policy
         from repro.harness.report import Table

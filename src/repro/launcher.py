@@ -86,6 +86,8 @@ class ClusterApp:
     faults:
         A :class:`~repro.faults.FaultPlan` (or plan dict / prebuilt
         :class:`~repro.faults.FaultInjector`) to inject into the run.
+    metrics:
+        Attach a :class:`~repro.obs.MetricsRegistry` (``env.metrics``).
     """
 
     def __init__(self, system: SystemPreset, num_nodes: int,
@@ -93,12 +95,12 @@ class ClusterApp:
                  force_mode: Optional[str] = None,
                  force_block: Optional[int] = None,
                  trace: bool = False,
-                 faults=None):
+                 faults=None, metrics: bool = False):
         if not isinstance(system, SystemPreset):
             raise ReproError("ClusterApp needs a SystemPreset")
         self.system = system
         self.world = MpiWorld(system, num_nodes=num_nodes, trace=trace,
-                              faults=faults)
+                              faults=faults, metrics=metrics)
         self.env = self.world.env
         self.faults = self.world.faults
         self.contexts: list[RankContext] = []
@@ -119,6 +121,10 @@ class ClusterApp:
     @property
     def tracer(self):
         return self.env.tracer
+
+    @property
+    def metrics(self):
+        return self.env.metrics
 
     def run(self, main: Callable, *args,
             until: Optional[float] = None, **kwargs) -> list[Any]:

@@ -230,13 +230,15 @@ class Communicator:
         return (yield from self._isend_impl(buf, dest, tag, rate_limit))
 
     def isend_bytes(self, view: Optional[np.ndarray], nbytes: int, dest: int,
-                    tag: int = 0, rate_limit: Optional[float] = None
-                    ) -> Generator[Any, Any, Request]:
+                    tag: int = 0, rate_limit: Optional[float] = None,
+                    flow: int = 0) -> Generator[Any, Any, Request]:
         """Nonblocking raw-byte send of ``nbytes``.
 
         ``view`` may be None for *timing-only* transfers: the wire time is
         modelled but no data moves (used by the clMPI engines when the
-        OpenCL context runs with ``functional=False``).
+        OpenCL context runs with ``functional=False``).  ``flow`` links
+        the message's trace records into an existing causal chain (the
+        clMPI engines thread one through staging DMA + wire + drain DMA).
         """
         self._check_peer(dest, "destination")
         if nbytes < 0:
@@ -244,7 +246,8 @@ class Communicator:
         if view is not None and _byte_view(view).nbytes != nbytes:
             raise MpiError("view size does not match nbytes")
         return (yield from self._isend_impl(view, dest, tag, rate_limit,
-                                            nbytes_override=nbytes))
+                                            nbytes_override=nbytes,
+                                            flow=flow))
 
     def irecv_bytes(self, view: Optional[np.ndarray], nbytes: int,
                     source: int, tag: int,
@@ -264,8 +267,8 @@ class Communicator:
                                             rate_limit=rate_limit))
 
     def _isend_impl(self, buf, dest, tag, rate_limit=None,
-                    is_object=False,
-                    nbytes_override=None) -> Generator[Any, Any, Request]:
+                    is_object=False, nbytes_override=None,
+                    flow=0) -> Generator[Any, Any, Request]:
         state, env = self._state, self.env
         yield env.timeout(self._call_overhead)  # inlined host.api_call()
 
@@ -280,12 +283,22 @@ class Communicator:
             nbytes = payload.nbytes
 
         eager = nbytes <= state.config.eager_threshold or is_object
+        if flow == 0 and env.tracer is not None:
+            # Every traced message gets a causal chain, so send->recv
+            # pairs stay linked even when no caller threaded a flow in.
+            flow = env.tracer.new_flow()
+        metrics = env.metrics
+        if metrics is not None:
+            metrics.inc("mpi.messages")
+            metrics.observe("mpi.msg_bytes", nbytes)
+            metrics.inc("mpi.eager" if eager else "mpi.rndv")
         envelope = Envelope(
             src=self._rank, dst=dest, tag=tag, comm_id=state.comm_id,
             nbytes=nbytes, seq=state.next_seq(),
             protocol="eager" if eager else "rndv",
             is_object=is_object,
             arrived=Event(env),
+            flow=flow,
         )
         completion = Event(env)
         if eager:
@@ -330,7 +343,8 @@ class Communicator:
             label = f"eager t{envelope.tag}" if traced else "eager"
             if env.faults is None:
                 yield from fabric.send(src_node, dst_node, envelope.nbytes,
-                                       label=label, rate_limit=rate_limit)
+                                       label=label, rate_limit=rate_limit,
+                                       flow=envelope.flow)
                 envelope.arrived.succeed()
                 completion.succeed()
                 return
@@ -351,7 +365,8 @@ class Communicator:
             label = f"rndv t{envelope.tag}" if traced else "rndv"
             if env.faults is None:
                 yield from fabric.send(src_node, dst_node, envelope.nbytes,
-                                       label=label, rate_limit=rate_limit)
+                                       label=label, rate_limit=rate_limit,
+                                       flow=envelope.flow)
             else:
                 delivered = yield from self._reliable_send(
                     envelope, src_node, dst_node, label, rate_limit)
@@ -384,21 +399,27 @@ class Communicator:
         env = self.env
         fabric = self._state.cluster.fabric
         cfg = self._state.config
+        metrics = env.metrics
         delay = cfg.ack_timeout
         fate = "ok"
         for attempt in range(cfg.max_retries + 1):
             if attempt:
+                if metrics is not None:
+                    metrics.inc("mpi.backoffs")
+                    metrics.inc("mpi.retransmits")
                 yield env.timeout(delay)  # backoff before retransmitting
                 delay *= cfg.retry_backoff
             _elapsed, fate = yield from fabric.send_checked(
                 src_node, dst_node, envelope.nbytes,
-                label=label, rate_limit=rate_limit)
+                label=label, rate_limit=rate_limit, flow=envelope.flow)
             if fate != "ok":
                 envelope.retries = attempt + 1
                 continue
             fate = yield from fabric.control_message(dst_node, src_node)
             if fate == "ok":
                 envelope.retries = attempt
+                if metrics is not None:
+                    metrics.inc("mpi.acks")
                 return True
             envelope.retries = attempt + 1
         envelope.last_fate = fate
@@ -412,6 +433,7 @@ class Communicator:
             f"{self._state.config.max_retries} retransmissions "
             f"(last fate: {envelope.last_fate})")
         exc.injected = True
+        exc.flow = envelope.flow  # locate the failure on the timeline
         # Pre-defuse: an application that never waits on the request must
         # not have the failure escape Environment.run (same pattern as
         # CLEvent._fail).  Waiters still get the exception re-raised at
@@ -426,7 +448,8 @@ class Communicator:
                 hook({"kind": "mpi_giveup", "time": self.env.now,
                       "src": envelope.src, "dst": envelope.dst,
                       "tag": envelope.tag, "nbytes": envelope.nbytes,
-                      "last_fate": envelope.last_fate})
+                      "last_fate": envelope.last_fate,
+                      "flow": envelope.flow})
 
     @staticmethod
     def _deposit(src_bytes: np.ndarray, dst_bytes: np.ndarray) -> None:
@@ -463,7 +486,9 @@ class Communicator:
             env.monitor.on_mpi_recv(self, posted, envelope)
         if envelope is not None:
             self._start_recv_finish(envelope, posted, unexpected=True)
-        return Request(env, posted.completion, kind="recv")
+        req = Request(env, posted.completion, kind="recv")
+        req.posted = posted
+        return req
 
     def _start_recv_finish(self, envelope: Envelope, posted: PostedRecv,
                            unexpected: bool) -> None:
@@ -489,6 +514,7 @@ class Communicator:
     def _recv_finish(self, envelope: Envelope, posted: PostedRecv,
                      unexpected: bool):
         env = self.env
+        posted.flow = envelope.flow  # receiver-side stages join the chain
         if envelope.protocol == "eager":
             # Was the payload already buffered at the receiver when the
             # receive got matched?  Then draining it costs an extra copy.
@@ -500,8 +526,10 @@ class Communicator:
                 return
             if envelope.is_object:
                 status = Status(envelope.src, envelope.tag, envelope.nbytes)
+                self._trace_recv(envelope, env.now, env.now)
                 posted.completion.succeed((envelope.payload, status))
                 return
+            drained = env.now
             if buffered:
                 node = self._state.cluster[
                     self._state.node_id(envelope.dst)]
@@ -509,6 +537,7 @@ class Communicator:
                     envelope.nbytes / node.host.spec.memcpy_bandwidth)
             if posted.buf is not None and envelope.payload is not None:
                 self._deposit(envelope.payload, posted.buf)
+            self._trace_recv(envelope, drained, env.now)
             posted.completion.succeed(
                 Status(envelope.src, envelope.tag, envelope.nbytes))
         else:
@@ -520,8 +549,22 @@ class Communicator:
             except MpiError as exc:
                 self._fail_recv(posted, exc)
                 return
+            self._trace_recv(envelope, env.now, env.now)
             posted.completion.succeed(
                 Status(envelope.src, envelope.tag, envelope.nbytes))
+
+    def _trace_recv(self, envelope: Envelope, start: float,
+                    end: float) -> None:
+        """Receiver-side delivery marker closing the message's flow chain
+        (the wire record lives on the *sender's* NIC lane, so without
+        this the chain would never reach the receiving node)."""
+        tracer = self.env.tracer
+        if tracer is not None and envelope.flow:
+            tracer.record(
+                f"node{self._state.node_id(envelope.dst)}.mpi",
+                f"recv t{envelope.tag}", start, end, "host",
+                flow=envelope.flow, src=envelope.src,
+                nbytes=envelope.nbytes)
 
     # -- blocking wrappers ---------------------------------------------------
     def _blocking_wait(self, *requests) -> Generator[Any, Any, list]:

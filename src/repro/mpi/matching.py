@@ -47,6 +47,9 @@ class Envelope:
     retries: int = 0
     #: fate of the last wire attempt ("ok" unless delivery gave up)
     last_fate: str = "ok"
+    #: causal-chain id carried across the wire (0 = unlinked; see
+    #: :class:`repro.sim.trace.TraceRecord`)
+    flow: int = 0
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope satisfy a receive for ``(source, tag)``?"""
@@ -71,6 +74,9 @@ class PostedRecv:
     #: the rendezvous clear-to-send (models e.g. a NIC writing into mapped
     #: device memory over PCIe)
     rate_limit: Optional[float] = None
+    #: causal-chain id copied from the matched envelope, so receiver-side
+    #: stages (e.g. the pipelined engine's h2d drain) can join the chain
+    flow: int = 0
 
 
 class Endpoint:

@@ -24,6 +24,10 @@ class Request:
 
     _ids = 0
 
+    #: receive requests carry their PostedRecv so callers can read
+    #: matching results beyond the Status (e.g. the causal flow id)
+    posted = None
+
     def __init__(self, env: Environment, completion: Event, kind: str = "op"):
         self.env = env
         self.completion = completion

@@ -29,6 +29,9 @@ class MpiWorld:
         Number of ranks/nodes to instantiate (defaults to the system max).
     trace:
         Attach a :class:`~repro.sim.Tracer` for timeline extraction.
+    metrics:
+        Attach a :class:`~repro.obs.MetricsRegistry` (``env.metrics``)
+        so the layers count events, messages, bytes, and faults.
 
     Example
     -------
@@ -52,7 +55,7 @@ class MpiWorld:
     def __init__(self, system, num_nodes: Optional[int] = None,
                  trace: bool = False,
                  config: Optional[MpiConfig] = None,
-                 faults=None):
+                 faults=None, metrics: bool = False):
         if hasattr(system, "cluster"):  # SystemPreset
             cluster_spec: ClusterSpec = system.cluster
             if config is None:
@@ -68,6 +71,9 @@ class MpiWorld:
         self.env = Environment(reuse_timeouts=True)
         if trace:
             self.env.tracer = Tracer()
+        if metrics:
+            from repro.obs import MetricsRegistry
+            MetricsRegistry().attach(self.env)
         #: optional FaultInjector (plan dict / FaultPlan also accepted)
         self.faults = as_injector(faults)
         if self.faults is not None:
@@ -86,6 +92,10 @@ class MpiWorld:
     @property
     def tracer(self):
         return self.env.tracer
+
+    @property
+    def metrics(self):
+        return self.env.metrics
 
     def comm(self, rank: int) -> Communicator:
         """Rank ``rank``'s COMM_WORLD handle."""

@@ -1,0 +1,27 @@
+"""repro.obs — observability: metrics, flow tracing, critical path,
+and per-run reports.
+
+Three pieces on top of the simulator's existing tracer:
+
+* :class:`MetricsRegistry` — counters/gauges/histograms attached as
+  ``env.metrics`` (zero cost when detached).
+* :func:`critical_path` — backward walk over flow-linked trace records
+  with per-category attribution; explains *why* a run took this long.
+* :class:`RunReport` — deterministic JSON artifact bundling the above,
+  produced by the harness for figure runs and sweep points; compare two
+  with ``python -m repro.obs diff a.json b.json``.
+
+See ``docs/observability.md``.
+"""
+
+from repro.obs.critical import CriticalPath, critical_path
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.report import (REPORT_SCHEMA, RunReport, build_report,
+                              diff_reports, validate_report)
+
+__all__ = [
+    "MetricsRegistry", "merge_snapshots",
+    "CriticalPath", "critical_path",
+    "RunReport", "REPORT_SCHEMA", "build_report", "validate_report",
+    "diff_reports",
+]

@@ -1,0 +1,57 @@
+"""CLI: ``python -m repro.obs diff a.json b.json``.
+
+Compares two RunReport JSON files field by field for regression triage;
+exits 0 when identical, 1 when they differ, 2 on invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.obs.report import diff_reports, validate_report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability utilities for RunReport artifacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    d = sub.add_parser("diff",
+                       help="field-by-field diff of two RunReports")
+    d.add_argument("a", help="baseline report JSON")
+    d.add_argument("b", help="candidate report JSON")
+    d.add_argument("--no-validate", action="store_true",
+                   help="skip RunReport schema validation (diff "
+                        "arbitrary JSON objects)")
+    args = parser.parse_args(argv)
+
+    reports = []
+    for path in (args.a, args.b):
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        if not args.no_validate:
+            try:
+                validate_report(data)
+            except ValueError as exc:
+                print(f"error: {path}: {exc}", file=sys.stderr)
+                return 2
+        reports.append(data)
+    lines = diff_reports(reports[0], reports[1])
+    if not lines:
+        print("reports are identical")
+        return 0
+    print(f"{len(lines)} differing fields ({args.a} -> {args.b}):")
+    for line in lines:
+        print(f"  {line}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Critical-path analysis over a :class:`~repro.sim.trace.Tracer`.
+
+The analyzer answers "why did the run take this long?" by walking the
+causal structure of the trace backward from the last-finishing record:
+at each step it jumps to the latest-ending record that finished before
+the current one started *and* is causally upstream — either on the same
+lane (engine serialization) or linked by a shared flow id (cross-lane
+hand-off, e.g. d2h -> net -> h2d, or an MPI send -> recv pair).
+
+The resulting chain is the dominant dependency path; summing record
+durations per category attributes the makespan to compute / d2h / h2d /
+net / host / sync, which is the tool that *explains* the Fig 8/9
+crossovers rather than just plotting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = ["CriticalPath", "critical_path"]
+
+
+@dataclass
+class CriticalPath:
+    """Backward-walk result: the path and its per-category attribution.
+
+    ``total_s`` spans first-record start to last-record end along the
+    path; ``wait_s`` is the part of that span not covered by any path
+    record (scheduling/dependency gaps).  ``fractions`` divide category
+    seconds by ``total_s``; ``dominant`` is the largest category by
+    seconds (ties broken alphabetically for determinism).
+    """
+
+    path: list[TraceRecord] = field(default_factory=list)
+    by_category: dict[str, float] = field(default_factory=dict)
+    total_s: float = 0.0
+    busy_s: float = 0.0
+    wait_s: float = 0.0
+    dominant: str = ""
+
+    @property
+    def fractions(self) -> dict[str, float]:
+        if self.total_s <= 0:
+            return {c: 0.0 for c in sorted(self.by_category)}
+        return {c: self.by_category[c] / self.total_s
+                for c in sorted(self.by_category)}
+
+    def summary(self) -> dict:
+        """JSON-able digest (no raw records) for reports."""
+        return {
+            "by_category": {c: self.by_category[c]
+                            for c in sorted(self.by_category)},
+            "fractions": self.fractions,
+            "dominant": self.dominant,
+            "total_s": self.total_s,
+            "busy_s": self.busy_s,
+            "wait_s": self.wait_s,
+            "n_records": len(self.path),
+        }
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable digest: attribution plus the tail of the path."""
+        lines = [f"critical path: {self.total_s * 1e3:.3f} ms over "
+                 f"{len(self.path)} records "
+                 f"(dominant: {self.dominant or 'n/a'})"]
+        for cat, frac in sorted(self.fractions.items(),
+                                key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {cat:<8} {self.by_category[cat] * 1e3:9.3f} ms"
+                         f"  ({frac * 100:5.1f}%)")
+        if self.wait_s > 0 and self.total_s > 0:
+            lines.append(f"  {'(wait)':<8} {self.wait_s * 1e3:9.3f} ms"
+                         f"  ({self.wait_s / self.total_s * 100:5.1f}%)")
+        for rec in self.path[-limit:]:
+            lines.append(f"    {rec.start * 1e3:9.3f}.."
+                         f"{rec.end * 1e3:9.3f} ms  {rec.lane:<16} "
+                         f"[{rec.category}] {rec.label}")
+        return "\n".join(lines)
+
+
+def critical_path(tracer: Tracer, last: Optional[TraceRecord] = None,
+                  eps: float = 1e-9) -> CriticalPath:
+    """Walk the trace backward from ``last`` (default: last-finishing
+    record) and return the critical path with category attribution.
+
+    A record ``p`` is an eligible predecessor of ``c`` when it ends no
+    later than ``c`` starts (within ``eps``) and is causally upstream:
+    it shares ``c``'s lane, shares a nonzero flow id with it, or lives
+    on the same node (lanes are ``node{N}.<unit>``; one node's units
+    are serialized by the rank's control flow, so an earlier record on
+    a sibling lane is a sound hand-off approximation).  The
+    latest-ending eligible predecessor wins, with the per-tracer span
+    id breaking exact-time ties deterministically.
+    """
+    records = [r for r in tracer.records if r.end >= r.start]
+    if not records:
+        return CriticalPath()
+    order = sorted(records, key=lambda r: (r.end, r.span))
+    cur = order[-1] if last is None else last
+    path = [cur]
+    visited = {cur.span}
+    while True:
+        pred = None
+        limit = cur.start + eps
+        node = cur.lane.split(".", 1)[0]
+        for r in reversed(order):
+            if r.end > limit or r.span in visited:
+                continue
+            if (r.lane == cur.lane or (cur.flow and r.flow == cur.flow)
+                    or r.lane.split(".", 1)[0] == node):
+                pred = r
+                break
+        if pred is None:
+            break
+        visited.add(pred.span)
+        path.append(pred)
+        cur = pred
+    path.reverse()
+    by_category: dict[str, float] = {}
+    busy = 0.0
+    for rec in path:
+        by_category[rec.category] = (by_category.get(rec.category, 0.0)
+                                     + rec.duration)
+        busy += rec.duration
+    total = path[-1].end - path[0].start
+    dominant = max(sorted(by_category),
+                   key=lambda c: by_category[c]) if by_category else ""
+    return CriticalPath(path=path, by_category=by_category,
+                        total_s=total, busy_s=busy,
+                        wait_s=max(0.0, total - busy), dominant=dominant)

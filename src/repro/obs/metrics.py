@@ -1,0 +1,106 @@
+"""Metrics registry: counters, gauges, and power-of-two histograms.
+
+A :class:`MetricsRegistry` is the quantitative side of observability
+(the :class:`~repro.sim.trace.Tracer` is the qualitative side).  It is
+attached to an :class:`~repro.sim.Environment` as ``env.metrics`` and
+every instrumented layer bumps it through ``is not None`` guards, so a
+detached registry costs nothing — the same contract as ``env.tracer``
+and ``env.faults``.
+
+Names are dotted and low-cardinality by design (``mpi.messages``,
+``hw.net.bytes``) — per-lane or per-message names would make snapshots
+unbounded and reports undiffable.
+
+Snapshots are plain JSON-able dicts with deterministically sorted keys,
+so two runs with the same seed produce byte-identical serializations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["MetricsRegistry", "merge_snapshots"]
+
+
+class MetricsRegistry:
+    """Append-only numeric facts about one run.
+
+    Counters only go up (``inc``); gauges track a last-written value and
+    its high-water mark (``gauge``); histograms bucket integer samples
+    by power-of-two floor (``observe``) — e.g. a 96 KiB message lands in
+    the 65536 bucket.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict[int, int]] = {}
+
+    # -- writers -----------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``; also keeps ``name + ".max"``."""
+        self.gauges[name] = value
+        peak = name + ".max"
+        if value > self.gauges.get(peak, float("-inf")):
+            self.gauges[peak] = value
+
+    def observe(self, name: str, value: int) -> None:
+        """Add one sample to histogram ``name`` (power-of-two buckets)."""
+        bucket = 1 << (value.bit_length() - 1) if value > 0 else 0
+        hist = self.histograms.setdefault(name, {})
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    # -- attachment --------------------------------------------------------
+    def attach(self, env) -> "MetricsRegistry":
+        """Install as ``env.metrics``; returns self for chaining."""
+        env.metrics = self
+        return self
+
+    @staticmethod
+    def detach(env) -> None:
+        """Remove any registry from ``env`` (hot paths go back to zero
+        cost)."""
+        env.metrics = None
+
+    # -- readers -----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able, deterministically ordered dump of every series."""
+        return {
+            "counters": {k: self.counters[k]
+                         for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                name: {str(b): hist[b] for b in sorted(hist)}
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+
+def merge_snapshots(a: Optional[dict], b: Optional[dict]) -> dict:
+    """Combine two snapshots: counters and histogram buckets sum,
+    gauges keep the max (the interesting gauges are high-water marks)."""
+    a = a or {"counters": {}, "gauges": {}, "histograms": {}}
+    b = b or {"counters": {}, "gauges": {}, "histograms": {}}
+    counters = dict(a.get("counters", {}))
+    for k, v in b.get("counters", {}).items():
+        counters[k] = counters.get(k, 0) + v
+    gauges = dict(a.get("gauges", {}))
+    for k, v in b.get("gauges", {}).items():
+        gauges[k] = max(gauges.get(k, float("-inf")), v)
+    histograms: dict[str, dict[str, int]] = {
+        name: dict(hist) for name, hist in a.get("histograms", {}).items()
+    }
+    for name, hist in b.get("histograms", {}).items():
+        tgt = histograms.setdefault(name, {})
+        for bucket, count in hist.items():
+            tgt[bucket] = tgt.get(bucket, 0) + count
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {name: {b: hist[b] for b in sorted(hist, key=int)}
+                       for name, hist in sorted(histograms.items())},
+    }

@@ -83,6 +83,9 @@ class CLEvent:
                            f"{self._status.name} -> {status.name}")
         self._status = status
         self.profile[status] = self.env.now
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.inc(f"ocl.event.{status.name.lower()}")
         mon = self.env.monitor
         if mon is not None:
             mon.on_event_status(self, status)
@@ -96,6 +99,8 @@ class CLEvent:
         self.error = exc
         self._status = CommandStatus.COMPLETE
         self.profile[CommandStatus.COMPLETE] = self.env.now
+        if self.env.metrics is not None:
+            self.env.metrics.inc("ocl.event.failed")
         mon = self.env.monitor
         if mon is not None:
             mon.on_event_failed(self, exc)

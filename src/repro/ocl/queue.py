@@ -77,6 +77,9 @@ class CommandQueue:
                     and cmd.type != CommandType.BARRIER
                     and not self._ooo_barrier.is_complete):
                 cmd.wait_events = cmd.wait_events + (self._ooo_barrier,)
+        metrics = self.env.metrics
+        if metrics is not None:
+            metrics.inc(f"ocl.cmd.{cmd.type.value}")
         mon = self.env.monitor
         if mon is not None:
             mon.on_command_enqueued(self, cmd)

@@ -451,6 +451,10 @@ class Environment:
         #: Optional fault injector (see :mod:`repro.faults`); hardware and
         #: transport layers consult it for drops, derates, and failures.
         self.faults = None
+        #: Optional metrics registry (see :mod:`repro.obs`); layers bump
+        #: counters/gauges on it.  Detached (None) costs nothing: the
+        #: run loop accounts events via ``_seq`` deltas, never per-event.
+        self.metrics = None
 
     # -- clock -------------------------------------------------------------
     @property
@@ -493,6 +497,8 @@ class Environment:
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a coroutine for execution; returns its Process event."""
+        if self.metrics is not None:
+            self.metrics.inc("sim.processes")
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -530,9 +536,21 @@ class Environment:
         heap = self._heap
         pool = self._timeout_pool
         kick_pool = self._kick_pool
+        metrics = self.metrics
+        if metrics is not None:
+            # Every heappush bumps _seq exactly once, so event counts can
+            # be recovered from deltas at the loop boundaries — the hot
+            # loop itself carries no instrumentation.
+            seq0 = self._seq
+            heap0 = len(heap)
         while heap:
             if until is not None and heap[0][0] > until:
                 self._now = until
+                if metrics is not None:
+                    scheduled = self._seq - seq0
+                    metrics.inc("sim.events_scheduled", scheduled)
+                    metrics.inc("sim.events_fired",
+                                heap0 + scheduled - len(heap))
                 return
             when, _p, _s, event = heappop(heap)
             self._now = when
@@ -563,6 +581,10 @@ class Environment:
                     kick_pool.append(event)
         if until is not None:
             self._now = until
+        if metrics is not None:
+            scheduled = self._seq - seq0
+            metrics.inc("sim.events_scheduled", scheduled)
+            metrics.inc("sim.events_fired", heap0 + scheduled - len(heap))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

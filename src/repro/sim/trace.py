@@ -11,9 +11,14 @@ ends", etc.).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from types import MappingProxyType
+from typing import Iterable, Mapping, Optional
 
 __all__ = ["TraceRecord", "Tracer"]
+
+#: Shared immutable mapping used for records without metadata, so the
+#: hot ``record()`` path does not allocate a fresh dict per record.
+_EMPTY_META: Mapping = MappingProxyType({})
 
 
 @dataclass(frozen=True)
@@ -34,6 +39,14 @@ class TraceRecord:
         ``net`` / ``host`` / ``sync``.
     meta:
         Free-form extras (message size, peer rank, ...).
+    flow:
+        Causal-chain id linking records across lanes (0 = unlinked).
+        All stages of one logical transfer (d2h -> net -> h2d, or an
+        MPI send -> recv pair) share a flow id; the exporter turns the
+        chain into Chrome/Perfetto flow arrows and the critical-path
+        analyzer follows it across lanes.
+    span:
+        Unique per-tracer record id (1-based, insertion order).
     """
 
     lane: str
@@ -41,7 +54,9 @@ class TraceRecord:
     start: float
     end: float
     category: str = "other"
-    meta: dict = field(default_factory=dict, compare=False)
+    meta: Mapping = field(default_factory=dict, compare=False)
+    flow: int = 0
+    span: int = 0
 
     @property
     def duration(self) -> float:
@@ -62,11 +77,22 @@ class Tracer:
 
     def __init__(self) -> None:
         self.records: list[TraceRecord] = []
+        self._next_span = 0
+        self._next_flow = 0
+
+    def new_flow(self) -> int:
+        """Allocate a fresh nonzero flow id for a causal chain."""
+        self._next_flow += 1
+        return self._next_flow
 
     def record(self, lane: str, label: str, start: float, end: float,
-               category: str = "other", **meta) -> TraceRecord:
+               category: str = "other", flow: int = 0,
+               **meta) -> TraceRecord:
         """Append a record and return it."""
-        rec = TraceRecord(lane, label, start, end, category, meta)
+        self._next_span += 1
+        rec = TraceRecord(lane, label, start, end, category,
+                          meta if meta else _EMPTY_META, flow,
+                          self._next_span)
         self.records.append(rec)
         return rec
 
@@ -147,10 +173,23 @@ class Tracer:
         return "\n".join(out)
 
 
+    def flows(self) -> dict[int, list[TraceRecord]]:
+        """Records grouped by nonzero flow id, each chain in causal
+        (start, end, span) order, keyed in ascending flow-id order."""
+        chains: dict[int, list[TraceRecord]] = {}
+        for rec in self.records:
+            if rec.flow:
+                chains.setdefault(rec.flow, []).append(rec)
+        return {fid: sorted(chains[fid],
+                            key=lambda r: (r.start, r.end, r.span))
+                for fid in sorted(chains)}
+
     def to_chrome_trace(self) -> list[dict]:
         """Export as Chrome-tracing events (load in ``chrome://tracing``
         or Perfetto).  Lanes become threads; virtual seconds become
-        microseconds."""
+        microseconds.  Causal chains (nonzero ``flow`` shared by two or
+        more records) are emitted as flow events (``ph`` ``s``/``t``/
+        ``f``) so the viewer draws arrows between the linked slices."""
         lanes = self.lanes()
         tid = {lane: i for i, lane in enumerate(lanes)}
         events: list[dict] = [
@@ -159,6 +198,10 @@ class Tracer:
             for lane, i in tid.items()
         ]
         for rec in self.records:
+            args = {str(k): v for k, v in rec.meta.items()}
+            args["span"] = rec.span
+            if rec.flow:
+                args["flow"] = rec.flow
             events.append({
                 "name": rec.label,
                 "cat": rec.category,
@@ -167,8 +210,25 @@ class Tracer:
                 "tid": tid[rec.lane],
                 "ts": rec.start * 1e6,
                 "dur": rec.duration * 1e6,
-                "args": {str(k): v for k, v in rec.meta.items()},
+                "args": args,
             })
+        for fid, chain in self.flows().items():
+            if len(chain) < 2:
+                continue
+            for i, rec in enumerate(chain):
+                ev = {
+                    "name": f"flow{fid}",
+                    "cat": "flow",
+                    "ph": "s" if i == 0 else (
+                        "f" if i == len(chain) - 1 else "t"),
+                    "id": fid,
+                    "pid": 0,
+                    "tid": tid[rec.lane],
+                    "ts": rec.start * 1e6,
+                }
+                if ev["ph"] == "f":
+                    ev["bp"] = "e"
+                events.append(ev)
         return events
 
     def save_chrome_trace(self, path) -> None:

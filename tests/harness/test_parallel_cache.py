@@ -86,7 +86,8 @@ class TestCache:
         c1.put("bw", {"x": 1}, {"r": 2})
         c1.get("bw", {"x": 1})          # hit
         c2 = ResultCache(root=root)
-        assert c2.read_stats() == {"hits": 1, "misses": 1}
+        assert c2.read_stats() == {"hits": 1, "misses": 1,
+                                   "corrupt_deleted": 0}
         assert c2.entry_count() == 1
 
     def test_clear(self, tmp_path):

@@ -1,0 +1,132 @@
+"""Critical-path analyzer: synthetic walks and the Fig 8 crossover."""
+
+import pytest
+
+from repro.obs import critical_path
+from repro.sim import Tracer
+
+
+class TestBackwardWalk:
+    def test_empty_tracer(self):
+        cp = critical_path(Tracer())
+        assert cp.path == [] and cp.total_s == 0.0 and cp.dominant == ""
+
+    def test_single_record(self):
+        tr = Tracer()
+        tr.record("node0.gpu", "k", 0.0, 2.0, "compute")
+        cp = critical_path(tr)
+        assert [r.label for r in cp.path] == ["k"]
+        assert cp.by_category == {"compute": 2.0}
+        assert cp.dominant == "compute"
+        assert cp.total_s == 2.0 and cp.wait_s == 0.0
+
+    def test_same_lane_chain_with_gap(self):
+        tr = Tracer()
+        tr.record("node0.gpu", "a", 0.0, 1.0, "compute")
+        tr.record("node0.gpu", "b", 3.0, 4.0, "compute")
+        cp = critical_path(tr)
+        assert [r.label for r in cp.path] == ["a", "b"]
+        assert cp.total_s == 4.0
+        assert cp.busy_s == 2.0
+        assert cp.wait_s == 2.0
+
+    def test_flow_links_cross_lanes(self):
+        tr = Tracer()
+        fid = tr.new_flow()
+        tr.record("node0.pcie", "d2h", 0.0, 1.0, "d2h", flow=fid)
+        tr.record("node0.nic.tx", "msg", 1.0, 3.0, "net", flow=fid)
+        tr.record("node1.pcie", "h2d", 3.0, 4.0, "h2d", flow=fid)
+        cp = critical_path(tr)
+        assert [r.category for r in cp.path] == ["d2h", "net", "h2d"]
+        assert cp.dominant == "net"
+        assert cp.wait_s == 0.0
+
+    def test_unlinked_other_lane_excluded(self):
+        tr = Tracer()
+        tr.record("hostA", "early", 0.0, 1.0, "host")
+        tr.record("gpu0", "late", 2.0, 5.0, "compute")
+        cp = critical_path(tr)
+        # Different lanes, no flow, different node prefixes: no edge.
+        assert [r.label for r in cp.path] == ["late"]
+
+    def test_same_node_sibling_lane_links(self):
+        tr = Tracer()
+        tr.record("node0.gpu", "kern", 0.0, 2.0, "compute")
+        tr.record("node0.nic.tx", "msg", 2.0, 3.0, "net")
+        cp = critical_path(tr)
+        assert [r.label for r in cp.path] == ["kern", "msg"]
+
+    def test_latest_ending_predecessor_wins(self):
+        tr = Tracer()
+        tr.record("node0.gpu", "short", 0.0, 0.5, "compute")
+        tr.record("node0.gpu", "long", 0.0, 2.0, "compute")
+        tr.record("node0.gpu", "last", 2.0, 3.0, "compute")
+        cp = critical_path(tr)
+        assert [r.label for r in cp.path] == ["long", "last"]
+
+    def test_dominant_tie_breaks_alphabetically(self):
+        tr = Tracer()
+        tr.record("node0.pcie", "a", 0.0, 1.0, "d2h")
+        tr.record("node0.pcie", "b", 1.0, 2.0, "h2d")
+        assert critical_path(tr).dominant == "d2h"
+
+    def test_negative_duration_records_ignored(self):
+        tr = Tracer()
+        tr.record("node0.gpu", "bogus", 5.0, 1.0, "compute")
+        tr.record("node0.gpu", "real", 0.0, 1.0, "compute")
+        cp = critical_path(tr)
+        assert [r.label for r in cp.path] == ["real"]
+
+    def test_summary_and_fractions(self):
+        tr = Tracer()
+        tr.record("node0.nic.tx", "m", 0.0, 3.0, "net")
+        tr.record("node0.nic.tx", "m2", 3.0, 4.0, "host")
+        s = critical_path(tr).summary()
+        assert s["n_records"] == 2
+        assert s["dominant"] == "net"
+        assert s["fractions"]["net"] == pytest.approx(0.75)
+        assert s["total_s"] == pytest.approx(4.0)
+
+    def test_render_mentions_dominant(self):
+        tr = Tracer()
+        tr.record("node0.gpu", "k", 0.0, 1.0, "compute")
+        out = critical_path(tr).render()
+        assert "dominant: compute" in out and "node0.gpu" in out
+
+
+class TestFig8Crossover:
+    """Acceptance: the dominant critical-path category shifts across a
+    Fig-8-style pingpong sweep — staging (PCIe copy-latency) bound at
+    small messages, network bound at large ones."""
+
+    @pytest.fixture(scope="class")
+    def fastnet(self):
+        from repro.systems.presets import custom
+
+        # NIC latency (2us) well below the PCIe copy latency (10us per
+        # DMA), NIC bandwidth below pinned PCIe bandwidth: small pinned
+        # transfers pay mostly staging, large ones mostly wire.
+        return custom("fastnet", gpu_gflops=100, net_bandwidth=3e9,
+                      net_latency=2e-6, pinned_bandwidth=5.3e9,
+                      mapped_bandwidth=1e9)
+
+    def test_dominant_category_shifts(self, fastnet):
+        from repro.apps.pingpong import measure_bandwidth
+
+        dominants = {}
+        for nbytes in (1 << 13, 1 << 26):
+            r = measure_bandwidth(fastnet, nbytes, mode="pinned",
+                                  repeats=2, obs=True)
+            dominants[nbytes] = r.report["critical_path"]["dominant"]
+        assert dominants[1 << 13] == "d2h"       # staging bound
+        assert dominants[1 << 26] == "net"       # wire bound
+        assert len(set(dominants.values())) > 1  # the crossover itself
+
+    def test_critical_path_covers_most_of_makespan(self, fastnet):
+        from repro.apps.pingpong import measure_bandwidth
+
+        r = measure_bandwidth(fastnet, 1 << 20, mode="pinned",
+                              repeats=2, obs=True)
+        cp = r.report["critical_path"]
+        assert cp["total_s"] <= r.report["makespan_s"] * (1 + 1e-9)
+        assert cp["total_s"] > 0.5 * r.report["makespan_s"]

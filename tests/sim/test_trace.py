@@ -138,3 +138,61 @@ class TestChromeTraceExport:
         data = json.loads(path.read_text())
         cats = {e.get("cat") for e in data["traceEvents"]}
         assert {"compute", "net"} <= cats
+
+
+class TestTracerEdgeCases:
+    def test_touching_intervals_busy_time_exact(self):
+        tr = Tracer()
+        tr.record("l", "a", 0.0, 1.0, "host")
+        tr.record("l", "b", 1.0, 2.0, "host")
+        assert tr.busy_time("l") == 2.0
+
+    def test_touching_intervals_no_overlap_time(self):
+        tr = Tracer()
+        tr.record("l", "a", 0.0, 1.0, "compute")
+        tr.record("l", "b", 1.0, 2.0, "net")
+        assert tr.overlap_time("compute", "net") == 0.0
+
+    def test_zero_length_record_kept_but_costs_nothing(self):
+        tr = Tracer()
+        rec = tr.record("l", "marker", 1.0, 1.0, "sync")
+        tr.record("l", "work", 0.0, 2.0, "host")
+        assert rec.duration == 0.0
+        assert rec in tr.records
+        assert tr.busy_time("l") == 2.0
+        assert tr.span() == (0.0, 2.0)
+
+    def test_unknown_category_renders_fallback_glyph(self):
+        tr = Tracer()
+        tr.record("lane", "odd", 0.0, 1.0, "exotic")
+        chart = tr.render_gantt(width=10)
+        assert "#" in chart  # fallback glyph
+        assert "lane" in chart
+
+    def test_render_empty_trace(self):
+        assert Tracer().render_gantt() == "(empty trace)"
+
+    def test_chrome_trace_deterministic(self):
+        def build():
+            tr = Tracer()
+            fid = tr.new_flow()
+            tr.record("b", "y", 1.0, 2.0, "net", flow=fid, nbytes=7)
+            tr.record("a", "x", 0.0, 1.0, "d2h", flow=fid)
+            return tr.to_chrome_trace()
+
+        assert build() == build()
+
+    def test_empty_meta_is_shared_singleton(self):
+        tr = Tracer()
+        a = tr.record("l", "a", 0.0, 1.0)
+        b = tr.record("l", "b", 1.0, 2.0)
+        c = tr.record("l", "c", 2.0, 3.0, nbytes=1)
+        assert a.meta is b.meta  # no per-record dict allocation
+        assert c.meta is not a.meta and c.meta["nbytes"] == 1
+
+    def test_empty_meta_is_immutable(self):
+        import pytest
+
+        rec = Tracer().record("l", "a", 0.0, 1.0)
+        with pytest.raises(TypeError):
+            rec.meta["k"] = 1  # type: ignore[index]
