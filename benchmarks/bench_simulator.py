@@ -121,6 +121,61 @@ def test_metrics_detached_is_free():
         f"attached {attached:.4f}s"
 
 
+def _mpi_loop_run(faults: bool) -> float:
+    """1k-message MPI loop with or without the fault/FT stack attached."""
+    from repro.faults import FaultPlan
+
+    world = MpiWorld(cichlid(), 2,
+                     faults=FaultPlan() if faults else None)
+    buf = np.zeros(64, dtype=np.uint8)
+
+    def main(comm):
+        for i in range(500):
+            if comm.rank == 0:
+                yield from comm.send(buf, 1, tag=i)
+            else:
+                yield from comm.recv(buf, 0, tag=i)
+
+    world.run(main)
+    return world.env.now
+
+
+def test_ft_detached_message_rate(benchmark):
+    """Message rate with ``env.faults is None`` — no injector, and the
+    ULFM failure detector is never even instantiated."""
+    assert benchmark(_mpi_loop_run, False) > 0
+
+
+def test_ft_attached_message_rate(benchmark):
+    """Same loop under an (empty) fault plan: the injector consults its
+    fate tables and the failure detector becomes reachable."""
+    assert benchmark(_mpi_loop_run, True) > 0
+
+
+def test_failure_detector_detached_is_free():
+    """Regression tripwire: with no fault plan attached, the failure
+    detector must add zero cost to the MPI hot path.  The faulty run
+    does strictly more work per message (fate lookups, detector
+    plumbing), so best-of-N detached must not exceed best-of-N attached
+    (with a generous noise allowance)."""
+    import time
+
+    def best_of(faults, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            _mpi_loop_run(faults)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    best_of(False, reps=1)  # warm up allocators and imports
+    detached = best_of(False)
+    attached = best_of(True)
+    assert detached <= attached * 1.25, \
+        f"fault-free hot path regressed: {detached:.4f}s vs " \
+        f"fault-attached {attached:.4f}s"
+
+
 def test_tracer_record_empty_meta_fast_path(benchmark):
     """Meta-less ``Tracer.record`` must reuse the shared empty mapping
     instead of allocating a dict per record."""

@@ -12,6 +12,10 @@ that reached the end of the run in a state the program never observed.
 * **queues with pending commands**: work enqueued and abandoned;
 * **unreceived messages**: envelopes that arrived at an endpoint no one
   ever received (straight from the matching engine's ground truth).
+
+Revoked communicators are exempt from the endpoint sweeps: traffic
+stranded by a ULFM ``Comm.revoke()`` is the recovery path working as
+designed, not a leak (see ``docs/faults.md``).
 """
 
 from __future__ import annotations

@@ -349,9 +349,17 @@ class Recorder:
 
     def endpoint_sweep(self):
         """Ground truth from every communicator's matching engines:
-        ``[(comm_name, rank, unmatched_envelopes, pending_recvs)]``."""
+        ``[(comm_name, rank, unmatched_envelopes, pending_recvs)]``.
+
+        Revoked communicators are skipped: ULFM revocation deliberately
+        abandons in-flight traffic so survivors can shrink away from the
+        dead ranks — those stranded envelopes/receives are the *recovery
+        mechanism working*, not deadlocks or leaks.
+        """
         out = []
         for state in self._comm_states.values():
+            if getattr(state, "revoked", False):
+                continue
             for rank, ep in enumerate(state.endpoints):
                 out.append((state.name, rank, ep.unmatched_envelope_list(),
                             ep.pending_recv_list()))

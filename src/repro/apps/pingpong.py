@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from repro import clmpi
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MpiError, MpiRankFailed
 from repro.launcher import ClusterApp, RankContext
 from repro.systems.presets import SystemPreset
 
@@ -35,8 +35,13 @@ class BandwidthResult:
     #: injected-fault tally ({"total": N, "by_kind": {...}}), if a
     #: fault plan was active for this point
     fault_summary: Optional[dict] = None
-    #: :class:`~repro.obs.RunReport` dict (``obs=True`` runs only)
+    #: :class:`~repro.obs.RunReport` dict (``obs=True`` and fault-
+    #: tolerant runs)
     report: Optional[dict] = None
+    #: ULFM recovery outcome ({"survivors": [...], "failed_ranks": [...],
+    #: "world": N}) when the point ran fault-tolerantly and recovered
+    #: from a rank failure; None for ordinary points
+    recovery: Optional[dict] = None
 
     @property
     def bandwidth(self) -> float:
@@ -63,12 +68,79 @@ def _pingpong_main(ctx: RankContext, nbytes: int,
     return ctx.env.now - t0
 
 
+def _pingpong_ft_main(ctx: RankContext, nbytes: int,
+                      repeats: int) -> Generator[Any, Any, dict]:
+    """Crash-surviving rank coroutine (ULFM recovery, see repro.mpi.ft).
+
+    Same traffic as :func:`_pingpong_main`, but a fail-stopped peer does
+    not kill the run: the orphaned transfer surfaces as a negative CL
+    event status (or an ``MpiError`` out of a collective), the survivor
+    revokes the communicator, and every rank recovers through
+    ``shrink()`` + ``agree()``.  Returns a per-rank outcome dict instead
+    of a float — the harness folds it into the point's recovery record.
+    """
+    comm = ctx.comm
+    q = ctx.queue(name=f"r{ctx.rank}.q")
+    buf = ctx.ocl.create_buffer(nbytes, name=f"bw.r{ctx.rank}")
+    t0 = ctx.env.now
+    try:
+        yield from comm.barrier()
+        events = []
+        for i in range(repeats):
+            if ctx.rank == 0:
+                ev = yield from clmpi.enqueue_send_buffer(
+                    q, buf, False, 0, nbytes, dest=1, tag=i, comm=comm)
+                events.append(ev)
+            elif ctx.rank == 1:
+                ev = yield from clmpi.enqueue_recv_buffer(
+                    q, buf, False, 0, nbytes, source=0, tag=i, comm=comm)
+                events.append(ev)
+        yield from q.finish()
+        orphaned = next(
+            (ev for ev in events if ev.execution_status < 0), None)
+        if orphaned is not None:
+            comm.revoke(reason=str(orphaned.error), injected=True)
+        else:
+            yield from comm.barrier()
+    except MpiError as exc:
+        comm.revoke(reason=str(exc),
+                    injected=getattr(exc, "injected", False))
+    if not comm.revoked:
+        return {"survivor": True, "rank": ctx.rank, "world": comm.size,
+                "failed_ranks": [], "seconds": ctx.env.now - t0}
+    try:
+        shrunk = yield from comm.shrink()
+    except MpiRankFailed:
+        # This rank's own node is in the agreed fault set: it cannot
+        # rejoin (a real crashed process would simply be gone).
+        return {"survivor": False, "rank": ctx.rank, "world": 0,
+                "failed_ranks": [], "seconds": ctx.env.now - t0}
+    failed = yield from comm.agree()
+    yield from shrunk.barrier()
+    return {"survivor": True, "rank": ctx.rank, "world": shrunk.size,
+            "failed_ranks": list(failed), "seconds": ctx.env.now - t0}
+
+
+def _wants_ft(faults) -> bool:
+    """Auto-detect fault-tolerant routing: a plan with a fail-stop crash
+    needs ULFM recovery to produce a result at all; everything else is
+    handled by retransmit/degrade alone."""
+    if faults is None:
+        return False
+    plan = getattr(faults, "plan", faults)  # unwrap a FaultInjector
+    events = getattr(plan, "events", None)
+    if events is None and isinstance(plan, dict):
+        events = plan.get("events", ())
+    return any(e.get("kind") == "node_crash" for e in events or ())
+
+
 def measure_bandwidth(system: SystemPreset, nbytes: int,
                       mode: Optional[str] = None,
                       block: Optional[int] = None,
                       repeats: int = 4,
                       functional: bool = False,
-                      faults=None, obs: bool = False) -> BandwidthResult:
+                      faults=None, obs: bool = False,
+                      ft: Optional[bool] = None) -> BandwidthResult:
     """One Fig 8 data point.
 
     ``mode=None`` lets the runtime's automatic selector choose (§V.B);
@@ -78,29 +150,52 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
     under fault injection — the paper's lossy-interconnect scenario.
     ``obs=True`` runs with tracer + metrics attached and bundles a
     :class:`~repro.obs.RunReport` dict into the result.
+
+    ``ft`` selects the ULFM fault-tolerant rank coroutine (revoke/
+    shrink/agree recovery).  The default (None) auto-enables it when
+    the plan contains a ``node_crash`` — such a point used to die with
+    an error record; now it completes with surviving ranks, a populated
+    ``recovery`` field, and a :class:`~repro.obs.RunReport` carrying
+    the ``ft.*`` recovery metrics.
     """
     if nbytes <= 0 or repeats <= 0:
         raise ConfigurationError("nbytes and repeats must be positive")
+    if ft is None:
+        ft = _wants_ft(faults)
     app = ClusterApp(system, 2, functional=functional,
                      force_mode=mode, force_block=block, faults=faults,
-                     trace=obs, metrics=obs)
-    results = app.run(_pingpong_main, nbytes, repeats)
+                     trace=obs, metrics=obs or ft)
+    recovery = None
+    if ft:
+        outcomes = app.run(_pingpong_ft_main, nbytes, repeats)
+        survivors = [o for o in outcomes if o and o.get("survivor")]
+        seconds = max((o["seconds"] for o in survivors),
+                      default=app.env.now)
+        recovery = {
+            "survivors": sorted(o["rank"] for o in survivors),
+            "failed_ranks": sorted({r for o in survivors
+                                    for r in o["failed_ranks"]}),
+            "world": survivors[0]["world"] if survivors else 0,
+        }
+    else:
+        seconds = max(app.run(_pingpong_main, nbytes, repeats))
     report = None
-    if obs:
+    if obs or ft:
         from repro.obs import build_report
 
         spec = {"system": system.name, "nbytes": nbytes,
-                "mode": mode or "auto", "block": block, "repeats": repeats}
+                "mode": mode or "auto", "block": block,
+                "repeats": repeats, "ft": bool(ft)}
         report = build_report(
             "bandwidth", spec, app.env,
             faults=(app.faults.summary()["by_kind"]
                     if app.faults is not None else None)).to_dict()
     return BandwidthResult(system=system.name, mode=mode or "auto",
                            block=block, nbytes=nbytes, repeats=repeats,
-                           seconds=max(results),
+                           seconds=seconds,
                            fault_summary=(app.faults.summary()
                                           if app.faults else None),
-                           report=report)
+                           report=report, recovery=recovery)
 
 
 def bandwidth_point(spec: dict) -> dict:
@@ -118,12 +213,15 @@ def bandwidth_point(spec: dict) -> dict:
                           repeats=spec.get("repeats", 4),
                           functional=spec.get("functional", False),
                           faults=spec.get("faults"),
-                          obs=spec.get("obs", False))
+                          obs=spec.get("obs", False),
+                          ft=spec.get("ft"))
     row = {"system": r.system, "mode": r.mode, "block": r.block,
            "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds,
            "faults": r.fault_summary}
     if r.report is not None:
         row["report"] = r.report
+    if r.recovery is not None:
+        row["recovery"] = r.recovery
     return row
 
 
@@ -190,5 +288,7 @@ def bandwidth_sweep(system: SystemPreset,
     return [BandwidthResult(system=d["system"], mode=d["mode"],
                             block=d["block"], nbytes=d["nbytes"],
                             repeats=d["repeats"], seconds=d["seconds"],
-                            fault_summary=d.get("faults"))
+                            fault_summary=d.get("faults"),
+                            report=d.get("report"),
+                            recovery=d.get("recovery"))
             for d in rows if not is_error_record(d)]

@@ -35,7 +35,7 @@ from repro.clmpi.transfers.base import (
     Side,
     TransferDescriptor,
 )
-from repro.errors import ClmpiError, MpiError, OclError
+from repro.errors import ClmpiError, MpiError, MpiRankFailed, OclError
 from repro.mpi.comm import Communicator
 from repro.ocl.buffer import Buffer
 from repro.ocl.context import Context
@@ -190,6 +190,22 @@ class ClmpiRuntime:
                 # (delivery failure poisons both endpoints' events), so
                 # both sides advance to the next rung together.
                 last = exc
+                if isinstance(exc, MpiRankFailed):
+                    # ULFM fail-stop: no rung of the ladder can reach a
+                    # dead peer — the transfer is *orphaned*, not
+                    # degradable.  Stop here so the failure surfaces
+                    # while the communicator can still be revoked/shrunk.
+                    if env.metrics is not None:
+                        env.metrics.inc("clmpi.orphaned_flows")
+                    mon = env.monitor
+                    if mon is not None:
+                        hook = getattr(mon, "on_fault", None)
+                        if hook is not None:
+                            hook({"kind": "clmpi_orphaned", "time": env.now,
+                                  "op": op, "peer": peer, "tag": desc.tag,
+                                  "rank": exc.rank, "node": exc.node,
+                                  "flow": getattr(exc, "flow", 0)})
+                    break
                 if env.metrics is not None:
                     env.metrics.inc("clmpi.fallback_steps")
                     env.metrics.inc(f"clmpi.fallback.{mode}")
@@ -202,10 +218,20 @@ class ClmpiRuntime:
                               "mode": mode, "attempt": attempt,
                               "error": str(exc),
                               "flow": getattr(exc, "flow", 0)})
-        exc = ClmpiError(
-            f"clMPI {op} with peer {peer} tag {desc.tag} ({desc.nbytes} B) "
-            f"failed in every transfer mode (attempts: {', '.join(modes)}); "
-            f"last error: {last}")
+        if isinstance(last, MpiRankFailed):
+            exc = ClmpiError(
+                f"clMPI {op} with peer {peer} tag {desc.tag} "
+                f"({desc.nbytes} B) orphaned: rank {last.rank} "
+                f"(node {last.node}) has failed"
+                + (f" [flow {last.flow}]" if getattr(last, "flow", 0)
+                   else ""))
+            exc.rank = last.rank
+            exc.node = last.node
+        else:
+            exc = ClmpiError(
+                f"clMPI {op} with peer {peer} tag {desc.tag} "
+                f"({desc.nbytes} B) failed in every transfer mode "
+                f"(attempts: {', '.join(modes)}); last error: {last}")
         exc.injected = getattr(last, "injected", False)
         exc.flow = getattr(last, "flow", 0)
         raise exc from last

@@ -5,6 +5,8 @@ __all__ = [
     "ConfigurationError",
     "OclError",
     "MpiError",
+    "MpiRankFailed",
+    "MpiRevoked",
     "ClmpiError",
 ]
 
@@ -31,6 +33,29 @@ class OclError(ReproError):
 
 class MpiError(ReproError):
     """MPI-layer error (rank out of range, truncation, comm misuse)."""
+
+
+class MpiRankFailed(MpiError):
+    """A peer rank has fail-stopped (ULFM ``MPI_ERR_PROC_FAILED``).
+
+    Distinct from a transient :class:`MpiError`: retransmission cannot
+    mask a dead rank, so callers should recover via ``Comm.revoke()`` /
+    ``Comm.shrink()`` instead of retrying.  ``rank``/``node`` name the
+    failed peer when known.
+    """
+
+    def __init__(self, message: str, rank=None, node=None):
+        super().__init__(message)
+        self.rank = rank
+        self.node = node
+
+
+class MpiRevoked(MpiError):
+    """Operation aborted on a revoked communicator (ULFM
+    ``MPI_ERR_REVOKED``).  Raised by every pending and future operation
+    once any rank calls ``Comm.revoke()``; only ``shrink()``/``agree()``
+    keep working, which is how survivors reach a usable communicator.
+    """
 
 
 class ClmpiError(ReproError):

@@ -24,6 +24,8 @@ and the tolerance mechanisms (MPI retransmit, clMPI fallback ladder)
 that the rest of the stack layers on top.
 """
 
+from repro.faults.chaos import (WORKLOADS, run_campaign, sample_plan,
+                                shrink_plan)
 from repro.faults.injector import FaultInjector, as_injector, injected
 from repro.faults.plan import FAULT_KINDS, STRAGGLER_RESOURCES, FaultPlan
 
@@ -32,6 +34,10 @@ __all__ = [
     "FaultInjector",
     "FAULT_KINDS",
     "STRAGGLER_RESOURCES",
+    "WORKLOADS",
     "as_injector",
     "injected",
+    "run_campaign",
+    "sample_plan",
+    "shrink_plan",
 ]

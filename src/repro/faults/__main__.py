@@ -1,0 +1,7 @@
+"""``python -m repro.faults`` entry point."""
+
+import sys
+
+from repro.faults.cli import main
+
+sys.exit(main())

@@ -1,0 +1,100 @@
+"""``python -m repro.faults`` — chaos campaigns from the command line.
+
+Examples::
+
+    # 25 random fault plans against the fault-tolerant pingpong
+    python -m repro.faults chaos --campaign 25 --seed 7
+
+    # hunt + shrink failing plans, persisting minimized artifacts
+    python -m repro.faults chaos --campaign 50 --seed 3 \\
+        --workload himeno --minimize --campaign-out chaos-artifacts/
+
+Exit status: 0 when every case satisfied the invariants (or every
+failure was minimized to an artifact under ``--minimize``), 1 when
+failures remain unminimized.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.faults.chaos import WORKLOADS, run_campaign
+from repro.harness.cache import ResultCache
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Chaos campaigns over the simulated cluster")
+    sub = p.add_subparsers(dest="command", required=True)
+    c = sub.add_parser("chaos", help="run a seeded chaos campaign")
+    c.add_argument("--campaign", type=int, default=10, metavar="N",
+                   help="number of random fault plans (default 10)")
+    c.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (default 0)")
+    c.add_argument("--workload", default="pingpong",
+                   choices=sorted(WORKLOADS),
+                   help="workload to torture (default pingpong)")
+    c.add_argument("--minimize", action="store_true",
+                   help="delta-debug failing plans to minimal "
+                        "reproducing fault sets")
+    c.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes (default 1)")
+    c.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache")
+    c.add_argument("--campaign-out", metavar="DIR", default=None,
+                   help="persist minimized plans + RunReports as "
+                        "content-addressed JSON under DIR")
+    c.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full campaign summary as JSON")
+    return p
+
+
+def _print_summary(summary: dict) -> None:
+    wl, n = summary["workload"], summary["campaign"]
+    print(f"chaos campaign: {n} plans x {wl} (seed {summary['seed']})")
+    for case in summary["cases"]:
+        status = "ok" if case["ok"] else \
+            "FAIL " + ", ".join(case["violations"])
+        events = len(case["plan"]["events"])
+        extra = ""
+        if case.get("error"):
+            tag = "injected" if case.get("error_injected") else "ESCAPED"
+            extra = f" [{tag}: {case['error']}]"
+        print(f"  case {case['case']:3d}: {events} event(s) "
+              f"-> {status}{extra}")
+    print(f"{summary['ok']}/{n} ok, {summary['failures']} failing")
+    for art in summary["minimized"]:
+        where = f" -> {art['artifact']}" if "artifact" in art else ""
+        print(f"  minimized case {art['case']}: "
+              f"{art['original_events']} -> {art['minimized_events']} "
+              f"event(s) [{art['key']}]{where}")
+    if "summary_file" in summary:
+        print(f"campaign summary -> {summary['summary_file']}")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = None if args.no_cache else ResultCache()
+    summary = run_campaign(
+        args.workload, campaign=args.campaign, seed=args.seed,
+        minimize=args.minimize, jobs=args.jobs, cache=cache,
+        out_dir=args.campaign_out)
+    _print_summary(summary)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"JSON written to {args.json}")
+    if summary["failures"] == 0:
+        return 0
+    if args.minimize and len(summary["minimized"]) == summary["failures"]:
+        return 0  # every failure reproduced + shrunk to an artifact
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,9 @@ class FaultInjector:
         self.rng = random.Random(plan.seed)
         self.log: list[dict] = []
         self.counts: dict[str, int] = {}
+        #: lazily-created :class:`repro.mpi.ft.FailureDetector` shared by
+        #: every communicator of the run (see ``repro.mpi.ft.detector_of``)
+        self.detector = None
         # Typed views of the plan, precomputed once.
         self._crash_at: dict[int, float] = {}
         for ev in plan.of_kind("node_crash"):

@@ -65,79 +65,99 @@ STRAGGLER_RESOURCES = ("cpu", "gpu", "pcie", "nic")
 DEFAULT_GPU_ERROR = "CL_OUT_OF_RESOURCES"
 
 
+def _where(event: Mapping, index: Optional[int]) -> str:
+    """Error-message location prefix naming the offending entry.
+
+    ``events[i] (kind)`` pinpoints the entry inside a long generated
+    plan (a chaos campaign easily produces ten-event plans) instead of
+    making the user diff the repr of the whole dict against the schema.
+    """
+    kind = event.get("kind") if isinstance(event, Mapping) else None
+    at = f"events[{index}]" if index is not None else "event"
+    return (f"fault plan {at} ({kind})" if isinstance(kind, str)
+            else f"fault plan {at}")
+
+
 def _need_number(event: Mapping, key: str, minimum: float = 0.0,
-                 maximum: Optional[float] = None) -> float:
+                 maximum: Optional[float] = None,
+                 where: str = "fault event") -> float:
     value = event.get(key)
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         raise ConfigurationError(
-            f"fault event {event!r}: {key!r} must be a number")
+            f"{where}: field {key!r} must be a number, got {value!r}")
     if value < minimum or (maximum is not None and value > maximum):
         hi = "inf" if maximum is None else maximum
         raise ConfigurationError(
-            f"fault event {event!r}: {key!r}={value} outside [{minimum}, {hi}]")
+            f"{where}: field {key!r}={value} outside [{minimum}, {hi}]")
     return float(value)
 
 
 def _need_node(event: Mapping, key: str = "node",
-               optional: bool = False) -> Optional[int]:
+               optional: bool = False,
+               where: str = "fault event") -> Optional[int]:
     value = event.get(key)
     if value is None and optional:
         return None
     if not isinstance(value, int) or isinstance(value, bool) or value < 0:
         raise ConfigurationError(
-            f"fault event {event!r}: {key!r} must be a non-negative node id")
+            f"{where}: field {key!r} must be a non-negative node id, "
+            f"got {value!r}")
     return value
 
 
-def _validate_event(event: Mapping) -> dict:
+def _validate_event(event: Mapping, index: Optional[int] = None) -> dict:
+    where = _where(event, index)
     if not isinstance(event, Mapping):
-        raise ConfigurationError(f"fault event must be a dict, got {event!r}")
+        raise ConfigurationError(
+            f"{where} must be a dict, got {event!r}")
     kind = event.get("kind")
     if kind not in FAULT_KINDS:
         raise ConfigurationError(
-            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+            f"{where}: unknown fault kind {kind!r}; "
+            f"expected one of {FAULT_KINDS}")
     out = dict(event)
     if kind == "node_crash":
-        _need_node(event)
-        _need_number(event, "at")
+        _need_node(event, where=where)
+        _need_number(event, "at", where=where)
     elif kind == "nic_flap":
-        _need_node(event)
-        _need_number(event, "at")
-        _need_number(event, "duration")
+        _need_node(event, where=where)
+        _need_number(event, "at", where=where)
+        _need_number(event, "duration", where=where)
     elif kind in ("drop", "corrupt"):
-        _need_number(event, "probability", 0.0, 1.0)
-        _need_node(event, "src", optional=True)
-        _need_node(event, "dst", optional=True)
+        _need_number(event, "probability", 0.0, 1.0, where=where)
+        _need_node(event, "src", optional=True, where=where)
+        _need_node(event, "dst", optional=True, where=where)
     elif kind == "straggler":
-        _need_node(event, optional=True)
+        _need_node(event, optional=True, where=where)
         resource = event.get("resource")
         if resource not in STRAGGLER_RESOURCES:
             raise ConfigurationError(
-                f"straggler resource {resource!r} must be one of "
-                f"{STRAGGLER_RESOURCES}")
-        if _need_number(event, "factor") < 1.0:
+                f"{where}: field 'resource' is {resource!r}, "
+                f"must be one of {STRAGGLER_RESOURCES}")
+        if _need_number(event, "factor", where=where) < 1.0:
             raise ConfigurationError(
-                f"fault event {event!r}: slowdown factor must be >= 1")
+                f"{where}: field 'factor' (slowdown) must be >= 1")
         if "from" in event and event["from"] is not None:
-            _need_number(event, "from")
+            _need_number(event, "from", where=where)
         if "until" in event and event["until"] is not None:
-            _need_number(event, "until")
+            _need_number(event, "until", where=where)
     elif kind == "gpu_fail":
-        _need_node(event, optional=True)
+        _need_node(event, optional=True, where=where)
         has_at = event.get("at") is not None
         has_prob = event.get("probability") is not None
         if has_at == has_prob:
             raise ConfigurationError(
-                f"gpu_fail event {event!r} needs exactly one of "
-                "'at' (one-shot) or 'probability' (seeded rate)")
+                f"{where}: needs exactly one of 'at' (one-shot) or "
+                "'probability' (seeded rate)")
         if has_at:
-            _need_number(event, "at")
+            _need_number(event, "at", where=where)
         else:
-            _need_number(event, "probability", 0.0, 1.0)
+            _need_number(event, "probability", 0.0, 1.0, where=where)
         code = event.get("code", DEFAULT_GPU_ERROR)
         if not isinstance(code, str) or not code:
             raise ConfigurationError(
-                f"gpu_fail event {event!r}: 'code' must be a CL error name")
+                f"{where}: field 'code' must be a CL error name, "
+                f"got {code!r}")
         out["code"] = code
     return out
 
@@ -153,7 +173,8 @@ class FaultPlan:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ConfigurationError(
                 f"FaultPlan seed must be an int, got {self.seed!r}")
-        validated = tuple(_validate_event(e) for e in self.events)
+        validated = tuple(_validate_event(e, i)
+                          for i, e in enumerate(self.events))
         object.__setattr__(self, "events", validated)
 
     # -- construction -------------------------------------------------------

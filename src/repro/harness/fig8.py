@@ -51,6 +51,8 @@ def run_fig8(system: str = "cichlid",
     results = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
                     kind="bandwidth")
     errors = [r for r in results if is_error_record(r)]
+    recovered = [r for r in results
+                 if not is_error_record(r) and r.get("recovery")]
     fault_totals: dict[str, int] = {}
     curves: dict[str, dict[int, float]] = {}
     all_sizes: list[int] = []
@@ -81,6 +83,16 @@ def run_fig8(system: str = "cichlid",
             tally = ", ".join(f"{k}: {n}"
                               for k, n in sorted(fault_totals.items()))
             print(f"injected faults across the sweep — {tally}")
+        if recovered:
+            # these points lost ranks mid-run and finished anyway via
+            # ULFM shrink; their bandwidth is the survivors' view
+            shown = [f"{r['mode'] or 'auto'} @ {_size_label(r['nbytes'])}"
+                     f" (lost rank(s) {r['recovery']['failed_ranks']})"
+                     for r in recovered[:8]]
+            if len(recovered) > 8:
+                shown.append(f"... ({len(recovered) - 8} more)")
+            print(f"{len(recovered)} point(s) recovered via "
+                  "Comm.shrink() after rank failure: " + ", ".join(shown))
         if errors:
             print(f"WARNING: partial figure — {len(errors)} of "
                   f"{len(results)} points failed:")

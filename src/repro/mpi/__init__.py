@@ -24,6 +24,7 @@ from repro.mpi.datatypes import (
     Datatype,
     from_numpy_dtype,
 )
+from repro.mpi.ft import FailureDetector, detector_of
 from repro.mpi.request import Request, testall, waitall, waitany
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
 from repro.mpi.world import MpiWorld
@@ -47,4 +48,6 @@ __all__ = [
     "Communicator",
     "MpiConfig",
     "MpiWorld",
+    "FailureDetector",
+    "detector_of",
 ]

@@ -59,6 +59,19 @@ def barrier(comm) -> Generator[Any, Any, None]:
         k *= 2
 
 
+def _waitall(reqs) -> Generator[Any, Any, None]:
+    """Wait every request; on error, free the sibling handles too (the
+    escaping exception makes them unreachable, exactly as MPI frees all
+    requests of the call that failed)."""
+    try:
+        for req in reqs:
+            yield from req.wait()
+    except BaseException:
+        for req in reqs:
+            req.consumed = True
+        raise
+
+
 def bcast(comm, buf: np.ndarray, root: int = 0) -> Generator[Any, Any, None]:
     """Binomial-tree broadcast of ``buf`` (updated in place off-root)."""
     tag = _COLL_TAG_BASE + comm._coll_tag()
@@ -200,8 +213,12 @@ def alltoall(comm, sendbuf: np.ndarray,
         sreq = yield from comm.isend(
             np.ascontiguousarray(sendbuf[peer]), peer, tag)
         rreq = yield from comm.irecv(recvbuf[from_peer], from_peer, tag)
-        yield from rreq.wait()
-        yield from sreq.wait()
+        try:
+            yield from rreq.wait()
+            yield from sreq.wait()
+        except BaseException:
+            sreq.consumed = rreq.consumed = True  # freed with the call
+            raise
 
 
 def gather(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
@@ -221,8 +238,7 @@ def gather(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
                 np.copyto(recvbuf[src], sendbuf)
             else:
                 reqs.append((yield from comm.irecv(recvbuf[src], src, tag)))
-        for req in reqs:
-            yield from req.wait()
+        yield from _waitall(reqs)
     else:
         yield from comm.send(sendbuf, root, tag)
 
@@ -242,8 +258,7 @@ def scatter(comm, sendbuf: np.ndarray, recvbuf: np.ndarray,
             else:
                 reqs.append((yield from comm.isend(
                     np.ascontiguousarray(sendbuf[dst]), dst, tag)))
-        for req in reqs:
-            yield from req.wait()
+        yield from _waitall(reqs)
     else:
         yield from comm.recv(recvbuf, root, tag)
 

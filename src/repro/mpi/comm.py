@@ -22,9 +22,10 @@ from typing import Any, Generator, Optional
 
 import numpy as np
 
-from repro.errors import MpiError
+from repro.errors import MpiError, MpiRankFailed, MpiRevoked
 from repro.hardware.cluster import Cluster
 from repro.mpi import collectives as _coll
+from repro.mpi.ft import detector_of
 from repro.mpi.matching import Endpoint, Envelope, PostedRecv
 from repro.mpi.request import Request
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
@@ -89,6 +90,17 @@ class _CommState:
         self._next_dup = [0] * self.size
         self._coll_seq = [0] * self.size
         self._splits: dict[tuple, "_CommState"] = {}
+        # -- ULFM-style fault tolerance state (see repro.mpi.ft) --
+        self.revoked = False
+        self.revoke_reason = ""
+        self.revoke_injected = False
+        #: node ids this communicator has learned are fail-stopped
+        self.failed_nodes: set[int] = set()
+        self._shrink_next = [0] * self.size
+        self._shrink_rounds: dict[int, tuple] = {}
+        self._shrink_states: dict[int, "_CommState"] = {}
+        self._agree_next = [0] * self.size
+        self._agree_rounds: dict[int, tuple] = {}
 
     def node_id(self, rank: int) -> int:
         """Cluster node id hosting communicator rank ``rank``."""
@@ -270,6 +282,8 @@ class Communicator:
                     is_object=False, nbytes_override=None,
                     flow=0) -> Generator[Any, Any, Request]:
         state, env = self._state, self.env
+        if state.revoked:
+            raise self._revoked_error("send")
         yield env.timeout(self._call_overhead)  # inlined host.api_call()
 
         if is_object:
@@ -356,7 +370,13 @@ class Communicator:
             else:
                 self._fail_send(envelope, completion)
         else:
-            yield envelope.cts  # clear-to-send from the receiver
+            try:
+                yield envelope.cts  # clear-to-send from the receiver
+            except MpiError as exc:
+                # The handshake was poisoned (communicator revoked while
+                # this sender was parked waiting for the receiver).
+                self._abort_send(envelope, completion, exc)
+                return
             yield from fabric.control_message(dst_node, src_node)
             recv_rate = envelope.recv_rate
             if recv_rate is not None:
@@ -414,6 +434,8 @@ class Communicator:
                 label=label, rate_limit=rate_limit, flow=envelope.flow)
             if fate != "ok":
                 envelope.retries = attempt + 1
+                if fate == "dead":
+                    break  # fail-stop peer: retransmission cannot help
                 continue
             fate = yield from fabric.control_message(dst_node, src_node)
             if fate == "ok":
@@ -422,33 +444,72 @@ class Communicator:
                     metrics.inc("mpi.acks")
                 return True
             envelope.retries = attempt + 1
+            if fate == "dead":
+                break  # the ack will never come; stop retransmitting
         envelope.last_fate = fate
         return False
 
+    def _abort_send(self, envelope: Envelope, completion: Event,
+                    exc: BaseException) -> None:
+        """Fail both ends' events of an undeliverable message.
+
+        Pre-defused: an application that never waits on the request must
+        not have the failure escape ``Environment.run`` (same pattern as
+        ``CLEvent._fail``).  Waiters still get the exception re-raised
+        at their yield site.
+        """
+        if not envelope.arrived.triggered:
+            envelope.arrived.fail(exc)
+            envelope.arrived._defused = True
+        if not completion.triggered:
+            completion.fail(exc)
+            completion._defused = True
+
     def _fail_send(self, envelope: Envelope, completion: Event) -> None:
-        """Give up on a message: fail both ends' events with MpiError."""
-        exc = MpiError(
-            f"{self.name}: message r{envelope.src}->r{envelope.dst} "
-            f"tag {envelope.tag} ({envelope.nbytes} B) undeliverable after "
-            f"{self._state.config.max_retries} retransmissions "
-            f"(last fate: {envelope.last_fate})")
+        """Give up on a message: fail both ends' events.
+
+        A permanent ``dead`` fate means a fail-stopped peer, which no
+        amount of retransmission can mask — the failure detector is
+        notified and the error is :class:`MpiRankFailed` naming the dead
+        rank, so callers can tell an orphaned message (recover via
+        ``revoke``/``shrink``) from an exhausted lossy link (plain
+        :class:`MpiError`).
+        """
+        state, env = self._state, self.env
+        dead_rank = dead_node = None
+        if envelope.last_fate == "dead" and env.faults is not None:
+            for peer in (envelope.dst, envelope.src):
+                node = state.node_id(peer)
+                if env.faults.node_dead(node):
+                    dead_rank, dead_node = peer, node
+                    break
+        head = (f"{self.name}: message r{envelope.src}->r{envelope.dst} "
+                f"tag {envelope.tag} ({envelope.nbytes} B) undeliverable")
+        if dead_rank is not None:
+            exc = MpiRankFailed(
+                f"{head}: rank {dead_rank} (node {dead_node}) has "
+                f"fail-stopped (gave up after {envelope.retries} "
+                "transmission attempt(s))",
+                rank=dead_rank, node=dead_node)
+            state.failed_nodes.add(dead_node)
+            det = detector_of(env)
+            if det is not None:
+                det.notice(dead_node, env, rank=dead_rank, comm=state.name)
+        else:
+            exc = MpiError(
+                f"{head} after {state.config.max_retries} retransmissions "
+                f"(last fate: {envelope.last_fate})")
         exc.injected = True
         exc.flow = envelope.flow  # locate the failure on the timeline
-        # Pre-defuse: an application that never waits on the request must
-        # not have the failure escape Environment.run (same pattern as
-        # CLEvent._fail).  Waiters still get the exception re-raised at
-        # their yield site.
-        envelope.arrived.fail(exc)
-        envelope.arrived._defused = True
-        completion.fail(exc)
-        completion._defused = True
-        if self.env.monitor is not None:
-            hook = getattr(self.env.monitor, "on_fault", None)
+        self._abort_send(envelope, completion, exc)
+        if env.monitor is not None:
+            hook = getattr(env.monitor, "on_fault", None)
             if hook is not None:
-                hook({"kind": "mpi_giveup", "time": self.env.now,
+                hook({"kind": "mpi_giveup", "time": env.now,
                       "src": envelope.src, "dst": envelope.dst,
                       "tag": envelope.tag, "nbytes": envelope.nbytes,
                       "last_fate": envelope.last_fate,
+                      "rank_failed": dead_rank,
                       "flow": envelope.flow})
 
     @staticmethod
@@ -476,6 +537,8 @@ class Communicator:
     def _irecv_impl(self, buf, source, tag, is_object,
                     rate_limit=None) -> Generator[Any, Any, Request]:
         state, env = self._state, self.env
+        if state.revoked:
+            raise self._revoked_error("recv")
         yield env.timeout(self._call_overhead)  # inlined host.api_call()
         posted = PostedRecv(source=source, tag=tag,
                             buf=None if is_object else buf,
@@ -572,8 +635,16 @@ class Communicator:
         thread actually blocked."""
         blocked = any(not r.done for r in requests)
         values = []
-        for r in requests:
-            values.append((yield from r.wait()))
+        try:
+            for r in requests:
+                values.append((yield from r.wait()))
+        except BaseException:
+            # the escaping error abandons the sibling handles — free
+            # them, as MPI frees every request of the combined call
+            # (otherwise e.g. a revoked sendrecv leaks its send handle)
+            for r in requests:
+                r.consumed = True
+            raise
         if blocked:
             yield from self.node().host.sync_wakeup()
         return values
@@ -665,6 +736,180 @@ class Communicator:
         return Status(envlp.src, envlp.tag, envlp.nbytes)
 
     # =====================================================================
+    # fault tolerance (ULFM-style: revoke / shrink / agree)
+    # =====================================================================
+    @property
+    def revoked(self) -> bool:
+        """True once any rank has revoked this communicator."""
+        return self._state.revoked
+
+    def _revoked_error(self, what: str) -> MpiRevoked:
+        exc = MpiRevoked(
+            f"{self.name} is revoked "
+            f"({self._state.revoke_reason}): {what} aborted")
+        exc.injected = self._state.revoke_injected
+        return exc
+
+    def _known_failed_nodes(self) -> set:
+        """The fault set as of now: ack-timeout detections made by any
+        communicator plus a heartbeat sweep of the crash schedule."""
+        state = self._state
+        det = detector_of(self.env)
+        if det is not None:
+            det.sweep(self.env, state.group)
+            for node in state.group:
+                if node in det.failed_nodes:
+                    state.failed_nodes.add(node)
+        return set(state.failed_nodes)
+
+    def failed_ranks(self) -> list[int]:
+        """Ranks of this communicator known to have fail-stopped."""
+        dead = self._known_failed_nodes()
+        return [r for r, node in enumerate(self._state.group)
+                if node in dead]
+
+    def revoke(self, reason: str = "", injected: bool = False) -> None:
+        """ULFM ``MPI_Comm_revoke``: poison the communicator for everyone.
+
+        Propagation is modelled as an instantaneous reliable control
+        broadcast: every rank blocked in a pending operation on this
+        communicator wakes with :class:`MpiRevoked`, and every later
+        point-to-point or collective call raises it immediately.
+        ``shrink()`` and ``agree()`` keep working — reaching them is the
+        entire point of revoking.  Idempotent; any rank may call it.
+        """
+        state, env = self._state, self.env
+        if state.revoked:
+            return
+        state.revoked = True
+        state.revoke_reason = reason or f"revoked by rank {self._rank}"
+        state.revoke_injected = injected
+        if env.metrics is not None:
+            env.metrics.inc("ft.revokes")
+        if env.monitor is not None:
+            hook = getattr(env.monitor, "on_fault", None)
+            if hook is not None:
+                hook({"kind": "comm_revoked", "time": env.now,
+                      "comm": state.name, "by": self._rank,
+                      "reason": state.revoke_reason})
+        for endpoint in state.endpoints:
+            for posted in endpoint.pending_recv_list():
+                # Marked matched so the matching tables drop the entry:
+                # revocation consumed it, it is not a leak.
+                posted.matched = True
+                exc = self._revoked_error("pending recv")
+                posted.completion.fail(exc)
+                posted.completion._defused = True
+            for envelope in endpoint.unmatched_envelope_list():
+                cts = envelope.cts
+                if cts is not None and not cts.triggered:
+                    # Wake the rendezvous sender parked on clear-to-send;
+                    # _send_proc turns this into a failed (defused)
+                    # request on the sender's side.
+                    cts.fail(self._revoked_error("rendezvous"))
+                    cts._defused = True
+                envelope.matched = True
+
+    def _consensus_delay(self, participants: int
+                         ) -> Generator[Any, Any, None]:
+        """Latency model of an all-survivor agreement round: a
+        dissemination pattern of reliable control packets —
+        ceil(log2(P)) wire rounds — plus the blocked-host wake-up."""
+        fabric = self._state.cluster.fabric
+        rounds = max(1, (max(participants, 1) - 1).bit_length())
+        per_round = fabric.spec.nic.latency + fabric.spec.switch_latency
+        yield self.env.timeout(rounds * per_round + self._sync_overhead)
+
+    def shrink(self) -> Generator[Any, Any, "Communicator"]:
+        """ULFM ``MPI_Comm_shrink``: return a communicator of survivors.
+
+        Collective (ranks must call in matching order, like ``dup``) and
+        usable on a revoked communicator.  The fault set of each shrink
+        round is frozen by the first rank entering it — the internal
+        consensus real ULFM runs — so every participant derives the same
+        survivor group.  A rank whose own node is in the fault set
+        raises :class:`MpiRankFailed`; survivors get a live, un-revoked
+        communicator with compacted ranks.
+        """
+        state, env = self._state, self.env
+        n = state._shrink_next[self._rank]
+        state._shrink_next[self._rank] += 1
+        dead = state._shrink_rounds.get(n)
+        if dead is None:
+            dead = tuple(sorted(self._known_failed_nodes()))
+            state._shrink_rounds[n] = dead
+        survivors = [node for node in state.group if node not in dead]
+        yield from self._consensus_delay(len(survivors))
+        my_node = state.node_id(self._rank)
+        if my_node in dead:
+            raise MpiRankFailed(
+                f"{self.name}: this rank (r{self._rank}, node {my_node}) "
+                "is in the agreed fault set and cannot join the shrunken "
+                "communicator", rank=self._rank, node=my_node)
+        child = state._shrink_states.get(n)
+        if child is None:
+            child = _CommState(env, state.cluster,
+                               comm_id=state.comm_id * 1000 + 900 + n,
+                               config=state.config,
+                               name=f"{state.name}.shrink{n}",
+                               group=survivors)
+            state._shrink_states[n] = child
+            if env.metrics is not None:
+                env.metrics.inc("ft.shrinks")
+            if env.monitor is not None:
+                hook = getattr(env.monitor, "on_fault", None)
+                if hook is not None:
+                    hook({"kind": "comm_shrunk", "time": env.now,
+                          "comm": state.name, "survivors": list(survivors),
+                          "failed_nodes": list(dead)})
+        return Communicator(child, survivors.index(my_node))
+
+    def agree(self) -> Generator[Any, Any, tuple]:
+        """ULFM ``MPI_Comm_agree``: consensus on the fault set.
+
+        Collective; works on revoked communicators.  Every rank of one
+        agree round receives the identical frozen tuple of failed ranks,
+        so survivors can base recovery decisions on shared knowledge
+        rather than their private detector view.
+        """
+        state = self._state
+        n = state._agree_next[self._rank]
+        state._agree_next[self._rank] += 1
+        dead = state._agree_rounds.get(n)
+        if dead is None:
+            dead = tuple(sorted(self._known_failed_nodes()))
+            state._agree_rounds[n] = dead
+        alive = sum(1 for node in state.group if node not in dead)
+        yield from self._consensus_delay(alive)
+        return tuple(r for r, node in enumerate(state.group)
+                     if node in dead)
+
+    def _collective(self, coro) -> Generator[Any, Any, Any]:
+        """Run a collective body under ULFM error semantics.
+
+        A fail-stop or injected delivery failure inside a collective
+        poisons the *whole* round: the communicator is revoked, so every
+        other participant — including third-party ranks blocked on a
+        tree/ring neighbour that will never send — unblocks with
+        :class:`MpiRevoked` instead of waiting forever.  Non-injected
+        errors (argument validation and such) propagate unchanged.
+        """
+        state = self._state
+        if state.revoked:
+            raise self._revoked_error("collective")
+        try:
+            return (yield from coro)
+        except MpiRevoked:
+            raise
+        except MpiError as exc:
+            if isinstance(exc, MpiRankFailed) \
+                    or getattr(exc, "injected", False):
+                self.revoke(
+                    reason=f"collective failed at r{self._rank}: {exc}",
+                    injected=getattr(exc, "injected", False))
+            raise
+
+    # =====================================================================
     # collectives (delegating to repro.mpi.collectives)
     # =====================================================================
     def _coll_tag(self) -> int:
@@ -676,49 +921,53 @@ class Communicator:
 
     def barrier(self):
         """Coroutine: dissemination barrier."""
-        return _coll.barrier(self)
+        return self._collective(_coll.barrier(self))
 
     def bcast(self, buf, root: int = 0):
         """Coroutine: binomial-tree broadcast (in place in ``buf``)."""
-        return _coll.bcast(self, buf, root)
+        return self._collective(_coll.bcast(self, buf, root))
 
     def reduce(self, sendbuf, recvbuf, op: str = "sum", root: int = 0):
         """Coroutine: binomial-tree reduction to ``root``."""
-        return _coll.reduce(self, sendbuf, recvbuf, op, root)
+        return self._collective(_coll.reduce(self, sendbuf, recvbuf, op,
+                                             root))
 
     def allreduce(self, sendbuf, recvbuf, op: str = "sum"):
         """Coroutine: reduce + broadcast."""
-        return _coll.allreduce(self, sendbuf, recvbuf, op)
+        return self._collective(_coll.allreduce(self, sendbuf, recvbuf, op))
 
     def gather(self, sendbuf, recvbuf, root: int = 0):
         """Coroutine: gather equal-size blocks to ``root``."""
-        return _coll.gather(self, sendbuf, recvbuf, root)
+        return self._collective(_coll.gather(self, sendbuf, recvbuf, root))
 
     def scatter(self, sendbuf, recvbuf, root: int = 0):
         """Coroutine: scatter equal-size blocks from ``root``."""
-        return _coll.scatter(self, sendbuf, recvbuf, root)
+        return self._collective(_coll.scatter(self, sendbuf, recvbuf, root))
 
     def allgather(self, sendbuf, recvbuf):
         """Coroutine: ring allgather."""
-        return _coll.allgather(self, sendbuf, recvbuf)
+        return self._collective(_coll.allgather(self, sendbuf, recvbuf))
 
     def alltoall(self, sendbuf, recvbuf):
         """Coroutine: pairwise-exchange alltoall."""
-        return _coll.alltoall(self, sendbuf, recvbuf)
+        return self._collective(_coll.alltoall(self, sendbuf, recvbuf))
 
     def reduce_scatter(self, sendbuf, recvbuf, op: str = "sum"):
         """Coroutine: block reduce-scatter."""
-        return _coll.reduce_scatter(self, sendbuf, recvbuf, op)
+        return self._collective(_coll.reduce_scatter(self, sendbuf, recvbuf,
+                                                     op))
 
     def ibarrier(self):
         """Nonblocking barrier (MPI-3 style, §VI); returns a Request."""
-        return _coll.nonblocking(self, _coll.barrier(self))
+        return _coll.nonblocking(self, self._collective(_coll.barrier(self)))
 
     def ibcast(self, buf, root: int = 0):
         """Nonblocking broadcast; returns a Request."""
-        return _coll.nonblocking(self, _coll.bcast(self, buf, root))
+        return _coll.nonblocking(
+            self, self._collective(_coll.bcast(self, buf, root)))
 
     def iallreduce(self, sendbuf, recvbuf, op: str = "sum"):
         """Nonblocking allreduce; returns a Request."""
         return _coll.nonblocking(
-            self, _coll.allreduce(self, sendbuf, recvbuf, op))
+            self, self._collective(_coll.allreduce(self, sendbuf, recvbuf,
+                                                   op)))

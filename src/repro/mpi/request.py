@@ -22,8 +22,6 @@ class Request:
         status = yield from req.wait()
     """
 
-    _ids = 0
-
     #: receive requests carry their PostedRecv so callers can read
     #: matching results beyond the Status (e.g. the causal flow id)
     posted = None
@@ -45,8 +43,7 @@ class Request:
     def label(self) -> str:
         """Human-readable handle name, materialized on first use."""
         if self._label is None:
-            Request._ids += 1
-            self._label = f"{self.kind}#{Request._ids}"
+            self._label = f"{self.kind}#{self.env.next_id(self.kind)}"
         return self._label
 
     @property

@@ -97,6 +97,13 @@ class MpiWorld:
     def metrics(self):
         return self.env.metrics
 
+    @property
+    def detector(self):
+        """The run's :class:`~repro.mpi.ft.FailureDetector` (created on
+        first use), or None when no fault injector is attached."""
+        from repro.mpi.ft import detector_of
+        return detector_of(self.env)
+
     def comm(self, rank: int) -> Communicator:
         """Rank ``rank``'s COMM_WORLD handle."""
         return self._comms[rank]

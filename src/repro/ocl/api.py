@@ -39,6 +39,8 @@ def wait_for_events(events: Iterable[CLEvent],
     for e in events:
         try:
             yield e.completion
+        except GeneratorExit:
+            raise  # host coroutine torn down (abandoned at env end)
         except BaseException:
             pass  # converted to OclError by _check_failed
     _check_failed(events)

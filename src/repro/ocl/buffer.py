@@ -21,8 +21,6 @@ __all__ = ["Buffer"]
 class Buffer:
     """A device memory object of ``size`` bytes."""
 
-    _ids = 0
-
     def __init__(self, context, size: int,
                  hostbuf: Optional[np.ndarray] = None, name: str = ""):
         if size <= 0:
@@ -30,8 +28,7 @@ class Buffer:
                            f"buffer size must be positive, got {size}")
         self.context = context
         self.size = int(size)
-        Buffer._ids += 1
-        self.name = name or f"buf{Buffer._ids}"
+        self.name = name or f"buf{context.env.next_id('buf')}"
         self.device = context.device
         self.device.gpu.allocate(self.size)
         # Backing storage is lazy: timing-only runs never touch it, so a

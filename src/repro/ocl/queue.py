@@ -45,15 +45,12 @@ class Command:
 class CommandQueue:
     """A command queue bound to one context/device."""
 
-    _ids = 0
-
     def __init__(self, context, in_order: bool = True, name: str = ""):
-        CommandQueue._ids += 1
         self.context = context
         self.device = context.device
         self.env = context.env
         self.in_order = in_order
-        self.name = name or f"queue{CommandQueue._ids}"
+        self.name = name or f"queue{self.env.next_id('queue')}"
         self._pending: set[CLEvent] = set()
         self._all_enqueued: list[CLEvent] = []
         #: out-of-order queues: event of the latest barrier, which gates
@@ -376,6 +373,8 @@ class CommandQueue:
             drained.extend(waited)
             try:
                 yield self.env.all_of([e.completion for e in waited])
+            except GeneratorExit:
+                raise  # host coroutine torn down (abandoned at env end)
             except BaseException:
                 # a command failed; its error lives on its event
                 # (clFinish itself still just waits for the drain)

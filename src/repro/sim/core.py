@@ -455,6 +455,21 @@ class Environment:
         #: counters/gauges on it.  Detached (None) costs nothing: the
         #: run loop accounts events via ``_seq`` deltas, never per-event.
         self.metrics = None
+        #: per-kind counters backing auto-generated entity names
+        #: (``buf3``, ``send#7``, ...) — see :meth:`next_id`
+        self._name_ids: dict = {}
+
+    def next_id(self, kind: str) -> int:
+        """Next ordinal for auto-named entities of ``kind`` (1-based).
+
+        Scoped to the environment so generated names are a function of
+        the run alone — a case replayed in a fresh worker process and
+        one simulated mid-batch in a long-lived parent produce the same
+        labels (sanitizer findings must be byte-identical either way).
+        """
+        n = self._name_ids.get(kind, 0) + 1
+        self._name_ids[kind] = n
+        return n
 
     # -- clock -------------------------------------------------------------
     @property

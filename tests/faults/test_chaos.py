@@ -1,0 +1,153 @@
+"""Chaos campaigns: sampling, invariants, ddmin shrinking, CLI.
+
+The ``chaos_smoke`` marker is the tier-1 robustness gate: both chaos
+workloads under 25 seeded campaigns must end sanitizer-clean or be
+minimized to an artifact, byte-identically across serial and parallel
+execution.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.chaos import (WORKLOADS, campaign_specs, chaos_case,
+                                run_campaign, sample_plan, shrink_plan)
+from repro.faults.cli import main as faults_main
+from repro.harness.cache import ResultCache
+
+#: ten events, one lethal: the plan the acceptance criterion shrinks
+TEN_EVENT_PLAN = FaultPlan(seed=5, events=tuple(
+    [{"kind": "straggler", "node": n % 4, "resource": "cpu",
+      "factor": 1.0} for n in range(9)]
+    + [{"kind": "node_crash", "node": 3, "at": 5e-4}]))
+
+
+def canonical(summary: dict) -> str:
+    return json.dumps(summary, sort_keys=True, separators=(",", ":"))
+
+
+class TestSampling:
+    def test_sampled_plans_are_valid_and_deterministic(self):
+        for i in range(50):
+            a = sample_plan(random.Random(i), 4, 1e-3)
+            b = sample_plan(random.Random(i), 4, 1e-3)
+            assert a == b
+            FaultPlan.from_dict(a.to_dict())  # re-validates
+
+    def test_campaign_specs_fixed_by_seed(self):
+        assert campaign_specs("pingpong", 5, 9) == \
+            campaign_specs("pingpong", 5, 9)
+        assert campaign_specs("pingpong", 5, 9) != \
+            campaign_specs("pingpong", 5, 10)
+
+
+@pytest.mark.chaos_smoke
+class TestChaosSmokeMatrix:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_25_campaigns_clean_or_minimized(self, workload):
+        summary = run_campaign(workload, campaign=25, seed=11,
+                               minimize=True)
+        # every case either satisfied the invariants or was shrunk to a
+        # minimal reproducing fault set
+        assert summary["ok"] + summary["failures"] == 25
+        assert len(summary["minimized"]) == summary["failures"]
+        for art in summary["minimized"]:
+            assert 1 <= art["minimized_events"] <= art["original_events"]
+            probe = art["outcome"]
+            assert set(probe["violations"]) & set(art["violations"])
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_serial_and_parallel_byte_identical(self, workload):
+        serial = run_campaign(workload, campaign=25, seed=11, jobs=1)
+        para = run_campaign(workload, campaign=25, seed=11, jobs=2)
+        assert canonical(serial) == canonical(para)
+
+
+class TestInvariants:
+    def test_clean_plan_passes(self):
+        out = chaos_case({"workload": "pingpong",
+                          "plan": FaultPlan().to_dict()})
+        assert out["ok"] and out["violations"] == []
+        assert out["error"] is None
+        assert out["report"]["kind"] == "chaos"
+
+    def test_crash_on_nonft_workload_is_caught(self):
+        out = chaos_case({"workload": "himeno",
+                          "plan": TEN_EVENT_PLAN.to_dict()})
+        assert not out["ok"]
+        assert out["violations"]
+        # the tally pipelines must still agree even on a failing run
+        assert "fault-tally-divergence" not in out["violations"]
+
+    def test_ft_pingpong_survives_crash(self):
+        plan = FaultPlan(seed=2, events=(
+            {"kind": "node_crash", "node": 1, "at": 1e-4},))
+        out = chaos_case({"workload": "pingpong", "plan": plan.to_dict()})
+        assert out["ok"], out["violations"]
+        assert out["survivors"] == [
+            {"rank": 0, "world": 1, "failed_ranks": [1]}]
+        counters = out["report"]["metrics"]["counters"]
+        assert counters["ft.detections"] >= 1
+        assert counters["ft.shrinks"] == 1
+
+
+class TestShrinking:
+    def test_acceptance_ten_events_to_at_most_three(self):
+        """A failing 10-event plan shrinks to <= 3 events, twice over."""
+        original = chaos_case({"workload": "himeno",
+                               "plan": TEN_EVENT_PLAN.to_dict()})
+        assert original["violations"], "10-event plan must fail"
+        tokens = set(original["violations"])
+
+        def failing(candidate):
+            probe = chaos_case({"workload": "himeno",
+                                "plan": candidate.to_dict()})
+            return bool(set(probe["violations"]) & tokens)
+
+        small = shrink_plan(TEN_EVENT_PLAN, failing)
+        again = shrink_plan(TEN_EVENT_PLAN, failing)
+        assert small == again, "ddmin must be deterministic"
+        assert len(small.events) <= 3
+        assert any(e["kind"] == "node_crash" for e in small.events)
+
+    def test_passing_plan_shrinks_to_itself(self):
+        plan = FaultPlan(seed=1, events=(
+            {"kind": "drop", "probability": 0.0},))
+        assert shrink_plan(plan, lambda p: False) == plan
+
+    def test_minimize_probes_share_the_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c")
+        run_campaign("himeno", campaign=4, seed=3, minimize=True,
+                     cache=cache)
+        before = cache.entry_count()
+        # identical campaign: every case AND every ddmin probe is a hit
+        run_campaign("himeno", campaign=4, seed=3, minimize=True,
+                     cache=cache)
+        assert cache.entry_count() == before
+
+
+class TestCli:
+    def test_minimized_campaign_exits_zero_and_persists(self, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        json_path = tmp_path / "summary.json"
+        rc = faults_main(["chaos", "--campaign", "4", "--seed", "3",
+                          "--workload", "himeno", "--minimize",
+                          "--campaign-out", str(out_dir),
+                          "--json", str(json_path)])
+        assert rc == 0
+        summary = json.loads(json_path.read_text())
+        assert summary["failures"] > 0, "seed 3 should produce failures"
+        artifacts = sorted(out_dir.glob("chaos-himeno-case*.json"))
+        assert len(artifacts) == summary["failures"]
+        art = json.loads(artifacts[0].read_text())
+        assert art["minimized_events"] <= art["original_events"]
+        FaultPlan.from_dict(art["plan"])  # persisted plan revalidates
+        assert art["outcome"]["report"]["kind"] == "chaos"
+        assert (out_dir / "campaign-himeno-seed3.json").exists()
+
+    def test_unminimized_failures_exit_nonzero(self):
+        rc = faults_main(["chaos", "--campaign", "4", "--seed", "3",
+                          "--workload", "himeno", "--no-cache"])
+        assert rc == 1

@@ -120,3 +120,22 @@ class TestValidation:
     def test_event_must_be_mapping(self):
         with pytest.raises(ConfigurationError, match="must be a dict"):
             FaultPlan(events=("drop",))
+
+    def test_error_names_field_and_entry_index(self):
+        # regression: a bad value deep in a generated ten-event plan
+        # must be pinpointed — events[i], kind, and the offending field
+        good = {"kind": "drop", "probability": 0.1}
+        with pytest.raises(
+                ConfigurationError,
+                match=r"events\[2\] \(nic_flap\).*'duration'.*-1"):
+            FaultPlan(events=(good, good,
+                              {"kind": "nic_flap", "node": 0, "at": 0.0,
+                               "duration": -1},))
+        with pytest.raises(ConfigurationError,
+                           match=r"events\[1\] \(node_crash\).*'node'"):
+            FaultPlan(events=(good,
+                              {"kind": "node_crash", "node": -3,
+                               "at": 0.0},))
+        with pytest.raises(ConfigurationError,
+                           match=r"events\[0\].*unknown fault kind"):
+            FaultPlan(events=({"kind": "meteor"},))

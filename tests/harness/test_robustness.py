@@ -196,3 +196,41 @@ class TestFaultsCli:
         rc = main(["table1", "--faults", str(path)])
         assert rc == 0
         assert "does not support fault injection" in capsys.readouterr().err
+
+
+class TestCrashRecoveringSweep:
+    """Acceptance: a sweep point that loses a rank mid-run must finish
+    via ULFM shrink — a valid data point from the survivors' view, with
+    recovery metrics in its RunReport — instead of an error record."""
+
+    CRASH = {"seed": 5,
+             "events": [{"kind": "node_crash", "node": 1, "at": 2e-4}]}
+
+    def test_node_crash_point_recovers_instead_of_erroring(self):
+        from repro.apps.pingpong import bandwidth_point
+        from repro.obs import validate_report
+
+        spec = {"system": "cichlid", "nbytes": 1 << 20, "mode": "pinned",
+                "block": None, "repeats": 2, "faults": self.CRASH,
+                "obs": True, "ft": True}
+        row = sweep(bandwidth_point, [spec], jobs=1)[0]
+        assert not is_error_record(row)
+        assert row["seconds"] > 0
+        assert row["recovery"] == {"survivors": [0], "failed_ranks": [1],
+                                   "world": 1}
+        validate_report(row["report"])
+        counters = row["report"]["metrics"]["counters"]
+        assert counters["ft.detections"] >= 1
+        assert counters["ft.revokes"] == 1
+        assert counters["ft.shrinks"] == 1
+        assert counters["clmpi.orphaned_flows"] >= 1
+        assert row["faults"]["by_kind"].get("dead", 0) > 0
+
+    def test_fig8_reports_recovered_points(self, capsys):
+        from repro.harness.fig8 import run_fig8
+
+        run_fig8(sizes=[1 << 20], pipeline_blocks=[1 << 20], repeats=2,
+                 jobs=1, faults=self.CRASH)
+        out = capsys.readouterr().out
+        assert "recovered via Comm.shrink()" in out
+        assert "lost rank(s) [1]" in out
