@@ -176,6 +176,64 @@ def test_failure_detector_detached_is_free():
         f"fault-attached {attached:.4f}s"
 
 
+def _policy_loop_run(policy: bool) -> float:
+    """1k-message MPI loop with or without a schedule policy attached."""
+    from repro.analysis.schedule import SchedulePolicy
+
+    world = MpiWorld(cichlid(), 2)
+    if policy:
+        world.env.schedule_policy = SchedulePolicy()
+    buf = np.zeros(64, dtype=np.uint8)
+
+    def main(comm):
+        for i in range(500):
+            if comm.rank == 0:
+                yield from comm.send(buf, 1, tag=i)
+            else:
+                yield from comm.recv(buf, 0, tag=i)
+
+    world.run(main)
+    return world.env.now
+
+
+def test_schedule_policy_detached_message_rate(benchmark):
+    """Message rate with ``env.schedule_policy is None`` — the regime
+    every normal run uses; matching stays immediate and the scheduler
+    never consults a policy."""
+    assert benchmark(_policy_loop_run, False) > 0
+
+
+def test_schedule_policy_attached_message_rate(benchmark):
+    """Same loop under the verifier's policed regime: deferred matching
+    flush rounds plus the policed run loop, to quantify what one
+    explored schedule costs over a plain run."""
+    assert benchmark(_policy_loop_run, True) > 0
+
+
+def test_schedule_policy_detached_is_free():
+    """Regression tripwire: with no schedule policy attached, the
+    verifier hooks must add zero cost to the MPI hot path.  The policed
+    run does strictly more work per message (flush events, candidate
+    sets, choice callbacks), so best-of-N detached must not exceed
+    best-of-N attached (with a generous noise allowance)."""
+    import time
+
+    def best_of(policy, reps=3):
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            _policy_loop_run(policy)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    best_of(False, reps=1)  # warm up allocators and imports
+    detached = best_of(False)
+    attached = best_of(True)
+    assert detached <= attached * 1.25, \
+        f"policy-free hot path regressed: {detached:.4f}s vs " \
+        f"policy-attached {attached:.4f}s"
+
+
 def test_tracer_record_empty_meta_fast_path(benchmark):
     """Meta-less ``Tracer.record`` must reuse the shared empty mapping
     instead of allocating a dict per record."""

@@ -7,10 +7,15 @@ Correctness tooling over the event/queue/request graph of a run:
   misuse, and leaks;
 * :func:`lint_paths` — AST lint of host code for statically visible
   misuse (``python -m repro.analysis lint <paths>``);
+* :func:`verify` / :func:`replay` — schedule-space model checking:
+  explore wildcard match orders (and optionally event ties) with DPOR
+  and delay bounding, sanitize every schedule, serialize failing
+  schedules as replayable :class:`Schedule` artifacts;
 * ``python -m repro.analysis run script.py`` — run a script with every
-  environment sanitized.
+  environment sanitized, and ``... verify script.py`` — model-check it.
 
-See ``docs/sanitizer.md`` for the hazard taxonomy and report format.
+See ``docs/sanitizer.md`` for the hazard taxonomy and report format,
+``docs/verifier.md`` for the schedule-space exploration.
 """
 
 from repro.analysis.graph import ExecutionGraph, Node
@@ -18,6 +23,9 @@ from repro.analysis.lint import lint_paths, lint_source
 from repro.analysis.recorder import Recorder
 from repro.analysis.report import Finding, Report
 from repro.analysis.sanitizer import Sanitizer, analyze, autosanitize
+from repro.analysis.schedule import (Choice, RecordingPolicy, Schedule,
+                                     SchedulePolicy, ScheduleDivergence)
+from repro.analysis.verify import VerifyResult, replay, verify
 
 __all__ = [
     "ExecutionGraph", "Node",
@@ -25,4 +33,7 @@ __all__ = [
     "Recorder",
     "Sanitizer", "analyze", "autosanitize",
     "lint_paths", "lint_source",
+    "Choice", "Schedule", "SchedulePolicy", "RecordingPolicy",
+    "ScheduleDivergence",
+    "VerifyResult", "verify", "replay",
 ]

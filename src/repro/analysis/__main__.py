@@ -1,25 +1,37 @@
-"""CLI for the sanitizer and lint.
+"""CLI for the sanitizer, the schedule-space verifier, and lint.
 
 Usage::
 
     python -m repro.analysis run script.py [script args...]
-    python -m repro.analysis lint path [path...]
+    python -m repro.analysis verify script.py [--mode dpor|naive]
+        [--bound N] [--max-schedules N] [--ties] [-j N] [--out DIR]
+        [--json PATH] [--replay schedule.json]
+    python -m repro.analysis lint path [path...] [--json|--sarif]
 
 ``run`` executes the script with :func:`~repro.analysis.autosanitize`
 active, prints the merged report, and exits 1 on findings (or 2 if the
-script itself raised).  ``lint`` statically checks the given files or
-directories and exits 1 on findings.
+script itself raised).  ``verify`` model-checks the script across
+matching orders (see :mod:`repro.analysis.verify`), exits 1 when a
+counterexample is found, and writes each failing schedule under
+``--out`` for later ``--replay``.  ``lint`` statically checks the given
+files or directories and exits 1 on findings.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import runpy
 import sys
 import traceback
+from pathlib import Path
 
-from repro.analysis.lint import lint_paths
+from repro.analysis.lint import lint_paths, render_json, render_sarif
 from repro.analysis.sanitizer import autosanitize
+from repro.analysis.schedule import Schedule
+from repro.analysis.verify import (DEFAULT_BOUND, DEFAULT_MAX_SCHEDULES,
+                                   replay, verify)
+from repro.errors import ReproError
 
 
 def _cmd_run(args) -> int:
@@ -43,11 +55,52 @@ def _cmd_run(args) -> int:
     return 0 if session.report.ok else 1
 
 
+def _cmd_verify(args) -> int:
+    if args.replay:
+        schedule = Schedule.load(args.replay)
+        outcome = replay(args.script, schedule)
+        print(outcome["report"])
+        if outcome["diverged"]:
+            print(f"replay {schedule.digest}: DIVERGED (program is not "
+                  "schedule-deterministic, or the code changed)")
+            return 2
+        if outcome["error"] is not None:
+            print(f"replay {schedule.digest}: "
+                  f"{outcome['error_type']}: {outcome['error']}")
+        failed = ((outcome["error"] is not None
+                   and not outcome["error_injected"])
+                  or any(f["severity"] == "error"
+                         for f in outcome["findings"]))
+        return 1 if failed else 0
+
+    from repro.harness.cache import ResultCache
+    cache = None if args.no_cache else ResultCache()
+    try:
+        result = verify(
+            args.script, mode=args.mode, bound=args.bound,
+            max_schedules=args.max_schedules, explore_ties=args.ties,
+            jobs=args.jobs, cache=cache,
+            out_dir=Path(args.out) if args.out else None)
+    except ReproError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args) -> int:
     findings = lint_paths(args.paths)
-    for finding in findings:
-        print(finding.render())
-    print(f"lint: {len(findings)} finding(s)")
+    if args.sarif:
+        print(render_sarif(findings))
+    elif args.json:
+        print(render_json(findings))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"lint: {len(findings)} finding(s)")
     return 1 if findings else 0
 
 
@@ -64,9 +117,42 @@ def main(argv=None) -> int:
                        help="arguments passed to the script")
     p_run.set_defaults(func=_cmd_run)
 
+    p_verify = sub.add_parser(
+        "verify", help="model-check a script across matching orders")
+    p_verify.add_argument("script", help="python script to verify")
+    p_verify.add_argument("--mode", choices=("dpor", "naive"),
+                          default="dpor",
+                          help="partial-order reduction (default) or "
+                               "naive enumeration")
+    p_verify.add_argument("--bound", type=int, default=DEFAULT_BOUND,
+                          help="delay bound: max non-default choices per "
+                               f"schedule (default {DEFAULT_BOUND})")
+    p_verify.add_argument("--max-schedules", type=int,
+                          default=DEFAULT_MAX_SCHEDULES,
+                          help="cap on explored schedules (default "
+                               f"{DEFAULT_MAX_SCHEDULES})")
+    p_verify.add_argument("--ties", action="store_true",
+                          help="also explore same-instant event ties")
+    p_verify.add_argument("-j", "--jobs", type=int, default=1,
+                          help="parallel exploration workers")
+    p_verify.add_argument("--no-cache", action="store_true",
+                          help="bypass the result cache")
+    p_verify.add_argument("--out", metavar="DIR",
+                          help="write counterexample schedules here")
+    p_verify.add_argument("--json", metavar="PATH",
+                          help="write the full result as JSON")
+    p_verify.add_argument("--replay", metavar="SCHEDULE",
+                          help="replay a serialized schedule instead of "
+                               "exploring")
+    p_verify.set_defaults(func=_cmd_verify)
+
     p_lint = sub.add_parser("lint", help="statically lint host code")
     p_lint.add_argument("paths", nargs="+",
                         help="files or directories to lint")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as JSON")
+    p_lint.add_argument("--sarif", action="store_true",
+                        help="emit findings as SARIF 2.1.0")
     p_lint.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)

@@ -59,7 +59,7 @@ def _build_wait_graph(rec):
     stuck: set[int] = set()
 
     pending_cmds = dict(rec.pending_commands())
-    pending_ops = set(rec.pending_ops())
+    pending_ops = sorted(set(rec.pending_ops()))
     ops_of_parent: dict[int, list] = defaultdict(list)
     for op in pending_ops:
         parent = graph.nodes[op].parent
@@ -90,7 +90,8 @@ def _build_wait_graph(rec):
         key = id(proc)
         if key not in proc_nodes:
             pnode = graph.add_node(
-                G.PROCESS, getattr(proc, "name", "process"), role)
+                G.PROCESS, getattr(proc, "name", "process"), role,
+                t=rec.env.now)
             pnode.extra["proc"] = proc
             proc_nodes[key] = pnode.nid
             stuck.add(pnode.nid)
@@ -147,7 +148,13 @@ def _find_cycles(stuck, edges):
                 if succ not in color:
                     continue
                 if color[succ] == GRAY:
-                    cycles.append(path[path.index(succ):] + [succ])
+                    # canonical rotation (min node id first) so the
+                    # same cycle renders identically whatever DFS
+                    # order discovered it
+                    body = path[path.index(succ):]
+                    pivot = body.index(min(body))
+                    body = body[pivot:] + body[:pivot]
+                    cycles.append(body + [body[0]])
                 elif color[succ] == WHITE:
                     color[succ] = GRAY
                     path.append(succ)
@@ -257,7 +264,8 @@ def _comm_cycles(rec) -> list:
                                             f"rank {e.src} waits for rank "
                                             f"{e.dst} to post a receive "
                                             f"(tag {e.tag}, rendezvous)"))
-    for comm_name, wants in per_comm.items():
+    for comm_name in sorted(per_comm):
+        wants = per_comm[comm_name]
         adj = defaultdict(list)
         for a, b, why in wants:
             adj[a].append((b, why))
@@ -282,7 +290,8 @@ def _comm_cycles(rec) -> list:
                             "communication-deadlock",
                             f"rank-level wait cycle on {comm_name!r}: "
                             f"{ranks}",
-                            witness=whys))
+                            witness=whys,
+                            order=(0.0, min(cyc))))
                     break
                 visited.add(nxt)
                 path.append(nxt)
@@ -311,7 +320,8 @@ def detect_deadlocks(rec) -> list:
         findings.append(Finding(
             "deadlock-cycle",
             f"wait cycle of {len(cycle) - 1} entities: {names}",
-            witness=witness))
+            witness=witness,
+            order=(min(rec.node(n).t for n in cycle), min(cycle))))
 
     # root causes: stuck entities that block others yet wait on nothing
     incoming_count = defaultdict(int)
@@ -326,6 +336,7 @@ def detect_deadlocks(rec) -> list:
             continue  # nothing waits on it: the leak checker's business
         finding = _root_cause_finding(rec, rec.node(nid), n_waiters)
         finding.witness = _witness_chain(rec, edges, nid)
+        finding.order = (rec.node(nid).t, nid)
         findings.append(finding)
 
     findings.extend(_comm_cycles(rec))

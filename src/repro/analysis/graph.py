@@ -43,6 +43,8 @@ class Node:
     kind: str
     label: str
     detail: str = ""
+    #: virtual time the entity was recorded (sorts findings/witnesses)
+    t: float = 0.0
     #: lifecycle (maintained by the recorder)
     started: bool = False
     completed: bool = False
@@ -69,8 +71,9 @@ class ExecutionGraph:
     def __len__(self) -> int:
         return len(self.nodes)
 
-    def add_node(self, kind: str, label: str, detail: str = "") -> Node:
-        node = Node(len(self.nodes), kind, label, detail)
+    def add_node(self, kind: str, label: str, detail: str = "",
+                 t: float = 0.0) -> Node:
+        node = Node(len(self.nodes), kind, label, detail, t=t)
         self.nodes.append(node)
         self.preds.append([])
         return node

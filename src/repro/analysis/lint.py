@@ -20,17 +20,45 @@ behavior.
 ``CLM003`` *user event never completed*: a module creates user events
 (``create_user_event``) but never calls ``set_complete``/``set_failed``
 on anything — nobody will ever complete them.
+
+``CLM004`` *request never waited*: a nonblocking operation's request is
+assigned to a name that is never read again in the same scope (or the
+request is discarded outright).  An unwaited request leaks and its
+completion ordering is unobservable — the sanitizer's dynamic
+``leaked-request`` finding, caught statically.
+
+``CLM005`` *constant tag/size mismatch across rank branches*: the two
+arms of an ``if rank == <const>`` use disjoint constant tags (or
+disjoint constant byte sizes) for the sends in one arm and the receives
+in the other — the operations can never match each other.
+
+``CLM006`` *buffer touched while a transfer may be in flight*: a buffer
+passed to a nonblocking send/receive is rewritten, deleted, or
+released before any wait/finish in the same scope.  The transfer reads
+or writes the buffer asynchronously; touching it first is a data race
+(the dynamic race detector's job, caught statically).
+
+``CLM007`` *wildcard receive feeds a collective*: data received with
+``ANY_SOURCE``/``ANY_TAG`` is later passed to a collective.  Which
+message satisfied the wildcard depends on the matching order, so the
+collective's input diverges across schedules — exactly the class the
+schedule-space verifier (``docs/verifier.md``) explores dynamically.
+
+Locations are ``file:line:col`` (0-based column, as compilers print).
+``render_json``/``render_sarif`` format findings for editors and CI.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from repro.analysis.report import Finding
 
-__all__ = ["lint_source", "lint_paths", "COROUTINE_APIS", "BLOCKING_APIS"]
+__all__ = ["lint_source", "lint_paths", "render_json", "render_sarif",
+           "COROUTINE_APIS", "BLOCKING_APIS", "REQUEST_APIS"]
 
 #: API names that return simulation coroutines (must be ``yield from``-ed)
 COROUTINE_APIS = frozenset({
@@ -47,6 +75,45 @@ COROUTINE_APIS = frozenset({
 #: API names an event callback must never call (they block or yield)
 BLOCKING_APIS = frozenset(COROUTINE_APIS | {"run"})
 
+#: APIs whose return value is (or resolves to) a Request handle
+REQUEST_APIS = frozenset({
+    "isend", "irecv", "isend_obj", "irecv_obj", "isend_bytes",
+    "irecv_bytes", "ibarrier", "ibcast", "iallreduce",
+})
+
+#: statements containing any of these calls settle outstanding requests
+#: and in-flight transfers for the purposes of CLM006
+WAIT_APIS = frozenset({
+    "wait", "waitall", "waitany", "test", "testall", "wait_for_events",
+    "finish", "barrier",
+})
+
+#: collective operations (CLM007 sinks)
+COLLECTIVE_APIS = frozenset({
+    "bcast", "ibcast", "reduce", "allreduce", "iallreduce", "gather",
+    "allgather", "scatter", "alltoall", "reduce_scatter",
+})
+
+#: nonblocking ops that keep referencing a buffer argument after return
+ASYNC_BUFFER_APIS = {
+    "isend": 0, "irecv": 0, "isend_bytes": 0, "irecv_bytes": 0,
+    "enqueue_send_buffer": 1, "enqueue_recv_buffer": 1,
+}
+
+#: positional index of the constant tag argument (method-call view)
+SEND_TAG_POS = {"send": 2, "isend": 2, "send_obj": 2, "isend_obj": 2,
+                "isend_bytes": 3, "enqueue_send_buffer": 6}
+RECV_TAG_POS = {"recv": 2, "irecv": 2, "recv_obj": 1, "irecv_obj": 1,
+                "irecv_bytes": 3, "enqueue_recv_buffer": 6}
+#: positional index of the constant byte-size argument
+SEND_SIZE_POS = {"isend_bytes": 1, "enqueue_send_buffer": 4}
+RECV_SIZE_POS = {"irecv_bytes": 1, "enqueue_recv_buffer": 4}
+#: positional index of the source argument of receive-ish APIs; a value
+#: of None means the API defaults to ANY_SOURCE when omitted
+RECV_SRC_POS = {"recv": 1, "irecv": 1, "recv_obj": 0, "irecv_obj": 0,
+                "irecv_bytes": 2, "enqueue_recv_buffer": 5}
+RECV_DEFAULT_WILD = frozenset({"recv", "irecv", "recv_obj", "irecv_obj"})
+
 
 def _call_name(call: ast.Call) -> str:
     func = call.func
@@ -55,6 +122,49 @@ def _call_name(call: ast.Call) -> str:
     if isinstance(func, ast.Name):
         return func.id
     return ""
+
+
+def _finding(filename: str, rule: str, node: ast.AST,
+             message: str) -> Finding:
+    line = getattr(node, "lineno", 0)
+    col = getattr(node, "col_offset", 0)
+    return Finding(rule, message, location=f"{filename}:{line}:{col}")
+
+
+def _unwrap_call(value: ast.AST) -> Optional[ast.Call]:
+    """The Call behind an expression, looking through ``yield from`` /
+    ``await`` (the repro API is generator-based)."""
+    if isinstance(value, (ast.YieldFrom, ast.Await)):
+        value = value.value
+    return value if isinstance(value, ast.Call) else None
+
+
+def _arg(call: ast.Call, pos: int, kw: str) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == kw:
+            return keyword.value
+    if pos < len(call.args):
+        return call.args[pos]
+    return None
+
+
+def _const_int(node: Optional[ast.AST]) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _is_wildcard(node: Optional[ast.AST], name: str) -> bool:
+    """Is this argument ``ANY_SOURCE``/``ANY_TAG`` (by name or as -1)?"""
+    if isinstance(node, ast.Name):
+        return node.id == name
+    if isinstance(node, ast.Attribute):
+        return node.attr == name
+    return _const_int(node) == -1
 
 
 class _Linter(ast.NodeVisitor):
@@ -69,9 +179,7 @@ class _Linter(ast.NodeVisitor):
         self.completes = 0
 
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
-        self.findings.append(Finding(
-            rule, message,
-            location=f"{self.filename}:{getattr(node, 'lineno', 0)}"))
+        self.findings.append(_finding(self.filename, rule, node, message))
 
     # -- collection ---------------------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -142,17 +250,282 @@ class _Linter(ast.NodeVisitor):
                     "waiters will hang forever")
 
 
+# ---------------------------------------------------------------------------
+# flow rules (CLM004-007): per-scope statement-order analysis
+# ---------------------------------------------------------------------------
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _compound_bodies(stmt: ast.stmt) -> list:
+    """Statement lists nested inside one compound statement."""
+    out = []
+    for attr in ("body", "orelse", "finalbody"):
+        out.append(getattr(stmt, attr, None) or [])
+    for handler in getattr(stmt, "handlers", ()):
+        out.append(handler.body)
+    return [b for b in out if b]
+
+
+def _scope_statements(body: Iterable[ast.stmt]):
+    """Statements of one scope in source order, descending into
+    compound statements but not into nested function/class defs."""
+    for stmt in body:
+        if isinstance(stmt, _DEFS):
+            continue
+        yield stmt
+        for inner in _compound_bodies(stmt):
+            yield from _scope_statements(inner)
+
+
+def _scopes(tree: ast.Module):
+    """``(label, body)`` for the module and every function, any depth."""
+    yield "<module>", tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield f"{node.name}()", node.body
+
+
+def _calls_in(stmt: ast.stmt) -> list:
+    return [n for n in ast.walk(stmt) if isinstance(n, ast.Call)]
+
+
+def _buffer_arg(call: ast.Call, pos: int) -> Optional[ast.AST]:
+    for kw in ("buf", "view", "array"):
+        found = _arg(call, pos, kw)
+        if found is not None:
+            return found
+    return None
+
+
+def _check_requests(out: list, filename: str, label: str, body) -> None:
+    """CLM004: request handles assigned but never read, or discarded."""
+    loads: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loads.add(node.id)
+    assigned: list[tuple[str, str, ast.AST]] = []
+    for stmt in _scope_statements(body):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            call = _unwrap_call(stmt.value)
+            if call is not None and _call_name(call) in REQUEST_APIS:
+                assigned.append((stmt.targets[0].id, _call_name(call),
+                                 stmt))
+        elif isinstance(stmt, ast.Expr):
+            call = _unwrap_call(stmt.value)
+            if call is None:
+                continue
+            api = _call_name(call)
+            # a bare (un-yielded) coroutine call is already CLM001
+            if api in REQUEST_APIS and (
+                    isinstance(stmt.value, (ast.YieldFrom, ast.Await))
+                    or api not in COROUTINE_APIS):
+                out.append(_finding(
+                    filename, "CLM004", stmt,
+                    f"request returned by {api}() is discarded: it can "
+                    "never be waited on or freed, and its completion "
+                    "order is unobservable"))
+    for name, api, stmt in assigned:
+        if name not in loads:
+            out.append(_finding(
+                filename, "CLM004", stmt,
+                f"request {name!r} from {api}() is never read in "
+                f"{label}: never waited, tested, or freed"))
+
+
+def _branch_ops(body) -> dict:
+    """Constant tags/sizes of send- and recv-ish calls under ``body``."""
+    ops = {"send_tags": set(), "recv_tags": set(),
+           "send_sizes": set(), "recv_sizes": set()}
+    for stmt in body:
+        for call in _calls_in(stmt):
+            name = _call_name(call)
+            if name in SEND_TAG_POS:
+                tag = _const_int(_arg(call, SEND_TAG_POS[name], "tag"))
+                if tag is not None and tag >= 0:
+                    ops["send_tags"].add(tag)
+            if name in RECV_TAG_POS:
+                tag = _const_int(_arg(call, RECV_TAG_POS[name], "tag"))
+                if tag is not None and tag >= 0:
+                    ops["recv_tags"].add(tag)
+            if name in SEND_SIZE_POS:
+                size = _const_int(_arg(call, SEND_SIZE_POS[name],
+                                       "nbytes"))
+                if size is not None:
+                    ops["send_sizes"].add(size)
+            if name in RECV_SIZE_POS:
+                size = _const_int(_arg(call, RECV_SIZE_POS[name],
+                                       "nbytes"))
+                if size is not None:
+                    ops["recv_sizes"].add(size)
+    return ops
+
+
+def _is_rank_test(test: ast.expr) -> bool:
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], (ast.Eq, ast.NotEq))):
+        return False
+    left = test.left
+    name = left.id if isinstance(left, ast.Name) else \
+        left.attr if isinstance(left, ast.Attribute) else ""
+    return "rank" in name and _const_int(test.comparators[0]) is not None
+
+
+def _check_rank_branches(out: list, filename: str, tree: ast.Module) -> None:
+    """CLM005: disjoint constant tags/sizes across ``if rank == k``."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.If) and node.orelse
+                and _is_rank_test(node.test)):
+            continue
+        a, b = _branch_ops(node.body), _branch_ops(node.orelse)
+        for sends, recvs in ((a, b), (b, a)):
+            if sends["send_tags"] and recvs["recv_tags"] and \
+                    not (sends["send_tags"] & recvs["recv_tags"]):
+                out.append(_finding(
+                    filename, "CLM005", node,
+                    f"rank branches use disjoint constant tags: sends "
+                    f"{sorted(sends['send_tags'])} vs receives "
+                    f"{sorted(recvs['recv_tags'])} — these operations "
+                    "can never match"))
+                break
+        for sends, recvs in ((a, b), (b, a)):
+            if sends["send_sizes"] and recvs["recv_sizes"] and \
+                    min(recvs["recv_sizes"]) < max(sends["send_sizes"]):
+                out.append(_finding(
+                    filename, "CLM005", node,
+                    f"rank branches disagree on constant message sizes: "
+                    f"sends {sorted(sends['send_sizes'])}B vs receives "
+                    f"{sorted(recvs['recv_sizes'])}B — the receive "
+                    "buffer is smaller than the message (truncation)"))
+                break
+
+
+def _check_inflight(out: list, filename: str, body) -> None:
+    """CLM006: buffer rewritten/released while a transfer references it."""
+    inflight: dict[str, str] = {}
+    for stmt in _scope_statements(body):
+        calls = _calls_in(stmt)
+        names = {_call_name(c) for c in calls}
+        if names & WAIT_APIS:
+            inflight.clear()
+            continue
+        hazards: list[tuple[str, ast.AST]] = []
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id in inflight:
+                    hazards.append((target.value.id, target))
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id in inflight:
+                    hazards.append((target.id, target))
+        for call in calls:
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr == "release" \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in inflight:
+                hazards.append((func.value.id, call))
+        for name, where in hazards:
+            out.append(_finding(
+                filename, "CLM006", where,
+                f"buffer {name!r} is modified/released while "
+                f"{inflight[name]}() may still be reading or writing "
+                "it (no wait between the transfer and this statement)"))
+            inflight.pop(name, None)
+        for call in calls:
+            pos = ASYNC_BUFFER_APIS.get(_call_name(call))
+            if pos is None:
+                continue
+            buf = _buffer_arg(call, pos)
+            if isinstance(buf, ast.Name):
+                inflight[buf.id] = _call_name(call)
+
+
+def _check_wildcard_collective(out: list, filename: str, body) -> None:
+    """CLM007: wildcard-received data flowing into a collective."""
+    tainted: dict[str, str] = {}
+    for stmt in _scope_statements(body):
+        for call in _calls_in(stmt):
+            name = _call_name(call)
+            if name in COLLECTIVE_APIS:
+                for arg in list(call.args) + [k.value
+                                              for k in call.keywords]:
+                    if isinstance(arg, ast.Name) and arg.id in tainted:
+                        out.append(_finding(
+                            filename, "CLM007", call,
+                            f"{name}() input {arg.id!r} was received "
+                            f"with {tainted[arg.id]}: which message "
+                            "satisfied the wildcard depends on the "
+                            "matching order, so the collective's input "
+                            "diverges across schedules (verify with "
+                            "'python -m repro.analysis verify')"))
+                        del tainted[arg.id]
+                continue
+            if name not in RECV_SRC_POS:
+                continue
+            src = _arg(call, RECV_SRC_POS[name], "source")
+            tag = _arg(call, RECV_TAG_POS[name], "tag")
+            wild = []
+            if _is_wildcard(src, "ANY_SOURCE") or (
+                    src is None and name in RECV_DEFAULT_WILD):
+                wild.append("ANY_SOURCE")
+            if _is_wildcard(tag, "ANY_TAG"):
+                wild.append("ANY_TAG")
+            if not wild:
+                continue
+            how = f"{name}({'/'.join(wild)})"
+            if name in ("recv", "irecv", "irecv_bytes"):
+                buf = _buffer_arg(call, 0)
+            elif name == "enqueue_recv_buffer":
+                buf = _buffer_arg(call, 1)
+            else:
+                buf = None
+            if isinstance(buf, ast.Name):
+                tainted[buf.id] = how
+            if name in ("recv_obj", "irecv_obj") \
+                    and isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        tainted[target.id] = how
+                    elif isinstance(target, ast.Tuple) and target.elts \
+                            and isinstance(target.elts[0], ast.Name):
+                        tainted[target.elts[0].id] = how
+
+
+def _flow_lint(tree: ast.Module, filename: str) -> list:
+    findings: list[Finding] = []
+    for label, body in _scopes(tree):
+        _check_requests(findings, filename, label, body)
+        _check_inflight(findings, filename, body)
+        _check_wildcard_collective(findings, filename, body)
+    _check_rank_branches(findings, filename, tree)
+    return findings
+
+
+def _location_key(finding: Finding) -> tuple:
+    path, line, col = finding.location.rsplit(":", 2)
+    return (path, int(line), int(col), finding.kind, finding.message)
+
+
 def lint_source(source: str, filename: str = "<string>") -> list:
-    """Lint one module's source text; returns findings."""
+    """Lint one module's source text; returns findings sorted by
+    location (byte-stable across runs)."""
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
         return [Finding("syntax-error", str(exc),
-                        location=f"{filename}:{exc.lineno or 0}")]
+                        location=f"{filename}:{exc.lineno or 0}:"
+                                 f"{(exc.offset or 1) - 1}")]
     linter = _Linter(filename)
     linter.visit(tree)
     linter.finish_module()
-    return linter.findings
+    findings = linter.findings + _flow_lint(tree, filename)
+    findings.sort(key=_location_key)
+    return findings
 
 
 def lint_paths(paths: Iterable[Union[str, Path]]) -> list:
@@ -165,3 +538,57 @@ def lint_paths(paths: Iterable[Union[str, Path]]) -> list:
             findings.extend(lint_source(file.read_text(encoding="utf-8"),
                                         str(file)))
     return findings
+
+
+# ---------------------------------------------------------------------------
+# machine-readable output (--json / --sarif)
+# ---------------------------------------------------------------------------
+def _split_location(finding: Finding) -> tuple[str, int, int]:
+    path, line, col = finding.location.rsplit(":", 2)
+    return path, int(line), int(col)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Findings as a JSON array with explicit file/line/col spans."""
+    out = []
+    for finding in findings:
+        path, line, col = _split_location(finding)
+        out.append({"rule": finding.kind, "severity": finding.severity,
+                    "message": finding.message, "file": path,
+                    "line": line, "col": col})
+    return json.dumps(out, indent=2, sort_keys=True)
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """Findings as a SARIF 2.1.0 log (GitHub/editor CI annotations)."""
+    findings = list(findings)
+    rules = sorted({f.kind for f in findings})
+    results = []
+    for finding in findings:
+        path, line, col = _split_location(finding)
+        results.append({
+            "ruleId": finding.kind,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                    "region": {"startLine": max(line, 1),
+                               "startColumn": col + 1},
+                },
+            }],
+        })
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-clmpi-lint",
+                "informationUri":
+                    "https://example.invalid/repro/docs/sanitizer.md",
+                "rules": [{"id": rule} for rule in rules],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

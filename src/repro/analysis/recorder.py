@@ -91,7 +91,7 @@ class Recorder:
     def on_event_created(self, ev) -> None:
         from repro.ocl.event import UserEvent
         kind = G.USER_EVENT if isinstance(ev, UserEvent) else G.COMMAND
-        node = self.graph.add_node(kind, ev.label)
+        node = self.graph.add_node(kind, ev.label, t=self.env.now)
         self._pin(ev)
         self._event_node[id(ev)] = node.nid
         self._by_completion[id(ev.completion)] = node.nid
@@ -167,7 +167,8 @@ class Recorder:
         if not preds:
             return
         node = self.graph.add_node(
-            G.SYNC, f"{getattr(proc, 'name', 'host')}@t={self.env.now:.6g}")
+            G.SYNC, f"{getattr(proc, 'name', 'host')}@t={self.env.now:.6g}",
+            t=self.env.now)
         self._pin(proc)
         for p in preds:
             self.graph.add_hb(p, node.nid)
@@ -226,7 +227,8 @@ class Recorder:
         node = self.graph.add_node(
             G.MPI_SEND,
             f"send r{envelope.src}->r{envelope.dst} tag={envelope.tag}",
-            f"{envelope.protocol} {envelope.nbytes}B on {comm.name}")
+            f"{envelope.protocol} {envelope.nbytes}B on {comm.name}",
+            t=self.env.now)
         self._pin(envelope)
         node.parent = self._active_parent()
         node.extra.update(envelope=envelope, completion=completion,
@@ -241,7 +243,7 @@ class Recorder:
         node = self.graph.add_node(
             G.MPI_RECV,
             f"recv r{comm.rank}<-{src} tag={tag}",
-            f"on {comm.name}")
+            f"on {comm.name}", t=self.env.now)
         self._pin(posted)
         node.parent = self._active_parent()
         node.extra.update(posted=posted, completion=posted.completion,
@@ -278,7 +280,7 @@ class Recorder:
             G.CLMPI_TRANSFER,
             f"clmpi.host-{kind} r{comm.rank}{'->' if kind == 'send' else '<-'}"
             f"r{peer} tag={tag}",
-            f"{nbytes}B on {comm.name}")
+            f"{nbytes}B on {comm.name}", t=self.env.now)
         self._pin(proc)
         node.extra.update(proc=proc, completion=proc, comm=comm.name,
                           rank=comm.rank, peer=peer, op=kind)

@@ -26,8 +26,11 @@ class Finding:
     message: str
     severity: str = ERROR
     witness: list = field(default_factory=list)
-    #: optional source location for lint findings ("file:line")
+    #: optional source location for lint findings ("file:line:col")
     location: str = ""
+    #: sort key fragment ``(sim-time, entity id)`` set by detectors so
+    #: reports render byte-stable across runs (see ``analyze``)
+    order: tuple = field(default_factory=tuple, repr=False)
 
     def render(self) -> str:
         head = f"[{self.severity}] {self.kind}: {self.message}"

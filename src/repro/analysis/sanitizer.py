@@ -39,9 +39,23 @@ from repro.sim import Environment
 __all__ = ["Sanitizer", "autosanitize", "analyze"]
 
 
+#: severity rank for the canonical finding order
+_SEVERITY_RANK = {"error": 0, "warning": 1}
+
+
+def _finding_key(finding) -> tuple:
+    return (_SEVERITY_RANK.get(finding.severity, 2), finding.kind,
+            tuple(finding.order), finding.location, finding.message)
+
+
 def analyze(recorder: Recorder, deadlocks: bool = True, races: bool = True,
             leaks: bool = True) -> Report:
-    """Run the configured detectors over a finished recording."""
+    """Run the configured detectors over a finished recording.
+
+    Findings are sorted by (severity, kind, (sim-time, entity id),
+    location, message) so reports render byte-stable across runs and
+    cache/diff cleanly.
+    """
     report = Report(stats=recorder.stats())
     report.findings.extend(recorder.direct_findings)
     deadlock_findings: list = []
@@ -53,6 +67,7 @@ def analyze(recorder: Recorder, deadlocks: bool = True, races: bool = True,
     if leaks:
         report.findings.extend(
             detect_leaks(recorder, deadlocked=bool(deadlock_findings)))
+    report.findings.sort(key=_finding_key)
     return report
 
 

@@ -1,0 +1,187 @@
+"""Schedule artifacts: recorded choice sequences that replay byte-identically.
+
+A *schedule* is the sequence of decisions made at the stack's explicit
+choice points while one simulation ran:
+
+* ``match:<comm>:r<rank>#<n>`` — which candidate envelope satisfied a
+  (usually wildcard) receive when several senders were matchable at the
+  same virtual instant (:meth:`repro.mpi.matching.Endpoint.resolve`);
+* ``tie#<n>`` — which same-``(time, priority)`` event the simulator
+  popped first (:meth:`repro.sim.core.Environment._run_scheduled`,
+  only when ``explore_ties`` is on).
+
+Index 0 always means "what the unpoliced simulator would have done",
+so the empty schedule reproduces the default run.  Schedules serialize
+to canonical JSON and are content-addressed by a short sha256 digest,
+which makes counterexample artifacts cache-friendly and diffable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Choice",
+    "Schedule",
+    "SchedulePolicy",
+    "RecordingPolicy",
+    "ScheduleDivergence",
+]
+
+FORMAT = "repro-schedule/1"
+
+
+class ScheduleDivergence(ReproError):
+    """A replayed program reached a different choice point than recorded.
+
+    This means the program is not a deterministic function of its
+    schedule (e.g. it consults wall-clock time or an unseeded RNG), or
+    the code under test changed since the schedule was captured.
+    """
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One decision at one choice point."""
+
+    #: stable choice-point id, e.g. ``match:WORLD:r0#1`` or ``tie#3``
+    point: str
+    #: index picked among the candidates offered at that point
+    index: int
+    #: ``"match"`` or ``"tie"``
+    kind: str = ""
+    #: human-readable candidate labels captured when the choice was made
+    options: tuple = ()
+
+    def to_dict(self) -> dict:
+        out = {"point": self.point, "index": self.index}
+        if self.kind:
+            out["kind"] = self.kind
+        if self.options:
+            out["options"] = list(self.options)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Choice":
+        return cls(point=str(data["point"]), index=int(data["index"]),
+                   kind=str(data.get("kind", "")),
+                   options=tuple(data.get("options", ())))
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable, JSON-able choice sequence."""
+
+    choices: tuple = ()
+    #: whether same-instant event ties were policy-controlled when the
+    #: schedule was recorded (replay must re-enable them to line up)
+    ties: bool = False
+
+    @property
+    def digest(self) -> str:
+        """Short content hash of the canonical JSON encoding."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()[:12]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FORMAT,
+            "ties": self.ties,
+            "choices": [c.to_dict() for c in self.choices],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Schedule":
+        if data.get("format") != FORMAT:
+            raise ReproError(
+                f"not a {FORMAT} artifact: format={data.get('format')!r}")
+        return cls(choices=tuple(Choice.from_dict(c)
+                                 for c in data.get("choices", ())),
+                   ties=bool(data.get("ties", False)))
+
+    def save(self, out_dir: Path | str) -> Path:
+        """Write ``schedule-<digest>.json`` under ``out_dir``."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"schedule-{self.digest}.json"
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Schedule":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class SchedulePolicy:
+    """Base schedule policy: always pick index 0 (the default schedule).
+
+    Attaching any policy to ``Environment.schedule_policy`` switches
+    the stack into its policed regime (deferred MPI matching, optional
+    tie exploration); the base class reproduces the unpoliced behavior
+    choice-for-choice, which is what the detached-is-free benchmark
+    guard and the replay machinery both rely on.
+    """
+
+    #: offer same-``(time, priority)`` event ties as choice points
+    explore_ties = False
+    #: max candidates surfaced per tie (bounds the branching factor)
+    tie_cap = 4
+
+    def choose(self, point: str, labels: Sequence[str], kind: str) -> int:
+        return 0
+
+
+class RecordingPolicy(SchedulePolicy):
+    """Replay a choice prefix, default past it, and record everything.
+
+    This is the verifier's workhorse: the explorer executes a program
+    under ``RecordingPolicy(prefix)`` and reads back ``trace`` — the
+    full choice sequence including the points *past* the prefix, which
+    become the branch points for the next exploration wave.
+    """
+
+    def __init__(self, prefix: Iterable[Choice] = (),
+                 explore_ties: bool = False, tie_cap: int = 4) -> None:
+        self.prefix = tuple(prefix)
+        self.explore_ties = explore_ties
+        self.tie_cap = tie_cap
+        self.trace: list[Choice] = []
+        self._pos = 0
+
+    def choose(self, point: str, labels: Sequence[str], kind: str) -> int:
+        if self._pos < len(self.prefix):
+            expected = self.prefix[self._pos]
+            if expected.point != point:
+                raise ScheduleDivergence(
+                    f"choice point #{self._pos} diverged: schedule says "
+                    f"{expected.point!r}, program reached {point!r}")
+            if expected.index >= len(labels):
+                raise ScheduleDivergence(
+                    f"choice point {point!r} offers {len(labels)} "
+                    f"candidates, schedule picked #{expected.index}")
+            index = expected.index
+        else:
+            index = 0
+        self._pos += 1
+        self.trace.append(Choice(point=point, index=index, kind=kind,
+                                 options=tuple(labels)))
+        return index
+
+    @property
+    def followed_prefix(self) -> bool:
+        """Did the run consume the whole prefix?"""
+        return self._pos >= len(self.prefix)
+
+    def schedule(self, ties: Optional[bool] = None) -> Schedule:
+        return Schedule(choices=tuple(self.trace),
+                        ties=self.explore_ties if ties is None else ties)

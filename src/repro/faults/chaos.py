@@ -36,7 +36,7 @@ from repro.faults.injector import injected
 from repro.faults.plan import FaultPlan
 
 __all__ = ["WORKLOADS", "sample_plan", "chaos_case", "campaign_specs",
-           "run_campaign", "shrink_plan"]
+           "run_campaign", "shrink_plan", "verify_case"]
 
 #: chaos workloads: name -> (nodes, fault-time horizon, ft-recovery?)
 WORKLOADS: dict[str, dict] = {
@@ -200,6 +200,51 @@ def chaos_case(spec: dict) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# schedule-space verification of a case (PR 6 composition)
+# ---------------------------------------------------------------------------
+def verify_case(workload: str, plan: FaultPlan, bound: int = 1,
+                max_schedules: int = 8) -> dict:
+    """Model-check one (workload, fault plan) pair across matching
+    orders (:mod:`repro.analysis.verify`).
+
+    The verifier instruments every environment itself, so the workload
+    runs bare (no explicit Sanitizer).  A counterexample here means the
+    invariant violation depends on *which* send satisfied a wildcard
+    receive — a strictly stronger claim than one chaos run can make.
+    Injected faults surfacing cleanly are not failures, exactly as in
+    :func:`chaos_case`.
+    """
+    from repro.analysis.verify import verify
+    from repro.launcher import ClusterApp
+    from repro.systems import cichlid
+
+    wl = WORKLOADS[workload]
+    plan_dict = plan.to_dict()
+
+    def program() -> None:
+        app = ClusterApp(cichlid(), wl["nodes"], functional=False,
+                         faults=FaultPlan.from_dict(plan_dict),
+                         metrics=True)
+        if workload == "pingpong":
+            from repro.apps.pingpong import _pingpong_ft_main
+            app.run(_pingpong_ft_main, 1 << 16, 3)
+        else:
+            from repro.apps.himeno import HimenoConfig
+            from repro.apps.himeno.driver import IMPLEMENTATIONS
+            cfg = HimenoConfig(size="XXS", iterations=2)
+            app.run(IMPLEMENTATIONS["clmpi"], cfg, False)
+
+    result = verify(program, bound=bound, max_schedules=max_schedules)
+    return {
+        "ok": result.ok,
+        "explored": result.explored,
+        "exhausted": result.exhausted,
+        "reduction": round(result.reduction_factor, 4),
+        "counterexamples": [c["digest"] for c in result.counterexamples],
+    }
+
+
+# ---------------------------------------------------------------------------
 # campaigns
 # ---------------------------------------------------------------------------
 def campaign_specs(workload: str, campaign: int, seed: int) -> list[dict]:
@@ -278,14 +323,18 @@ def _artifact_key(plan: FaultPlan) -> str:
 
 def run_campaign(workload: str, campaign: int = 10, seed: int = 0,
                  minimize: bool = False, jobs: Optional[int] = 1,
-                 cache=None, out_dir=None) -> dict:
+                 cache=None, out_dir=None, verify_matching: int = 0,
+                 verify_bound: int = 1) -> dict:
     """Run one chaos campaign; returns the JSON-able summary.
 
     ``minimize`` delta-debugs every failing case's plan to a minimal
     reproducing fault set (probes run serially in the parent, through
     the same cache).  ``out_dir`` persists each minimized plan and its
     RunReport as a content-addressed JSON artifact, plus a campaign
-    summary file.
+    summary file.  ``verify_matching`` model-checks the first N cases
+    across wildcard matching orders (delay bound ``verify_bound``) and
+    tallies ``order_violations`` — cases whose invariant only breaks
+    under some non-default matching order.
     """
     from pathlib import Path
 
@@ -330,6 +379,18 @@ def run_campaign(workload: str, campaign: int = 10, seed: int = 0,
                 "outcome": probe,
             })
 
+    order_violations = 0
+    if verify_matching > 0:
+        for case in cases[:verify_matching]:
+            plan = FaultPlan.from_dict(case["plan"])
+            case["verify"] = verify_case(workload, plan,
+                                         bound=verify_bound)
+            if not case["verify"]["ok"]:
+                # order-dependent iff the default schedule (the chaos
+                # run itself) was clean but some matching order fails
+                if case["ok"]:
+                    order_violations += 1
+
     summary = {
         "workload": workload,
         "campaign": campaign,
@@ -338,6 +399,7 @@ def run_campaign(workload: str, campaign: int = 10, seed: int = 0,
         "failures": len(failures),
         "cases": cases,
         "minimized": minimized,
+        "order_violations": order_violations,
     }
     if out_dir is not None:
         root = Path(out_dir)

@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--campaign-out", metavar="DIR", default=None,
                    help="persist minimized plans + RunReports as "
                         "content-addressed JSON under DIR")
+    c.add_argument("--verify-matching", type=int, default=0, metavar="N",
+                   help="model-check the first N cases across wildcard "
+                        "matching orders (repro.analysis.verify)")
+    c.add_argument("--verify-bound", type=int, default=1,
+                   help="delay bound for --verify-matching (default 1)")
     c.add_argument("--json", metavar="PATH", default=None,
                    help="write the full campaign summary as JSON")
     return p
@@ -67,6 +72,18 @@ def _print_summary(summary: dict) -> None:
         print(f"  case {case['case']:3d}: {events} event(s) "
               f"-> {status}{extra}")
     print(f"{summary['ok']}/{n} ok, {summary['failures']} failing")
+    verified = [c for c in summary["cases"] if "verify" in c]
+    if verified:
+        print(f"matching-order verification of {len(verified)} case(s): "
+              f"{summary['order_violations']} order-dependent "
+              "violation(s)")
+        for case in verified:
+            v = case["verify"]
+            status = "ok" if v["ok"] else \
+                "FAIL " + ", ".join(v["counterexamples"])
+            print(f"  case {case['case']:3d}: explored {v['explored']} "
+                  f"order(s), reduction {v['reduction']:.2f}x "
+                  f"-> {status}")
     for art in summary["minimized"]:
         where = f" -> {art['artifact']}" if "artifact" in art else ""
         print(f"  minimized case {art['case']}: "
@@ -82,7 +99,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     summary = run_campaign(
         args.workload, campaign=args.campaign, seed=args.seed,
         minimize=args.minimize, jobs=args.jobs, cache=cache,
-        out_dir=args.campaign_out)
+        out_dir=args.campaign_out, verify_matching=args.verify_matching,
+        verify_bound=args.verify_bound)
     _print_summary(summary)
     if args.json:
         with open(args.json, "w") as fh:

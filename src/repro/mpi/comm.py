@@ -29,7 +29,7 @@ from repro.mpi.ft import detector_of
 from repro.mpi.matching import Endpoint, Envelope, PostedRecv
 from repro.mpi.request import Request
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
-from repro.sim import Environment, Event
+from repro.sim import Environment, Event, LOW
 
 __all__ = ["MpiConfig", "Communicator"]
 
@@ -84,7 +84,8 @@ class _CommState:
         self.group = list(group) if group is not None \
             else list(range(len(cluster)))
         self.size = len(self.group)
-        self.endpoints = [Endpoint() for _ in range(self.size)]
+        self.endpoints = [Endpoint(name=f"{name}:r{r}")
+                          for r in range(self.size)]
         self._seq = 0
         self._dups: list["_CommState"] = []
         self._next_dup = [0] * self.size
@@ -325,7 +326,15 @@ class Communicator:
             envelope.payload = payload
             envelope.cts = Event(env)
 
-        matched = state.endpoints[dest].deliver(envelope)
+        if env.schedule_policy is None:
+            matched = state.endpoints[dest].deliver(envelope)
+        else:
+            # Deferred matching (schedule-space verifier attached): the
+            # envelope is matched in a flush round at this instant, so
+            # concurrent senders form one visible candidate set.
+            matched = None
+            state.endpoints[dest].defer_envelope(envelope)
+            self._schedule_flush(dest)
         # The descriptive per-message name is only built when a monitor is
         # attached (the sanitizer's witness chains want it); detached runs
         # pay a constant string instead of two f-strings per message.
@@ -544,7 +553,12 @@ class Communicator:
                             buf=None if is_object else buf,
                             completion=Event(env), is_object=is_object,
                             rate_limit=rate_limit)
-        envelope = state.endpoints[self._rank].post(posted)
+        if env.schedule_policy is None:
+            envelope = state.endpoints[self._rank].post(posted)
+        else:
+            envelope = None
+            state.endpoints[self._rank].defer_recv(posted)
+            self._schedule_flush(self._rank)
         if env.monitor is not None:
             env.monitor.on_mpi_recv(self, posted, envelope)
         if envelope is not None:
@@ -552,6 +566,31 @@ class Communicator:
         req = Request(env, posted.completion, kind="recv")
         req.posted = posted
         return req
+
+    def _schedule_flush(self, rank: int) -> None:
+        """Queue one LOW-priority matching round for ``rank``'s endpoint.
+
+        Deferred matching only.  All registrations at the current
+        virtual instant sort before the round (LOW fires after every
+        NORMAL event at the same timestamp), so the round sees the
+        complete same-instant candidate set and the attached policy
+        picks the match order.  At most one round is queued per
+        endpoint at a time.
+        """
+        endpoint = self._state.endpoints[rank]
+        if endpoint.flush_pending:
+            return
+        endpoint.flush_pending = True
+        flush = Event(self.env)
+        flush.callbacks.append(lambda _evt: self._flush_endpoint(rank))
+        flush.succeed(priority=LOW)
+
+    def _flush_endpoint(self, rank: int) -> None:
+        endpoint = self._state.endpoints[rank]
+        endpoint.flush_pending = False
+        policy = self.env.schedule_policy
+        for envelope, posted, unexpected in endpoint.resolve(policy):
+            self._start_recv_finish(envelope, posted, unexpected)
 
     def _start_recv_finish(self, envelope: Envelope, posted: PostedRecv,
                            unexpected: bool) -> None:

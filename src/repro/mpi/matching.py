@@ -5,6 +5,21 @@ Matching follows the MPI rules: a receive posted with ``(source, tag)``
 order whose ``(src, tag)`` fits; envelopes from the same sender on the
 same communicator never overtake each other because senders register
 their envelopes in program order and both queues are FIFO.
+
+Two matching regimes share this module:
+
+* **Immediate** (:meth:`Endpoint.deliver` / :meth:`Endpoint.post`) —
+  the default.  Registration order *is* the DES program order, so the
+  single schedule the simulator happens to produce fixes every match.
+* **Deferred** (:meth:`Endpoint.defer_envelope` /
+  :meth:`Endpoint.defer_recv` / :meth:`Endpoint.resolve`) — active
+  while a schedule policy is attached to the environment (see
+  :mod:`repro.analysis.verify`).  Registrations at one virtual instant
+  are collected first and matched in a LOW-priority *flush round*, so a
+  wildcard receive sees its complete candidate set (the earliest
+  matchable envelope per source, preserving non-overtaking) and the
+  policy picks which sender wins.  Choice index 0 reproduces the
+  immediate regime's arrival-order match.
 """
 
 from __future__ import annotations
@@ -50,6 +65,9 @@ class Envelope:
     #: causal-chain id carried across the wire (0 = unlinked; see
     #: :class:`repro.sim.trace.TraceRecord`)
     flow: int = 0
+    #: endpoint registration stamp (deferred matching only): envelopes
+    #: stamped before the receive they match were "unexpected" arrivals
+    order: int = 0
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope satisfy a receive for ``(source, tag)``?"""
@@ -77,15 +95,28 @@ class PostedRecv:
     #: causal-chain id copied from the matched envelope, so receiver-side
     #: stages (e.g. the pipelined engine's h2d drain) can join the chain
     flow: int = 0
+    #: endpoint registration stamp (deferred matching only)
+    order: int = 0
 
 
 class Endpoint:
-    """Per-(communicator, rank) matching state."""
+    """Per-(communicator, rank) matching state.
 
-    def __init__(self) -> None:
+    ``name`` labels the endpoint's choice points in serialized
+    schedules (``match:<comm>:r<rank>#<n>``); it is only consulted when
+    a schedule policy is attached.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
         self._arrivals: deque[Envelope] = deque()
         self._posted: deque[PostedRecv] = deque()
         self._probers: list[tuple[int, int, Event]] = []
+        # -- deferred-matching state (schedule policy attached) -----------
+        #: True while a flush round is queued for this endpoint
+        self.flush_pending = False
+        self._stamp = 0
+        self._match_no = 0
 
     # -- introspection (used by tests and repro.analysis) ------------------
     @property
@@ -128,6 +159,80 @@ class Endpoint:
                 return env
         self._posted.append(recv)
         return None
+
+    # -- deferred matching (schedule policy attached) -----------------------
+    def defer_envelope(self, env: Envelope) -> None:
+        """Register an envelope without matching it (flush rounds match).
+
+        Probers are woken immediately: a message is *announced* the
+        moment it is registered in both regimes.
+        """
+        self._stamp += 1
+        env.order = self._stamp
+        self._arrivals.append(env)
+        self._wake_probers(env)
+
+    def defer_recv(self, recv: PostedRecv) -> None:
+        """Register a receive without matching it (flush rounds match)."""
+        self._stamp += 1
+        recv.order = self._stamp
+        self._posted.append(recv)
+
+    def _candidates(self, recv: PostedRecv) -> list[Envelope]:
+        """Matchable envelopes for ``recv``, earliest per source.
+
+        Non-overtaking: within one source only the earliest matchable
+        envelope is eligible; an earlier envelope with a *different* tag
+        does not block a later matching one (MPI matches per
+        ``(src, tag)`` stream, not per link).
+        """
+        out: list[Envelope] = []
+        taken: set[int] = set()
+        for env in self._arrivals:
+            if env.matched or env.src in taken:
+                continue
+            if env.matches(recv.source, recv.tag):
+                out.append(env)
+                taken.add(env.src)
+        return out
+
+    def resolve(self, policy) -> list[tuple[Envelope, PostedRecv, bool]]:
+        """One deferred-matching round: match posted receives in posted
+        order against the current arrival set.
+
+        A receive with several matchable senders is a *choice point*:
+        the policy picks the winning envelope (index 0 = arrival order,
+        i.e. what :meth:`deliver`/:meth:`post` would have produced).
+        Returns ``(envelope, posted, unexpected)`` triples for the comm
+        layer to complete; ``unexpected`` is True when the envelope was
+        registered before the receive (buffered eager data costs an
+        extra copy).
+        """
+        out: list[tuple[Envelope, PostedRecv, bool]] = []
+        while True:
+            self._gc()
+            pair = None
+            for recv in self._posted:
+                if recv.matched:
+                    continue
+                cands = self._candidates(recv)
+                if not cands:
+                    continue
+                if len(cands) == 1 or policy is None:
+                    chosen = cands[0]
+                else:
+                    self._match_no += 1
+                    point = f"match:{self.name}#{self._match_no}"
+                    labels = [f"r{e.src}->r{e.dst} tag={e.tag} "
+                              f"seq={e.seq} {e.nbytes}B" for e in cands]
+                    chosen = cands[policy.choose(point, labels, "match")]
+                chosen.matched = True
+                recv.matched = True
+                pair = (chosen, recv, chosen.order < recv.order)
+                break
+            if pair is None:
+                return out
+            out.append(pair)
 
     # -- probe support ---------------------------------------------------------
     def find_envelope(self, source: int, tag: int) -> Optional[Envelope]:

@@ -455,6 +455,15 @@ class Environment:
         #: counters/gauges on it.  Detached (None) costs nothing: the
         #: run loop accounts events via ``_seq`` deltas, never per-event.
         self.metrics = None
+        #: Optional schedule policy (see :mod:`repro.analysis.schedule`);
+        #: while attached, :meth:`run` routes through
+        #: :meth:`_run_scheduled` and same-``(time, priority)`` calendar
+        #: ties become explicit choice points the policy resolves.
+        #: Detached (None) costs one attribute check per ``run()`` call —
+        #: never anything per event.
+        self.schedule_policy = None
+        #: ordinal of the next tie choice point (scheduled runs only)
+        self._tie_no = 0
         #: per-kind counters backing auto-generated entity names
         #: (``buf3``, ``send#7``, ...) — see :meth:`next_id`
         self._name_ids: dict = {}
@@ -548,6 +557,8 @@ class Environment:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
+        if self.schedule_policy is not None:
+            return self._run_scheduled(until)
         heap = self._heap
         pool = self._timeout_pool
         kick_pool = self._kick_pool
@@ -600,6 +611,69 @@ class Environment:
             scheduled = self._seq - seq0
             metrics.inc("sim.events_scheduled", scheduled)
             metrics.inc("sim.events_fired", heap0 + scheduled - len(heap))
+
+    @staticmethod
+    def _tie_label(event: Event) -> str:
+        """Stable human-readable label for one tie-batch entry.
+
+        Events a process waits on carry the process's cached bound
+        ``_resume`` — the bound method's ``__self__`` is the Process, so
+        its name labels the entry.  Anything without a named waiter
+        (flush rounds, bare control events) falls back to its class name.
+        """
+        for cb in event.callbacks:
+            name = getattr(getattr(cb, "__self__", None), "name", None)
+            if name:
+                return name
+        return type(event).__name__
+
+    def _run_scheduled(self, until: Optional[float]) -> None:
+        """``run`` variant active while a schedule policy is attached.
+
+        Same-``(time, priority)`` heap entries form a *tie batch*; with
+        ``policy.explore_ties`` the policy picks which entry fires next
+        (choice index 0 always reproduces the detached seq order).  This
+        loop skips the hot path's event pooling and metrics accounting —
+        only the schedule-space verifier drives it, and it pays for
+        introspection instead of throughput.
+        """
+        policy = self.schedule_policy
+        heap = self._heap
+        explore = bool(getattr(policy, "explore_ties", False))
+        cap = int(getattr(policy, "tie_cap", 4))
+        while heap:
+            if until is not None and heap[0][0] > until:
+                break
+            entry = heappop(heap)
+            if explore and heap and heap[0][0] == entry[0] \
+                    and heap[0][1] == entry[1]:
+                batch = [entry]
+                while heap and len(batch) < cap \
+                        and heap[0][0] == entry[0] \
+                        and heap[0][1] == entry[1]:
+                    batch.append(heappop(heap))
+                labels = [self._tie_label(e[3]) for e in batch]
+                if len(set(labels)) > 1:
+                    self._tie_no += 1
+                    idx = policy.choose(f"tie#{self._tie_no}", labels,
+                                        "tie")
+                else:
+                    idx = 0
+                entry = batch.pop(idx)
+                for other in batch:
+                    heappush(heap, other)
+            when, _p, _s, event = entry
+            self._now = when
+            event._state = PROCESSED
+            callbacks = event.callbacks
+            if callbacks:
+                event.callbacks = []
+                for cb in callbacks:
+                    cb(event)
+            if not event._ok and not event._defused:
+                raise event._value
+        if until is not None:
+            self._now = until
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -1,0 +1,14 @@
+"""Seeded-buggy micro-programs for the schedule-space verifier.
+
+Each module is a standalone script (``python -m repro.analysis verify
+tests/analysis/corpus/<name>.py``) and exposes a ``program()`` callable
+for in-process verification.  Every program carries exactly one seeded
+bug from a distinct hazard class:
+
+* ``wildcard_deadlock`` — deadlocks only under a non-default wildcard
+  matching order;
+* ``collective_divergence`` — a collective's input depends on which
+  send satisfied a wildcard receive (also statically CLM007);
+* ``free_in_flight`` — a buffer is touched while a transfer still
+  references it (racy in the default schedule; also statically CLM006).
+"""

@@ -1,0 +1,38 @@
+"""Seeded bug: a collective's input depends on the matching order.
+
+Rank 0 fills its broadcast payload from a wildcard receive while ranks
+1 and 2 both have (different) messages in flight, then broadcasts it.
+Under the default (arrival-order) schedule the wildcard takes rank 1's
+payload and every rank's assertion holds; if the matcher picks rank 2's
+message the broadcast carries the wrong value and the assertion fires
+on every rank.  This is the matching-order-dependent-collective-input
+class that lint rule CLM007 flags statically.
+"""
+
+import numpy as np
+
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+from repro.mpi.world import MpiWorld
+from repro.systems import cichlid
+
+
+def _main(comm):
+    rank = comm.rank
+    buf = np.zeros(8, dtype=np.uint8)
+    if rank == 0:
+        yield from comm.recv(buf, ANY_SOURCE, ANY_TAG)
+    elif rank == 1:
+        yield from comm.send(np.full(8, 1, dtype=np.uint8), 0, tag=1)
+    else:
+        yield from comm.send(np.full(8, 2, dtype=np.uint8), 0, tag=2)
+    yield from comm.bcast(buf, 0)
+    assert buf[0] == 1, \
+        f"rank {rank}: collective input diverged (got {buf[0]})"
+
+
+def program():
+    MpiWorld(cichlid(), num_nodes=3).run(_main)
+
+
+if __name__ == "__main__":
+    program()

@@ -1,0 +1,38 @@
+"""Seeded bug: a buffer is touched while a transfer still references it.
+
+Dynamically: two unordered queues write and read the same device buffer
+with no event dependency — the race detector flags it on the *default*
+schedule (a 0-choice counterexample).  Statically: ``_host_rewrite``
+rewrites an ``isend`` buffer before waiting on the request, the exact
+shape lint rule CLM006 reports.
+"""
+
+import numpy as np
+
+from repro.launcher import ClusterApp
+from repro.systems import cichlid
+
+
+def _host_rewrite(comm, buf):
+    """CLM006 shape: rewrite before the wait (never called at runtime)."""
+    req = yield from comm.isend(buf, 1, 0)
+    buf[0] = 1
+    yield from req.wait()
+
+
+def _main(ctx):
+    q1, q2 = ctx.queue(), ctx.queue()
+    buf = ctx.ocl.create_buffer(4096)
+    host = np.ones(4096, np.uint8)
+    yield from q1.enqueue_write_buffer(buf, False, 0, 4096, host)
+    yield from q2.enqueue_read_buffer(buf, False, 0, 4096, host)
+    yield from q1.finish()
+    yield from q2.finish()
+
+
+def program():
+    ClusterApp(cichlid(), 1).run(_main)
+
+
+if __name__ == "__main__":
+    program()

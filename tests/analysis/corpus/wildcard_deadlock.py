@@ -1,0 +1,36 @@
+"""Seeded bug: deadlock under one wildcard matching order.
+
+Rank 0 posts a wildcard receive while ranks 1 and 2 both have a message
+in flight, then posts a *specific* receive for rank 2's tag-3 message.
+In arrival order (the default schedule) the wildcard consumes rank 1's
+tag-7 message and the program terminates.  If the matcher instead hands
+the wildcard rank 2's message, the second receive can never match —
+rank 0 hangs.  The schedule-space verifier must find the failing order
+with a single non-default choice; a plain sanitizer run never will.
+"""
+
+import numpy as np
+
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+from repro.mpi.world import MpiWorld
+from repro.systems import cichlid
+
+
+def _main(comm):
+    rank = comm.rank
+    if rank == 0:
+        buf = np.zeros(8, dtype=np.uint8)
+        yield from comm.recv(buf, ANY_SOURCE, ANY_TAG)
+        yield from comm.recv(buf, 2, 3)
+    elif rank == 1:
+        yield from comm.send(np.full(8, 1, dtype=np.uint8), 0, tag=7)
+    else:
+        yield from comm.send(np.full(8, 2, dtype=np.uint8), 0, tag=3)
+
+
+def program():
+    MpiWorld(cichlid(), num_nodes=3).run(_main)
+
+
+if __name__ == "__main__":
+    program()

@@ -22,7 +22,7 @@ class TestDiscardedCoroutine:
             """)
         assert [f.kind for f in findings] == ["CLM001"]
         assert "enqueue_barrier" in findings[0].message
-        assert findings[0].location == "snippet.py:4"
+        assert findings[0].location == "snippet.py:4:4"
 
     def test_bare_send_flagged(self):
         findings = lint("""
@@ -116,3 +116,136 @@ class TestSelfLint:
         bad.write_text("def broken(:\n")
         findings = lint_paths([bad])
         assert [f.kind for f in findings] == ["syntax-error"]
+
+
+class TestRequestLifecycle:
+    def test_never_waited_request_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                req = yield from ctx.comm.isend(buf, 1, 0)
+                yield from ctx.comm.barrier()
+            """)
+        assert any(f.kind == "CLM004" and "req" in f.message
+                   for f in findings)
+
+    def test_discarded_request_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                yield from ctx.comm.irecv(buf, 1, 0)
+                yield from ctx.comm.barrier()
+            """)
+        assert any(f.kind == "CLM004" for f in findings)
+
+    def test_waited_request_clean(self):
+        assert lint("""
+            def main(ctx):
+                req = yield from ctx.comm.isend(buf, 1, 0)
+                yield from req.wait()
+            """) == []
+
+    def test_waitall_counts_as_use(self):
+        assert lint("""
+            def main(ctx):
+                reqs = []
+                r = yield from ctx.comm.isend(buf, 1, 0)
+                reqs.append(r)
+                yield from ctx.comm.waitall(reqs)
+            """) == []
+
+
+class TestRankBranchMismatch:
+    def test_disjoint_constant_tags_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.comm.send(buf, 1, 5)
+                else:
+                    yield from ctx.comm.recv(buf, 0, 6)
+            """)
+        assert any(f.kind == "CLM005" and "tag" in f.message
+                   for f in findings)
+
+    def test_matching_tags_clean(self):
+        assert lint("""
+            def main(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.comm.send(buf, 1, 5)
+                else:
+                    yield from ctx.comm.recv(buf, 0, 5)
+            """) == []
+
+    def test_short_recv_buffer_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                if ctx.rank == 0:
+                    yield from ctx.comm.isend_bytes(buf, 4096, 1, 0)
+                else:
+                    yield from ctx.comm.irecv_bytes(buf, 1024, 0, 0)
+            """)
+        assert any(f.kind == "CLM005" and "4096" in f.message
+                   for f in findings)
+
+
+class TestInFlightBuffer:
+    def test_rewrite_before_wait_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                req = yield from ctx.comm.isend(buf, 1, 0)
+                buf[0] = 1
+                yield from req.wait()
+            """)
+        assert any(f.kind == "CLM006" and "buf" in f.message
+                   for f in findings)
+
+    def test_release_before_wait_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                req = yield from ctx.comm.irecv(buf, 1, 0)
+                buf.release()
+                yield from req.wait()
+            """)
+        assert any(f.kind == "CLM006" for f in findings)
+
+    def test_rewrite_after_wait_clean(self):
+        assert lint("""
+            def main(ctx):
+                req = yield from ctx.comm.isend(buf, 1, 0)
+                yield from req.wait()
+                buf[0] = 1
+            """) == []
+
+    def test_enqueue_send_buffer_tracked(self):
+        findings = lint("""
+            def main(ctx):
+                ev = yield from enqueue_send_buffer(
+                    q, buf, False, 0, n, dest=1, tag=0, comm=ctx.comm)
+                buf.release()
+                yield from q.finish()
+            """)
+        assert any(f.kind == "CLM006" for f in findings)
+
+
+class TestWildcardCollective:
+    def test_wildcard_buffer_into_collective_flagged(self):
+        findings = lint("""
+            def main(ctx):
+                yield from ctx.comm.recv(buf, ANY_SOURCE, ANY_TAG)
+                yield from ctx.comm.bcast(buf, 0)
+            """)
+        assert any(f.kind == "CLM007" and "wildcard" in f.message
+                   for f in findings)
+
+    def test_recv_obj_result_tracked(self):
+        findings = lint("""
+            def main(ctx):
+                val, status = yield from ctx.comm.recv_obj(ANY_SOURCE)
+                yield from ctx.comm.allreduce(val)
+            """)
+        assert any(f.kind == "CLM007" for f in findings)
+
+    def test_specific_source_clean(self):
+        assert lint("""
+            def main(ctx):
+                yield from ctx.comm.recv(buf, 1, 0)
+                yield from ctx.comm.bcast(buf, 0)
+            """) == []

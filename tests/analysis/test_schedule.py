@@ -1,0 +1,95 @@
+"""Schedule artifacts and policies (repro.analysis.schedule)."""
+
+import json
+
+import pytest
+
+from repro.analysis.schedule import (Choice, RecordingPolicy, Schedule,
+                                     SchedulePolicy, ScheduleDivergence)
+from repro.errors import ReproError
+
+
+def _sched(*indices):
+    return Schedule(choices=tuple(
+        Choice(point=f"match:W:r0#{i}", index=ix, kind="match",
+               options=("a", "b", "c"))
+        for i, ix in enumerate(indices)))
+
+
+class TestChoice:
+    def test_round_trip(self):
+        c = Choice(point="match:W:r0#1", index=2, kind="match",
+                   options=("x", "y", "z"))
+        assert Choice.from_dict(c.to_dict()) == c
+
+    def test_minimal_dict_omits_empty_fields(self):
+        d = Choice(point="tie#0", index=0).to_dict()
+        assert d == {"point": "tie#0", "index": 0}
+        assert Choice.from_dict(d) == Choice(point="tie#0", index=0)
+
+
+class TestSchedule:
+    def test_round_trip_and_digest_stability(self):
+        s = _sched(0, 1)
+        again = Schedule.from_dict(json.loads(s.to_json()))
+        assert again == s
+        assert again.digest == s.digest
+        assert len(s.digest) == 12
+
+    def test_digest_distinguishes_schedules(self):
+        assert _sched(0, 1).digest != _sched(1, 0).digest
+        empty = Schedule()
+        assert empty.digest != _sched(0).digest
+
+    def test_ties_flag_round_trips(self):
+        s = Schedule(choices=(Choice(point="tie#0", index=1, kind="tie",
+                                     options=("p", "q")),), ties=True)
+        assert Schedule.from_dict(s.to_dict()).ties is True
+        assert s.digest != Schedule(choices=s.choices, ties=False).digest
+
+    def test_save_load(self, tmp_path):
+        s = _sched(1)
+        path = s.save(tmp_path / "artifacts")
+        assert path.name == f"schedule-{s.digest}.json"
+        assert Schedule.load(path) == s
+
+    def test_from_dict_rejects_wrong_format(self):
+        with pytest.raises(ReproError, match="format"):
+            Schedule.from_dict({"format": "bogus/9", "choices": []})
+
+
+class TestPolicies:
+    def test_base_policy_always_default(self):
+        p = SchedulePolicy()
+        assert p.choose("match:W:r0#0", ["a", "b"], "match") == 0
+        assert p.explore_ties is False
+
+    def test_recording_defaults_past_prefix(self):
+        p = RecordingPolicy()
+        assert p.choose("match:W:r0#0", ["a", "b"], "match") == 0
+        assert p.choose("tie#0", ["p", "q"], "tie") == 0
+        assert p.followed_prefix
+        assert [c.index for c in p.trace] == [0, 0]
+        assert p.trace[0].options == ("a", "b")
+
+    def test_recording_replays_prefix(self):
+        prefix = (Choice(point="match:W:r0#0", index=1),)
+        p = RecordingPolicy(prefix)
+        assert p.choose("match:W:r0#0", ["a", "b"], "match") == 1
+        assert p.choose("match:W:r0#1", ["a"], "match") == 0
+        assert p.followed_prefix
+        assert p.schedule().choices[0].index == 1
+
+    def test_divergent_point_raises(self):
+        p = RecordingPolicy((Choice(point="match:W:r0#0", index=1),))
+        with pytest.raises(ScheduleDivergence, match="diverged"):
+            p.choose("tie#0", ["a", "b"], "tie")
+
+    def test_out_of_range_index_raises(self):
+        p = RecordingPolicy((Choice(point="match:W:r0#0", index=5),))
+        with pytest.raises(ScheduleDivergence, match="candidates"):
+            p.choose("match:W:r0#0", ["a", "b"], "match")
+
+    def test_unconsumed_prefix_is_not_followed(self):
+        p = RecordingPolicy((Choice(point="match:W:r0#0", index=1),))
+        assert not p.followed_prefix

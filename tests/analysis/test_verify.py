@@ -1,0 +1,190 @@
+"""The schedule-space verifier (repro.analysis.verify)."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.schedule import Schedule
+from repro.analysis.verify import VerifyResult, replay, verify
+from repro.errors import ReproError
+from repro.harness.cache import ResultCache
+from repro.launcher import ClusterApp
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+from repro.mpi.world import MpiWorld
+from repro.systems import cichlid
+
+from .corpus import collective_divergence, free_in_flight, wildcard_deadlock
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def _cex_weight(cex: dict) -> int:
+    """Non-default choices in a counterexample schedule."""
+    return sum(1 for c in cex["schedule"]["choices"] if c["index"] != 0)
+
+
+class TestCorpus:
+    @pytest.mark.verify_smoke
+    def test_finds_wildcard_matching_deadlock(self):
+        result = verify(wildcard_deadlock.program, bound=2)
+        assert not result.ok
+        assert result.exhausted
+        assert result.counterexamples
+        cex = result.counterexamples[0]
+        assert "deadlock" in cex["error"].lower()
+        # one wrong wildcard match is enough — a minimal counterexample
+        assert _cex_weight(cex) == 1
+        # the default schedule itself is clean: a plain sanitizer run
+        # (= the first explored schedule) would never catch this
+        assert result.explored >= 2
+
+    @pytest.mark.verify_smoke
+    def test_finds_collective_input_divergence(self):
+        result = verify(collective_divergence.program, bound=1)
+        assert not result.ok
+        cex = result.counterexamples[0]
+        assert cex["error"] is not None
+        assert "diverged" in cex["error"]
+        assert _cex_weight(cex) == 1
+
+    @pytest.mark.verify_smoke
+    def test_finds_free_in_flight_race_on_default_schedule(self):
+        result = verify(free_in_flight.program, bound=1)
+        assert not result.ok
+        cex = result.counterexamples[0]
+        assert cex["error"] is None
+        assert any(f["kind"] == "data-race" for f in cex["findings"])
+        assert _cex_weight(cex) == 0  # racy in the default schedule
+
+    def test_corpus_is_statically_flagged_too(self):
+        findings = lint_paths([CORPUS])
+        rules = {(Path(f.location.split(":")[0]).name, f.kind)
+                 for f in findings}
+        assert ("free_in_flight.py", "CLM006") in rules
+        assert ("collective_divergence.py", "CLM007") in rules
+
+
+class TestReplay:
+    @pytest.mark.verify_smoke
+    def test_counterexample_replays_byte_identically(self, tmp_path):
+        result = verify(wildcard_deadlock.program, bound=2,
+                        stop_on_first=False, out_dir=tmp_path)
+        cex = result.counterexamples[0]
+        schedule = Schedule.load(tmp_path / f"schedule-{cex['digest']}.json")
+        first = replay(wildcard_deadlock.program, schedule)
+        second = replay(wildcard_deadlock.program, schedule)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+        assert first["error"] is not None
+        assert "deadlock" in first["error"].lower()
+        assert not first["diverged"]
+        # the replayed trace reproduces the serialized schedule exactly
+        assert first["trace"] == cex["schedule"]["choices"]
+
+    def test_empty_schedule_reproduces_default_run(self):
+        outcome = replay(wildcard_deadlock.program, Schedule())
+        assert outcome["error"] is None
+        assert not outcome["diverged"]
+
+
+class TestExamplesScheduleSafe:
+    @pytest.mark.verify_smoke
+    def test_pingpong_is_schedule_safe(self):
+        from repro.apps.pingpong import _pingpong_main
+
+        def program():
+            ClusterApp(cichlid(), 2).run(_pingpong_main, 1 << 12, 3)
+
+        result = verify(program)
+        assert result.ok
+        assert result.exhausted
+        # no wildcards anywhere: the schedule space is a single point
+        assert result.explored == 1
+
+    def test_himeno_is_schedule_safe_under_small_bound(self):
+        from repro.apps.himeno import run_himeno
+        from repro.apps.himeno.config import HimenoConfig
+
+        def program():
+            run_himeno(cichlid(), 4, "clmpi",
+                       HimenoConfig(size="XXS", iterations=1),
+                       functional=False)
+
+        result = verify(program, bound=1, max_schedules=8)
+        assert result.ok
+
+
+def _dpor_demo(comm):
+    """4 ranks; only ranks 0/1 are wildcard-racy, 2/3 are independent."""
+    rank = comm.rank
+    buf = np.zeros(8, dtype=np.uint8)
+    if rank == 0:
+        yield from comm.recv(buf, ANY_SOURCE, ANY_TAG)
+    elif rank == 1:
+        yield from comm.send(np.full(8, 1, dtype=np.uint8), 0, tag=1)
+    elif rank == 2:
+        yield from comm.send(np.full(8, 2, dtype=np.uint8), 3, tag=2)
+        yield from comm.recv(buf, 3, 9)
+    else:
+        yield from comm.recv(buf, 2, 2)
+        yield from comm.send(np.full(8, 9, dtype=np.uint8), 2, tag=9)
+
+
+class TestDpor:
+    def test_dpor_explores_fewer_schedules_than_naive(self):
+        def program():
+            MpiWorld(cichlid(), num_nodes=4).run(_dpor_demo)
+
+        naive = verify(program, mode="naive", bound=1, max_schedules=512,
+                       explore_ties=True)
+        dpor = verify(program, mode="dpor", bound=1, max_schedules=512,
+                      explore_ties=True)
+        assert naive.ok and dpor.ok
+        assert naive.exhausted and dpor.exhausted
+        assert dpor.explored < naive.explored
+        assert dpor.pruned_independent > 0
+        assert dpor.reduction_factor > 1.0
+        assert naive.reduction_factor == 1.0
+
+
+class TestHarness:
+    @pytest.mark.verify_smoke
+    def test_serial_and_parallel_results_are_byte_identical(self):
+        script = str(CORPUS / "wildcard_deadlock.py")
+        serial = verify(script, bound=2, jobs=1, cache=ResultCache())
+        parallel = verify(script, bound=2, jobs=2, cache=ResultCache())
+        assert serial.to_dict() == parallel.to_dict()
+        assert not serial.ok
+
+    def test_callable_with_jobs_rejected(self):
+        with pytest.raises(ReproError, match="script path"):
+            verify(wildcard_deadlock.program, jobs=2)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError, match="mode"):
+            verify(wildcard_deadlock.program, mode="bogus")
+
+    def test_stop_on_first_short_circuits(self):
+        result = verify(wildcard_deadlock.program, bound=2,
+                        stop_on_first=True)
+        assert not result.ok
+        assert len(result.counterexamples) == 1
+        assert not result.exhausted
+
+    def test_result_dict_and_render(self):
+        result = verify(wildcard_deadlock.program, bound=2)
+        d = result.to_dict()
+        assert d["ok"] is False
+        assert d["explored"] == result.explored
+        assert d["reduction_factor"] >= 1.0
+        text = result.render()
+        assert "counterexample" in text
+        assert "explored" in text
+
+    def test_verify_result_defaults(self):
+        r = VerifyResult()
+        assert r.ok and r.exhausted
+        assert r.reduction_factor == 1.0
