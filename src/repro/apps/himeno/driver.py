@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -12,8 +13,13 @@ from repro.apps.himeno.config import HimenoConfig
 from repro.apps.himeno.gpu_aware_impl import gpu_aware_main
 from repro.apps.himeno.hand_optimized import hand_optimized_main
 from repro.apps.himeno.serial import serial_main
+from repro.apps.himeno.vectorized import (
+    VECTORIZED_IMPLEMENTATIONS,
+    vectorized_rows,
+)
 from repro.errors import ConfigurationError
 from repro.launcher import ClusterApp
+from repro.sim import ENGINES, EngineError
 from repro.systems.presets import SystemPreset
 
 __all__ = ["IMPLEMENTATIONS", "HimenoResult", "run_himeno"]
@@ -64,7 +70,8 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
                force_mode: Optional[str] = None,
                force_block: Optional[int] = None,
                trace: bool = False, faults=None,
-               metrics: bool = False) -> HimenoResult:
+               metrics: bool = False,
+               engine: str = "coroutine") -> HimenoResult:
     """Run the Himeno benchmark once and return its result.
 
     Parameters mirror the paper's setup: ``implementation`` is one of
@@ -72,6 +79,12 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
     runs timing-only (identical virtual clock, no NumPy work) for
     paper-scale sweeps.  ``metrics=True`` attaches a
     :class:`~repro.obs.MetricsRegistry` (exposed as ``result.metrics``).
+
+    ``engine='vectorized'`` replays the run on the mesoscale engine
+    (timing-only; byte-identical results, milliseconds at 1k+ ranks).
+    It refuses functional runs and falls back to the coroutine engine
+    with a warning for features it does not model (tracing, faults,
+    metrics, the hand-optimized / gpu-aware implementations).
     """
     try:
         main = IMPLEMENTATIONS[implementation]
@@ -80,10 +93,58 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
             f"unknown implementation {implementation!r}; choose from "
             f"{sorted(IMPLEMENTATIONS)}") from None
     config = config or HimenoConfig()
+    if engine not in ENGINES:
+        raise EngineError(
+            f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "vectorized":
+        if functional:
+            raise EngineError(
+                "engine='vectorized' is timing-only; functional Himeno "
+                "runs need engine='coroutine' (pass functional=False "
+                "for mesoscale sweeps)")
+        unsupported = []
+        if trace:
+            unsupported.append("trace")
+        if faults is not None:
+            unsupported.append("faults")
+        if metrics:
+            unsupported.append("metrics")
+        if implementation not in VECTORIZED_IMPLEMENTATIONS:
+            unsupported.append(f"implementation={implementation!r}")
+        if force_mode == "pipelined":
+            unsupported.append("force_mode='pipelined'")
+        if unsupported:
+            warnings.warn(
+                "engine='vectorized' does not support "
+                f"{', '.join(unsupported)}; falling back to the "
+                "coroutine engine", RuntimeWarning, stacklevel=2)
+        else:
+            try:
+                results, env = vectorized_rows(
+                    system, nodes, implementation, config,
+                    force_mode=force_mode, force_block=force_block)
+            except EngineError as exc:
+                warnings.warn(
+                    f"engine='vectorized' refused this run ({exc}); "
+                    "falling back to the coroutine engine",
+                    RuntimeWarning, stacklevel=2)
+            else:
+                return _finish(system, nodes, implementation, config,
+                               results, tracer=None, metrics_reg=None,
+                               env=env)
     app = ClusterApp(system, nodes, functional=functional,
                      force_mode=force_mode, force_block=force_block,
                      trace=trace, faults=faults, metrics=metrics)
     results = app.run(main, config, collect)
+    return _finish(system, nodes, implementation, config, results,
+                   tracer=app.tracer, metrics_reg=app.metrics,
+                   env=app.env)
+
+
+def _finish(system: SystemPreset, nodes: int, implementation: str,
+            config: HimenoConfig, results: list[dict], *, tracer,
+            metrics_reg, env) -> HimenoResult:
+    """Shape per-rank result rows into a :class:`HimenoResult`."""
     time = max(r["time"] for r in results)
     gosa_series = results[0]["gosa_per_iter"]
     res = HimenoResult(
@@ -98,7 +159,7 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
         kernel_times=[r["kernel_time"] for r in results],
         p_locals=[r["p_local"] for r in results],
     )
-    res.tracer = app.tracer  # type: ignore[attr-defined]
-    res.metrics = app.metrics  # type: ignore[attr-defined]
-    res.env = app.env  # type: ignore[attr-defined]
+    res.tracer = tracer  # type: ignore[attr-defined]
+    res.metrics = metrics_reg  # type: ignore[attr-defined]
+    res.env = env  # type: ignore[attr-defined]
     return res

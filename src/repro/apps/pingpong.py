@@ -42,6 +42,9 @@ class BandwidthResult:
     #: "world": N}) when the point ran fault-tolerantly and recovered
     #: from a rank failure; None for ordinary points
     recovery: Optional[dict] = None
+    #: simulated rank count (2 = the classic two-node pingpong; larger
+    #: even counts run P/2 concurrent pairs — the mesoscale sweeps)
+    ranks: int = 2
 
     @property
     def bandwidth(self) -> float:
@@ -51,18 +54,23 @@ class BandwidthResult:
 
 def _pingpong_main(ctx: RankContext, nbytes: int,
                    repeats: int) -> Generator[Any, Any, float]:
-    """Rank coroutine: rank 0 streams ``repeats`` buffers to rank 1."""
+    """Rank coroutine: every even rank streams ``repeats`` buffers to its
+    odd neighbour (rank+1) — at 2 ranks this is the classic rank 0 → 1
+    pingpong; at P ranks it is P/2 independent pairs saturating the
+    fabric at once (the mesoscale sweep shape)."""
     q = ctx.queue(name=f"r{ctx.rank}.q")
     buf = ctx.ocl.create_buffer(nbytes, name=f"bw.r{ctx.rank}")
     yield from ctx.comm.barrier()
     t0 = ctx.env.now
     for i in range(repeats):
-        if ctx.rank == 0:
+        if ctx.rank % 2 == 0 and ctx.rank + 1 < ctx.size:
             yield from clmpi.enqueue_send_buffer(
-                q, buf, False, 0, nbytes, dest=1, tag=i, comm=ctx.comm)
-        elif ctx.rank == 1:
+                q, buf, False, 0, nbytes, dest=ctx.rank + 1, tag=i,
+                comm=ctx.comm)
+        elif ctx.rank % 2 == 1:
             yield from clmpi.enqueue_recv_buffer(
-                q, buf, False, 0, nbytes, source=0, tag=i, comm=ctx.comm)
+                q, buf, False, 0, nbytes, source=ctx.rank - 1, tag=i,
+                comm=ctx.comm)
     yield from q.finish()
     yield from ctx.comm.barrier()
     return ctx.env.now - t0
@@ -87,13 +95,15 @@ def _pingpong_ft_main(ctx: RankContext, nbytes: int,
         yield from comm.barrier()
         events = []
         for i in range(repeats):
-            if ctx.rank == 0:
+            if ctx.rank % 2 == 0 and ctx.rank + 1 < ctx.size:
                 ev = yield from clmpi.enqueue_send_buffer(
-                    q, buf, False, 0, nbytes, dest=1, tag=i, comm=comm)
+                    q, buf, False, 0, nbytes, dest=ctx.rank + 1, tag=i,
+                    comm=comm)
                 events.append(ev)
-            elif ctx.rank == 1:
+            elif ctx.rank % 2 == 1:
                 ev = yield from clmpi.enqueue_recv_buffer(
-                    q, buf, False, 0, nbytes, source=0, tag=i, comm=comm)
+                    q, buf, False, 0, nbytes, source=ctx.rank - 1, tag=i,
+                    comm=comm)
                 events.append(ev)
         yield from q.finish()
         orphaned = next(
@@ -121,6 +131,61 @@ def _pingpong_ft_main(ctx: RankContext, nbytes: int,
             "failed_ranks": list(failed), "seconds": ctx.env.now - t0}
 
 
+def _vectorized_seconds(system: SystemPreset, nbytes: int,
+                        mode: Optional[str], block: Optional[int],
+                        repeats: int, ranks: int) -> float:
+    """Mesoscale replay of :func:`_pingpong_main` (engine="vectorized").
+
+    All P/2 pairs advance as float64 array lanes through the exact
+    timing chain the rank coroutines execute: enqueue overheads, queue
+    dispatch, the chosen clMPI transfer engine, ``finish`` and the
+    closing dissemination barrier.  Byte-identical to the coroutine
+    engine by construction (see :mod:`repro.sim.vectorized`).
+    """
+    import numpy as np
+
+    from repro.clmpi.selector import TransferSelector
+    from repro.sim import Environment, EngineError
+
+    if ranks < 2 or ranks % 2:
+        raise EngineError(
+            "the vectorized pingpong pairs rank 2i with 2i+1 and needs an "
+            "even rank count >= 2 (use engine='coroutine' for odd sizes)")
+    cmode, cblock, base = TransferSelector(
+        system.policy, force_mode=mode, force_block=block).choose(nbytes)
+    env = Environment(engine="vectorized")
+    v = env.vector.bind(system, ranks)
+    t = v.t
+    senders = np.arange(0, ranks, 2)
+    receivers = senders + 1
+    entry = v.barrier(np.zeros(ranks, dtype=np.float64))
+    t0 = entry
+    # per-lane host clocks and in-order queue positions after the barrier
+    hs = entry[senders].copy()
+    hr = entry[receivers].copy()
+    done_s = hs.copy()
+    done_r = hr.copy()
+    for _ in range(repeats):
+        hs = hs + t.co          # enqueue_send_buffer api_call
+        hr = hr + t.co          # enqueue_recv_buffer api_call
+        start_s = np.maximum(done_s, hs)
+        start_r = np.maximum(done_r, hr)
+        res = v.clmpi_pair(senders, receivers, start_s, start_r, nbytes,
+                           cmode, cblock, base)
+        done_s = res["send_done"]
+        done_r = res["recv_done"]
+    # q.finish(): one api_call; blocked callers wake at the last
+    # command's completion plus a sync wake-up
+    exit_s = np.where(done_s > hs, done_s + t.so, hs + t.co)
+    exit_r = np.where(done_r > hr, done_r + t.so, hr + t.co)
+    entry2 = np.empty(ranks, dtype=np.float64)
+    entry2[senders] = exit_s
+    entry2[receivers] = exit_r
+    final = v.barrier(entry2)
+    v.commit(final)
+    return float(np.max(final - t0))
+
+
 def _wants_ft(faults) -> bool:
     """Auto-detect fault-tolerant routing: a plan with a fail-stop crash
     needs ULFM recovery to produce a result at all; everything else is
@@ -140,7 +205,9 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
                       repeats: int = 4,
                       functional: bool = False,
                       faults=None, obs: bool = False,
-                      ft: Optional[bool] = None) -> BandwidthResult:
+                      ft: Optional[bool] = None,
+                      ranks: int = 2,
+                      engine: str = "coroutine") -> BandwidthResult:
     """One Fig 8 data point.
 
     ``mode=None`` lets the runtime's automatic selector choose (§V.B);
@@ -160,9 +227,38 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
     """
     if nbytes <= 0 or repeats <= 0:
         raise ConfigurationError("nbytes and repeats must be positive")
+    if ranks < 2:
+        raise ConfigurationError("pingpong needs at least 2 ranks")
     if ft is None:
         ft = _wants_ft(faults)
-    app = ClusterApp(system, 2, functional=functional,
+    if engine == "vectorized":
+        from repro.sim import EngineError
+
+        if functional:
+            raise EngineError(
+                "engine='vectorized' is timing-only: functional "
+                "(payload-moving) runs need engine='coroutine'")
+        if faults is not None or obs or ft:
+            import warnings
+
+            warnings.warn(
+                "engine='vectorized' does not support fault injection, "
+                "observability hooks, or ULFM recovery; falling back to "
+                "the coroutine engine for this point", RuntimeWarning,
+                stacklevel=2)
+        else:
+            seconds = _vectorized_seconds(system, nbytes, mode, block,
+                                          repeats, ranks)
+            return BandwidthResult(system=system.name, mode=mode or "auto",
+                                   block=block, nbytes=nbytes,
+                                   repeats=repeats, seconds=seconds,
+                                   ranks=ranks)
+    elif engine != "coroutine":
+        from repro.sim import ENGINES, EngineError
+
+        raise EngineError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}")
+    app = ClusterApp(system, ranks, functional=functional,
                      force_mode=mode, force_block=block, faults=faults,
                      trace=obs, metrics=obs or ft)
     recovery = None
@@ -195,7 +291,7 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
                            seconds=seconds,
                            fault_summary=(app.faults.summary()
                                           if app.faults else None),
-                           report=report, recovery=recovery)
+                           report=report, recovery=recovery, ranks=ranks)
 
 
 def bandwidth_point(spec: dict) -> dict:
@@ -208,16 +304,27 @@ def bandwidth_point(spec: dict) -> dict:
     """
     from repro.systems import get_system
 
-    r = measure_bandwidth(get_system(spec["system"]), spec["nbytes"],
+    ranks = spec.get("ranks", 2)
+    system = get_system(spec["system"])
+    if ranks > system.cluster.max_nodes:
+        # mesoscale points run the testbed past its physical size;
+        # max_nodes only gates construction, it never shapes timing
+        system = get_system(spec["system"], max_nodes=ranks)
+    r = measure_bandwidth(system, spec["nbytes"],
                           spec["mode"], block=spec.get("block"),
                           repeats=spec.get("repeats", 4),
                           functional=spec.get("functional", False),
                           faults=spec.get("faults"),
                           obs=spec.get("obs", False),
-                          ft=spec.get("ft"))
+                          ft=spec.get("ft"), ranks=ranks,
+                          engine=spec.get("engine", "coroutine"))
     row = {"system": r.system, "mode": r.mode, "block": r.block,
            "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds,
            "faults": r.fault_summary}
+    if r.ranks != 2:
+        # rows must be engine-independent (the byte-identity gate diffs
+        # them), and 2-rank rows keep their pre-mesoscale shape
+        row["ranks"] = r.ranks
     if r.report is not None:
         row["report"] = r.report
     if r.recovery is not None:
@@ -230,7 +337,9 @@ def bandwidth_specs(system: str,
                     pipeline_blocks: Optional[list[int]] = None,
                     repeats: int = 4,
                     faults: Optional[dict] = None,
-                    obs: bool = False) -> list[dict]:
+                    obs: bool = False,
+                    ranks: int = 2,
+                    engine: str = "coroutine") -> list[dict]:
     """The Fig 8 grid as spec dicts, in canonical (reporting) order.
 
     ``faults`` (a JSON-able fault-plan dict) rides inside every spec, so
@@ -259,6 +368,15 @@ def bandwidth_specs(system: str,
     if obs:
         for spec in specs:
             spec["obs"] = True
+    # absent keys mean (ranks=2, engine='coroutine'): pre-mesoscale
+    # specs hash to the same cache address they always did, while any
+    # other engine/rank-count gets its own content address
+    if ranks != 2:
+        for spec in specs:
+            spec["ranks"] = ranks
+    if engine != "coroutine":
+        for spec in specs:
+            spec["engine"] = engine
     return specs
 
 
@@ -268,7 +386,9 @@ def bandwidth_sweep(system: SystemPreset,
                     repeats: int = 4,
                     jobs: Optional[int] = 1,
                     cache=None,
-                    faults: Optional[dict] = None) -> list[BandwidthResult]:
+                    faults: Optional[dict] = None,
+                    ranks: int = 2,
+                    engine: str = "coroutine") -> list[BandwidthResult]:
     """The full Fig 8 sweep for one system.
 
     Curves: pinned, mapped, pipelined(B) for each block size, plus the
@@ -282,7 +402,8 @@ def bandwidth_sweep(system: SystemPreset,
 
     specs = bandwidth_specs(system.name, sizes=sizes,
                             pipeline_blocks=pipeline_blocks,
-                            repeats=repeats, faults=faults)
+                            repeats=repeats, faults=faults,
+                            ranks=ranks, engine=engine)
     rows = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
                  kind="bandwidth")
     return [BandwidthResult(system=d["system"], mode=d["mode"],
@@ -290,5 +411,6 @@ def bandwidth_sweep(system: SystemPreset,
                             repeats=d["repeats"], seconds=d["seconds"],
                             fault_summary=d.get("faults"),
                             report=d.get("report"),
-                            recovery=d.get("recovery"))
+                            recovery=d.get("recovery"),
+                            ranks=d.get("ranks", 2))
             for d in rows if not is_error_record(d)]

@@ -198,3 +198,26 @@ class ResultCache:
             return 0
         return sum(1 for p in self.root.rglob("*.json")
                    if p.name != "stats.json")
+
+    def engine_breakdown(self) -> dict[str, int]:
+        """Stored entries per simulation engine (``--cache-stats``).
+
+        Specs carry an ``"engine"`` key only when it differs from the
+        default, so entries written before the mesoscale engine existed
+        (and all coroutine points since) count under ``"coroutine"``.
+        Unparseable files are skipped — reads delete them lazily.
+        """
+        counts: dict[str, int] = {}
+        if not self.root.is_dir():
+            return counts
+        for path in self.root.rglob("*.json"):
+            if path.name == "stats.json":
+                continue
+            try:
+                spec = json.loads(path.read_text()).get("spec") or {}
+            except (OSError, ValueError, AttributeError):
+                continue
+            engine = spec.get("engine", "coroutine") \
+                if isinstance(spec, dict) else "coroutine"
+            counts[engine] = counts.get(engine, 0) + 1
+        return counts

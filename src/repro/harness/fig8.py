@@ -29,7 +29,9 @@ def run_fig8(system: str = "cichlid",
              cache: Optional[ResultCache] = None,
              faults: Optional[dict] = None,
              report: Optional[str] = None,
-             show_metrics: bool = False) -> Table:
+             show_metrics: bool = False,
+             ranks: int = 2,
+             engine: str = "coroutine") -> Table:
     """Regenerate Fig 8(a) or 8(b); one row per message size, one column
     per transfer implementation (MB/s).
 
@@ -41,13 +43,19 @@ def run_fig8(system: str = "cichlid",
     runs with tracer + metrics attached and carries its own report
     through the cache); ``show_metrics`` prints the merged metrics
     snapshot.
+
+    ``ranks``/``engine`` select the mesoscale shape: ``ranks=2048,
+    engine='vectorized'`` sweeps 1024 concurrent pairs in seconds with
+    byte-identical rows (engine and rank count are part of each point's
+    cache address).
     """
     preset = get_system(system)
     obs = report is not None or show_metrics
     blocks = pipeline_blocks or [1 * MiB, 4 * MiB, 16 * MiB]
     specs = bandwidth_specs(preset.name, sizes=sizes,
                             pipeline_blocks=blocks, repeats=repeats,
-                            faults=faults, obs=obs)
+                            faults=faults, obs=obs, ranks=ranks,
+                            engine=engine)
     results = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
                     kind="bandwidth")
     errors = [r for r in results if is_error_record(r)]

@@ -30,12 +30,21 @@ def himeno_point(spec: dict) -> dict:
     from repro.apps.himeno import HimenoConfig, run_himeno
 
     obs = spec.get("obs", False)
-    cfg = HimenoConfig(size=spec["size"], iterations=spec["iterations"])
-    res = run_himeno(get_system(spec["system"]), spec["nodes"],
+    dims = spec.get("dims")
+    cfg = HimenoConfig(size=spec["size"],
+                       dims=tuple(dims) if dims else None,
+                       iterations=spec["iterations"])
+    system = get_system(spec["system"])
+    if spec["nodes"] > system.cluster.max_nodes:
+        # mesoscale points run the testbed past its physical size;
+        # max_nodes only gates construction, it never shapes timing
+        system = get_system(spec["system"], max_nodes=spec["nodes"])
+    res = run_himeno(system, spec["nodes"],
                      spec["impl"], cfg,
                      functional=spec.get("functional", False),
                      faults=spec.get("faults"),
-                     trace=obs, metrics=obs)
+                     trace=obs, metrics=obs,
+                     engine=spec.get("engine", "coroutine"))
     row = {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio}
     if obs:
         from repro.obs import build_report
@@ -58,7 +67,9 @@ def run_fig9(system: str = "cichlid",
              cache: Optional[ResultCache] = None,
              faults: Optional[dict] = None,
              report: Optional[str] = None,
-             show_metrics: bool = False) -> Table:
+             show_metrics: bool = False,
+             dims: Optional[tuple[int, int, int]] = None,
+             engine: str = "coroutine") -> Table:
     """Regenerate Fig 9(a) or (b): sustained GFLOP/s per implementation.
 
     ``functional=False`` (default) runs timing-only at the paper's M size;
@@ -67,6 +78,11 @@ def run_fig9(system: str = "cichlid",
     ``report`` writes the sweep's merged :class:`~repro.obs.RunReport`
     to that path; ``show_metrics`` prints the merged metrics snapshot
     (either flag attaches tracer + metrics to every point).
+
+    ``engine='vectorized'`` runs serial/clmpi points on the mesoscale
+    engine (byte-identical rows); ``dims`` overrides the grid so node
+    counts past M-size's decomposition limit stay valid (mesoscale
+    sweeps need ``mi >= 2*nodes + 2``).
     """
     preset = get_system(system)
     obs = report is not None or show_metrics
@@ -81,6 +97,14 @@ def run_fig9(system: str = "cichlid",
     if obs:
         for spec in specs:
             spec["obs"] = True
+    # absent keys keep pre-mesoscale cache addresses (and rows must stay
+    # engine-independent: the byte-identity gate diffs them)
+    if dims is not None:
+        for spec in specs:
+            spec["dims"] = list(dims)
+    if engine != "coroutine":
+        for spec in specs:
+            spec["engine"] = engine
     results = sweep(himeno_point, specs, jobs=jobs, cache=cache,
                     kind="himeno")
     errors = [r for r in results if is_error_record(r)]

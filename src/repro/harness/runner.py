@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export a Chrome-tracing JSON with causal "
                              "flow arrows (chrome://tracing / Perfetto); "
                              "supported by fig4")
+    common.add_argument("--engine", default="coroutine",
+                        choices=["coroutine", "vectorized"],
+                        help="simulation engine for timing-only points: "
+                             "'vectorized' batches all ranks into NumPy "
+                             "lanes (byte-identical results, seconds at "
+                             "1k+ ranks); supported by fig8 and fig9")
 
     sub.add_parser("table1", parents=[common],
                    help="Table I: system specifications")
@@ -68,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     f8.add_argument("--system", default="cichlid",
                     choices=["cichlid", "ricc"])
     f8.add_argument("--repeats", type=int, default=4)
+    f8.add_argument("--ranks", type=int, default=2,
+                    help="simulated ranks: even counts > 2 run P/2 "
+                         "concurrent pairs (mesoscale sweeps; pair with "
+                         "--engine vectorized for 1k-10k ranks)")
 
     f9 = sub.add_parser("fig9", parents=[common],
                         help="Fig 9: Himeno benchmark")
@@ -75,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["cichlid", "ricc"])
     f9.add_argument("--nodes", type=_nodes_list, default=None)
     f9.add_argument("--size", default="M")
+    f9.add_argument("--dims", type=_nodes_list, default=None,
+                    metavar="MI,MJ,MK",
+                    help="explicit grid dims (overrides --size; mesoscale "
+                         "node counts need mi >= 2*nodes + 2)")
     f9.add_argument("--iterations", type=int, default=4)
     f9.add_argument("--functional", action="store_true",
                     help="run the NumPy kernels for real (slower)")
@@ -112,6 +126,11 @@ def _print_cache_stats() -> None:
     print(f"hits:      {stats['hits']}")
     print(f"misses:    {stats['misses']}")
     print(f"corrupt:   {stats['corrupt_deleted']} (deleted on read)")
+    breakdown = cache.engine_breakdown()
+    if breakdown:
+        per = ", ".join(f"{eng}: {n}"
+                        for eng, n in sorted(breakdown.items()))
+        print(f"by engine: {per}")
 
 
 def _load_faults(args) -> Optional[dict]:
@@ -164,19 +183,30 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"warning: {args.experiment} does not support --trace-out; "
               "ignored", file=sys.stderr)
         trace_out = None
+    engine = getattr(args, "engine", "coroutine")
+    if engine != "coroutine" and args.experiment not in ("fig8", "fig9"):
+        print(f"warning: {args.experiment} has no vectorized model; "
+              "--engine ignored", file=sys.stderr)
+        engine = "coroutine"
     if args.experiment == "table1":
         _write_json(run_table1(), json_path)
     elif args.experiment == "fig8":
         _write_json(run_fig8(system=args.system, repeats=args.repeats,
                              jobs=jobs, cache=cache, faults=faults,
-                             report=report, show_metrics=show_metrics),
+                             report=report, show_metrics=show_metrics,
+                             ranks=args.ranks, engine=engine),
                     json_path)
     elif args.experiment == "fig9":
+        dims = tuple(args.dims) if args.dims else None
+        if dims is not None and len(dims) != 3:
+            raise SystemExit("--dims needs exactly three values: MI,MJ,MK")
         _write_json(run_fig9(system=args.system, nodes=args.nodes,
-                             size=args.size, iterations=args.iterations,
+                             size=args.size, dims=dims,
+                             iterations=args.iterations,
                              functional=args.functional,
                              jobs=jobs, cache=cache, faults=faults,
-                             report=report, show_metrics=show_metrics),
+                             report=report, show_metrics=show_metrics,
+                             engine=engine),
                     json_path)
     elif args.experiment == "fig10":
         _write_json(run_fig10(nodes=args.nodes, steps=args.steps,

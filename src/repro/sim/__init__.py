@@ -29,11 +29,13 @@ Example
 """
 
 from repro.sim.core import (
+    ENGINES,
     HIGH,
     LOW,
     NORMAL,
     AllOf,
     AnyOf,
+    EngineError,
     Environment,
     Event,
     Interrupt,
@@ -53,6 +55,8 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "EngineError",
+    "ENGINES",
     "Resource",
     "Store",
     "PriorityStore",

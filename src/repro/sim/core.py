@@ -5,6 +5,40 @@ ordered by ``(time, priority, sequence)`` so runs are bit-for-bit
 reproducible: ties at equal timestamps resolve first by priority band and
 then by scheduling order.
 
+Cross-engine determinism invariant
+----------------------------------
+Two execution engines share the :class:`Environment` facade (select with
+``Environment(engine=...)``):
+
+* ``"coroutine"`` (default) — this module's generator-based calendar.
+* ``"vectorized"`` — :mod:`repro.sim.vectorized`, a timing-only engine
+  that batches homogeneous events into NumPy array operations and
+  virtualizes ranks (P simulated ranks never cost P Python coroutines).
+
+Byte-identical results across engines rest on one invariant: **at equal
+virtual timestamps, outcomes are fixed by the ``(time, priority,
+sequence)`` order and never by anything the tie-break cannot see.**
+Concretely:
+
+* Ties at one timestamp fire in priority bands ``HIGH`` (process
+  bootstrap/kicks) → ``NORMAL`` (timeouts, completions) → ``LOW``
+  (deferred-matching flush rounds), then in scheduling (``_seq``) order
+  within a band — exactly the order :meth:`Environment._run_scheduled`
+  exposes to schedule policies as explicit tie batches.
+* Every *timing-relevant* consequence of a tie is a pure ``max``: a
+  FIFO :class:`~repro.sim.resources.Resource` wakes its next waiter at
+  the release timestamp itself, so a waiter's start time is
+  ``max(request_time, release_time)`` regardless of which same-time
+  entry fired first.  The vectorized engine replays these chains as
+  elementwise float64 ``max``/``+``/``*``/``/`` operations — IEEE-754
+  identical to the scalar arithmetic performed here — which is what
+  makes bit-for-bit agreement achievable without running coroutines.
+* Therefore no layer may make a timing decision depend on heap *arrival*
+  order beyond the ``(time, priority, sequence)`` key (e.g. iterating a
+  ``set`` of waiters, or branching on ``len(heap)``).  Matching (see
+  :mod:`repro.mpi.matching`) is registration-order FIFO for the same
+  reason.
+
 Hot-path notes (see docs/performance.md)
 ----------------------------------------
 A sweep spends nearly all of its real time inside this module, so the
@@ -42,10 +76,15 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "EngineError",
+    "ENGINES",
     "NORMAL",
     "HIGH",
     "LOW",
 ]
+
+#: Engine names accepted by ``Environment(engine=...)``.
+ENGINES = ("coroutine", "vectorized")
 
 #: Priority bands for same-timestamp ordering.  Lower sorts earlier.
 HIGH = 0
@@ -64,6 +103,16 @@ _TIMEOUT_POOL_MAX = 256
 
 class SimulationError(RuntimeError):
     """Raised for engine misuse (double-trigger, yielding non-events, ...)."""
+
+
+class EngineError(SimulationError):
+    """Raised for execution-engine misuse.
+
+    Examples: spawning a coroutine on a vectorized environment (rank
+    virtualization means P ranks never get P generator frames), asking
+    the vectorized engine for a functional (payload-moving) run, or
+    requesting an unknown engine name.
+    """
 
 
 class Interrupt(Exception):
@@ -432,10 +481,24 @@ class Environment:
     dominant event type.  Off by default — holding a fired timeout and
     reading its ``value`` later is legal API use and only guaranteed
     stable when the freelist is off or the caller keeps a reference.
+
+    ``engine`` selects the execution engine behind this facade:
+    ``"coroutine"`` (default) runs generator processes on the event heap;
+    ``"vectorized"`` exposes the NumPy batch engine at :attr:`vector`
+    (see :mod:`repro.sim.vectorized`) and *refuses* to spawn coroutines —
+    timing-only models advance the shared clock through array operations
+    instead.  Both engines honour the cross-engine determinism invariant
+    documented at the top of this module.
     """
 
     def __init__(self, initial_time: float = 0.0,
-                 reuse_timeouts: bool = False):
+                 reuse_timeouts: bool = False,
+                 engine: str = "coroutine"):
+        if engine not in ENGINES:
+            raise EngineError(
+                f"unknown engine {engine!r}; choose from {ENGINES}")
+        self.engine = engine
+        self._vector = None
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
@@ -487,6 +550,39 @@ class Environment:
         return self._now
 
     @property
+    def vector(self):
+        """The batch engine (:class:`repro.sim.vectorized.VectorEngine`).
+
+        Only available when the environment was created with
+        ``engine="vectorized"``; the coroutine engine has no array lanes.
+        """
+        if self.engine != "vectorized":
+            raise EngineError(
+                "env.vector requires Environment(engine='vectorized'); "
+                f"this environment runs the {self.engine!r} engine")
+        if self._vector is None:
+            from repro.sim.vectorized import VectorEngine
+
+            self._vector = VectorEngine(self)
+        return self._vector
+
+    def advance_to(self, when: float) -> float:
+        """Advance the clock to ``when`` (vectorized-engine models only).
+
+        The clock is monotone: an earlier ``when`` is a no-op, matching
+        the coroutine engine where ``now`` only moves forward.  Refuses
+        to jump over undrained calendar entries — batch models must not
+        silently starve pending events.
+        """
+        if self._heap and self._heap[0][0] < when:
+            raise EngineError(
+                f"advance_to({when}) would skip over a calendar event at "
+                f"t={self._heap[0][0]}; drain with run() first")
+        if when > self._now:
+            self._now = float(when)
+        return self._now
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped (None between steps)."""
         return self._active_process
@@ -521,6 +617,12 @@ class Environment:
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Register a coroutine for execution; returns its Process event."""
+        if self.engine != "coroutine":
+            generator.close()
+            raise EngineError(
+                "Environment(engine='vectorized') virtualizes ranks and "
+                "cannot host coroutines; use env.vector batch operations, "
+                "or engine='coroutine' for generator processes")
         if self.metrics is not None:
             self.metrics.inc("sim.processes")
         return Process(self, generator, name=name)

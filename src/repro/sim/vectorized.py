@@ -1,0 +1,709 @@
+"""NumPy-vectorized timing-only execution engine (the *mesoscale* engine).
+
+The coroutine engine (:mod:`repro.sim.core`) pays one generator frame and
+several heap events per simulated action; at 1000+ ranks a single sweep
+point costs millions of events.  This module is the second execution
+engine behind the :class:`~repro.sim.Environment` facade
+(``Environment(engine="vectorized")``): *rank-virtualized* timing models
+replay the exact arithmetic the coroutine layers would perform — as
+elementwise float64 array operations over all ranks at once — without
+instantiating a single coroutine.
+
+Why the results are **byte-identical** and not merely close: every timing
+rule in the simulator bottoms out in IEEE-754 double adds, divides, and
+maxes (``docs/performance.md``: the cross-engine determinism invariant).
+NumPy float64 elementwise ops are the same IEEE operations in the same
+association order, so replaying a rank's chain ``t = (t + a) + b`` as a
+lane of an array produces bit-for-bit the float the coroutine produced.
+The primitives here encode those chains once:
+
+* :class:`FifoPorts` — batched service of capacity-1 FIFO resources (NIC
+  tx/rx ports, PCIe DMA engines, GPU compute): ``grant = max(request,
+  free)``, with an explicit :class:`~repro.sim.EngineError` refusal when
+  a batch contains an arbitration tie the ``(time, priority, sequence)``
+  order of the coroutine heap would have resolved arbitrarily.
+* :class:`VectorEngine` — the per-environment facade: wire transfers
+  (eager / rendezvous exactly as :mod:`repro.mpi.comm` models them),
+  dissemination barriers, binomial reduce/bcast, PCIe link service, and
+  a bucketed :class:`BucketCalendar` for homogeneous event lanes.
+
+What the vectorized engine deliberately does **not** support (it refuses
+with :class:`~repro.sim.EngineError` or the caller falls back to the
+coroutine engine with a warning): functional (payload-moving) kernels,
+schedule-policy exploration, per-event monitor hooks, fault injection,
+and tracing — all of these need the per-event coroutine substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.sim.core import EngineError
+
+__all__ = ["VectorEngine", "FifoPorts", "BucketCalendar", "Timings"]
+
+_NEG_INF = float("-inf")
+
+
+class Timings:
+    """Scalar timing constants of one :class:`SystemPreset`, unpacked.
+
+    One attribute per constant the replay formulas use, so model code
+    reads ``v.co`` instead of chasing the preset's nested dataclasses.
+    The cluster is homogeneous (every node shares one NodeSpec), which is
+    what lets one scalar serve all lanes.
+    """
+
+    def __init__(self, preset) -> None:
+        cluster = preset.cluster
+        node = cluster.node
+        host, gpu, pcie = node.host, node.gpu, node.pcie
+        nic = cluster.fabric.nic
+        self.preset = preset
+        #: host API-call overhead (every enqueue/isend/irecv)
+        self.co = float(host.call_overhead)
+        #: host sync wake-up (every blocking wait that actually blocked)
+        self.so = float(host.sync_overhead)
+        #: single-thread host memcpy bandwidth (eager staging copies)
+        self.mbw = float(host.memcpy_bandwidth)
+        self.nic_bw = float(nic.bandwidth)
+        self.nic_lat = float(nic.latency)
+        self.pmo = float(nic.per_message_overhead)
+        self.switch_lat = float(cluster.fabric.switch_latency)
+        self.loopback_bw = float(cluster.fabric.loopback_bandwidth)
+        self.eager_threshold = int(preset.mpi_eager_threshold)
+        self.pinned_bw = float(pcie.pinned_bandwidth)
+        self.pageable_bw = float(pcie.pageable_bandwidth)
+        self.mapped_bw = float(pcie.mapped_bandwidth)
+        self.copy_latency = float(pcie.copy_latency)
+        self.map_overhead = float(pcie.map_overhead)
+        self.mapped_latency = float(pcie.mapped_latency)
+        self.copy_engines = int(gpu.copy_engines)
+        self.gpu_launch = float(gpu.launch_overhead)
+        self.gpu_gflops = float(gpu.sustained_gflops)
+        self.gpu_mem_bw = float(gpu.mem_bandwidth)
+
+    def kernel_duration(self, flops, mem_bytes):
+        """Replay of :meth:`GpuSpec.kernel_time` (elementwise)."""
+        return self.gpu_launch + np.maximum(
+            flops / (self.gpu_gflops * 1e9), mem_bytes / self.gpu_mem_bw)
+
+    def dma_duration(self, nbytes, pinned: bool = True):
+        """Replay of :meth:`LinkSpec.time` for one PCIe copy."""
+        if not pinned:
+            # driver bounce buffers: the coroutine engine pushes the
+            # scaled byte count through the pinned-rate link
+            nbytes = np.floor(nbytes * (self.pinned_bw / self.pageable_bw))
+        return self.copy_latency + nbytes / self.pinned_bw
+
+
+class FifoPorts:
+    """A batch of capacity-1 FIFO resources serviced with array math.
+
+    Mirrors :class:`repro.sim.resources.Resource` (capacity 1): a request
+    at time ``r`` on a port free at ``f`` is granted at ``max(r, f)``;
+    the port stays busy until the caller-computed ``done`` time.  FIFO
+    order *is* request-time order — the coroutine heap guarantees that —
+    so a batch whose request times cannot be totally ordered per port
+    (two equal request times, or a request earlier than one already
+    serviced) is an arbitration the ``(time, priority, sequence)``
+    tie-break would resolve arbitrarily.  We refuse such batches with
+    :class:`EngineError` instead of guessing (the caller reruns on the
+    coroutine engine); this is the engine's graceful-degradation edge.
+    """
+
+    def __init__(self, n: int, what: str = "port"):
+        self.free = np.zeros(n, dtype=np.float64)
+        self.last_req = np.full(n, _NEG_INF, dtype=np.float64)
+        self.what = what
+
+    def use(self, idx, req, dur, allow_ties: bool = False):
+        """Service one batch; returns ``(grant, done)`` in input order.
+
+        ``idx`` are port indices (duplicates allowed — chained in request
+        order), ``req`` request times, ``dur`` busy durations charged
+        from the grant.
+
+        ``allow_ties=True`` declares that the *caller* knows the
+        coroutine engine's resolution of equal-time requests and has
+        ordered the batch accordingly: equal ``(port, req)`` entries are
+        chained in input order (``np.lexsort`` is stable), and a request
+        equal to an already-serviced one loses to it.  Callers may only
+        pass it where the scheduler's hop count provably orders the tie
+        (see the himeno model's shared-DMA note); everywhere else ties
+        are refused.
+        """
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.intp))
+        req = np.atleast_1d(np.asarray(req, dtype=np.float64))
+        dur = np.broadcast_to(np.asarray(dur, dtype=np.float64), req.shape)
+        order = np.lexsort((req, idx))
+        si, sr = idx[order], req[order]
+        sd = dur[order]
+        late = sr < self.last_req[si] if allow_ties \
+            else sr <= self.last_req[si]
+        if np.any(late):
+            raise EngineError(
+                f"vectorized {self.what} service out of FIFO order: a "
+                "request is not strictly later than one already granted "
+                "(same-time arbitration is a coroutine-engine tie)")
+        same = si[1:] == si[:-1]
+        if not allow_ties and np.any(same & (sr[1:] == sr[:-1])):
+            raise EngineError(
+                f"vectorized {self.what} service hit an equal-time "
+                "arbitration tie within one batch; the coroutine engine "
+                "resolves this by heap sequence — refusing to guess")
+        grant = np.maximum(sr, self.free[si])
+        done = grant + sd
+        if np.any(same):
+            # chain duplicates: grant_i = max(req_i, done_{i-1}); group
+            # sizes are tiny, so fixed-point passes converge immediately
+            while True:
+                prop = np.maximum(grant[1:],
+                                  np.where(same, done[:-1], grant[1:]))
+                if np.array_equal(prop, grant[1:]):
+                    break
+                grant[1:] = prop
+                done = grant + sd
+        np.maximum.at(self.free, si, done)
+        np.maximum.at(self.last_req, si, sr)
+        out_g = np.empty_like(grant)
+        out_d = np.empty_like(done)
+        out_g[order] = grant
+        out_d[order] = done
+        return out_g, out_d
+
+
+class BucketCalendar:
+    """Bucketed calendar queue for homogeneous event lanes.
+
+    Where the coroutine calendar pays one heap push/pop per event, lanes
+    of *independent, homogeneous* events (the regime of timing-only
+    sweeps) are scheduled as whole arrays into coarse time buckets and
+    drained bucket-by-bucket — the classic calendar-queue structure with
+    array payloads.  Used by :meth:`VectorEngine.tick_lanes` and
+    available to batch models that need genuine event interleaving.
+    """
+
+    def __init__(self, width: float = 1e-3):
+        if width <= 0:
+            raise EngineError("bucket width must be positive")
+        self.width = width
+        self._buckets: dict[int, list[np.ndarray]] = {}
+        self.scheduled = 0
+
+    def schedule(self, times: np.ndarray) -> None:
+        """Schedule one lane's event times (any order within the lane)."""
+        times = np.asarray(times, dtype=np.float64)
+        if times.size == 0:
+            return
+        keys = np.floor_divide(times, self.width).astype(np.int64)
+        for k in np.unique(keys):
+            self._buckets.setdefault(int(k), []).append(times[keys == k])
+        self.scheduled += times.size
+
+    def drain(self) -> tuple[int, float]:
+        """Fire every bucket in time order; returns ``(count, last_t)``."""
+        fired, last = 0, 0.0
+        for k in sorted(self._buckets):
+            for arr in self._buckets[k]:
+                fired += arr.size
+                if arr.size:
+                    last = max(last, float(arr.max()))
+        self._buckets.clear()
+        return fired, last
+
+
+class VectorEngine:
+    """Array-lane engine bound to one vectorized :class:`Environment`.
+
+    Create via ``Environment(engine="vectorized").vector``; call
+    :meth:`bind` with a system preset and node count before using the
+    hardware primitives.  All primitives take and return float64 arrays
+    indexed by rank/lane and leave the environment clock untouched until
+    :meth:`commit`.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self.t: Optional[Timings] = None
+        self.nodes = 0
+        self.events = 0  # batched "events" accounted (for benchmarks)
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def bind(self, preset, num_nodes: int) -> "VectorEngine":
+        """Instantiate port state for ``num_nodes`` nodes of ``preset``."""
+        if num_nodes < 1:
+            raise EngineError("vectorized engine needs at least one node")
+        t = Timings(preset)
+        self.t = t
+        self.nodes = num_nodes
+        self.tx = FifoPorts(num_nodes, "nic-tx")
+        self.rx = FifoPorts(num_nodes, "nic-rx")
+        self.gpu = FifoPorts(num_nodes, "gpu-compute")
+        d2h = FifoPorts(num_nodes, "pcie-dma")
+        self.d2h = d2h
+        # one shared DMA engine serializes both directions (C1060);
+        # two engines give each direction its own port lane (C2070)
+        self.h2d = d2h if t.copy_engines == 1 else FifoPorts(num_nodes,
+                                                             "pcie-dma")
+        return self
+
+    def _need_bind(self) -> Timings:
+        if self.t is None:
+            raise EngineError(
+                "VectorEngine.bind(preset, num_nodes) must run before "
+                "hardware primitives are used")
+        return self.t
+
+    # ------------------------------------------------------------------
+    # wire (replay of repro.hardware.network.Fabric.send)
+    # ------------------------------------------------------------------
+    def wire(self, src, dst, req, nbytes, rate=None):
+        """Arrival time of one message batch (≤1 tx/rx use per node).
+
+        ``rate`` is the effective rate cap per message (NaN = none).
+        Loopback messages bypass the ports, exactly as the fabric does.
+        """
+        t = self._need_bind()
+        src = np.atleast_1d(np.asarray(src, dtype=np.intp))
+        dst = np.atleast_1d(np.asarray(dst, dtype=np.intp))
+        req = np.atleast_1d(np.asarray(req, dtype=np.float64))
+        nb = np.broadcast_to(np.asarray(nbytes, dtype=np.float64), req.shape)
+        rate = (np.full(req.shape, np.nan) if rate is None
+                else np.broadcast_to(np.asarray(rate, dtype=np.float64),
+                                     req.shape))
+        arr = np.empty_like(req)
+        loop = src == dst
+        if np.any(loop):
+            arr[loop] = req[loop] + nb[loop] / t.loopback_bw
+        cross = ~loop
+        if np.any(cross):
+            cs, cd = src[cross], dst[cross]
+            if (np.unique(cs).size != cs.size
+                    or np.unique(cd).size != cd.size):
+                raise EngineError(
+                    "vectorized wire batch uses a NIC port twice; ports "
+                    "are held until arrival, so callers must split such "
+                    "batches into sequential rounds")
+            tx_grant, _ = self.tx.use(src[cross], req[cross], 0.0)
+            rx_grant, _ = self.rx.use(dst[cross], tx_grant, 0.0)
+            bw = np.where(np.isnan(rate[cross]) | (rate[cross] >= t.nic_bw),
+                          t.nic_bw, rate[cross])
+            a = rx_grant + ((t.nic_lat + nb[cross] / bw) + t.switch_lat)
+            # both ports stay held until the arrival releases them
+            np.maximum.at(self.tx.free, src[cross], a)
+            np.maximum.at(self.rx.free, dst[cross], a)
+            arr[cross] = a
+        self.events += 4 * req.size
+        return arr
+
+    # ------------------------------------------------------------------
+    # point-to-point (replay of repro.mpi.comm eager / rendezvous)
+    # ------------------------------------------------------------------
+    def transfer(self, src, dst, ts1, tr1, nbytes,
+                 send_rate=None, recv_rate=None):
+        """One matched isend/irecv batch; returns ``(send_c, recv_c)``.
+
+        ``ts1`` is the sender's post-overhead delivery time, ``tr1`` the
+        receiver's post time; both completions replay
+        :meth:`Communicator._send_proc` / ``_recv_finish`` bit-for-bit.
+        """
+        t = self._need_bind()
+        ts1 = np.atleast_1d(np.asarray(ts1, dtype=np.float64))
+        tr1 = np.atleast_1d(np.asarray(tr1, dtype=np.float64))
+        shape = ts1.shape
+        src = np.broadcast_to(np.atleast_1d(np.asarray(src, np.intp)), shape)
+        dst = np.broadcast_to(np.atleast_1d(np.asarray(dst, np.intp)), shape)
+        nb = np.broadcast_to(np.asarray(nbytes, dtype=np.float64), shape)
+        srate = (np.full(shape, np.nan) if send_rate is None
+                 else np.broadcast_to(np.asarray(send_rate, np.float64),
+                                      shape))
+        rrate = (np.full(shape, np.nan) if recv_rate is None
+                 else np.broadcast_to(np.asarray(recv_rate, np.float64),
+                                      shape))
+        send_c = np.empty(shape)
+        recv_c = np.empty(shape)
+        eager = nb <= t.eager_threshold
+        if np.any(eager):
+            m = eager
+            t2 = ts1[m] + (t.pmo + nb[m] / t.mbw)
+            a = self.wire(src[m], dst[m], t2, nb[m], srate[m])
+            unexpected = ts1[m] < tr1[m]
+            buffered = unexpected & (a < tr1[m])
+            send_c[m] = a
+            recv_c[m] = np.where(buffered, tr1[m] + nb[m] / t.mbw, a)
+        if not np.all(eager):
+            m = ~eager
+            tm = np.maximum(ts1[m], tr1[m])
+            tc = tm + (t.nic_lat + t.switch_lat)
+            rate = np.where(np.isnan(rrate[m]), srate[m],
+                            np.where(np.isnan(srate[m]), rrate[m],
+                                     np.minimum(srate[m], rrate[m])))
+            a = self.wire(src[m], dst[m], tc, nb[m], rate)
+            send_c[m] = a
+            recv_c[m] = a
+        self.events += 6 * ts1.size
+        return send_c, recv_c
+
+    # ------------------------------------------------------------------
+    # clMPI transfer engines (replay of repro.clmpi.transfers.*)
+    # ------------------------------------------------------------------
+    def clmpi_pair(self, src, dst, start_s, start_r, nbytes: int,
+                   mode: str, block: Optional[int] = None,
+                   base: str = "pinned", defer_recv_dma: bool = False):
+        """One batch of matched clMPI transfers (device↔device).
+
+        ``start_s``/``start_r`` are the times the send/recv *commands*
+        begin executing on their queues.  Returns a dict with
+        ``send_done``/``recv_done`` (command completion times) and
+        ``recv_c`` (wire-side receive completion, before the drain DMA).
+
+        ``defer_recv_dma=True`` (pinned mode only) skips the receiver's
+        h2d drain so the caller can service it in a combined batch with
+        other same-engine DMA requests (the single-copy-engine C1060
+        case); ``recv_done`` is None then.
+        """
+        t = self._need_bind()
+        start_s = np.atleast_1d(np.asarray(start_s, dtype=np.float64))
+        start_r = np.atleast_1d(np.asarray(start_r, dtype=np.float64))
+        src = np.atleast_1d(np.asarray(src, dtype=np.intp))
+        dst = np.atleast_1d(np.asarray(dst, dtype=np.intp))
+        if mode == "pinned":
+            dur = t.copy_latency + nbytes / t.pinned_bw
+            _, d2h_done = self.d2h.use(src, start_s, dur)
+            ts1 = d2h_done + t.co
+            tr1 = start_r + t.co
+            send_c, recv_c = self.transfer(src, dst, ts1, tr1, nbytes)
+            if defer_recv_dma:
+                recv_done = None
+            else:
+                _, recv_done = self.h2d.use(dst, recv_c, dur)
+            return {"send_done": send_c, "recv_done": recv_done,
+                    "recv_c": recv_c}
+        if mode == "mapped":
+            ts1 = ((start_s + t.map_overhead) + t.mapped_latency) + t.co
+            tr1 = ((start_r + t.map_overhead) + t.mapped_latency) + t.co
+            send_c, recv_c = self.transfer(src, dst, ts1, tr1, nbytes,
+                                           send_rate=t.mapped_bw,
+                                           recv_rate=t.mapped_bw)
+            return {"send_done": send_c + t.map_overhead,
+                    "recv_done": recv_c + t.map_overhead,
+                    "recv_c": recv_c}
+        if mode == "pipelined":
+            if defer_recv_dma:
+                raise EngineError(
+                    "defer_recv_dma applies to pinned transfers only")
+            return self._clmpi_pipelined(src, dst, start_s, start_r,
+                                         nbytes, block, base)
+        raise EngineError(f"unknown clMPI transfer mode {mode!r}")
+
+    def _clmpi_pipelined(self, src, dst, start_s, start_r, nbytes: int,
+                         block: Optional[int], base: str):
+        """Replay of the pipelined engine (per-block DMA ∥ wire)."""
+        t = self._need_bind()
+        if block is None or block <= 0:
+            raise EngineError("pipelined transfer needs a block size")
+        ranges = [(lo, min(lo + block, nbytes))
+                  for lo in range(0, nbytes, block)]
+        mapped_base = base == "mapped"
+        rate = t.mapped_bw if mapped_base else None
+        T = start_s + t.map_overhead if mapped_base else start_s.copy()
+        R = start_r + t.map_overhead if mapped_base else start_r.copy()
+        # receiver pre-posts every block's irecv: one api_call each
+        tr1 = []
+        pos = R.copy()
+        for _ in ranges:
+            pos = pos + t.co
+            tr1.append(pos.copy())
+        # sender: staging chain (d2h per block, or instant when mapped)
+        staged = []
+        if mapped_base:
+            staged = [T.copy() for _ in ranges]
+            staged_last = T.copy()
+        else:
+            st = T.copy()
+            for lo, hi in ranges:
+                dur = t.copy_latency + (hi - lo) / t.pinned_bw
+                _, st = self.d2h.use(src, st, dur)
+                staged.append(st)
+            staged_last = staged[-1]
+        # wire coroutine: strictly sequential blocking sends; the
+        # receiver drains blocks in order, overlapping the next block
+        cur = T.copy()
+        drain = pos  # receiver host position after the pre-posting loop
+        for i, (lo, hi) in enumerate(ranges):
+            ts1 = np.maximum(cur, staged[i]) + t.co
+            send_c, recv_c = self.transfer(src, dst, ts1, tr1[i],
+                                           hi - lo, send_rate=rate,
+                                           recv_rate=rate)
+            cur = send_c
+            drain = np.maximum(drain, recv_c)
+            if not mapped_base:
+                dur = t.copy_latency + (hi - lo) / t.pinned_bw
+                _, drain = self.h2d.use(dst, drain, dur)
+        send_done = np.maximum(staged_last, cur)
+        recv_done = drain
+        if mapped_base:
+            send_done = send_done + t.map_overhead
+            recv_done = recv_done + t.map_overhead
+        return {"send_done": send_done, "recv_done": recv_done,
+                "recv_c": drain}
+
+    # ------------------------------------------------------------------
+    # collectives (replay of repro.mpi.collectives over 8..small payloads)
+    # ------------------------------------------------------------------
+    def barrier(self, t, nodes=None):
+        """Dissemination barrier; ``t`` per-rank entry → exit times."""
+        tt = self._need_bind()
+        t = np.array(t, dtype=np.float64, copy=True)
+        P = t.size
+        if P == 1:
+            return t
+        ranks = np.arange(P)
+        nodes = ranks if nodes is None else np.asarray(nodes, dtype=np.intp)
+        k = 1
+        while k < P:
+            dest = (ranks + k) % P
+            src = (ranks - k) % P
+            ts1 = t + tt.co             # sendrecv: isend first
+            tr1 = ts1 + tt.co           # then irecv, one api_call later
+            # message m_r: rank r -> dest[r]; its receiver posted at
+            # tr1[dest[r]]
+            send_c, recv_c = self.transfer(nodes, nodes[dest], ts1,
+                                           tr1[dest], 1.0)
+            # _blocking_wait drains recv then send; the resume time is
+            # the max of both completions, plus one sync wake-up
+            t = np.maximum(recv_c[src], send_c) + tt.so
+            k *= 2
+        return t
+
+    def eager_wire_single(self, src: int, dst: int, ts1: float,
+                          nbytes: float = 8.0):
+        """Service one eager message's wire path immediately.
+
+        For out-of-phase traffic that must interleave with a *later*
+        batch on the same receive port (a rank that skipped a phase and
+        raced ahead — see the himeno model).  Returns ``(ts1, txg,
+        arr)`` suitable for :meth:`reduce_small`'s ``pre`` argument.
+        """
+        tt = self._need_bind()
+        t2 = ts1 + (tt.pmo + nbytes / tt.mbw)
+        txg = max(t2, float(self.tx.free[src]))
+        if t2 <= self.tx.last_req[src] or txg <= self.rx.last_req[dst]:
+            raise EngineError(
+                "vectorized eager wire service out of FIFO order: the "
+                "raced-ahead message does not postdate earlier traffic")
+        rxg = max(txg, float(self.rx.free[dst]))
+        arr = rxg + ((tt.nic_lat + nbytes / tt.nic_bw) + tt.switch_lat)
+        self.tx.free[src] = max(float(self.tx.free[src]), arr)
+        self.rx.free[dst] = max(float(self.rx.free[dst]), arr)
+        self.tx.last_req[src] = max(float(self.tx.last_req[src]), t2)
+        self.rx.last_req[dst] = max(float(self.rx.last_req[dst]), txg)
+        self.events += 4
+        return ts1, txg, arr
+
+    def reduce_small(self, t, nbytes=8.0, nodes=None, pre=None):
+        """Binomial-tree reduce to rank 0 of a sub-ring payload.
+
+        Payloads must stay below the eager threshold (the gosa pattern).
+
+        Round-batched port service would be wrong here: with
+        heterogeneous entry times a round-2 child's eager message can
+        hit the parent's NIC receive port *before* the round-1 child's
+        message, and the coroutine fabric serves true request order.
+        Each rank's send time only depends on its own subtree, so the
+        tree is replayed parent-by-parent: all of a parent's incoming
+        messages are serviced as one request-ordered FIFO chain while
+        the parent's blocking-receive chain stays in mask order.
+
+        ``pre`` maps sender ranks whose isend *and* wire service already
+        happened (via :meth:`eager_wire_single`, to interleave with
+        earlier phases) to their ``(ts1, txg, arr)`` — those senders'
+        ports are not touched again.  Returns per-rank exit times.
+        """
+        tt = self._need_bind()
+        t = np.array(t, dtype=np.float64, copy=True)
+        P = t.size
+        if P == 1:
+            return t
+        if nbytes > tt.eager_threshold:
+            raise EngineError("reduce_small replays the eager tree only")
+        ranks = np.arange(P)
+        nodes = ranks if nodes is None else np.asarray(nodes, dtype=np.intp)
+        pre = pre or {}
+        nb = float(nbytes)
+        stage = tt.pmo + nb / tt.mbw           # eager host staging copy
+        hold = (tt.nic_lat + nb / tt.nic_bw) + tt.switch_lat
+        ts1 = np.zeros(P)                      # per-sender isend time
+        txg = np.zeros(P)                      # per-sender tx-port grant
+        arr = np.zeros(P)                      # per-sender wire arrival
+        for r, (p_ts1, p_txg, p_arr) in pre.items():
+            ts1[r], txg[r], arr[r] = p_ts1, p_txg, p_arr
+        mask = 1
+        while mask < P:
+            senders = np.nonzero(((ranks & (mask - 1)) == 0)
+                                 & ((ranks & mask) != 0))[0]
+            for s in senders:
+                # a sender's own receive chain (its subtree) is complete
+                # before it sends — drain it now, then post the isend
+                self._reduce_drain(int(s), mask, t, ts1, txg, arr,
+                                   nodes, nb, hold, pre)
+            live = np.array([s for s in senders if s not in pre],
+                            dtype=np.intp)
+            if live.size:
+                ts1[live] = t[live] + tt.co
+                t2 = ts1[live] + stage
+                n = nodes[live]
+                if np.any(t2 <= self.tx.last_req[n]):
+                    raise EngineError(
+                        "vectorized nic-tx service out of FIFO order "
+                        "during reduce (cross-phase arbitration tie)")
+                txg[live] = np.maximum(t2, self.tx.free[n])
+                np.maximum.at(self.tx.last_req, n, t2)
+            mask <<= 1
+        self._reduce_drain(0, mask, t, ts1, txg, arr, nodes, nb, hold,
+                           pre)
+        # senders: blocked wait on the send completion (= eager wire
+        # arrival), plus one sync wake-up; they do nothing afterwards
+        t[1:] = arr[1:] + tt.so
+        self.events += 6 * (P - 1)
+        return t
+
+    def _reduce_drain(self, p: int, lsb_p: int, t, ts1, txg, arr,
+                      nodes, nb: float, hold: float, pre) -> None:
+        """Serve parent ``p``'s incoming reduce messages.
+
+        ``lsb_p`` bounds the child masks (children are ``p + 2**k`` for
+        ``2**k < lsb_p``).  The receive port is FIFO in tx-grant order;
+        equal-time requests (symmetric subtrees finishing together) are
+        served in *descending* child-rank order — calibrated against the
+        coroutine heap's sequence resolution and held to it by the
+        cross-engine equivalence suite.  The parent's blocking receives
+        then complete in mask order.  Children in ``pre`` already went
+        through the wire; their arrivals are used as-is.
+        """
+        tt = self.t
+        P = t.size
+        kids = []
+        m = 1
+        while m < lsb_p and p + m < P:
+            kids.append(p + m)
+            m <<= 1
+        if not kids:
+            return
+        n_p = int(nodes[p])
+        todo = [c for c in kids if c not in pre]
+        order = sorted(todo[::-1], key=lambda c: txg[c])
+        free = float(self.rx.free[n_p])
+        before = float(self.rx.last_req[n_p])        # pre-reduce traffic
+        last = before
+        for c in order:
+            req = float(txg[c])
+            if req <= before:
+                raise EngineError(
+                    "vectorized nic-rx service out of FIFO order during "
+                    "reduce: a request does not postdate earlier "
+                    "non-reduce traffic on the port — refusing to guess")
+            last = req
+            a = max(req, free) + hold       # port held until arrival
+            free = a
+            arr[c] = a
+            n_c = int(nodes[c])
+            if a > self.tx.free[n_c]:
+                self.tx.free[n_c] = a
+        if order:
+            self.rx.free[n_p] = free
+            self.rx.last_req[n_p] = last
+        for c in kids:                      # blocking recvs in mask order
+            tr1 = t[p] + tt.co
+            a = arr[c]
+            buffered = (ts1[c] < tr1) and (a < tr1)
+            recv_c = tr1 + nb / tt.mbw if buffered else a
+            t[p] = recv_c + tt.so
+
+    def bcast_small(self, t, nbytes=8.0, nodes=None):
+        """Binomial-tree broadcast from rank 0 (eager payloads only)."""
+        tt = self._need_bind()
+        t = np.array(t, dtype=np.float64, copy=True)
+        P = t.size
+        if P == 1:
+            return t
+        if nbytes > tt.eager_threshold:
+            raise EngineError("bcast_small replays the eager tree only")
+        ranks = np.arange(P)
+        nodes = ranks if nodes is None else np.asarray(nodes, dtype=np.intp)
+        entry = t.copy()                 # each rank's recv posts at entry
+        top = 1
+        while top < P:
+            top <<= 1
+        m = top >> 1
+        while m > 0:
+            # rank p sends at level m iff its own receive happened at a
+            # higher level (or p is the root) and the child exists
+            lsb = ranks & -ranks
+            can_send = (ranks == 0) | (lsb > m)
+            senders = can_send & (ranks + m < P)
+            if np.any(senders):
+                s = ranks[senders]
+                c = s + m
+                ts1 = t[s] + tt.co
+                tr1 = entry[c] + tt.co      # child's blocking recv
+                send_c, recv_c = self.transfer(nodes[s], nodes[c], ts1,
+                                               tr1, nbytes)
+                t[s] = send_c + tt.so
+                t[c] = recv_c + tt.so
+            m >>= 1
+        return t
+
+    def allreduce_small(self, t, nbytes=8.0, nodes=None, pre=None):
+        """reduce-to-root + broadcast (the small-payload allreduce).
+
+        ``pre`` is forwarded to :meth:`reduce_small` (pre-serviced
+        raced-ahead senders).
+        """
+        return self.bcast_small(self.reduce_small(t, nbytes, nodes, pre),
+                                nbytes, nodes)
+
+    # ------------------------------------------------------------------
+    # homogeneous event lanes (the raw-throughput regime)
+    # ------------------------------------------------------------------
+    def tick_lanes(self, lanes: int, steps: int, dt: float) -> float:
+        """Advance ``lanes`` virtual processes through ``steps``
+        sequential timeouts of ``dt`` each — the vectorized equivalent
+        of the coroutine engine's ticker benchmark.
+
+        The per-lane clock is the *sequential* float accumulation
+        ``((0 + dt) + dt) + ...`` (``np.cumsum`` accumulates left to
+        right in C), so the final clock is bit-identical to running
+        ``steps`` coroutine timeouts.  Scheduling goes through a real
+        :class:`BucketCalendar` drain so the benchmark measures batch
+        calendar throughput, not a closed-form shortcut.
+        """
+        if lanes < 1 or steps < 1:
+            raise EngineError("tick_lanes needs lanes >= 1 and steps >= 1")
+        ticks = np.cumsum(np.full(steps, float(dt)))
+        cal = BucketCalendar(width=max(float(dt) * 64.0, 1e-12))
+        for _ in range(lanes):
+            cal.schedule(ticks)
+        fired, last = cal.drain()
+        self.events += fired
+        self.env.advance_to(last)
+        return self.env.now
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def commit(self, *times) -> float:
+        """Advance the environment clock to the max of ``times``."""
+        peak = 0.0
+        for t in times:
+            arr = np.asarray(t, dtype=np.float64)
+            if arr.size:
+                peak = max(peak, float(arr.max()))
+        self.env.advance_to(peak)
+        return self.env.now
