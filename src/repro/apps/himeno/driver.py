@@ -71,7 +71,8 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
                force_block: Optional[int] = None,
                trace: bool = False, faults=None,
                metrics: bool = False,
-               engine: str = "coroutine") -> HimenoResult:
+               engine: str = "coroutine",
+               strict_engine: bool = False) -> HimenoResult:
     """Run the Himeno benchmark once and return its result.
 
     Parameters mirror the paper's setup: ``implementation`` is one of
@@ -83,8 +84,11 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
     ``engine='vectorized'`` replays the run on the mesoscale engine
     (timing-only; byte-identical results, milliseconds at 1k+ ranks).
     It refuses functional runs and falls back to the coroutine engine
-    with a warning for features it does not model (tracing, faults,
-    metrics, the hand-optimized / gpu-aware implementations).
+    with a ``RuntimeWarning`` naming the specific feature it does not
+    model (tracing, faults, metrics, the hand-optimized / gpu-aware
+    implementations, pipelined planes, odd-rank mapped layouts);
+    ``strict_engine=True`` raises :class:`~repro.sim.EngineError`
+    instead of falling back.
     """
     try:
         main = IMPLEMENTATIONS[implementation]
@@ -114,6 +118,11 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
         if force_mode == "pipelined":
             unsupported.append("force_mode='pipelined'")
         if unsupported:
+            if strict_engine:
+                raise EngineError(
+                    "engine='vectorized' does not support "
+                    f"{', '.join(unsupported)} (strict_engine=True "
+                    "forbids the coroutine fallback)")
             warnings.warn(
                 "engine='vectorized' does not support "
                 f"{', '.join(unsupported)}; falling back to the "
@@ -124,6 +133,9 @@ def run_himeno(system: SystemPreset, nodes: int, implementation: str,
                     system, nodes, implementation, config,
                     force_mode=force_mode, force_block=force_block)
             except EngineError as exc:
+                # e.g. odd-rank mapped-mode clmpi — the refusal names it
+                if strict_engine:
+                    raise
                 warnings.warn(
                     f"engine='vectorized' refused this run ({exc}); "
                     "falling back to the coroutine engine",

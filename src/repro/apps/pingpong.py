@@ -207,7 +207,8 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
                       faults=None, obs: bool = False,
                       ft: Optional[bool] = None,
                       ranks: int = 2,
-                      engine: str = "coroutine") -> BandwidthResult:
+                      engine: str = "coroutine",
+                      strict_engine: bool = False) -> BandwidthResult:
     """One Fig 8 data point.
 
     ``mode=None`` lets the runtime's automatic selector choose (§V.B);
@@ -224,6 +225,12 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
     an error record; now it completes with surviving ranks, a populated
     ``recovery`` field, and a :class:`~repro.obs.RunReport` carrying
     the ``ft.*`` recovery metrics.
+
+    When ``engine='vectorized'`` cannot model a requested feature the
+    point falls back to the coroutine engine with a ``RuntimeWarning``
+    naming the specific feature(s); ``strict_engine=True`` turns every
+    such fallback into an :class:`~repro.sim.EngineError` instead, for
+    callers that must *know* which engine produced their numbers.
     """
     if nbytes <= 0 or repeats <= 0:
         raise ConfigurationError("nbytes and repeats must be positive")
@@ -238,21 +245,48 @@ def measure_bandwidth(system: SystemPreset, nbytes: int,
             raise EngineError(
                 "engine='vectorized' is timing-only: functional "
                 "(payload-moving) runs need engine='coroutine'")
-        if faults is not None or obs or ft:
+        unsupported = []
+        if faults is not None:
+            unsupported.append("fault injection ('faults')")
+        if obs:
+            unsupported.append("observability hooks ('obs': "
+                               "tracer + metrics)")
+        if ft:
+            unsupported.append("ULFM recovery ('ft')")
+        if unsupported:
+            detail = ", ".join(unsupported)
+            if strict_engine:
+                raise EngineError(
+                    f"engine='vectorized' does not support {detail} "
+                    "(strict_engine=True forbids the coroutine "
+                    "fallback)")
             import warnings
 
             warnings.warn(
-                "engine='vectorized' does not support fault injection, "
-                "observability hooks, or ULFM recovery; falling back to "
-                "the coroutine engine for this point", RuntimeWarning,
-                stacklevel=2)
+                f"engine='vectorized' does not support {detail}; "
+                "falling back to the coroutine engine for this point",
+                RuntimeWarning, stacklevel=2)
         else:
-            seconds = _vectorized_seconds(system, nbytes, mode, block,
-                                          repeats, ranks)
-            return BandwidthResult(system=system.name, mode=mode or "auto",
-                                   block=block, nbytes=nbytes,
-                                   repeats=repeats, seconds=seconds,
-                                   ranks=ranks)
+            try:
+                seconds = _vectorized_seconds(system, nbytes, mode,
+                                              block, repeats, ranks)
+            except EngineError as exc:
+                # e.g. an odd rank count the pairwise mapped model
+                # cannot lay out — the refusal message names it
+                if strict_engine:
+                    raise
+                import warnings
+
+                warnings.warn(
+                    f"engine='vectorized' refused this point ({exc}); "
+                    "falling back to the coroutine engine",
+                    RuntimeWarning, stacklevel=2)
+            else:
+                return BandwidthResult(system=system.name,
+                                       mode=mode or "auto",
+                                       block=block, nbytes=nbytes,
+                                       repeats=repeats, seconds=seconds,
+                                       ranks=ranks)
     elif engine != "coroutine":
         from repro.sim import ENGINES, EngineError
 
@@ -317,7 +351,8 @@ def bandwidth_point(spec: dict) -> dict:
                           faults=spec.get("faults"),
                           obs=spec.get("obs", False),
                           ft=spec.get("ft"), ranks=ranks,
-                          engine=spec.get("engine", "coroutine"))
+                          engine=spec.get("engine", "coroutine"),
+                          strict_engine=spec.get("strict_engine", False))
     row = {"system": r.system, "mode": r.mode, "block": r.block,
            "nbytes": r.nbytes, "repeats": r.repeats, "seconds": r.seconds,
            "faults": r.fault_summary}

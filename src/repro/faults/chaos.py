@@ -324,7 +324,7 @@ def _artifact_key(plan: FaultPlan) -> str:
 def run_campaign(workload: str, campaign: int = 10, seed: int = 0,
                  minimize: bool = False, jobs: Optional[int] = 1,
                  cache=None, out_dir=None, verify_matching: int = 0,
-                 verify_bound: int = 1) -> dict:
+                 verify_bound: int = 1, sweep_fn=None) -> dict:
     """Run one chaos campaign; returns the JSON-able summary.
 
     ``minimize`` delta-debugs every failing case's plan to a minimal
@@ -335,13 +335,24 @@ def run_campaign(workload: str, campaign: int = 10, seed: int = 0,
     across wildcard matching orders (delay bound ``verify_bound``) and
     tallies ``order_violations`` — cases whose invariant only breaks
     under some non-default matching order.
+
+    ``sweep_fn`` swaps out how the case grid executes: it receives
+    ``(worker, specs, jobs=..., cache=..., kind="chaos")`` and must
+    return results in spec order, exactly like
+    :func:`repro.harness.parallel.sweep` (the default).  The sweep
+    service's client uses this to run campaigns as daemon jobs —
+    artifact writing stays local, so ``--campaign-out`` files are
+    byte-identical however the cases were computed.
     """
     from pathlib import Path
 
     from repro.harness.parallel import is_error_record, sweep
 
+    if sweep_fn is None:
+        sweep_fn = sweep
     specs = campaign_specs(workload, campaign, seed)
-    raw = sweep(chaos_case, specs, jobs=jobs, cache=cache, kind="chaos")
+    raw = sweep_fn(chaos_case, specs, jobs=jobs, cache=cache,
+                   kind="chaos")
     cases: list[dict] = []
     for i, (spec, out) in enumerate(zip(specs, raw)):
         if is_error_record(out):

@@ -55,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delay bound for --verify-matching (default 1)")
     c.add_argument("--json", metavar="PATH", default=None,
                    help="write the full campaign summary as JSON")
+    c.add_argument("--service", metavar="SOCKET", default=None,
+                   help="run the cases as a sweep-service job on the "
+                        "daemon at SOCKET (see docs/service.md); "
+                        "minimization and artifact writing stay local, "
+                        "so --campaign-out files are byte-identical")
     return p
 
 
@@ -93,14 +98,28 @@ def _print_summary(summary: dict) -> None:
         print(f"campaign summary -> {summary['summary_file']}")
 
 
+def _service_sweep_fn(socket_path: str):
+    """A ``sweep``-shaped callable that remotes the case grid to a
+    running sweep-service daemon (the dedup/cache happens there)."""
+    from repro.harness.service import ServiceClient
+
+    client = ServiceClient(socket_path)
+
+    def sweep_fn(worker, specs, jobs=None, cache=None, kind="chaos"):
+        return client.sweep(kind, specs)
+
+    return sweep_fn
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     cache = None if args.no_cache else ResultCache()
+    sweep_fn = _service_sweep_fn(args.service) if args.service else None
     summary = run_campaign(
         args.workload, campaign=args.campaign, seed=args.seed,
         minimize=args.minimize, jobs=args.jobs, cache=cache,
         out_dir=args.campaign_out, verify_matching=args.verify_matching,
-        verify_bound=args.verify_bound)
+        verify_bound=args.verify_bound, sweep_fn=sweep_fn)
     _print_summary(summary)
     if args.json:
         with open(args.json, "w") as fh:

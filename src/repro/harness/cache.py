@@ -14,12 +14,24 @@ again and the files become dead weight that ``clear()`` can drop.
 Layout::
 
     .repro_cache/
-        stats.json            # persistent {"hits", "misses", "corrupt_deleted"}
+        stats.json            # persistent {"hits", "misses", ...}
         <kind>/<hash>.json    # {"spec": ..., "result": ...}
 
-Cache reads and writes happen only in the parent process of a sweep
-(see :mod:`repro.harness.parallel`), never in pool workers, so no file
-locking is needed.
+Two access regimes share this module:
+
+* :class:`ResultCache` — the classic single-writer cache.  Reads and
+  writes happen only in the parent process of a sweep (see
+  :mod:`repro.harness.parallel`), never in pool workers.
+* :class:`SharedStore` — the sweep *service*'s store (see
+  :mod:`repro.harness.service`): sharded directories
+  (``<kind>/<hh>/<hash>.json``), per-entry advisory locking, and LRU
+  eviction under a byte budget, safe for many concurrent writer
+  processes.
+
+Either way writes are atomic (unique temp file + rename-into-place), so
+a reader can never observe a torn entry, and two writers racing on the
+same content address both land a complete — and, because entries are
+content-addressed, byte-identical — file.
 """
 
 from __future__ import annotations
@@ -27,13 +39,23 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Optional
 
-__all__ = ["ResultCache", "code_version", "default_cache_dir"]
+try:  # advisory file locking (POSIX); SharedStore degrades without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["ResultCache", "SharedStore", "code_version",
+           "default_cache_dir"]
 
 #: cached digest of the repro sources (computed once per process)
 _CODE_VERSION: Optional[str] = None
+
+#: sentinel: a corrupt entry was deleted, the read stays a miss
+_MISS = object()
 
 
 def default_cache_dir() -> Path:
@@ -81,8 +103,9 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version = version if version is not None else code_version()
         #: per-instance metrics (``cache.hits`` / ``cache.misses`` /
-        #: ``cache.corrupt_deleted``) — the source of truth for the
-        #: :attr:`hits` / :attr:`misses` views and ``--cache-stats``
+        #: ``cache.corrupt_deleted`` / ``cache.corrupt_replaced``) — the
+        #: source of truth for the :attr:`hits` / :attr:`misses` views
+        #: and ``--cache-stats``
         self.metrics = MetricsRegistry()
 
     @property
@@ -100,6 +123,11 @@ class ResultCache:
         """Unparseable entries this instance deleted on read."""
         return self.metrics.counters.get("cache.corrupt_deleted", 0)
 
+    @property
+    def corrupt_replaced(self) -> int:
+        """Corrupt reads healed by a concurrent writer's fresh entry."""
+        return self.metrics.counters.get("cache.corrupt_replaced", 0)
+
     # -- keys ---------------------------------------------------------------
     def key(self, kind: str, spec: dict) -> str:
         """Stable content hash of one sweep point."""
@@ -115,12 +143,17 @@ class ResultCache:
         """The cached result for ``spec``, or None (counts hit/miss).
 
         A file that exists but cannot be parsed — truncated by a crash
-        or power loss, bit-rotted, hand-edited — is deleted and treated
+        or power loss, bit-rotted, hand-edited — is removed and treated
         as a plain miss, so the point is recomputed and the bad entry
-        can never poison a figure.
+        can never poison a figure.  Removal is *atomic with respect to
+        concurrent writers*: if another process rewrote the entry
+        between our read and our delete, the fresh entry survives and
+        its result is returned (counted as ``corrupt_replaced`` instead
+        of ``corrupt_deleted``).
         """
         path = self._path(kind, spec)
         try:
+            stamp = os.stat(path)
             text = path.read_text()
         except OSError:
             self.metrics.inc("cache.misses")
@@ -130,24 +163,74 @@ class ResultCache:
             entry = json.loads(text)
             result = entry["result"]
         except (ValueError, KeyError, TypeError):
-            try:
-                path.unlink()
-            except OSError:  # pragma: no cover - racing deletion
-                pass
-            self.metrics.inc("cache.corrupt_deleted")
-            self.metrics.inc("cache.misses")
-            self._bump_stats(hit=False, corrupt=True)
-            return None
+            result = self._recover_corrupt(path, stamp)
+            if result is _MISS:
+                self.metrics.inc("cache.corrupt_deleted")
+                self.metrics.inc("cache.misses")
+                self._bump_stats(hit=False, corrupt=True)
+                return None
+            self.metrics.inc("cache.corrupt_replaced")
+            self.metrics.inc("cache.hits")
+            self._bump_stats(hit=True, replaced=True)
+            return result
         self.metrics.inc("cache.hits")
         self._bump_stats(hit=True)
         return result
 
+    def _recover_corrupt(self, path: Path, stamp: os.stat_result):
+        """Delete the corrupt entry at ``path`` — and only *that* entry.
+
+        A bare ``unlink`` races with a concurrent writer recreating the
+        entry: the writer's complete file could land between our failed
+        parse and our delete, and the unlink would destroy good data.
+        Instead the entry is atomically renamed into a private
+        quarantine name, then identified by inode: if quarantine caught
+        the same file we read, it is dropped; if it caught a *newer*
+        file (a writer won the race), that file is atomically restored —
+        entries are content-addressed, so any concurrent write holds the
+        identical payload — and its result is returned.  Returns the
+        recovered result, or :data:`_MISS` when the corrupt entry was
+        simply deleted.
+        """
+        quarantine = path.with_name(
+            f".{path.name}.{os.getpid()}.quarantine")
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            return _MISS  # already gone: racing delete, nothing to do
+        try:
+            caught = os.stat(quarantine)
+        except OSError:  # pragma: no cover - quarantine vanished
+            return _MISS
+        if (caught.st_ino, caught.st_mtime_ns) == \
+                (stamp.st_ino, stamp.st_mtime_ns):
+            try:
+                os.unlink(quarantine)
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+            return _MISS
+        # The quarantine swept up a *fresh* entry written after our
+        # read.  Put it back (atomic; any entry at this address is
+        # byte-identical) and serve it.
+        try:
+            os.replace(quarantine, path)
+            entry = json.loads(path.read_text())
+            return entry["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            # pathological: the fresh entry is unreadable too
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return _MISS
+
     def put(self, kind: str, spec: dict, result: Any) -> None:
         """Store ``result``; atomic so an interrupted run never leaves a
-        truncated entry behind."""
+        truncated entry behind, and unique-per-process temp names keep
+        concurrent writers off each other's feet."""
         path = self._path(kind, spec)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(_canonical({"spec": spec, "result": result}))
         tmp.replace(path)
 
@@ -158,8 +241,12 @@ class ResultCache:
             for path in self.root.rglob("*.json"):
                 path.unlink()
                 removed += 1
-            for sub in sorted(self.root.iterdir()):
-                if sub.is_dir() and not any(sub.iterdir()):
+            for path in self.root.rglob("*.lock"):
+                path.unlink()
+            # bottom-up so shard dirs empty out before their parents
+            for sub in sorted((p for p in self.root.rglob("*")
+                               if p.is_dir()), reverse=True):
+                if not any(sub.iterdir()):
                     sub.rmdir()
         self.metrics.counters.clear()
         return removed
@@ -169,14 +256,20 @@ class ResultCache:
     def _stats_path(self) -> Path:
         return self.root / "stats.json"
 
-    def _bump_stats(self, hit: bool, corrupt: bool = False) -> None:
+    def _bump_stats(self, hit: bool, corrupt: bool = False,
+                    replaced: bool = False, evicted: int = 0) -> None:
         stats = self.read_stats()
         stats["hits" if hit else "misses"] += 1
         if corrupt:
             stats["corrupt_deleted"] += 1
+        if replaced:
+            stats["corrupt_replaced"] += 1
+        if evicted:
+            stats["evicted"] += evicted
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = self._stats_path.with_suffix(".tmp")
+            tmp = self._stats_path.with_name(
+                f".stats.json.{os.getpid()}.tmp")
             tmp.write_text(_canonical(stats))
             tmp.replace(self._stats_path)
         except OSError:  # stats are best-effort; never fail a sweep
@@ -188,9 +281,13 @@ class ResultCache:
             stats = json.loads(self._stats_path.read_text())
             return {"hits": int(stats["hits"]),
                     "misses": int(stats["misses"]),
-                    "corrupt_deleted": int(stats.get("corrupt_deleted", 0))}
+                    "corrupt_deleted": int(stats.get("corrupt_deleted", 0)),
+                    "corrupt_replaced": int(
+                        stats.get("corrupt_replaced", 0)),
+                    "evicted": int(stats.get("evicted", 0))}
         except (OSError, ValueError, KeyError, TypeError):
-            return {"hits": 0, "misses": 0, "corrupt_deleted": 0}
+            return {"hits": 0, "misses": 0, "corrupt_deleted": 0,
+                    "corrupt_replaced": 0, "evicted": 0}
 
     def entry_count(self) -> int:
         """Number of stored results."""
@@ -221,3 +318,141 @@ class ResultCache:
                 if isinstance(spec, dict) else "coroutine"
             counts[engine] = counts.get(engine, 0) + 1
         return counts
+
+
+class SharedStore(ResultCache):
+    """Concurrent-writer result store backing the sweep service.
+
+    Differences from the plain :class:`ResultCache`:
+
+    * **Sharded layout** — entries live at ``<kind>/<hh>/<hash>.json``
+      (first two hex digits of the content address), so a store holding
+      millions of entries never puts them all in one directory.
+    * **Advisory locking** — each write holds an exclusive ``flock`` on
+      the entry's ``.lock`` sibling; eviction probes the same lock
+      non-blockingly and *never* removes an entry that is mid-write.
+    * **LRU eviction** — ``max_bytes`` caps the store; hits refresh an
+      entry's mtime (its recency), and :meth:`evict` drops the
+      least-recently-used entries until the store fits.  Eviction runs
+      automatically every ``evict_every`` writes.
+
+    Reads inherit the corrupt-entry recovery of the base class, which
+    is already concurrent-writer safe.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 version: Optional[str] = None,
+                 max_bytes: Optional[int] = None,
+                 evict_every: int = 64):
+        super().__init__(root=root, version=version)
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if evict_every < 1:
+            raise ValueError(
+                f"evict_every must be >= 1, got {evict_every}")
+        self.max_bytes = max_bytes
+        self.evict_every = evict_every
+        self._writes = 0
+
+    def _path(self, kind: str, spec: dict) -> Path:
+        key = self.key(kind, spec)
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _lock_path(path: Path) -> Path:
+        return path.with_suffix(".lock")
+
+    @contextmanager
+    def _locked(self, path: Path, blocking: bool = True):
+        """Exclusive advisory lock on ``path``'s entry; yields False if
+        the lock could not be taken (non-blocking mode) or locking is
+        unavailable on this platform."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield True
+            return
+        lock = self._lock_path(path)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(lock, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+            try:
+                fcntl.flock(fd, flags)
+            except OSError:
+                yield False
+                return
+            yield True
+        finally:
+            os.close(fd)  # closing drops the lock
+
+    def put(self, kind: str, spec: dict, result: Any) -> None:
+        path = self._path(kind, spec)
+        with self._locked(path):
+            super().put(kind, spec, result)
+        self._writes += 1
+        if self.max_bytes is not None \
+                and self._writes % self.evict_every == 0:
+            self.evict()
+
+    def get(self, kind: str, spec: dict) -> Optional[Any]:
+        result = super().get(kind, spec)
+        if result is not None:
+            try:  # refresh recency for LRU eviction; best-effort
+                os.utime(self._path(kind, spec))
+            except OSError:
+                pass
+        return result
+
+    def evict(self, max_bytes: Optional[int] = None) -> int:
+        """Drop least-recently-used entries until the store fits the
+        byte budget; returns the number of entries removed.
+
+        An entry whose advisory lock is held (a writer is mid-write) is
+        skipped unconditionally, as is anything that disappears while
+        we look at it — eviction only ever removes entries nobody is
+        touching.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None or not self.root.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for path in self.root.rglob("*.json"):
+            if path.name == "stats.json":
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime_ns, st.st_size, path))
+            total += st.st_size
+        if total <= budget:
+            return 0
+        removed = 0
+        for _, size, path in sorted(entries, key=lambda e: e[0]):
+            if total <= budget:
+                break
+            with self._locked(path, blocking=False) as held:
+                if not held:
+                    continue  # mid-write: never evict under a writer
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                removed += 1
+                total -= size
+            try:
+                self._lock_path(path).unlink()
+            except OSError:
+                pass
+        if removed:
+            self.metrics.inc("cache.evicted", removed)
+            stats_only = self.read_stats()
+            stats_only["evicted"] += removed
+            try:
+                tmp = self._stats_path.with_name(
+                    f".stats.json.{os.getpid()}.tmp")
+                tmp.write_text(_canonical(stats_only))
+                tmp.replace(self._stats_path)
+            except OSError:
+                pass
+        return removed

@@ -44,7 +44,8 @@ def himeno_point(spec: dict) -> dict:
                      functional=spec.get("functional", False),
                      faults=spec.get("faults"),
                      trace=obs, metrics=obs,
-                     engine=spec.get("engine", "coroutine"))
+                     engine=spec.get("engine", "coroutine"),
+                     strict_engine=spec.get("strict_engine", False))
     row = {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio}
     if obs:
         from repro.obs import build_report

@@ -24,14 +24,19 @@ repaired run recomputes exactly the failed points.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from repro.harness.cache import ResultCache
 
-__all__ = ["resolve_jobs", "sweep", "is_error_record", "error_record"]
+__all__ = ["resolve_jobs", "sweep", "is_error_record", "error_record",
+           "PointTimeout", "WorkerDied", "RetryPolicy", "run_reaped",
+           "compute_with_retry"]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -141,3 +146,154 @@ def _run_isolated(worker: Callable[[dict], Any], spec: dict) -> Any:
             "the interpreter) while computing this point")
     except Exception as exc:
         return error_record(spec, exc)
+
+
+# ---------------------------------------------------------------------------
+# reapable single-point execution (the sweep service's unit of work)
+# ---------------------------------------------------------------------------
+class PointTimeout(Exception):
+    """A sweep point overran its wall-clock budget and was reaped."""
+
+
+class WorkerDied(Exception):
+    """The point's worker process exited without producing a result
+    (killed from outside, or it crashed the interpreter)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff knobs for one point's execution.
+
+    ``timeout_s=None`` disables reaping (a point may run forever);
+    ``retries`` counts *additional* attempts after the first, taken only
+    for infrastructure failures (timeout, killed worker) — a worker that
+    raises an ordinary exception fails deterministically and is never
+    retried.  The delay before attempt *k* (0-based retry index) is
+    ``min(backoff_cap_s, backoff_s * 2**k)``.
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 2
+    backoff_s: float = 0.1
+    backoff_cap_s: float = 5.0
+
+    def __post_init__(self):
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff_s and backoff_cap_s must be >= 0")
+
+    def delay(self, retry_index: int) -> float:
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** retry_index))
+
+
+def _point_child(worker: Callable[[dict], Any], spec: dict, conn) -> None:
+    """Child-process body: compute one point, ship the outcome back."""
+    # Local alias: this is a multiprocessing pipe, not a simulation
+    # coroutine — the alias also keeps the self-lint (CLM001) focused on
+    # real sim-API misuse.
+    ship = conn.send
+    try:
+        try:
+            ship(("ok", worker(spec)))
+        except Exception as exc:
+            ship(("error", error_record(spec, exc)))
+    finally:
+        conn.close()
+
+
+def run_reaped(worker: Callable[[dict], Any], spec: dict,
+               timeout_s: Optional[float] = None) -> Any:
+    """One point in a fresh process with a hard wall-clock deadline.
+
+    Returns the worker's result (or its error record, if it raised).
+    A point still running at the deadline is SIGKILLed and raises
+    :class:`PointTimeout`; a worker that dies without reporting (killed
+    from outside, interpreter crash) raises :class:`WorkerDied`.  Either
+    way the stuck/poisoned process is reaped — a hung worker can never
+    hang the caller.
+    """
+    ctx = multiprocessing.get_context()
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_point_child, args=(worker, spec, child),
+                       daemon=True)
+    proc.start()
+    child.close()
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    try:
+        while True:
+            if parent.poll(0.02):
+                try:
+                    status, payload = parent.recv()
+                except (EOFError, OSError) as exc:
+                    proc.join()
+                    raise WorkerDied(
+                        f"worker exited (code {proc.exitcode}) without "
+                        "a result") from exc
+                proc.join()
+                return payload
+            if not proc.is_alive():
+                # drain the race window between poll() and is_alive()
+                if parent.poll(0):
+                    try:
+                        status, payload = parent.recv()
+                        proc.join()
+                        return payload
+                    except (EOFError, OSError):
+                        pass
+                proc.join()
+                raise WorkerDied(
+                    f"worker exited (code {proc.exitcode}) without "
+                    "a result")
+            if deadline is not None and time.monotonic() >= deadline:
+                proc.kill()
+                proc.join()
+                raise PointTimeout(
+                    f"point exceeded its {timeout_s}s budget and was "
+                    "reaped")
+    finally:
+        parent.close()
+        if proc.is_alive():  # pragma: no cover - belt and braces
+            proc.kill()
+            proc.join()
+
+
+def compute_with_retry(worker: Callable[[dict], Any], spec: dict,
+                       policy: RetryPolicy,
+                       sleep: Callable[[float], None] = time.sleep
+                       ) -> tuple[Any, dict]:
+    """Run one point under ``policy``; returns ``(result, meta)``.
+
+    ``meta`` records ``attempts`` (total launches) and ``failures``
+    (the infrastructure failures that forced each retry: ``"timeout"``
+    or ``"died"``).  After the retry budget is spent the point comes
+    back as an error record — never an exception, and never a hang:
+    this is the graceful-degradation contract the sweep service builds
+    on.  Deterministic worker errors (error records) return on the
+    first attempt, unretried.
+    """
+    failures: list[str] = []
+    for attempt in range(policy.retries + 1):
+        try:
+            result = run_reaped(worker, spec, policy.timeout_s)
+        except PointTimeout:
+            failures.append("timeout")
+        except WorkerDied:
+            failures.append("died")
+        else:
+            return result, {"attempts": attempt + 1, "failures": failures}
+        if attempt < policy.retries:
+            delay = policy.delay(attempt)
+            if delay > 0:
+                sleep(delay)
+    kinds = ", ".join(failures)
+    record = error_record(
+        spec, PointTimeout(kinds),
+        f"point failed {len(failures)} attempt(s) ({kinds}) and "
+        "exhausted its retry budget")
+    record["sweep_error"]["type"] = \
+        "PointTimeout" if failures[-1] == "timeout" else "WorkerDied"
+    return record, {"attempts": policy.retries + 1, "failures": failures}

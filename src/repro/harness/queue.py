@@ -1,0 +1,248 @@
+"""Durable job queue for the sweep service.
+
+A *job* is one sweep: a worker (named by dotted path, resolvable in any
+process), a list of JSON-able spec dicts, and per-job execution options
+(timeout/retry/backoff, measurement repetitions).  The queue records
+every state transition in an append-only JSONL journal, so a daemon
+killed at any instant — ``kill -9`` included — rebuilds its exact state
+by replaying the file:
+
+* ``{"event": "submit", "job": ..., "kind": ..., "worker": ...,
+  "specs": [...], "options": {...}}``
+* ``{"event": "point", "job": ..., "index": i, "status": "done" |
+  "error", "result": ..., "attempts": n}``
+* ``{"event": "done", "job": ...}``
+
+Completed points carry their full result inline, so a resumed job
+re-delivers byte-identical rows even if the shared store has since
+evicted the entry.  Appends are flushed and fsynced line-by-line; a
+torn final line (the write the crash interrupted) is detected and
+ignored on replay, losing at most the single transition it described —
+which the resumed daemon simply recomputes.
+
+The queue is process-local (one daemon owns one journal) but
+thread-safe: the service's dispatcher, executor threads, and client
+handlers all mutate it under one lock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+__all__ = ["Job", "JobQueue", "JOURNAL_NAME"]
+
+JOURNAL_NAME = "journal.jsonl"
+
+#: point states, in lifecycle order
+_PENDING, _RUNNING, _DONE, _ERROR = "pending", "running", "done", "error"
+
+
+@dataclass
+class Job:
+    """One submitted sweep and its per-point progress."""
+
+    job_id: str
+    kind: str
+    worker: str
+    specs: list[dict]
+    options: dict = field(default_factory=dict)
+    status: str = "queued"          # queued | running | done
+    point_status: list[str] = field(default_factory=list)
+    results: list[Any] = field(default_factory=list)
+    attempts: list[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        n = len(self.specs)
+        if not self.point_status:
+            self.point_status = [_PENDING] * n
+        if not self.results:
+            self.results = [None] * n
+        if not self.attempts:
+            self.attempts = [0] * n
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for s in self.point_status if s in (_DONE, _ERROR))
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for s in self.point_status if s == _ERROR)
+
+    @property
+    def finished(self) -> bool:
+        return self.completed == self.total
+
+    def pending_indices(self) -> list[int]:
+        return [i for i, s in enumerate(self.point_status)
+                if s == _PENDING]
+
+    def describe(self) -> dict:
+        """JSON-able status snapshot (what clients poll)."""
+        return {"job": self.job_id, "kind": self.kind,
+                "status": self.status, "total": self.total,
+                "completed": self.completed, "errors": self.errors,
+                "retried_points": sum(1 for a in self.attempts if a > 1),
+                "options": dict(self.options)}
+
+
+class JobQueue:
+    """Journaled, crash-resumable queue of sweep jobs (see module doc).
+
+    ``on_event(kind, payload)`` — when set — fires after every recorded
+    transition (``"submit"``, ``"point"``, ``"done"``); the service uses
+    it to stream progress to watching clients.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.root / JOURNAL_NAME
+        self.jobs: dict[str, Job] = {}
+        self._order: list[str] = []          # submission order
+        self._lock = threading.RLock()
+        self._seq = 0
+        self.on_event: Optional[Callable[[str, dict], None]] = None
+        #: journal lines dropped on replay (torn tail, corruption)
+        self.recovered_drops = 0
+        self._replay()
+
+    # -- journal ------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with open(self.journal_path, "a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _replay(self) -> None:
+        """Rebuild queue state from the journal (daemon restart path)."""
+        if not self.journal_path.exists():
+            return
+        with open(self.journal_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    self._apply(record)
+                except (ValueError, KeyError, IndexError, TypeError):
+                    # a torn tail line (the crash-interrupted write) or
+                    # hand-damage: drop it — at worst one transition is
+                    # recomputed
+                    self.recovered_drops += 1
+        # points that were mid-flight when the daemon died have no
+        # completion record: they are simply pending again
+        for job in self.jobs.values():
+            for i, s in enumerate(job.point_status):
+                if s == _RUNNING:
+                    job.point_status[i] = _PENDING
+            if not job.finished and job.status == "done":
+                job.status = "queued"  # journal said done prematurely
+
+    def _apply(self, record: dict) -> None:
+        event = record["event"]
+        if event == "submit":
+            job = Job(job_id=record["job"], kind=record["kind"],
+                      worker=record["worker"],
+                      specs=list(record["specs"]),
+                      options=dict(record.get("options") or {}))
+            self.jobs[job.job_id] = job
+            self._order.append(job.job_id)
+            num = job.job_id.rsplit("-", 1)[-1]
+            if num.isdigit():
+                self._seq = max(self._seq, int(num))
+        elif event == "point":
+            job = self.jobs[record["job"]]
+            i = record["index"]
+            job.point_status[i] = record["status"]
+            job.results[i] = record.get("result")
+            job.attempts[i] = int(record.get("attempts", 1))
+        elif event == "done":
+            self.jobs[record["job"]].status = "done"
+
+    # -- mutation (all journaled) -------------------------------------------
+    def submit(self, kind: str, worker: str, specs: list[dict],
+               options: Optional[dict] = None) -> Job:
+        """Enqueue a sweep; returns the durable :class:`Job`."""
+        if not specs:
+            raise ValueError("a job needs at least one spec")
+        with self._lock:
+            self._seq += 1
+            job = Job(job_id=f"job-{self._seq:06d}", kind=kind,
+                      worker=worker, specs=[dict(s) for s in specs],
+                      options=dict(options or {}))
+            self._append({"event": "submit", "job": job.job_id,
+                          "kind": kind, "worker": worker,
+                          "specs": job.specs, "options": job.options})
+            self.jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        self._emit("submit", job.describe())
+        return job
+
+    def claim(self, job_id: str, index: int) -> None:
+        """Mark one point in-flight (not journaled: a crash while
+        running leaves the point pending on replay, exactly right)."""
+        with self._lock:
+            job = self.jobs[job_id]
+            job.point_status[index] = _RUNNING
+            if job.status == "queued":
+                job.status = "running"
+
+    def record_point(self, job_id: str, index: int, result: Any,
+                     error: bool, attempts: int) -> None:
+        """Journal one point's completion (result inline)."""
+        status = _ERROR if error else _DONE
+        with self._lock:
+            self._append({"event": "point", "job": job_id,
+                          "index": index, "status": status,
+                          "result": result, "attempts": attempts})
+            job = self.jobs[job_id]
+            job.point_status[index] = status
+            job.results[index] = result
+            job.attempts[index] = attempts
+            finished = job.finished
+            if finished and job.status != "done":
+                self._append({"event": "done", "job": job_id})
+                job.status = "done"
+        self._emit("point", {"job": job_id, "index": index,
+                             "status": status, "attempts": attempts})
+        if finished:
+            self._emit("done", self.jobs[job_id].describe())
+
+    # -- views --------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self.jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list_jobs(self) -> list[dict]:
+        with self._lock:
+            return [self.jobs[j].describe() for j in self._order]
+
+    def open_jobs(self) -> list[Job]:
+        """Jobs with uncomputed points, in submission order — the
+        dispatcher's work list (and the resume set after a restart)."""
+        with self._lock:
+            return [self.jobs[j] for j in self._order
+                    if not self.jobs[j].finished]
+
+    def _emit(self, kind: str, payload: dict) -> None:
+        hook = self.on_event
+        if hook is not None:
+            try:
+                hook(kind, payload)
+            except Exception:  # listeners must never break the queue
+                pass

@@ -115,6 +115,67 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("all", parents=[common],
                    help="run every experiment at default settings")
+
+    # -- sweep service (docs/service.md) ------------------------------------
+    sv = sub.add_parser("serve",
+                        help="run the persistent sweep-service daemon "
+                             "(journaled queue, shared store, reaped "
+                             "workers — see docs/service.md)")
+    sv.add_argument("--root", default=".repro_service",
+                    help="service state dir (journal + shared store); "
+                         "default .repro_service")
+    sv.add_argument("--socket", default=None,
+                    help="unix socket path (default ROOT/service.sock)")
+    sv.add_argument("--port", type=int, default=None,
+                    help="also listen on 127.0.0.1:PORT (minimal HTTP "
+                         "and JSON-lines; 0 = pick a free port)")
+    sv.add_argument("-j", "--jobs", type=int, default=2,
+                    help="concurrent point-worker slots (default 2)")
+    sv.add_argument("--point-timeout", type=float, default=300.0,
+                    metavar="SECONDS",
+                    help="wall-clock budget per point attempt before the "
+                         "worker is reaped (default 300; 0 = no limit)")
+    sv.add_argument("--retries", type=int, default=2,
+                    help="extra attempts after a timeout/killed worker "
+                         "(default 2)")
+    sv.add_argument("--backoff", type=float, default=0.1,
+                    metavar="SECONDS",
+                    help="initial retry backoff, doubling per retry "
+                         "(default 0.1)")
+    sv.add_argument("--store-budget", type=int, default=None,
+                    metavar="BYTES",
+                    help="LRU-evict the shared store beyond this size "
+                         "(default: unbounded)")
+
+    sm = sub.add_parser("submit",
+                        help="submit a sweep to a running service daemon")
+    sm.add_argument("kind", help="job kind (bandwidth, himeno, "
+                                 "nanopowder, chaos) or any kind with "
+                                 "--worker")
+    sm.add_argument("--socket", required=True,
+                    help="the daemon's unix socket")
+    sm.add_argument("--specs", required=True, metavar="PATH",
+                    help="JSON file holding the list of spec dicts")
+    sm.add_argument("--worker", default=None, metavar="MOD:FN",
+                    help="explicit worker dotted path (overrides the "
+                         "kind's built-in worker)")
+    sm.add_argument("--reps", type=int, default=None, metavar="MAX",
+                    help="adaptive repetitions per point, up to MAX "
+                         "(Hunold & Carpen-Amarie; results/report gain "
+                         "stats.* fields)")
+    sm.add_argument("--timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-point timeout override for this job")
+    sm.add_argument("--wait", action="store_true",
+                    help="block until the job finishes and print its "
+                         "results as JSON")
+
+    st = sub.add_parser("status",
+                        help="show a service daemon's jobs (or one job)")
+    st.add_argument("--socket", required=True,
+                    help="the daemon's unix socket")
+    st.add_argument("job", nargs="?", default=None,
+                    help="job id (default: list all jobs + stats)")
     return p
 
 
@@ -125,7 +186,9 @@ def _print_cache_stats() -> None:
     print(f"entries:   {cache.entry_count()}")
     print(f"hits:      {stats['hits']}")
     print(f"misses:    {stats['misses']}")
-    print(f"corrupt:   {stats['corrupt_deleted']} (deleted on read)")
+    print(f"corrupt:   {stats['corrupt_deleted']} (deleted on read), "
+          f"{stats['corrupt_replaced']} (healed by a concurrent writer)")
+    print(f"evicted:   {stats['evicted']} (LRU, shared-store budget)")
     breakdown = cache.engine_breakdown()
     if breakdown:
         per = ", ".join(f"{eng}: {n}"
@@ -156,6 +219,63 @@ def _write_json(table, path: Optional[str]) -> None:
         print(f"JSON written to {path}")
 
 
+def _service_main(args) -> int:
+    """The serve/submit/status subcommands (see docs/service.md)."""
+    import json
+
+    from repro.harness.service import ServiceClient, serve
+
+    if args.experiment == "serve":
+        timeout = args.point_timeout if args.point_timeout > 0 else None
+        service = serve(args.root, socket_path=args.socket,
+                        tcp_port=args.port, jobs=args.jobs,
+                        point_timeout_s=timeout, retries=args.retries,
+                        backoff_s=args.backoff,
+                        store_budget_bytes=args.store_budget)
+        service.run_forever()
+        return 0
+
+    client = ServiceClient(args.socket)
+    if args.experiment == "submit":
+        with open(args.specs) as fh:
+            specs = json.load(fh)
+        if not isinstance(specs, list):
+            raise SystemExit(f"{args.specs} must hold a JSON list of "
+                             "spec objects")
+        options: dict = {}
+        if args.worker:
+            options["worker"] = args.worker
+        if args.reps is not None:
+            options["measure"] = {"max_reps": args.reps}
+        if args.timeout is not None:
+            options["timeout_s"] = args.timeout
+        job = client.submit(args.kind, specs, options)
+        print(f"submitted {job['job']}: {job['total']} point(s)")
+        if args.wait:
+            outcome = client.wait(job["job"])
+            print(json.dumps(outcome["results"], sort_keys=True,
+                             indent=2))
+            return 1 if outcome["errors"] else 0
+        return 0
+
+    # status
+    if args.job:
+        job = client.status(args.job)
+        print(json.dumps(job, sort_keys=True, indent=2))
+        return 0
+    for job in client.jobs():
+        print(f"{job['job']}  {job['status']:8s} "
+              f"{job['completed']}/{job['total']} done, "
+              f"{job['errors']} error(s), "
+              f"{job['retried_points']} retried")
+    stats = client.stats()
+    print(f"workers: {stats['workers']}, inflight: "
+          f"{stats['inflight_points']}, deduped: "
+          f"{stats['deduped_points']}, store entries: "
+          f"{stats['store']['entries']}")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # ``--cache-stats`` works standalone (no experiment required), so it
@@ -164,6 +284,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         _print_cache_stats()
         return 0
     args = build_parser().parse_args(argv)
+    if args.experiment in ("serve", "submit", "status"):
+        return _service_main(args)
     jobs = getattr(args, "jobs", 1)
     cache = None if getattr(args, "no_cache", False) else ResultCache()
     json_path = getattr(args, "json", None)

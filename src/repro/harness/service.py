@@ -1,0 +1,781 @@
+"""The sweep service: a persistent, fault-tolerant harness daemon.
+
+``python -m repro.harness serve --socket /tmp/clmpi.sock`` turns the
+sweep machinery (content-addressed cache, process-pool fan-out,
+crash-proof error records) into a long-running *service*:
+
+* **Durable job queue** — submissions and completions are journaled
+  (:mod:`repro.harness.queue`); a daemon killed mid-sweep — ``kill -9``
+  included — resumes its queue on restart and re-delivers results
+  byte-identical to a serial :func:`repro.harness.parallel.sweep`.
+* **Shared result store** — a :class:`~repro.harness.cache.SharedStore`
+  (sharded dirs, atomic rename-into-place, advisory locking, LRU
+  eviction under a byte budget) that many daemons and CLI runs can
+  read and write concurrently.
+* **Stuck-worker reaping** — every point runs in its own reapable
+  process under a wall-clock budget with exponential-backoff retries
+  (:func:`repro.harness.parallel.compute_with_retry`); a hung worker
+  becomes a completed (retried) point or an error record, never a hung
+  client, and a poisoned worker can only ever take its own point down.
+* **In-flight deduplication** — identical points submitted by
+  different jobs (same content address and measurement policy) compute
+  once and deliver everywhere.
+* **Statistically sound measurement** — a job may request adaptive
+  repetitions (:mod:`repro.harness.stats`); the point's result and its
+  RunReport then carry ``stats`` (repetitions, confidence interval,
+  run-to-run variance) per Hunold & Carpen-Amarie.  Single-repetition
+  jobs never touch the stats machinery.
+
+Clients speak newline-delimited JSON over a unix socket (every request
+is one object with an ``"op"``; ``watch`` streams one event object per
+line), or minimal HTTP (``POST /jobs``, ``GET /jobs``, ``GET
+/jobs/<id>``, ``GET /jobs/<id>/result``) on the same socket — the
+server sniffs the first bytes.  See ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from multiprocessing import util as mp_util
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.harness.cache import SharedStore
+from repro.harness.parallel import (
+    RetryPolicy,
+    compute_with_retry,
+    is_error_record,
+)
+from repro.harness.queue import JobQueue
+from repro.harness.stats import (
+    MeasurePolicy,
+    should_stop,
+    summarize_samples,
+)
+
+__all__ = ["WORKERS", "SweepService", "ServiceClient", "resolve_worker",
+           "serve"]
+
+#: job kinds the service accepts out of the box → worker dotted paths.
+#: A job may instead name any importable ``module:function`` worker
+#: explicitly via its ``options["worker"]``.
+WORKERS: dict[str, str] = {
+    "bandwidth": "repro.apps.pingpong:bandwidth_point",
+    "himeno": "repro.harness.fig9:himeno_point",
+    "nanopowder": "repro.harness.fig10:nanopowder_point",
+    "chaos": "repro.faults.chaos:chaos_case",
+}
+
+
+def resolve_worker(path: str) -> Callable[[dict], Any]:
+    """Import a ``module:function`` worker reference."""
+    module, sep, name = path.partition(":")
+    if not sep or not module or not name:
+        raise ValueError(
+            f"worker must be 'module:function', got {path!r}")
+    fn = getattr(importlib.import_module(module), name, None)
+    if not callable(fn):
+        raise ValueError(f"worker {path!r} is not a callable")
+    return fn
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _rep_spec(spec: dict, rep: int) -> dict:
+    """The spec for repetition ``rep`` of a measured point.
+
+    Repetition 0 *is* the bare spec (same content address as any plain
+    sweep, so single runs and measured runs share cache entries).
+    Later repetitions carry a ``"rep"`` salt — and, when the spec
+    injects faults, a shifted fault seed, so the repetitions sample
+    genuinely different fault histories and the variance is real.
+    """
+    if rep == 0:
+        return spec
+    salted = dict(spec)
+    salted["rep"] = rep
+    faults = salted.get("faults")
+    if isinstance(faults, dict) and "seed" in faults:
+        faults = dict(faults)
+        faults["seed"] = int(faults.get("seed") or 0) + rep
+        salted["faults"] = faults
+    return salted
+
+
+class SweepService:
+    """The daemon: queue + store + reapable executor (see module doc).
+
+    Usable fully in-process (tests, embedding): ``start()`` spins up
+    the dispatcher and — when a socket path or TCP port was given — the
+    listener threads; ``submit()``/``wait()`` work with or without any
+    socket.
+    """
+
+    def __init__(self, root: Path | str,
+                 socket_path: Optional[str] = None,
+                 tcp_port: Optional[int] = None,
+                 jobs: int = 2,
+                 point_timeout_s: Optional[float] = 300.0,
+                 retries: int = 2,
+                 backoff_s: float = 0.1,
+                 store_budget_bytes: Optional[int] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.queue = JobQueue(self.root)
+        self.store = SharedStore(self.root / "store",
+                                 max_bytes=store_budget_bytes)
+        self.socket_path = socket_path
+        self.tcp_port = tcp_port
+        self.jobs = max(1, int(jobs))
+        self.default_policy = RetryPolicy(
+            timeout_s=point_timeout_s, retries=retries,
+            backoff_s=backoff_s)
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._lock = threading.Lock()
+        self._slots = threading.Semaphore(self.jobs)
+        #: dedup key -> list of (job_id, index) awaiting that result
+        self._inflight: dict[str, list[tuple[str, int]]] = {}
+        self._deduped = 0
+        self._threads: list[threading.Thread] = []
+        self._servers: list[socketserver.BaseServer] = []
+        self._watchers: list[tuple[Optional[str], "_Watcher"]] = []
+        self.queue.on_event = self._on_queue_event
+        self.started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        # Reaped point workers fork from this process; close the
+        # listening sockets in every child so an orphan (parent
+        # SIGKILLed mid-point) cannot keep the address half-alive.
+        mp_util.register_after_fork(self, SweepService._drop_listeners)
+        dispatcher = threading.Thread(target=self._dispatch_loop,
+                                      name="svc-dispatch", daemon=True)
+        dispatcher.start()
+        self._threads.append(dispatcher)
+        if self.socket_path is not None:
+            self._serve_socket()
+        if self.tcp_port is not None:
+            self._serve_tcp()
+        self._wake.set()  # resume any journaled open jobs immediately
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._wake.set()
+        for server in self._servers:
+            server.shutdown()
+            server.server_close()
+        self._servers.clear()
+        if self.socket_path and os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        for t in self._threads:
+            t.join(timeout=5.0)
+        self._threads.clear()
+        self.started = False
+
+    def _drop_listeners(self) -> None:
+        """Runs in forked children: release inherited server sockets."""
+        for server in self._servers:
+            try:
+                server.socket.close()
+            except OSError:
+                pass
+
+    def run_forever(self) -> None:
+        """Block until :meth:`stop` (the ``serve`` CLI's main thread)."""
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            self.stop()
+
+    def _serve_socket(self) -> None:
+        if os.path.exists(self.socket_path):
+            # A previous daemon's leftover (e.g. after SIGKILL): only a
+            # daemon that actually *answers* keeps the address.  A bare
+            # connect() is not enough — a dead daemon's listen backlog
+            # (or an orphaned worker child holding the inherited fd)
+            # accepts connections the kernel will never service.
+            if self._socket_answers():
+                raise RuntimeError(
+                    f"another daemon is live on {self.socket_path}")
+            os.unlink(self.socket_path)
+        server = _UnixServer(self.socket_path, _Handler)
+        server.service = self
+        self._start_server(server, "svc-unix")
+
+    def _socket_answers(self, timeout_s: float = 2.0) -> bool:
+        probe = socket.socket(socket.AF_UNIX)
+        probe.settimeout(timeout_s)
+        try:
+            probe.connect(self.socket_path)
+            probe.sendall(b'{"op": "ping"}\n')
+            return bool(probe.recv(1))
+        except OSError:
+            return False
+        finally:
+            probe.close()
+
+    def _serve_tcp(self) -> None:
+        server = _TcpServer(("127.0.0.1", self.tcp_port), _Handler)
+        server.service = self
+        self.tcp_port = server.server_address[1]  # resolve port 0
+        self._start_server(server, "svc-tcp")
+
+    def _start_server(self, server, name: str) -> None:
+        self._servers.append(server)
+        t = threading.Thread(target=server.serve_forever,
+                             kwargs={"poll_interval": 0.05},
+                             name=name, daemon=True)
+        t.start()
+        self._threads.append(t)
+
+    # -- job intake ---------------------------------------------------------
+    def submit(self, kind: str, specs: list[dict],
+               options: Optional[dict] = None) -> dict:
+        """Accept a sweep; returns the job's status snapshot."""
+        options = dict(options or {})
+        worker = options.get("worker") or WORKERS.get(kind)
+        if worker is None:
+            raise ValueError(
+                f"unknown job kind {kind!r} and no options['worker'] "
+                f"given; built-in kinds: {sorted(WORKERS)}")
+        resolve_worker(worker)          # validate before journaling
+        MeasurePolicy.from_dict(options.get("measure"))  # validate
+        job = self.queue.submit(kind, worker, specs, options)
+        self._wake.set()
+        return job.describe()
+
+    def wait(self, job_id: str, timeout_s: Optional[float] = None
+             ) -> dict:
+        """Block until the job finishes; returns its full result set."""
+        deadline = None if timeout_s is None \
+            else time.monotonic() + timeout_s
+        while True:
+            job = self.queue.get(job_id)
+            if job.finished:
+                return self.result(job_id)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{job_id} still has {job.total - job.completed} "
+                    f"open point(s) after {timeout_s}s")
+            time.sleep(0.02)
+
+    def result(self, job_id: str) -> dict:
+        job = self.queue.get(job_id)
+        return {"job": job.job_id, "status": job.status,
+                "finished": job.finished,
+                "results": list(job.results),
+                "attempts": list(job.attempts),
+                "errors": job.errors}
+
+    def stats(self) -> dict:
+        with self._lock:
+            inflight = len(self._inflight)
+            deduped = self._deduped
+        jobs = self.queue.list_jobs()
+        return {
+            "jobs": len(jobs),
+            "open_jobs": sum(1 for j in jobs if j["status"] != "done"),
+            "inflight_points": inflight,
+            "deduped_points": deduped,
+            "workers": self.jobs,
+            "store": {"entries": self.store.entry_count(),
+                      **self.store.read_stats()},
+            "journal_recovered_drops": self.queue.recovered_drops,
+        }
+
+    # -- dispatch -----------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            if self._wake.wait(timeout=0.2):
+                self._wake.clear()
+            if self._stop.is_set():
+                return
+            self._schedule_pending()
+
+    def _schedule_pending(self) -> None:
+        for job in self.queue.open_jobs():
+            for index in job.pending_indices():
+                if self._stop.is_set():
+                    return
+                spec = job.specs[index]
+                key = self._dedup_key(job.kind, spec, job.options)
+                with self._lock:
+                    waiters = self._inflight.get(key)
+                    if waiters is not None:
+                        # an identical point is already computing:
+                        # piggy-back on it instead of burning a slot
+                        waiters.append((job.job_id, index))
+                        self._deduped += 1
+                        self.queue.claim(job.job_id, index)
+                        continue
+                if not self._slots.acquire(blocking=False):
+                    return  # every worker slot is busy; resume on wake
+                with self._lock:
+                    self._inflight[key] = [(job.job_id, index)]
+                self.queue.claim(job.job_id, index)
+                t = threading.Thread(
+                    target=self._run_point,
+                    args=(key, job.kind, job.worker, spec,
+                          dict(job.options)),
+                    name=f"svc-point-{job.job_id}-{index}", daemon=True)
+                t.start()
+
+    def _dedup_key(self, kind: str, spec: dict, options: dict) -> str:
+        measure = options.get("measure") or {}
+        return self.store.key(kind, spec) + "/" + _canonical(measure)
+
+    def _retry_policy(self, options: dict) -> RetryPolicy:
+        d = self.default_policy
+        return RetryPolicy(
+            timeout_s=options.get("timeout_s", d.timeout_s),
+            retries=int(options.get("retries", d.retries)),
+            backoff_s=float(options.get("backoff_s", d.backoff_s)),
+            backoff_cap_s=float(options.get("backoff_cap_s",
+                                            d.backoff_cap_s)))
+
+    # -- point execution ----------------------------------------------------
+    def _run_point(self, key: str, kind: str, worker_path: str,
+                   spec: dict, options: dict) -> None:
+        try:
+            result, attempts = self._compute(kind, worker_path, spec,
+                                             options)
+        except Exception as exc:  # defensive: never lose a point
+            result = {"sweep_error": {"type": type(exc).__name__,
+                                      "message": str(exc), "spec": spec}}
+            attempts = 1
+        finally:
+            self._slots.release()
+        with self._lock:
+            waiters = self._inflight.pop(key, [])
+        error = is_error_record(result)
+        for job_id, index in waiters:
+            self.queue.record_point(job_id, index, result, error,
+                                    attempts)
+        self._wake.set()
+
+    def _compute(self, kind: str, worker_path: str, spec: dict,
+                 options: dict) -> tuple[Any, int]:
+        """One point, through store/reaping/retry — and, when the job
+        asks for it, the adaptive-repetition measurement loop."""
+        worker = resolve_worker(worker_path)
+        policy = self._retry_policy(options)
+        measure = MeasurePolicy.from_dict(options.get("measure"))
+        if measure.single_shot:
+            # the zero-cost path: no sampling, no stats arithmetic —
+            # exactly a cached compute_with_retry
+            return self._compute_one(kind, worker, spec, policy)
+        samples: list[float] = []
+        base: Optional[dict] = None
+        attempts_total = 0
+        rep = 0
+        while True:
+            result, attempts = self._compute_one(
+                kind, worker, _rep_spec(spec, rep), policy)
+            attempts_total = max(attempts_total, attempts)
+            if is_error_record(result):
+                return result, attempts_total
+            sample = self._sample_of(result)
+            if sample is None:
+                # nothing measurable in this worker's rows: stats are
+                # impossible, deliver the plain result
+                return result, attempts_total
+            if rep == 0:
+                base = result
+            samples.append(sample)
+            rep += 1
+            if should_stop(samples, measure):
+                break
+        final = dict(base)
+        stats = summarize_samples(samples, measure.confidence)
+        final["stats"] = stats
+        if isinstance(final.get("report"), dict):
+            report = dict(final["report"])
+            report["stats"] = stats
+            final["report"] = report
+        return final, attempts_total
+
+    def _compute_one(self, kind: str, worker, spec: dict,
+                     policy: RetryPolicy) -> tuple[Any, int]:
+        cached = self.store.get(kind, spec)
+        if cached is not None:
+            return cached, 0
+        result, meta = compute_with_retry(worker, spec, policy)
+        if not is_error_record(result):
+            self.store.put(kind, spec, result)
+        return result, meta["attempts"]
+
+    @staticmethod
+    def _sample_of(result: Any) -> Optional[float]:
+        """The timing a repetition contributes to the point's stats."""
+        if not isinstance(result, dict):
+            return None
+        for field in ("seconds", "makespan", "time"):
+            value = result.get(field)
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                return float(value)
+        return None
+
+    # -- progress streaming -------------------------------------------------
+    def _on_queue_event(self, kind: str, payload: dict) -> None:
+        event = {"event": kind, **payload}
+        with self._lock:
+            watchers = list(self._watchers)
+        for job_filter, watcher in watchers:
+            if job_filter is None or payload.get("job") == job_filter:
+                watcher.push(event)
+
+    def _add_watcher(self, job_filter: Optional[str]) -> "_Watcher":
+        watcher = _Watcher()
+        with self._lock:
+            self._watchers.append((job_filter, watcher))
+        return watcher
+
+    def _remove_watcher(self, watcher: "_Watcher") -> None:
+        with self._lock:
+            self._watchers = [(f, w) for f, w in self._watchers
+                              if w is not watcher]
+
+    # -- request handling (both protocols funnel here) ----------------------
+    def handle_request(self, request: dict) -> dict:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True, "pid": os.getpid()}
+            if op == "submit":
+                return {"ok": True,
+                        "job": self.submit(request["kind"],
+                                           request["specs"],
+                                           request.get("options"))}
+            if op == "status":
+                return {"ok": True,
+                        "job": self.queue.get(
+                            request["job"]).describe()}
+            if op == "result":
+                return {"ok": True, **self.result(request["job"])}
+            if op == "wait":
+                return {"ok": True,
+                        **self.wait(request["job"],
+                                    request.get("timeout"))}
+            if op == "jobs":
+                return {"ok": True, "jobs": self.queue.list_jobs()}
+            if op == "stats":
+                return {"ok": True, "stats": self.stats()}
+            if op == "shutdown":
+                threading.Thread(target=self.stop, daemon=True).start()
+                return {"ok": True, "stopping": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except (KeyError, ValueError, TimeoutError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+
+class _Watcher:
+    """One watching client's event mailbox."""
+
+    def __init__(self):
+        self._events: list[dict] = []
+        self._cond = threading.Condition()
+
+    def push(self, event: dict) -> None:
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def pop(self, timeout: float = 0.2) -> Optional[dict]:
+        with self._cond:
+            if self._cond.wait_for(lambda: bool(self._events), timeout):
+                return self._events.pop(0)
+            return None
+
+
+class _UnixServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "SweepService"
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "SweepService"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """Speaks JSON-lines natively; sniffs and answers minimal HTTP."""
+
+    def handle(self) -> None:
+        service: SweepService = self.server.service
+        first = self.rfile.readline(1 << 20)
+        if not first:
+            return
+        head = first.split(b" ", 1)[0]
+        if head in (b"GET", b"POST", b"PUT", b"DELETE", b"HEAD"):
+            self._handle_http(service, first)
+            return
+        # JSON-lines: serve requests until the client hangs up
+        line = first
+        while line:
+            line = line.strip()
+            if line:
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    self._send({"ok": False, "error": "bad JSON"})
+                    return
+                if request.get("op") == "watch":
+                    self._stream_watch(service, request)
+                    return
+                self._send(service.handle_request(request))
+            try:
+                line = self.rfile.readline(1 << 20)
+            except OSError:
+                return
+
+    def _send(self, payload: dict) -> None:
+        try:
+            self.wfile.write(_canonical(payload).encode() + b"\n")
+            self.wfile.flush()
+        except OSError:
+            pass
+
+    def _stream_watch(self, service: SweepService,
+                      request: dict) -> None:
+        """One event object per line until the watched job finishes."""
+        job_id = request.get("job")
+        watcher = service._add_watcher(job_id)
+        try:
+            try:
+                job = service.queue.get(job_id) if job_id else None
+            except KeyError:
+                self._send({"ok": False,
+                            "error": f"unknown job {job_id!r}"})
+                return
+            self._send({"ok": True, "watching": job_id})
+            if job is not None and job.finished:
+                self._send({"event": "done", **job.describe()})
+                return
+            while not service._stop.is_set():
+                event = watcher.pop(timeout=0.2)
+                if event is None:
+                    continue
+                self._send(event)
+                if event.get("event") == "done" and (
+                        job_id is None or event.get("job") == job_id):
+                    return
+        finally:
+            service._remove_watcher(watcher)
+
+    # -- minimal HTTP -------------------------------------------------------
+    def _handle_http(self, service: SweepService,
+                     request_line: bytes) -> None:
+        try:
+            method, target, _ = \
+                request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return
+        length = 0
+        while True:  # drain headers, remember the body length
+            header = self.rfile.readline(1 << 16)
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        body = self.rfile.read(length) if length else b""
+        status, payload = self._http_route(service, method,
+                                           target.rstrip("/"), body)
+        data = (_canonical(payload) + "\n").encode()
+        reason = {200: "OK", 400: "Bad Request",
+                  404: "Not Found"}.get(status, "OK")
+        try:
+            self.wfile.write(
+                f"HTTP/1.0 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n\r\n".encode() + data)
+            self.wfile.flush()
+        except OSError:
+            pass
+
+    def _http_route(self, service: SweepService, method: str,
+                    target: str, body: bytes) -> tuple[int, dict]:
+        if method == "POST" and target == "/jobs":
+            try:
+                request = json.loads(body or b"{}")
+            except ValueError:
+                return 400, {"ok": False, "error": "bad JSON body"}
+            request["op"] = "submit"
+            reply = service.handle_request(request)
+            return (200 if reply.get("ok") else 400), reply
+        if method == "GET":
+            if target in ("", "/", "/ping"):
+                return 200, service.handle_request({"op": "ping"})
+            if target == "/jobs":
+                return 200, service.handle_request({"op": "jobs"})
+            if target == "/stats":
+                return 200, service.handle_request({"op": "stats"})
+            if target.startswith("/jobs/"):
+                parts = target.split("/")  # ['', 'jobs', id, ...]
+                op = "result" if parts[3:] == ["result"] else "status"
+                reply = service.handle_request({"op": op,
+                                                "job": parts[2]})
+                return (200 if reply.get("ok") else 404), reply
+        return 404, {"ok": False, "error": f"no route {method} {target}"}
+
+
+class ServiceClient:
+    """Talk to a running daemon over its unix socket (JSON lines).
+
+    One connection per request keeps the client trivial and the failure
+    mode clean: a daemon that died mid-request surfaces as
+    ``ConnectionError``, and a fresh daemon on the same socket serves
+    the next call.
+    """
+
+    def __init__(self, socket_path: str, timeout_s: float = 30.0):
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    def _call(self, request: dict,
+              timeout_s: Optional[float] = None) -> dict:
+        sock = socket.socket(socket.AF_UNIX)
+        sock.settimeout(timeout_s if timeout_s is not None
+                        else self.timeout_s)
+        try:
+            sock.connect(self.socket_path)
+            sock.sendall(_canonical(request).encode() + b"\n")
+            reply = self._read_line(sock)
+        finally:
+            sock.close()
+        if not reply.get("ok", False):
+            raise RuntimeError(
+                f"service error: {reply.get('error', reply)}")
+        return reply
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> dict:
+        chunks = []
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        data = b"".join(chunks)
+        if not data:
+            raise ConnectionError("service closed the connection")
+        return json.loads(data.decode())
+
+    def ping(self) -> dict:
+        return self._call({"op": "ping"})
+
+    def submit(self, kind: str, specs: list[dict],
+               options: Optional[dict] = None) -> dict:
+        return self._call({"op": "submit", "kind": kind, "specs": specs,
+                           "options": options or {}})["job"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call({"op": "status", "job": job_id})["job"]
+
+    def result(self, job_id: str) -> dict:
+        return self._call({"op": "result", "job": job_id})
+
+    def wait(self, job_id: str,
+             timeout_s: Optional[float] = None) -> dict:
+        return self._call({"op": "wait", "job": job_id,
+                           "timeout": timeout_s},
+                          timeout_s=(None if timeout_s is None
+                                     else timeout_s + 5.0))
+
+    def jobs(self) -> list[dict]:
+        return self._call({"op": "jobs"})["jobs"]
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        self._call({"op": "shutdown"})
+
+    def watch(self, job_id: str,
+              on_event: Callable[[dict], None],
+              timeout_s: Optional[float] = None) -> None:
+        """Stream the job's progress events; returns when it is done."""
+        sock = socket.socket(socket.AF_UNIX)
+        sock.settimeout(timeout_s if timeout_s is not None else None)
+        try:
+            sock.connect(self.socket_path)
+            sock.sendall(_canonical({"op": "watch",
+                                     "job": job_id}).encode() + b"\n")
+            buf = b""
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    return
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    event = json.loads(line.decode())
+                    if event.get("ok") is False:
+                        raise RuntimeError(
+                            f"service error: {event.get('error')}")
+                    if "event" in event:
+                        on_event(event)
+                        if event["event"] == "done":
+                            return
+        finally:
+            sock.close()
+
+    def sweep(self, kind: str, specs: list[dict],
+              options: Optional[dict] = None,
+              timeout_s: Optional[float] = None) -> list[Any]:
+        """Submit + wait: a drop-in for
+        :func:`repro.harness.parallel.sweep` running on the daemon."""
+        job = self.submit(kind, specs, options)
+        return self.wait(job["job"], timeout_s=timeout_s)["results"]
+
+
+def serve(root: str, socket_path: Optional[str] = None,
+          tcp_port: Optional[int] = None, jobs: int = 2,
+          point_timeout_s: Optional[float] = 300.0, retries: int = 2,
+          backoff_s: float = 0.1,
+          store_budget_bytes: Optional[int] = None,
+          verbose: bool = True) -> SweepService:
+    """Build, start, and return a daemon (``python -m repro.harness
+    serve`` blocks on it via :meth:`SweepService.run_forever`)."""
+    if socket_path is None and tcp_port is None:
+        socket_path = str(Path(root) / "service.sock")
+    service = SweepService(
+        root, socket_path=socket_path, tcp_port=tcp_port, jobs=jobs,
+        point_timeout_s=point_timeout_s, retries=retries,
+        backoff_s=backoff_s, store_budget_bytes=store_budget_bytes)
+    service.start()
+    if verbose:
+        open_jobs = len(service.queue.open_jobs())
+        where = socket_path or f"127.0.0.1:{service.tcp_port}"
+        resumed = (f", resuming {open_jobs} journaled job(s)"
+                   if open_jobs else "")
+        print(f"sweep service on {where} ({service.jobs} worker "
+              f"slot(s), journal {service.queue.journal_path})"
+              f"{resumed}")
+    return service

@@ -1,0 +1,166 @@
+"""Statistically sound sweep measurement (Hunold & Carpen-Amarie).
+
+*MPI Benchmarking Revisited* argues that a single timing is not a
+measurement: defensible numbers need repeated runs, a confidence
+interval around the mean, and an explicit record of run-to-run
+variance.  This module is that methodology distilled for the sweep
+service — pure functions over a list of per-repetition timings, plus
+the adaptive stopping rule that decides *how many* repetitions a point
+deserves.
+
+Two properties matter for the harness:
+
+* **Determinism** — the simulator is a pure function of its spec, so
+  identical repetitions produce identical samples and the CI collapses
+  to a point after ``min_reps`` runs.  Variance only appears when the
+  repetitions genuinely differ (e.g. per-rep fault seeds), and then the
+  CI honestly reflects it.
+* **Zero cost when off** — a spec that requests a single repetition
+  never enters this module at all (guarded by
+  ``benchmarks/bench_service.py``); single-shot sweeps pay nothing for
+  the machinery.
+
+The resulting ``stats`` dict (``repetitions`` / ``mean_s`` / ``ci_low``
+/ ``ci_high`` / ``rel_variance`` / ``confidence``) is a first-class
+:class:`~repro.obs.RunReport` field as of report schema version 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["MeasurePolicy", "summarize_samples", "should_stop",
+           "t_critical"]
+
+#: two-sided 95 % Student-t critical values by degrees of freedom
+#: (df 1..30; the normal quantile 1.96 serves beyond — the same table
+#: every statistics appendix prints, so no SciPy dependency is needed)
+_T_95 = (12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+         2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+         2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+         2.060, 2.056, 2.052, 2.048, 2.045, 2.042)
+
+#: two-sided 99 % critical values, same layout
+_T_99 = (63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355,
+         3.250, 3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921,
+         2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+         2.787, 2.779, 2.771, 2.763, 2.756, 2.750)
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom.
+
+    Only the two confidence levels the harness exposes are tabulated;
+    anything else raises so a typo'd level cannot silently produce a
+    wrong interval.
+    """
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    table = {0.95: _T_95, 0.99: _T_99}.get(confidence)
+    if table is None:
+        raise ValueError(
+            f"unsupported confidence level {confidence!r}; "
+            "choose 0.95 or 0.99")
+    if df <= len(table):
+        return table[df - 1]
+    return 1.960 if confidence == 0.95 else 2.576
+
+
+@dataclass(frozen=True)
+class MeasurePolicy:
+    """How many repetitions a sweep point gets, and when to stop.
+
+    ``min_reps`` runs always happen; after each further run the CI is
+    re-evaluated and the point stops as soon as the relative CI
+    half-width drops to ``target_rel_ci`` — or at ``max_reps``, whichever
+    comes first (the adaptive rule of Hunold & Carpen-Amarie §IV).
+    ``max_reps=1`` means single-shot: no stats are computed at all.
+    """
+
+    min_reps: int = 2
+    max_reps: int = 5
+    target_rel_ci: float = 0.02
+    confidence: float = 0.95
+
+    def __post_init__(self):
+        if self.min_reps < 1 or self.max_reps < self.min_reps:
+            raise ValueError(
+                f"need 1 <= min_reps <= max_reps, got "
+                f"min_reps={self.min_reps}, max_reps={self.max_reps}")
+        if not 0.0 <= self.target_rel_ci:
+            raise ValueError(
+                f"target_rel_ci must be >= 0, got {self.target_rel_ci}")
+        t_critical(1, self.confidence)  # validate the level eagerly
+
+    @property
+    def single_shot(self) -> bool:
+        """True when the policy is the free, stats-less default."""
+        return self.max_reps == 1
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> "MeasurePolicy":
+        """Build from a job-options dict (``None`` → single-shot)."""
+        if not data:
+            return cls(min_reps=1, max_reps=1)
+        return cls(min_reps=int(data.get("min_reps", 2)),
+                   max_reps=int(data.get("max_reps", 5)),
+                   target_rel_ci=float(data.get("target_rel_ci", 0.02)),
+                   confidence=float(data.get("confidence", 0.95)))
+
+    def to_dict(self) -> dict:
+        return {"min_reps": self.min_reps, "max_reps": self.max_reps,
+                "target_rel_ci": self.target_rel_ci,
+                "confidence": self.confidence}
+
+
+def summarize_samples(samples: Sequence[float],
+                      confidence: float = 0.95) -> dict:
+    """The ``stats`` record for one point's repetition timings.
+
+    Returns ``repetitions`` (sample count), the sample ``mean_s``, the
+    Student-t confidence interval ``[ci_low, ci_high]`` around the mean,
+    and ``rel_variance`` — the unbiased sample variance divided by the
+    squared mean (the paper's dimensionless run-to-run variability).
+    A single sample yields a degenerate interval (the sample itself) and
+    zero variance, so the record stays well-formed everywhere.
+    """
+    if not samples:
+        raise ValueError("summarize_samples needs at least one sample")
+    n = len(samples)
+    mean = math.fsum(samples) / n
+    if n == 1:
+        return {"repetitions": 1, "mean_s": mean, "ci_low": mean,
+                "ci_high": mean, "rel_variance": 0.0,
+                "confidence": confidence}
+    var = math.fsum((s - mean) ** 2 for s in samples) / (n - 1)
+    half = t_critical(n - 1, confidence) * math.sqrt(var / n)
+    return {
+        "repetitions": n,
+        "mean_s": mean,
+        "ci_low": mean - half,
+        "ci_high": mean + half,
+        "rel_variance": var / (mean * mean) if mean != 0 else 0.0,
+        "confidence": confidence,
+    }
+
+
+def should_stop(samples: Sequence[float], policy: MeasurePolicy) -> bool:
+    """Adaptive stopping rule: enough repetitions for this point?
+
+    True once ``min_reps`` samples exist *and* the relative CI
+    half-width meets ``target_rel_ci`` (or the budget ``max_reps`` is
+    spent).  Callers collect one sample, ask, and repeat.
+    """
+    n = len(samples)
+    if n >= policy.max_reps:
+        return True
+    if n < policy.min_reps:
+        return False
+    stats = summarize_samples(samples, policy.confidence)
+    mean = stats["mean_s"]
+    if mean == 0:
+        return True
+    half = (stats["ci_high"] - stats["ci_low"]) / 2.0
+    return half / abs(mean) <= policy.target_rel_ci

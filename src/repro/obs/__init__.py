@@ -16,12 +16,15 @@ See ``docs/observability.md``.
 
 from repro.obs.critical import CriticalPath, critical_path
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
-from repro.obs.report import (REPORT_SCHEMA, RunReport, build_report,
-                              diff_reports, validate_report)
+from repro.obs.report import (REPORT_SCHEMA, STATS_KEYS,
+                              SUPPORTED_SCHEMA_VERSIONS, RunReport,
+                              build_report, diff_reports,
+                              validate_report)
 
 __all__ = [
     "MetricsRegistry", "merge_snapshots",
     "CriticalPath", "critical_path",
-    "RunReport", "REPORT_SCHEMA", "build_report", "validate_report",
+    "RunReport", "REPORT_SCHEMA", "SUPPORTED_SCHEMA_VERSIONS",
+    "STATS_KEYS", "build_report", "validate_report",
     "diff_reports",
 ]

@@ -18,10 +18,21 @@ from typing import Optional
 from repro.obs.critical import critical_path
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
 
-__all__ = ["RunReport", "REPORT_SCHEMA", "build_report",
-           "validate_report", "diff_reports"]
+__all__ = ["RunReport", "REPORT_SCHEMA", "SUPPORTED_SCHEMA_VERSIONS",
+           "STATS_KEYS", "build_report", "validate_report",
+           "diff_reports"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schema versions :func:`validate_report` accepts.  Version 1 reports
+#: (pre-dating the measurement-statistics fields) remain readable so
+#: ``python -m repro.obs diff`` can compare old artifacts against new.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+#: Keys a non-empty ``stats`` record must carry (see
+#: :func:`repro.harness.stats.summarize_samples`).
+STATS_KEYS = ("repetitions", "mean_s", "ci_low", "ci_high",
+              "rel_variance", "confidence")
 
 #: Minimal JSON-schema-style description of a serialized RunReport.
 #: Validated by :func:`validate_report` (hand-rolled walker — the
@@ -59,6 +70,7 @@ REPORT_SCHEMA: dict = {
             },
         },
         "faults": {"type": "object"},
+        "stats": {"type": "object"},
     },
 }
 
@@ -83,6 +95,12 @@ class RunReport:
         "by_category": {}, "fractions": {}, "dominant": "",
         "total_s": 0.0})
     faults: dict = field(default_factory=dict)
+    #: measurement statistics over repeated runs of the same point
+    #: (``repetitions`` / ``mean_s`` / ``ci_low`` / ``ci_high`` /
+    #: ``rel_variance`` / ``confidence`` — see
+    #: :func:`repro.harness.stats.summarize_samples`); empty for
+    #: single-shot runs, which pay nothing for the machinery
+    stats: dict = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> dict:
@@ -96,11 +114,16 @@ class RunReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
+        """Backward-compatible reader: version-1 reports (no ``stats``)
+        load with an empty stats record and keep their declared schema
+        version, so re-serializing a v1 artifact never silently upgrades
+        it."""
         validate_report(data)
         fields = {k: data[k] for k in
                   ("kind", "spec", "makespan_s", "metrics", "lanes",
                    "overlap", "critical_path", "faults",
                    "schema_version")}
+        fields["stats"] = data.get("stats", {})
         return cls(**fields)
 
     @classmethod
@@ -115,7 +138,9 @@ class RunReport:
     def merge(self, other: "RunReport") -> "RunReport":
         """Aggregate two reports (e.g. the points of one figure sweep):
         metrics and critical-path categories sum, makespan takes the
-        max, lanes/overlap are dropped (they only make sense per run)."""
+        max, lanes/overlap/stats are dropped (they only make sense per
+        run — a merged CI over heterogeneous points would be
+        meaningless)."""
         by_cat = dict(self.critical_path.get("by_category", {}))
         for c, v in other.critical_path.get("by_category", {}).items():
             by_cat[c] = by_cat.get(c, 0.0) + v
@@ -204,11 +229,33 @@ def _check(value, schema, path) -> list[str]:
 
 
 def validate_report(data: dict) -> None:
-    """Raise ``ValueError`` listing every schema violation (if any)."""
+    """Raise ``ValueError`` listing every schema violation (if any).
+
+    Accepts every version in :data:`SUPPORTED_SCHEMA_VERSIONS`: the
+    ``stats`` record is required from version 2 on, and when non-empty
+    must carry the full :data:`STATS_KEYS` set with numeric values.
+    """
     errors = _check(data, REPORT_SCHEMA, "report")
-    if not errors and data.get("schema_version") != SCHEMA_VERSION:
-        errors.append(f"report.schema_version: expected {SCHEMA_VERSION},"
-                      f" got {data.get('schema_version')!r}")
+    version = data.get("schema_version") if isinstance(data, dict) else None
+    if not errors and version not in SUPPORTED_SCHEMA_VERSIONS:
+        errors.append(
+            f"report.schema_version: expected one of "
+            f"{SUPPORTED_SCHEMA_VERSIONS}, got {version!r}")
+    if not errors and isinstance(version, int) and version >= 2:
+        if "stats" not in data:
+            errors.append("report: missing required key 'stats'")
+        else:
+            stats = data["stats"]
+            if stats:  # empty = single-shot run, nothing to check
+                for key in STATS_KEYS:
+                    if key not in stats:
+                        errors.append(
+                            f"report.stats: missing required key {key!r}")
+                    elif not isinstance(stats[key], (int, float)) \
+                            or isinstance(stats[key], bool):
+                        errors.append(
+                            f"report.stats.{key}: expected number, "
+                            f"got {type(stats[key]).__name__}")
     if errors:
         raise ValueError("invalid RunReport: " + "; ".join(errors))
 

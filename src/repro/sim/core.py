@@ -493,11 +493,19 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0,
                  reuse_timeouts: bool = False,
-                 engine: str = "coroutine"):
+                 engine: str = "coroutine",
+                 strict_engine: bool = False):
         if engine not in ENGINES:
             raise EngineError(
                 f"unknown engine {engine!r}; choose from {ENGINES}")
         self.engine = engine
+        #: When True, callers that would silently fall back from the
+        #: requested engine to the coroutine engine (because a feature —
+        #: fault injection, tracing, pipelined planes, an odd mapped
+        #: rank count — is outside the vectorized model) must raise
+        #: :class:`EngineError` instead.  The flag lives here so every
+        #: layer that builds models on this environment sees one policy.
+        self.strict_engine = bool(strict_engine)
         self._vector = None
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []

@@ -87,7 +87,8 @@ class TestCache:
         c1.get("bw", {"x": 1})          # hit
         c2 = ResultCache(root=root)
         assert c2.read_stats() == {"hits": 1, "misses": 1,
-                                   "corrupt_deleted": 0}
+                                   "corrupt_deleted": 0,
+                                   "corrupt_replaced": 0, "evicted": 0}
         assert c2.entry_count() == 1
 
     def test_clear(self, tmp_path):

@@ -1,0 +1,129 @@
+"""JobQueue: journal durability, torn-tail replay, crash semantics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.queue import JobQueue
+
+SPECS = [{"i": 0}, {"i": 1}, {"i": 2}]
+WORKER = "repro.apps.pingpong:bandwidth_point"
+
+
+class TestLifecycle:
+    def test_submit_and_record_to_done(self, tmp_path):
+        q = JobQueue(tmp_path)
+        job = q.submit("bw", WORKER, SPECS)
+        assert job.status == "queued"
+        assert job.pending_indices() == [0, 1, 2]
+        for i in range(3):
+            q.claim(job.job_id, i)
+        assert q.get(job.job_id).status == "running"
+        for i in range(3):
+            q.record_point(job.job_id, i, {"r": i}, error=False,
+                           attempts=1)
+        job = q.get(job.job_id)
+        assert job.status == "done"
+        assert job.finished
+        assert job.results == [{"r": 0}, {"r": 1}, {"r": 2}]
+
+    def test_describe_counts_errors_and_retries(self, tmp_path):
+        q = JobQueue(tmp_path)
+        job = q.submit("bw", WORKER, SPECS)
+        q.record_point(job.job_id, 0, {"r": 0}, error=False, attempts=3)
+        q.record_point(job.job_id, 1, {"sweep_error": {}}, error=True,
+                       attempts=1)
+        d = q.get(job.job_id).describe()
+        assert d["completed"] == 2
+        assert d["errors"] == 1
+        assert d["retried_points"] == 1
+
+    def test_empty_job_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one spec"):
+            JobQueue(tmp_path).submit("bw", WORKER, [])
+
+    def test_unknown_job_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown job"):
+            JobQueue(tmp_path).get("job-000099")
+
+    def test_events_fire_in_order(self, tmp_path):
+        q = JobQueue(tmp_path)
+        seen = []
+        q.on_event = lambda kind, payload: seen.append(kind)
+        job = q.submit("bw", WORKER, SPECS[:1])
+        q.record_point(job.job_id, 0, {"r": 0}, error=False, attempts=1)
+        assert seen == ["submit", "point", "done"]
+
+    def test_listener_exceptions_are_swallowed(self, tmp_path):
+        q = JobQueue(tmp_path)
+        q.on_event = lambda *a: 1 / 0
+        job = q.submit("bw", WORKER, SPECS[:1])  # must not raise
+        q.record_point(job.job_id, 0, {}, error=False, attempts=1)
+
+
+class TestReplay:
+    def test_fresh_queue_replays_results_verbatim(self, tmp_path):
+        q1 = JobQueue(tmp_path)
+        job = q1.submit("bw", WORKER, SPECS)
+        q1.record_point(job.job_id, 1, {"r": 1}, error=False, attempts=2)
+        q2 = JobQueue(tmp_path)  # the restarted daemon
+        replayed = q2.get(job.job_id)
+        assert replayed.results[1] == {"r": 1}
+        assert replayed.attempts[1] == 2
+        assert replayed.pending_indices() == [0, 2]
+        assert [j.job_id for j in q2.open_jobs()] == [job.job_id]
+
+    def test_inflight_points_revert_to_pending(self, tmp_path):
+        """Claims are deliberately unjournaled: a point that was running
+        when the daemon died must come back pending."""
+        q1 = JobQueue(tmp_path)
+        job = q1.submit("bw", WORKER, SPECS)
+        q1.claim(job.job_id, 0)
+        q2 = JobQueue(tmp_path)
+        assert q2.get(job.job_id).pending_indices() == [0, 1, 2]
+
+    def test_torn_tail_line_is_dropped_not_fatal(self, tmp_path):
+        """A crash mid-append leaves a truncated last line; replay must
+        shrug it off and count the drop."""
+        q1 = JobQueue(tmp_path)
+        job = q1.submit("bw", WORKER, SPECS)
+        q1.record_point(job.job_id, 0, {"r": 0}, error=False, attempts=1)
+        with open(q1.journal_path, "a") as fh:
+            fh.write('{"event": "point", "job": "'  # the torn write
+                     + job.job_id + '", "ind')
+        q2 = JobQueue(tmp_path)
+        assert q2.recovered_drops == 1
+        replayed = q2.get(job.job_id)
+        assert replayed.results[0] == {"r": 0}     # intact line kept
+        assert replayed.pending_indices() == [1, 2]
+
+    def test_sequence_continues_after_replay(self, tmp_path):
+        """Job ids must never collide across restarts."""
+        q1 = JobQueue(tmp_path)
+        first = q1.submit("bw", WORKER, SPECS[:1])
+        q2 = JobQueue(tmp_path)
+        second = q2.submit("bw", WORKER, SPECS[:1])
+        assert second.job_id != first.job_id
+
+    def test_journal_lines_are_canonical_json(self, tmp_path):
+        q = JobQueue(tmp_path)
+        job = q.submit("bw", WORKER, SPECS[:1])
+        q.record_point(job.job_id, 0, {"r": 0}, error=False, attempts=1)
+        for line in q.journal_path.read_text().splitlines():
+            record = json.loads(line)
+            assert line == json.dumps(record, sort_keys=True,
+                                      separators=(",", ":"))
+
+    def test_premature_done_record_reopens(self, tmp_path):
+        """A hand-damaged journal claiming done with open points must
+        replay to an open job (the daemon recomputes the gap)."""
+        q1 = JobQueue(tmp_path)
+        job = q1.submit("bw", WORKER, SPECS)
+        with open(q1.journal_path, "a") as fh:
+            fh.write(json.dumps({"event": "done", "job": job.job_id})
+                     + "\n")
+        q2 = JobQueue(tmp_path)
+        assert q2.get(job.job_id).status != "done"
+        assert q2.open_jobs()

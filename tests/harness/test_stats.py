@@ -1,0 +1,105 @@
+"""Measurement statistics (Hunold & Carpen-Amarie methodology)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness.stats import (MeasurePolicy, should_stop,
+                                 summarize_samples, t_critical)
+
+
+class TestTCritical:
+    def test_known_values(self):
+        assert t_critical(1, 0.95) == pytest.approx(12.706, abs=1e-3)
+        assert t_critical(9, 0.95) == pytest.approx(2.262, abs=1e-3)
+        assert t_critical(4, 0.99) == pytest.approx(4.604, abs=1e-3)
+
+    def test_large_df_approaches_normal(self):
+        assert t_critical(1000, 0.95) == pytest.approx(1.960, abs=0.01)
+
+    def test_unsupported_confidence_rejected(self):
+        with pytest.raises(ValueError, match="confidence"):
+            t_critical(5, 0.90)
+
+
+class TestSummarize:
+    def test_single_sample_degenerate_interval(self):
+        s = summarize_samples([2.5])
+        assert s["repetitions"] == 1
+        assert s["mean_s"] == 2.5
+        assert s["ci_low"] == s["ci_high"] == 2.5
+        assert s["rel_variance"] == 0.0
+
+    def test_identical_samples_collapse_ci(self):
+        """The deterministic-simulator case: same-seed repetitions are
+        identical, so the CI is a point and variance is zero."""
+        s = summarize_samples([1.5, 1.5, 1.5])
+        assert s["ci_low"] == s["ci_high"] == 1.5
+        assert s["rel_variance"] == 0.0
+
+    def test_spread_samples_have_real_interval(self):
+        samples = [1.0, 1.2, 0.8, 1.1, 0.9]
+        s = summarize_samples(samples)
+        mean = sum(samples) / len(samples)
+        assert s["mean_s"] == pytest.approx(mean)
+        assert s["ci_low"] < mean < s["ci_high"]
+        # hand-checked: t(4, .95) * s/sqrt(5)
+        var = sum((x - mean) ** 2 for x in samples) / 4
+        half = t_critical(4, 0.95) * math.sqrt(var / 5)
+        assert s["ci_high"] - s["mean_s"] == pytest.approx(half)
+        assert s["rel_variance"] == pytest.approx(var / mean**2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+    def test_json_able_and_key_complete(self):
+        from repro.obs.report import STATS_KEYS
+
+        s = summarize_samples([1.0, 2.0])
+        assert set(s) == set(STATS_KEYS)
+        assert all(isinstance(v, (int, float)) for v in s.values())
+
+
+class TestPolicy:
+    def test_defaults(self):
+        p = MeasurePolicy()
+        assert (p.min_reps, p.max_reps) == (2, 5)
+        assert not p.single_shot
+
+    def test_from_dict_none_is_single_shot(self):
+        p = MeasurePolicy.from_dict(None)
+        assert p.single_shot
+        assert p.max_reps == 1
+
+    def test_from_dict_partial_overrides(self):
+        p = MeasurePolicy.from_dict({"max_reps": 7})
+        assert p.max_reps == 7
+        assert p.min_reps == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurePolicy(min_reps=0)
+        with pytest.raises(ValueError):
+            MeasurePolicy(min_reps=5, max_reps=3)
+        with pytest.raises(ValueError):
+            MeasurePolicy(target_rel_ci=-0.1)
+
+
+class TestAdaptiveStop:
+    def test_stops_at_min_reps_when_converged(self):
+        """Identical samples (the deterministic case) satisfy the CI
+        target immediately — the loop must not burn max_reps."""
+        p = MeasurePolicy(min_reps=2, max_reps=10)
+        assert not should_stop([1.0], p)
+        assert should_stop([1.0, 1.0], p)
+
+    def test_keeps_sampling_while_noisy(self):
+        p = MeasurePolicy(min_reps=2, max_reps=10, target_rel_ci=0.01)
+        assert not should_stop([1.0, 2.0], p)
+
+    def test_hard_stop_at_max_reps(self):
+        p = MeasurePolicy(min_reps=2, max_reps=3, target_rel_ci=1e-9)
+        assert should_stop([1.0, 2.0, 3.0], p)

@@ -91,6 +91,74 @@ class TestSerialization:
             validate_report(data)
 
 
+class TestSchemaV2:
+    """The measurement-statistics schema bump and its v1 compat."""
+
+    def _v1(self) -> dict:
+        data = build_report("x", {}, Environment()).to_dict()
+        data["schema_version"] = 1
+        del data["stats"]  # v1 artifacts predate the field
+        return data
+
+    def test_v1_report_still_validates(self):
+        validate_report(self._v1())
+
+    def test_v1_report_loads_with_empty_stats(self):
+        rep = RunReport.from_dict(self._v1())
+        assert rep.stats == {}
+        assert rep.schema_version == 1  # never silently upgraded
+
+    def test_v2_requires_stats_key(self):
+        data = build_report("x", {}, Environment()).to_dict()
+        del data["stats"]
+        with pytest.raises(ValueError, match="stats"):
+            validate_report(data)
+
+    def test_empty_stats_is_a_valid_single_shot(self):
+        data = build_report("x", {}, Environment()).to_dict()
+        assert data["stats"] == {}
+        validate_report(data)
+
+    def test_populated_stats_roundtrip(self):
+        from repro.harness.stats import summarize_samples
+
+        rep = build_report("x", {}, Environment())
+        rep.stats = summarize_samples([1.0, 1.1, 0.9])
+        validate_report(rep.to_dict())
+        again = RunReport.from_dict(json.loads(rep.to_json()))
+        assert again.stats == rep.stats
+
+    def test_incomplete_stats_rejected(self):
+        data = build_report("x", {}, Environment()).to_dict()
+        data["stats"] = {"repetitions": 3}  # missing the CI fields
+        with pytest.raises(ValueError, match="ci_low"):
+            validate_report(data)
+
+    def test_non_numeric_stats_rejected(self):
+        from repro.harness.stats import summarize_samples
+
+        data = build_report("x", {}, Environment()).to_dict()
+        data["stats"] = dict(summarize_samples([1.0, 2.0]),
+                             mean_s="fast")
+        with pytest.raises(ValueError, match="mean_s"):
+            validate_report(data)
+
+    def test_diff_cli_accepts_v1_artifacts(self, tmp_path, capsys):
+        """``python -m repro.obs diff`` must keep reading pre-stats
+        reports (the backward-compat satellite)."""
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(self._v1(), sort_keys=True))
+        assert obs_main(["diff", str(path), str(path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_cli_compares_v1_against_v2(self, tmp_path):
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps(self._v1(), sort_keys=True))
+        v2 = tmp_path / "v2.json"
+        build_report("x", {}, Environment()).save(v2)
+        assert obs_main(["diff", str(v1), str(v2)]) == 1  # version field
+
+
 class TestMerge:
     def test_metrics_sum_makespan_max(self):
         a = build_report("bw", {}, _sample_env())

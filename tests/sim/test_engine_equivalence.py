@@ -124,3 +124,77 @@ def test_unknown_engine_rejected():
         run_himeno(get_system("cichlid"), 2, "clmpi",
                    HimenoConfig(size="XXS", iterations=1),
                    functional=False, engine="warp")
+
+
+# -- fallback specificity + strict mode -------------------------------------
+
+def test_pingpong_fallback_warning_names_the_feature():
+    """The RuntimeWarning must say *which* feature forced the coroutine
+    fallback, not a generic laundry list."""
+    with pytest.warns(RuntimeWarning, match="fault injection"):
+        measure_bandwidth(get_system("cichlid"), 1 << 16, "pinned",
+                          faults={"seed": 1, "events": []},
+                          engine="vectorized")
+    with pytest.warns(RuntimeWarning, match="observability hooks"):
+        measure_bandwidth(get_system("cichlid"), 1 << 16, "pinned",
+                          obs=True, engine="vectorized")
+    with pytest.warns(RuntimeWarning, match="ULFM recovery"):
+        measure_bandwidth(get_system("cichlid"), 1 << 16, "pinned",
+                          ft=True, engine="vectorized")
+
+
+def test_pingpong_odd_ranks_fall_back_with_reason():
+    with pytest.warns(RuntimeWarning, match="even rank count"):
+        r = measure_bandwidth(get_system("cichlid", max_nodes=3),
+                              1 << 16, "pinned", ranks=3,
+                              engine="vectorized")
+    assert r.seconds > 0  # the coroutine fallback produced the row
+
+
+def test_pingpong_strict_engine_raises_instead_of_falling_back():
+    with pytest.raises(EngineError, match="strict_engine"):
+        measure_bandwidth(get_system("cichlid"), 1 << 16, "pinned",
+                          obs=True, engine="vectorized",
+                          strict_engine=True)
+    with pytest.raises(EngineError, match="even rank count"):
+        measure_bandwidth(get_system("cichlid", max_nodes=3), 1 << 16,
+                          "pinned", ranks=3, engine="vectorized",
+                          strict_engine=True)
+
+
+def test_himeno_strict_engine_raises_instead_of_falling_back():
+    cfg = HimenoConfig(size="XXS", iterations=1)
+    with pytest.raises(EngineError, match="strict_engine"):
+        run_himeno(get_system("cichlid"), 2, "clmpi", cfg,
+                   functional=False, trace=True, engine="vectorized",
+                   strict_engine=True)
+    # odd-rank mapped clmpi: the model's own refusal propagates
+    with pytest.raises(EngineError):
+        run_himeno(_system("cichlid", 3), 3, "clmpi",
+                   HimenoConfig(size="custom", dims=(8, 33, 33),
+                                iterations=2),
+                   functional=False, engine="vectorized",
+                   strict_engine=True)
+
+
+def test_strict_engine_never_fires_on_supported_points():
+    """strict mode is free when the vectorized model covers the point."""
+    r = measure_bandwidth(get_system("cichlid"), 1 << 16, "pinned",
+                          engine="vectorized", strict_engine=True)
+    assert r.seconds > 0
+
+
+def test_environment_carries_strict_engine_flag():
+    from repro.sim import Environment
+
+    assert Environment().strict_engine is False
+    assert Environment(strict_engine=True).strict_engine is True
+
+
+def test_bandwidth_point_threads_strict_engine():
+    from repro.apps.pingpong import bandwidth_point
+
+    with pytest.raises(EngineError, match="strict_engine"):
+        bandwidth_point({"system": "cichlid", "nbytes": 1 << 16,
+                         "mode": "pinned", "obs": True,
+                         "engine": "vectorized", "strict_engine": True})
