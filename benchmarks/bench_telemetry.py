@@ -1,0 +1,86 @@
+"""Telemetry overhead: span emission cost and the detached-zero-cost guard.
+
+PR 9's contract is that observability is opt-in: a sweep with no
+Telemetry attached must run exactly as fast as before the telemetry
+layer existed.  These benchmarks time the hot pieces (span emission,
+Prometheus rendering, an instrumented sweep) and pin the contract with
+a tier-1 tripwire comparing detached vs attached single-shot sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.apps.pingpong import bandwidth_point
+from repro.harness.parallel import sweep
+from repro.obs.telemetry import Telemetry, render_prometheus
+
+SPEC = {"system": "cichlid", "nbytes": 1 << 16, "mode": "pinned"}
+
+
+def _emit_spans(telemetry: Telemetry, n: int) -> None:
+    for i in range(n):
+        telemetry.span("queued", "bench-job", i, kind="bench")
+
+
+def test_span_emit_10k(once, tmp_path):
+    """Raw SpanLog throughput: 10k lifecycle spans, JSONL-appended."""
+    telemetry = Telemetry(tmp_path / "telemetry.jsonl")
+    once(_emit_spans, telemetry, 10_000)
+    telemetry.close()
+    assert telemetry.log.stats()["spans_written"] == 10_000
+
+
+def test_prometheus_render(once, tmp_path):
+    """One /metrics scrape over a populated registry."""
+    telemetry = Telemetry(tmp_path / "telemetry.jsonl")
+    for i in range(200):
+        telemetry.job_submitted(f"job-{i % 8}", "bench", 1)
+        telemetry.point_claimed(f"job-{i % 8}", 0, "bench")
+        telemetry.point_running(f"job-{i % 8}", 0, "bench")
+        telemetry.point_done(f"job-{i % 8}", 0, "bench", error=False)
+    body = once(render_prometheus, telemetry, 5, 2, 1, 4,
+                {"hits": 10}, 20)
+    telemetry.close()
+    assert "clmpi_point_latency_seconds" in body
+
+
+def test_sweep_with_telemetry_attached(once, tmp_path):
+    """An instrumented single-point sweep, end to end."""
+    telemetry = Telemetry(tmp_path / "telemetry.jsonl")
+    rows = once(sweep, bandwidth_point, [SPEC], jobs=1,
+                kind="bandwidth", telemetry=telemetry)
+    telemetry.close()
+    assert rows[0]["seconds"] > 0
+
+
+@pytest.mark.telemetry_smoke
+def test_detached_telemetry_is_zero_cost(tmp_path):
+    """Regression tripwire: ``telemetry=None`` must skip every span and
+    histogram.  The attached run does strictly more work (4 spans + a
+    latency observation per point), so best-of-N detached time must not
+    exceed best-of-N attached time beyond a generous noise allowance.
+    """
+
+    def best_of(telemetry_of, reps=3):
+        times = []
+        for r in range(reps):
+            telemetry = telemetry_of(r)
+            t0 = time.perf_counter()
+            rows = sweep(bandwidth_point, [SPEC], jobs=1,
+                         kind="bandwidth", telemetry=telemetry)
+            times.append(time.perf_counter() - t0)
+            if telemetry is not None:
+                telemetry.close()
+            assert rows[0]["seconds"] > 0
+        return min(times)
+
+    best_of(lambda r: None, reps=1)  # warm up imports
+    detached = best_of(lambda r: None)
+    attached = best_of(
+        lambda r: Telemetry(tmp_path / f"telemetry{r}.jsonl"))
+    assert detached <= attached * 1.25, \
+        f"detached sweep regressed: {detached:.4f}s vs " \
+        f"attached {attached:.4f}s"

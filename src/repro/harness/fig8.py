@@ -12,8 +12,9 @@ from typing import Optional
 
 from repro.apps.pingpong import bandwidth_point, bandwidth_specs
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import is_error_record, sweep
-from repro.harness.report import Table, merge_point_reports
+from repro.harness.parallel import is_error_record, measured_sweep
+from repro.harness.report import (Table, merge_point_reports,
+                                  stats_footers)
 from repro.systems import get_system
 
 __all__ = ["run_fig8"]
@@ -31,7 +32,9 @@ def run_fig8(system: str = "cichlid",
              report: Optional[str] = None,
              show_metrics: bool = False,
              ranks: int = 2,
-             engine: str = "coroutine") -> Table:
+             engine: str = "coroutine",
+             measure: Optional[dict] = None,
+             telemetry=None) -> Table:
     """Regenerate Fig 8(a) or 8(b); one row per message size, one column
     per transfer implementation (MB/s).
 
@@ -48,6 +51,13 @@ def run_fig8(system: str = "cichlid",
     engine='vectorized'`` sweeps 1024 concurrent pairs in seconds with
     byte-identical rows (engine and rank count are part of each point's
     cache address).
+
+    ``measure`` (a :class:`~repro.harness.stats.MeasurePolicy` dict,
+    e.g. ``{"max_reps": 5}``) runs every point with adaptive
+    repetitions; the table then grows ``mean ± ci`` footer lines and
+    the JSON/report artifacts carry the ``stats`` records.
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) receives
+    service-format lifecycle spans for every point.
     """
     preset = get_system(system)
     obs = report is not None or show_metrics
@@ -56,8 +66,9 @@ def run_fig8(system: str = "cichlid",
                             pipeline_blocks=blocks, repeats=repeats,
                             faults=faults, obs=obs, ranks=ranks,
                             engine=engine)
-    results = sweep(bandwidth_point, specs, jobs=jobs, cache=cache,
-                    kind="bandwidth")
+    results = measured_sweep(bandwidth_point, specs, measure=measure,
+                             jobs=jobs, cache=cache, kind="bandwidth",
+                             telemetry=telemetry)
     errors = [r for r in results if is_error_record(r)]
     recovered = [r for r in results
                  if not is_error_record(r) and r.get("recovery")]
@@ -85,6 +96,10 @@ def run_fig8(system: str = "cichlid",
         table.add(_size_label(nbytes),
                   *[round(curves[n].get(nbytes, float("nan")), 1)
                     for n in names])
+    for line in stats_footers(
+            results, lambda r: f"{r['mode'] or 'auto'} @ "
+                               f"{_size_label(r['nbytes'])}"):
+        table.add_footer(line)
     if verbose:
         print(table.render())
         if fault_totals:

@@ -10,8 +10,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import is_error_record, sweep
-from repro.harness.report import Table, merge_point_reports
+from repro.harness.parallel import is_error_record, measured_sweep
+from repro.harness.report import (Table, merge_point_reports,
+                                  stats_footers)
 from repro.systems import get_system
 
 __all__ = ["run_fig9"]
@@ -46,7 +47,10 @@ def himeno_point(spec: dict) -> dict:
                      trace=obs, metrics=obs,
                      engine=spec.get("engine", "coroutine"),
                      strict_engine=spec.get("strict_engine", False))
-    row = {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio}
+    # ``seconds`` makes the row measurable: adaptive-repetition jobs
+    # (service --reps, fig9 --reps) sample it for their stats records
+    row = {"gflops": res.gflops, "comp_comm_ratio": res.comp_comm_ratio,
+           "seconds": res.time}
     if obs:
         from repro.obs import build_report
 
@@ -70,7 +74,9 @@ def run_fig9(system: str = "cichlid",
              report: Optional[str] = None,
              show_metrics: bool = False,
              dims: Optional[tuple[int, int, int]] = None,
-             engine: str = "coroutine") -> Table:
+             engine: str = "coroutine",
+             measure: Optional[dict] = None,
+             telemetry=None) -> Table:
     """Regenerate Fig 9(a) or (b): sustained GFLOP/s per implementation.
 
     ``functional=False`` (default) runs timing-only at the paper's M size;
@@ -84,6 +90,11 @@ def run_fig9(system: str = "cichlid",
     engine (byte-identical rows); ``dims`` overrides the grid so node
     counts past M-size's decomposition limit stay valid (mesoscale
     sweeps need ``mi >= 2*nodes + 2``).
+
+    ``measure``/``telemetry`` behave as in
+    :func:`repro.harness.fig8.run_fig8`: adaptive repetitions add
+    ``mean ± ci`` footers, and a Telemetry instance collects
+    service-format lifecycle spans.
     """
     preset = get_system(system)
     obs = report is not None or show_metrics
@@ -106,8 +117,9 @@ def run_fig9(system: str = "cichlid",
     if engine != "coroutine":
         for spec in specs:
             spec["engine"] = engine
-    results = sweep(himeno_point, specs, jobs=jobs, cache=cache,
-                    kind="himeno")
+    results = measured_sweep(himeno_point, specs, measure=measure,
+                             jobs=jobs, cache=cache, kind="himeno",
+                             telemetry=telemetry)
     errors = [r for r in results if is_error_record(r)]
     sub = "a" if preset.name.lower() == "cichlid" else "b"
     table = Table(
@@ -130,6 +142,12 @@ def run_fig9(system: str = "cichlid",
             gain = f"{rel * 100:+.1f}%"
         table.add(n, cell("serial"), cell("hand-optimized"), cell("clmpi"),
                   cell("serial", "comp_comm_ratio"), gain)
+    # himeno rows don't echo their spec, so footer labels come from the
+    # spec list (results stay aligned with specs by the sweep contract)
+    for r, s in zip(results, specs):
+        for line in stats_footers(
+                [r], lambda _: f"{s['impl']} @ {s['nodes']} node(s)"):
+            table.add_footer(line)
     if verbose:
         print(table.render())
         if errors:

@@ -34,8 +34,9 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.harness.cache import ResultCache
 
-__all__ = ["resolve_jobs", "sweep", "is_error_record", "error_record",
-           "PointTimeout", "WorkerDied", "RetryPolicy", "run_reaped",
+__all__ = ["resolve_jobs", "sweep", "measured_sweep",
+           "is_error_record", "error_record", "PointTimeout",
+           "WorkerDied", "RetryPolicy", "run_reaped",
            "compute_with_retry"]
 
 
@@ -66,7 +67,8 @@ def is_error_record(result: Any) -> bool:
 def sweep(worker: Callable[[dict], Any], specs: Sequence[dict],
           jobs: Optional[int] = None,
           cache: Optional[ResultCache] = None,
-          kind: str = "sweep") -> list[Any]:
+          kind: str = "sweep",
+          telemetry=None) -> list[Any]:
     """``[worker(s) for s in specs]``, cached, fanned out, crash-proof.
 
     Cache lookups and stores happen here in the parent — pool workers
@@ -78,7 +80,16 @@ def sweep(worker: Callable[[dict], Any], specs: Sequence[dict],
     A point whose worker raises (or whose pool process dies) comes back
     as an error record instead of aborting the sweep; the figure code
     skips such slots and reports a partial result.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`, or None)
+    receives the same lifecycle spans the sweep service emits — every
+    point goes queued → claimed → running → stored/error, so a serial
+    run, a ``-j N`` run, and a daemon job over the same grid produce
+    the same span *structure*.  ``None`` (the default) is the zero-cost
+    path: not a single extra attribute lookup per point.
     """
+    if telemetry is not None:
+        telemetry.job_submitted("sweep", kind, len(specs))
     results: list[Any] = [None] * len(specs)
     todo: list[int] = []
     for i, spec in enumerate(specs):
@@ -93,14 +104,51 @@ def sweep(worker: Callable[[dict], Any], specs: Sequence[dict],
     if todo:
         pending = [specs[i] for i in todo]
         if njobs <= 1 or len(todo) == 1:
-            computed = [_run_inline(worker, spec) for spec in pending]
+            computed = []
+            for k, spec in enumerate(pending):
+                computed.append(_run_one_traced(
+                    worker, spec, telemetry, kind, todo[k]))
         else:
+            if telemetry is not None:
+                # terminal spans are emitted in spec order below —
+                # completion order inside the pool is a wall-clock
+                # accident the span structure must not record
+                for i in todo:
+                    telemetry.point_claimed("sweep", i, kind)
+                    telemetry.point_running("sweep", i, kind)
             computed = _run_pool(worker, pending, njobs)
+            if telemetry is not None:
+                for i, result in zip(todo, computed):
+                    telemetry.point_done(
+                        "sweep", i, kind,
+                        error=is_error_record(result))
         for i, result in zip(todo, computed):
             if cache is not None and not is_error_record(result):
                 cache.put(kind, specs[i], result)
             results[i] = result
+    if telemetry is not None:
+        todo_set = set(todo)
+        for i, result in enumerate(results):
+            if i not in todo_set:  # warm-cache point: instant lifecycle
+                telemetry.point_claimed("sweep", i, kind)
+                telemetry.point_running("sweep", i, kind)
+                telemetry.point_done("sweep", i, kind,
+                                     error=is_error_record(result))
+        telemetry.job_done("sweep", kind)
     return results
+
+
+def _run_one_traced(worker: Callable[[dict], Any], spec: dict,
+                    telemetry, kind: str, index: int) -> Any:
+    """Inline execution with per-point lifecycle spans."""
+    if telemetry is not None:
+        telemetry.point_claimed("sweep", index, kind)
+        telemetry.point_running("sweep", index, kind)
+    result = _run_inline(worker, spec)
+    if telemetry is not None:
+        telemetry.point_done("sweep", index, kind,
+                             error=is_error_record(result))
+    return result
 
 
 def _run_inline(worker: Callable[[dict], Any], spec: dict) -> Any:
@@ -146,6 +194,72 @@ def _run_isolated(worker: Callable[[dict], Any], spec: dict) -> Any:
             "the interpreter) while computing this point")
     except Exception as exc:
         return error_record(spec, exc)
+
+
+def measured_sweep(worker: Callable[[dict], Any],
+                   specs: Sequence[dict],
+                   measure: Optional[dict] = None,
+                   jobs: Optional[int] = None,
+                   cache: Optional[ResultCache] = None,
+                   kind: str = "sweep",
+                   telemetry=None) -> list[Any]:
+    """:func:`sweep` with Hunold & Carpen-Amarie adaptive repetitions.
+
+    ``measure`` is a :class:`~repro.harness.stats.MeasurePolicy` dict
+    (``min_reps``/``max_reps``/``target_rel_ci``/``confidence``);
+    ``None`` or ``max_reps=1`` delegates straight to :func:`sweep` —
+    the zero-cost single-shot path.  Otherwise each point runs its
+    repetition loop: rep 0 is the bare spec (shared cache address with
+    plain sweeps), later reps are salted via
+    :func:`~repro.harness.stats.rep_spec`, and the final row (plus its
+    embedded ``report``, when present) carries the ``stats`` record —
+    the same shape the sweep service attaches for measured jobs.
+
+    Repetitions of one point run *inside* that point's slot, so the
+    fan-out over points is unchanged; each rep is cached individually
+    and a warm rerun replays the identical samples (determinism: the
+    stats of a rerun are byte-identical).
+    """
+    from repro.harness.stats import (MeasurePolicy, rep_spec, sample_of,
+                                     should_stop, summarize_samples)
+    policy = MeasurePolicy.from_dict(measure)
+    if policy.single_shot:
+        return sweep(worker, specs, jobs=jobs, cache=cache, kind=kind,
+                     telemetry=telemetry)
+
+    results: list[Any] = list(
+        sweep(worker, specs, jobs=jobs, cache=cache, kind=kind,
+              telemetry=telemetry))
+    for i, base in enumerate(results):
+        if is_error_record(base) or sample_of(base) is None:
+            continue  # nothing measurable: deliver the plain row
+        samples = [sample_of(base)]
+        rep = 1
+        while not should_stop(samples, policy):
+            salted = rep_spec(specs[i], rep)
+            result = None
+            if cache is not None:
+                result = cache.get(kind, salted)
+            if result is None:
+                result = _run_inline(worker, salted)
+                if cache is not None and not is_error_record(result):
+                    cache.put(kind, salted, result)
+            if is_error_record(result):
+                break
+            sample = sample_of(result)
+            if sample is None:
+                break
+            samples.append(sample)
+            rep += 1
+        stats = summarize_samples(samples, policy.confidence)
+        final = dict(base)
+        final["stats"] = stats
+        if isinstance(final.get("report"), dict):
+            report = dict(final["report"])
+            report["stats"] = stats
+            final["report"] = report
+        results[i] = final
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -263,7 +377,9 @@ def run_reaped(worker: Callable[[dict], Any], spec: dict,
 
 def compute_with_retry(worker: Callable[[dict], Any], spec: dict,
                        policy: RetryPolicy,
-                       sleep: Callable[[float], None] = time.sleep
+                       sleep: Callable[[float], None] = time.sleep,
+                       on_failure: Optional[
+                           Callable[[str, int, bool], None]] = None
                        ) -> tuple[Any, dict]:
     """Run one point under ``policy``; returns ``(result, meta)``.
 
@@ -274,6 +390,12 @@ def compute_with_retry(worker: Callable[[dict], Any], spec: dict,
     this is the graceful-degradation contract the sweep service builds
     on.  Deterministic worker errors (error records) return on the
     first attempt, unretried.
+
+    ``on_failure(failure, attempt, will_retry)`` — when given — fires
+    after each reaped attempt (``failure`` is ``"timeout"`` or
+    ``"died"``, ``attempt`` is 1-based), letting the caller emit
+    reaped/retried telemetry spans without polling.  Callback errors
+    are swallowed: observability must never change a point's outcome.
     """
     failures: list[str] = []
     for attempt in range(policy.retries + 1):
@@ -285,6 +407,12 @@ def compute_with_retry(worker: Callable[[dict], Any], spec: dict,
             failures.append("died")
         else:
             return result, {"attempts": attempt + 1, "failures": failures}
+        if on_failure is not None:
+            try:
+                on_failure(failures[-1], attempt + 1,
+                           attempt < policy.retries)
+            except Exception:
+                pass
         if attempt < policy.retries:
             delay = policy.delay(attempt)
             if delay > 0:

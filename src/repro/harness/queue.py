@@ -98,8 +98,10 @@ class JobQueue:
     """Journaled, crash-resumable queue of sweep jobs (see module doc).
 
     ``on_event(kind, payload)`` — when set — fires after every recorded
-    transition (``"submit"``, ``"point"``, ``"done"``); the service uses
-    it to stream progress to watching clients.
+    transition (``"submit"``, ``"claim"``, ``"point"``, ``"done"``); the
+    service uses it to stream progress to watching clients and to feed
+    the telemetry span log.  ``"claim"`` is an in-memory event only —
+    claims are deliberately never journaled.
     """
 
     def __init__(self, root: Path):
@@ -198,6 +200,9 @@ class JobQueue:
             job.point_status[index] = _RUNNING
             if job.status == "queued":
                 job.status = "running"
+            kind = job.kind
+        self._emit("claim", {"job": job_id, "index": index,
+                             "kind": kind})
 
     def record_point(self, job_id: str, index: int, result: Any,
                      error: bool, attempts: int) -> None:
@@ -215,8 +220,10 @@ class JobQueue:
             if finished and job.status != "done":
                 self._append({"event": "done", "job": job_id})
                 job.status = "done"
+            kind = job.kind
         self._emit("point", {"job": job_id, "index": index,
-                             "status": status, "attempts": attempts})
+                             "status": status, "attempts": attempts,
+                             "kind": kind})
         if finished:
             self._emit("done", self.jobs[job_id].describe())
 
@@ -238,6 +245,13 @@ class JobQueue:
         with self._lock:
             return [self.jobs[j] for j in self._order
                     if not self.jobs[j].finished]
+
+    def depth(self) -> int:
+        """Points not yet completed across all jobs (the queue-depth
+        gauge ``GET /metrics`` exposes)."""
+        with self._lock:
+            return sum(job.total - job.completed
+                       for job in self.jobs.values())
 
     def _emit(self, kind: str, payload: dict) -> None:
         hook = self.on_event

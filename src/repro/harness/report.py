@@ -5,16 +5,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
-__all__ = ["Table", "format_table", "merge_point_reports"]
+__all__ = ["Table", "format_table", "merge_point_reports",
+           "stats_footers"]
 
 
 @dataclass
 class Table:
-    """A titled table of rows."""
+    """A titled table of rows, plus optional footer lines.
+
+    Footers carry per-figure annotations that are not cells — the
+    measured ``mean ± ci`` statistics lines, above all.  A table with no
+    footers serializes exactly as before (no ``footers`` key), so
+    pre-existing byte-identity artifacts stay valid.
+    """
 
     title: str
     columns: list[str]
     rows: list[list[Any]] = field(default_factory=list)
+    footers: list[str] = field(default_factory=list)
 
     def add(self, *values: Any) -> None:
         if len(values) != len(self.columns):
@@ -23,8 +31,14 @@ class Table:
                 f"got {len(values)}")
         self.rows.append(list(values))
 
+    def add_footer(self, line: str) -> None:
+        self.footers.append(str(line))
+
     def render(self) -> str:
-        return format_table(self.title, self.columns, self.rows)
+        text = format_table(self.title, self.columns, self.rows)
+        if self.footers:
+            text += "\n" + "\n".join(self.footers)
+        return text
 
     def to_json(self) -> str:
         """Canonical JSON (sorted keys, no whitespace).
@@ -34,9 +48,12 @@ class Table:
         """
         import json
 
-        return json.dumps({"title": self.title, "columns": self.columns,
-                           "rows": self.rows},
-                          sort_keys=True, separators=(",", ":"))
+        payload = {"title": self.title, "columns": self.columns,
+                   "rows": self.rows}
+        if self.footers:
+            payload["footers"] = self.footers
+        return json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"))
 
     def to_markdown(self) -> str:
         """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
@@ -45,7 +62,10 @@ class Table:
         body = "\n".join(
             "| " + " | ".join(_fmt(v) for v in row) + " |"
             for row in self.rows)
-        return f"**{self.title}**\n\n{head}\n{sep}\n{body}\n"
+        text = f"**{self.title}**\n\n{head}\n{sep}\n{body}\n"
+        if self.footers:
+            text += "\n" + "\n".join(f"*{f}*" for f in self.footers) + "\n"
+        return text
 
 
 def _fmt(value: Any) -> str:
@@ -95,6 +115,34 @@ def merge_point_reports(rows: Iterable[dict], kind: str,
 
         print(json.dumps(merged.metrics, indent=2, sort_keys=True))
     return merged
+
+
+def stats_footers(rows: Iterable[Any],
+                  label_of) -> list[str]:
+    """``mean ± ci`` footer lines for every measured row of a sweep.
+
+    A row is *measured* when it carries a schema-v2 ``stats`` record
+    (adaptive repetitions ran — see :mod:`repro.harness.stats`);
+    single-shot rows contribute nothing, so unmeasured figures are
+    byte-identical to their pre-stats selves.  ``label_of(row)`` names
+    the point (e.g. ``"pinned @ 4 MiB"``).
+    """
+    from repro.obs.regress import mean_ci_label
+
+    lines: list[str] = []
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        stats = row.get("stats")
+        if not isinstance(stats, dict) or not stats:
+            continue
+        label = mean_ci_label(stats)
+        if label is None:
+            continue
+        confidence = int(round(stats.get("confidence", 0.95) * 100))
+        lines.append(f"measured {label_of(row)}: {label}, "
+                     f"{confidence}% CI")
+    return lines
 
 
 def format_table(title: str, columns: Iterable[str],

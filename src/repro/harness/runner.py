@@ -65,6 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "'vectorized' batches all ranks into NumPy "
                              "lanes (byte-identical results, seconds at "
                              "1k+ ranks); supported by fig8 and fig9")
+    common.add_argument("--reps", type=int, default=None, metavar="MAX",
+                        help="adaptive repetitions per point, up to MAX "
+                             "(Hunold & Carpen-Amarie); table footers "
+                             "and --report gain mean ± ci stats; "
+                             "supported by fig8 and fig9")
+    common.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="append lifecycle spans for every sweep "
+                             "point to this JSONL log (same format as "
+                             "the service's telemetry.jsonl — see "
+                             "docs/observability.md); supported by "
+                             "fig8 and fig9")
 
     sub.add_parser("table1", parents=[common],
                    help="Table I: system specifications")
@@ -176,6 +187,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="the daemon's unix socket")
     st.add_argument("job", nargs="?", default=None,
                     help="job id (default: list all jobs + stats)")
+
+    tp = sub.add_parser("top",
+                        help="live one-screen view of a service daemon "
+                             "(progress bars, ETAs, last errors)")
+    tp.add_argument("--socket", required=True,
+                    help="the daemon's unix socket")
+    tp.add_argument("--interval", type=float, default=1.0,
+                    metavar="SECONDS",
+                    help="refresh period (default 1.0)")
+    tp.add_argument("--once", action="store_true",
+                    help="render a single frame and exit (no ANSI "
+                         "screen clearing; for scripts and tests)")
     return p
 
 
@@ -194,6 +217,25 @@ def _print_cache_stats() -> None:
         per = ", ".join(f"{eng}: {n}"
                         for eng, n in sorted(breakdown.items()))
         print(f"by engine: {per}")
+    _print_telemetry_stats()
+
+
+def _print_telemetry_stats() -> None:
+    """Lifetime span-log counters from the service root's sidecar
+    (``$REPRO_SERVICE_ROOT``, default ``.repro_service``)."""
+    import os
+    from pathlib import Path
+
+    from repro.obs.telemetry import (TELEMETRY_STATS_NAME,
+                                     read_telemetry_stats)
+
+    root = Path(os.environ.get("REPRO_SERVICE_ROOT", ".repro_service"))
+    sidecar = root / TELEMETRY_STATS_NAME
+    if not sidecar.exists():
+        return
+    t = read_telemetry_stats(sidecar)
+    print(f"telemetry: {t['spans_written']} span(s) written, "
+          f"{t['rotations']} log rotation(s) ({sidecar})")
 
 
 def _load_faults(args) -> Optional[dict]:
@@ -234,6 +276,11 @@ def _service_main(args) -> int:
                         store_budget_bytes=args.store_budget)
         service.run_forever()
         return 0
+
+    if args.experiment == "top":
+        from repro.harness.top import run_top
+        return run_top(args.socket, interval_s=args.interval,
+                       once=args.once)
 
     client = ServiceClient(args.socket)
     if args.experiment == "submit":
@@ -284,7 +331,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         _print_cache_stats()
         return 0
     args = build_parser().parse_args(argv)
-    if args.experiment in ("serve", "submit", "status"):
+    if args.experiment in ("serve", "submit", "status", "top"):
         return _service_main(args)
     jobs = getattr(args, "jobs", 1)
     cache = None if getattr(args, "no_cache", False) else ResultCache()
@@ -310,13 +357,30 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"warning: {args.experiment} has no vectorized model; "
               "--engine ignored", file=sys.stderr)
         engine = "coroutine"
+    measure = None
+    if getattr(args, "reps", None) is not None:
+        if args.experiment in ("fig8", "fig9"):
+            measure = {"max_reps": args.reps}
+        else:
+            print(f"warning: {args.experiment} does not support --reps; "
+                  "ignored", file=sys.stderr)
+    telemetry = None
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        if args.experiment in ("fig8", "fig9"):
+            from repro.obs.telemetry import Telemetry
+            telemetry = Telemetry(telemetry_path)
+        else:
+            print(f"warning: {args.experiment} does not support "
+                  "--telemetry; ignored", file=sys.stderr)
     if args.experiment == "table1":
         _write_json(run_table1(), json_path)
     elif args.experiment == "fig8":
         _write_json(run_fig8(system=args.system, repeats=args.repeats,
                              jobs=jobs, cache=cache, faults=faults,
                              report=report, show_metrics=show_metrics,
-                             ranks=args.ranks, engine=engine),
+                             ranks=args.ranks, engine=engine,
+                             measure=measure, telemetry=telemetry),
                     json_path)
     elif args.experiment == "fig9":
         dims = tuple(args.dims) if args.dims else None
@@ -328,7 +392,8 @@ def main(argv: Optional[list[str]] = None) -> int:
                              functional=args.functional,
                              jobs=jobs, cache=cache, faults=faults,
                              report=report, show_metrics=show_metrics,
-                             engine=engine),
+                             engine=engine, measure=measure,
+                             telemetry=telemetry),
                     json_path)
     elif args.experiment == "fig10":
         _write_json(run_fig10(nodes=args.nodes, steps=args.steps,
@@ -370,6 +435,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         run_fig9(system="ricc", jobs=jobs, cache=cache)
         run_fig10(jobs=jobs, cache=cache)
         run_fig4()
+    if telemetry is not None:
+        telemetry.close()
+        print(f"telemetry spans written to {telemetry_path}")
     return 0
 
 

@@ -29,8 +29,12 @@ crash-proof error records) into a long-running *service*:
 Clients speak newline-delimited JSON over a unix socket (every request
 is one object with an ``"op"``; ``watch`` streams one event object per
 line), or minimal HTTP (``POST /jobs``, ``GET /jobs``, ``GET
-/jobs/<id>``, ``GET /jobs/<id>/result``) on the same socket — the
-server sniffs the first bytes.  See ``docs/service.md``.
+/jobs/<id>``, ``GET /jobs/<id>/result``, and Prometheus-format ``GET
+/metrics``) on the same socket — the server sniffs the first bytes.
+Every lifecycle transition also lands in a telemetry span log next to
+the queue journal (:mod:`repro.obs.telemetry`); watch a live daemon
+with ``python -m repro.harness top --socket ...``.  See
+``docs/service.md`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -55,8 +59,16 @@ from repro.harness.parallel import (
 from repro.harness.queue import JobQueue
 from repro.harness.stats import (
     MeasurePolicy,
+    rep_spec,
+    sample_of,
     should_stop,
     summarize_samples,
+)
+from repro.obs.telemetry import (
+    PROM_CONTENT_TYPE,
+    TELEMETRY_LOG_NAME,
+    Telemetry,
+    render_prometheus,
 )
 
 __all__ = ["WORKERS", "SweepService", "ServiceClient", "resolve_worker",
@@ -89,27 +101,6 @@ def _canonical(obj: Any) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def _rep_spec(spec: dict, rep: int) -> dict:
-    """The spec for repetition ``rep`` of a measured point.
-
-    Repetition 0 *is* the bare spec (same content address as any plain
-    sweep, so single runs and measured runs share cache entries).
-    Later repetitions carry a ``"rep"`` salt — and, when the spec
-    injects faults, a shifted fault seed, so the repetitions sample
-    genuinely different fault histories and the variance is real.
-    """
-    if rep == 0:
-        return spec
-    salted = dict(spec)
-    salted["rep"] = rep
-    faults = salted.get("faults")
-    if isinstance(faults, dict) and "seed" in faults:
-        faults = dict(faults)
-        faults["seed"] = int(faults.get("seed") or 0) + rep
-        salted["faults"] = faults
-    return salted
-
-
 class SweepService:
     """The daemon: queue + store + reapable executor (see module doc).
 
@@ -132,6 +123,8 @@ class SweepService:
         self.queue = JobQueue(self.root)
         self.store = SharedStore(self.root / "store",
                                  max_bytes=store_budget_bytes)
+        # lifecycle spans, next to the queue journal (docs/observability.md)
+        self.telemetry = Telemetry(self.root / TELEMETRY_LOG_NAME)
         self.socket_path = socket_path
         self.tcp_port = tcp_port
         self.jobs = max(1, int(jobs))
@@ -185,6 +178,7 @@ class SweepService:
         for t in self._threads:
             t.join(timeout=5.0)
         self._threads.clear()
+        self.telemetry.close()
         self.started = False
 
     def _drop_listeners(self) -> None:
@@ -293,11 +287,28 @@ class SweepService:
             "open_jobs": sum(1 for j in jobs if j["status"] != "done"),
             "inflight_points": inflight,
             "deduped_points": deduped,
+            "queue_depth": self.queue.depth(),
             "workers": self.jobs,
             "store": {"entries": self.store.entry_count(),
                       **self.store.read_stats()},
             "journal_recovered_drops": self.queue.recovered_drops,
+            "telemetry": self.telemetry.log.stats(),
         }
+
+    def prometheus(self) -> str:
+        """The ``GET /metrics`` exposition body — built on demand, so a
+        daemon nobody scrapes never pays for rendering."""
+        with self._lock:
+            inflight = len(self._inflight)
+        jobs = self.queue.list_jobs()
+        return render_prometheus(
+            self.telemetry,
+            queue_depth=self.queue.depth(),
+            inflight=inflight,
+            open_jobs=sum(1 for j in jobs if j["status"] != "done"),
+            workers=self.jobs,
+            store_stats=self.store.read_stats(),
+            store_entries=self.store.entry_count())
 
     # -- dispatch -----------------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -322,8 +333,13 @@ class SweepService:
                         # piggy-back on it instead of burning a slot
                         waiters.append((job.job_id, index))
                         self._deduped += 1
-                        self.queue.claim(job.job_id, index)
-                        continue
+                if waiters is not None:
+                    # claim outside self._lock: claiming emits a queue
+                    # event, and the event fan-out re-takes the lock
+                    self.queue.claim(job.job_id, index)
+                    self.telemetry.point_deduped(job.job_id, index,
+                                                 job.kind)
+                    continue
                 if not self._slots.acquire(blocking=False):
                     return  # every worker slot is busy; resume on wake
                 with self._lock:
@@ -331,8 +347,8 @@ class SweepService:
                 self.queue.claim(job.job_id, index)
                 t = threading.Thread(
                     target=self._run_point,
-                    args=(key, job.kind, job.worker, spec,
-                          dict(job.options)),
+                    args=(key, job.job_id, index, job.kind, job.worker,
+                          spec, dict(job.options)),
                     name=f"svc-point-{job.job_id}-{index}", daemon=True)
                 t.start()
 
@@ -350,11 +366,17 @@ class SweepService:
                                             d.backoff_cap_s)))
 
     # -- point execution ----------------------------------------------------
-    def _run_point(self, key: str, kind: str, worker_path: str,
-                   spec: dict, options: dict) -> None:
+    def _run_point(self, key: str, job_id: str, index: int, kind: str,
+                   worker_path: str, spec: dict,
+                   options: dict) -> None:
+        self.telemetry.point_running(job_id, index, kind)
         try:
-            result, attempts = self._compute(kind, worker_path, spec,
-                                             options)
+            result, attempts = self._compute(
+                kind, worker_path, spec, options,
+                on_failure=lambda failure, attempt, will_retry:
+                    self.telemetry.point_failure(
+                        job_id, index, kind, failure, attempt,
+                        will_retry))
         except Exception as exc:  # defensive: never lose a point
             result = {"sweep_error": {"type": type(exc).__name__,
                                       "message": str(exc), "spec": spec}}
@@ -364,13 +386,15 @@ class SweepService:
         with self._lock:
             waiters = self._inflight.pop(key, [])
         error = is_error_record(result)
-        for job_id, index in waiters:
-            self.queue.record_point(job_id, index, result, error,
+        for job_id_, index_ in waiters:
+            self.queue.record_point(job_id_, index_, result, error,
                                     attempts)
         self._wake.set()
 
     def _compute(self, kind: str, worker_path: str, spec: dict,
-                 options: dict) -> tuple[Any, int]:
+                 options: dict,
+                 on_failure: Optional[Callable] = None
+                 ) -> tuple[Any, int]:
         """One point, through store/reaping/retry — and, when the job
         asks for it, the adaptive-repetition measurement loop."""
         worker = resolve_worker(worker_path)
@@ -379,18 +403,19 @@ class SweepService:
         if measure.single_shot:
             # the zero-cost path: no sampling, no stats arithmetic —
             # exactly a cached compute_with_retry
-            return self._compute_one(kind, worker, spec, policy)
+            return self._compute_one(kind, worker, spec, policy,
+                                     on_failure)
         samples: list[float] = []
         base: Optional[dict] = None
         attempts_total = 0
         rep = 0
         while True:
             result, attempts = self._compute_one(
-                kind, worker, _rep_spec(spec, rep), policy)
+                kind, worker, rep_spec(spec, rep), policy, on_failure)
             attempts_total = max(attempts_total, attempts)
             if is_error_record(result):
                 return result, attempts_total
-            sample = self._sample_of(result)
+            sample = sample_of(result)
             if sample is None:
                 # nothing measurable in this worker's rows: stats are
                 # impossible, deliver the plain result
@@ -411,35 +436,51 @@ class SweepService:
         return final, attempts_total
 
     def _compute_one(self, kind: str, worker, spec: dict,
-                     policy: RetryPolicy) -> tuple[Any, int]:
+                     policy: RetryPolicy,
+                     on_failure: Optional[Callable] = None
+                     ) -> tuple[Any, int]:
         cached = self.store.get(kind, spec)
         if cached is not None:
             return cached, 0
-        result, meta = compute_with_retry(worker, spec, policy)
+        result, meta = compute_with_retry(worker, spec, policy,
+                                          on_failure=on_failure)
         if not is_error_record(result):
             self.store.put(kind, spec, result)
         return result, meta["attempts"]
 
-    @staticmethod
-    def _sample_of(result: Any) -> Optional[float]:
-        """The timing a repetition contributes to the point's stats."""
-        if not isinstance(result, dict):
-            return None
-        for field in ("seconds", "makespan", "time"):
-            value = result.get(field)
-            if isinstance(value, (int, float)) \
-                    and not isinstance(value, bool):
-                return float(value)
-        return None
-
     # -- progress streaming -------------------------------------------------
     def _on_queue_event(self, kind: str, payload: dict) -> None:
+        self._feed_telemetry(kind, payload)
         event = {"event": kind, **payload}
         with self._lock:
             watchers = list(self._watchers)
         for job_filter, watcher in watchers:
             if job_filter is None or payload.get("job") == job_filter:
                 watcher.push(event)
+
+    def _feed_telemetry(self, kind: str, payload: dict) -> None:
+        """Queue transitions → lifecycle spans (docs/observability.md).
+
+        ``running``/``reaped``/``retried``/``deduped`` spans come from
+        the executor directly; everything that flows through the queue
+        is mapped here so the span log and the watch stream can never
+        disagree about what happened.
+        """
+        t = self.telemetry
+        if kind == "submit":
+            t.job_submitted(payload["job"], payload["kind"],
+                            payload["total"])
+        elif kind == "claim":
+            t.point_claimed(payload["job"], payload["index"],
+                            payload["kind"])
+        elif kind == "point":
+            t.point_done(payload["job"], payload["index"],
+                         payload["kind"],
+                         error=payload["status"] == "error",
+                         attempts=payload.get("attempts", 1))
+        elif kind == "done":
+            t.job_done(payload["job"], payload["kind"])
+        t.queue_depth(self.queue.depth())
 
     def _add_watcher(self, job_filter: Optional[str]) -> "_Watcher":
         watcher = _Watcher()
@@ -477,6 +518,9 @@ class SweepService:
                 return {"ok": True, "jobs": self.queue.list_jobs()}
             if op == "stats":
                 return {"ok": True, "stats": self.stats()}
+            if op == "telemetry":
+                return {"ok": True,
+                        "telemetry": self.telemetry.snapshot()}
             if op == "shutdown":
                 threading.Thread(target=self.stop, daemon=True).start()
                 return {"ok": True, "stopping": True}
@@ -601,15 +645,25 @@ class _Handler(socketserver.StreamRequestHandler):
                 except ValueError:
                     length = 0
         body = self.rfile.read(length) if length else b""
+        if method == "GET" and target.rstrip("/") == "/metrics":
+            # Prometheus exposition is text, not JSON — and rendering
+            # happens only here, so an unscraped daemon pays nothing.
+            self._send_http(200, "OK", PROM_CONTENT_TYPE,
+                            service.prometheus().encode())
+            return
         status, payload = self._http_route(service, method,
                                            target.rstrip("/"), body)
         data = (_canonical(payload) + "\n").encode()
         reason = {200: "OK", 400: "Bad Request",
                   404: "Not Found"}.get(status, "OK")
+        self._send_http(status, reason, "application/json", data)
+
+    def _send_http(self, status: int, reason: str, ctype: str,
+                   data: bytes) -> None:
         try:
             self.wfile.write(
                 f"HTTP/1.0 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(data)}\r\n\r\n".encode() + data)
             self.wfile.flush()
         except OSError:
@@ -711,6 +765,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._call({"op": "stats"})["stats"]
+
+    def telemetry(self) -> dict:
+        """The daemon's telemetry snapshot (counters, gauges, per-kind
+        latency histograms, span-log stats)."""
+        return self._call({"op": "telemetry"})["telemetry"]
 
     def shutdown(self) -> None:
         self._call({"op": "shutdown"})

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 __all__ = ["MeasurePolicy", "summarize_samples", "should_stop",
-           "t_critical"]
+           "t_critical", "rep_spec", "sample_of"]
 
 #: two-sided 95 % Student-t critical values by degrees of freedom
 #: (df 1..30; the normal quantile 1.96 serves beyond — the same table
@@ -144,6 +144,45 @@ def summarize_samples(samples: Sequence[float],
         "rel_variance": var / (mean * mean) if mean != 0 else 0.0,
         "confidence": confidence,
     }
+
+
+def rep_spec(spec: dict, rep: int) -> dict:
+    """The spec for repetition ``rep`` of a measured point.
+
+    Repetition 0 *is* the bare spec (same content address as any plain
+    sweep, so single runs and measured runs share cache entries).
+    Later repetitions carry a ``"rep"`` salt — and, when the spec
+    injects faults, a shifted fault seed, so the repetitions sample
+    genuinely different fault histories and the variance is real.
+    """
+    if rep == 0:
+        return spec
+    salted = dict(spec)
+    salted["rep"] = rep
+    faults = salted.get("faults")
+    if isinstance(faults, dict) and "seed" in faults:
+        faults = dict(faults)
+        faults["seed"] = int(faults.get("seed") or 0) + rep
+        salted["faults"] = faults
+    return salted
+
+
+def sample_of(result) -> Optional[float]:
+    """The timing a repetition contributes to a point's stats.
+
+    Workers report their measurement under different names
+    (``seconds`` for bandwidth rows, ``makespan`` for chaos cases,
+    ``time`` for Himeno); the first numeric one wins.  ``None`` means
+    the row carries nothing measurable and stats are impossible.
+    """
+    if not isinstance(result, dict):
+        return None
+    for field in ("seconds", "makespan", "time"):
+        value = result.get(field)
+        if isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            return float(value)
+    return None
 
 
 def should_stop(samples: Sequence[float], policy: MeasurePolicy) -> bool:

@@ -1,0 +1,175 @@
+"""``python -m repro.harness top --socket SOCK`` — live service view.
+
+A self-updating one-screen summary of a running sweep daemon: every
+job's progress bar, queue depth and worker occupancy, per-kind mean
+point latency with an ETA derived from the telemetry histograms, and
+the last few errors seen on the watch stream.  ``--once`` renders a
+single frame and exits (scripts, tests); otherwise the screen refreshes
+every ``--interval`` seconds until Ctrl-C.
+
+Everything shown comes over the daemon's existing protocol (``jobs``,
+``stats``, ``telemetry`` ops and the ``watch`` stream) — ``top`` needs
+no access to the service root directory and works across users.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from repro.harness.service import ServiceClient
+
+__all__ = ["run_top", "render_frame"]
+
+_BAR_WIDTH = 24
+
+
+def _bar(completed: int, total: int) -> str:
+    frac = completed / total if total else 1.0
+    full = int(round(frac * _BAR_WIDTH))
+    return "[" + "#" * full + "." * (_BAR_WIDTH - full) + "]"
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _latency_means(telemetry: dict) -> dict[str, float]:
+    """Per-kind mean point latency (s) from a telemetry snapshot."""
+    counters = telemetry.get("counters", {})
+    means: dict[str, float] = {}
+    prefix = "svc.point_latency_us_sum."
+    for name, total in counters.items():
+        if not name.startswith(prefix):
+            continue
+        kind = name[len(prefix):]
+        count = counters.get(f"svc.point_latency_count.{kind}", 0)
+        if count > 0:
+            means[kind] = (total / count) / 1e6
+    return means
+
+
+def render_frame(jobs: list[dict], stats: dict, telemetry: dict,
+                 errors: list[dict]) -> str:
+    """One screenful of service state (pure function — unit-testable)."""
+    means = _latency_means(telemetry)
+    workers = max(1, stats.get("workers", 1))
+    lines = [
+        f"sweep service  ·  {stats.get('jobs', 0)} job(s), "
+        f"{stats.get('open_jobs', 0)} open  ·  "
+        f"queue depth {stats.get('queue_depth', 0)}  ·  "
+        f"{stats.get('inflight_points', 0)}/{workers} worker slot(s) "
+        f"busy  ·  deduped {stats.get('deduped_points', 0)}",
+        "",
+    ]
+    if not jobs:
+        lines.append("  (no jobs submitted yet)")
+    for job in jobs:
+        total, completed = job["total"], job["completed"]
+        remaining = total - completed
+        mean = means.get(job["kind"])
+        eta = None
+        if job["status"] != "done" and mean is not None and remaining:
+            eta = remaining * mean / workers
+        tail = (f"ETA {_fmt_eta(eta)}" if job["status"] != "done"
+                else "done")
+        err = (f", {job['errors']} err" if job["errors"] else "")
+        retried = (f", {job['retried_points']} retried"
+                   if job.get("retried_points") else "")
+        lines.append(
+            f"  {job['job']}  {_bar(completed, total)} "
+            f"{completed}/{total} {job['kind']}{err}{retried}  {tail}")
+    if means:
+        lines.append("")
+        lines.append("  mean point latency: " + ", ".join(
+            f"{kind} {mean * 1e3:.1f}ms"
+            for kind, mean in sorted(means.items())))
+    log = telemetry.get("log", {})
+    lines.append(
+        f"  telemetry: {log.get('spans_written', 0)} span(s), "
+        f"{log.get('rotations', 0)} rotation(s)  ·  store: "
+        f"{stats.get('store', {}).get('entries', 0)} entries, "
+        f"{stats.get('store', {}).get('hits', 0)} hits")
+    if errors:
+        lines.append("")
+        lines.append("  last errors:")
+        for event in errors:
+            lines.append(f"    {event.get('job')}[{event.get('index')}]"
+                         f" attempt {event.get('attempts', 1)}")
+    return "\n".join(lines)
+
+
+class _ErrorTail:
+    """Collect error-point events from the daemon's watch stream.
+
+    The stream ends whenever any watched job completes, so the thread
+    reconnects until told to stop; errors survive reconnects.
+    """
+
+    def __init__(self, client: ServiceClient, keep: int = 5):
+        self.client = client
+        self.errors: deque = deque(maxlen=keep)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="top-watch", daemon=True)
+
+    def start(self) -> "_ErrorTail":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _on_event(self, event: dict) -> None:
+        if event.get("event") == "point" \
+                and event.get("status") == "error":
+            self.errors.append(event)
+
+    def _loop(self) -> None:
+        stopped = False
+        while not stopped:
+            try:
+                self.client.watch(None, self._on_event, timeout_s=2.0)
+            except Exception:
+                pass
+            stopped = self._stop.wait(0.2)
+
+
+def run_top(socket_path: str, interval_s: float = 1.0,
+            once: bool = False) -> int:
+    """The ``top`` subcommand body; returns the process exit code."""
+    client = ServiceClient(socket_path)
+    try:
+        client.ping()
+    except (OSError, RuntimeError) as exc:
+        print(f"error: no daemon on {socket_path}: {exc}")
+        return 1
+    tail = None if once else _ErrorTail(client).start()
+    try:
+        while True:
+            try:
+                frame = render_frame(
+                    client.jobs(), client.stats(), client.telemetry(),
+                    list(tail.errors) if tail else [])
+            except (OSError, RuntimeError, ConnectionError) as exc:
+                print(f"daemon on {socket_path} went away: {exc}")
+                return 1
+            if once:
+                print(frame)
+                return 0
+            # ANSI clear + home: one stable screenful per refresh
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if tail is not None:
+            tail.stop()

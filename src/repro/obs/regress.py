@@ -1,0 +1,250 @@
+"""CI-aware regression gating between two measurement artifacts.
+
+``python -m repro.obs regress BASELINE.json CURRENT.json`` answers one
+question with an exit code: *did performance regress?*  Two artifact
+families are understood:
+
+* **RunReports** (:class:`~repro.obs.report.RunReport`, schema v1/v2).
+  When both sides carry non-empty schema-v2 ``stats`` the comparison is
+  statistical, per Hunold & Carpen-Amarie: overlapping confidence
+  intervals ⇒ *no change* (the difference is within measurement noise);
+  disjoint intervals ⇒ a directional verdict (regression when current
+  is slower).  Without stats the single-shot ``makespan_s`` values are
+  compared against a relative threshold (default 5 %).
+* **BENCH_*.json trajectories** (the ``benchmarks`` records every PR
+  leaves behind).  Each ``mean_s`` leaf is compared; when a sibling
+  ``variance_s2``/``samples`` pair exists, Student-t CIs are rebuilt
+  from them so the same overlap rule applies; bare means fall back to
+  the threshold rule.
+
+Exit codes mirror ``python -m repro.obs diff``: 0 = no regression,
+1 = regression detected, 2 = invalid/unreadable input.  ``--json``
+emits the full finding list for dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Optional
+
+from repro.obs.report import validate_report
+
+__all__ = ["compare_artifacts", "load_artifact", "RegressError",
+           "DEFAULT_THRESHOLD"]
+
+#: relative slowdown tolerated when no CI information is available
+DEFAULT_THRESHOLD = 0.05
+
+
+class RegressError(ValueError):
+    """An artifact could not be read or recognized (CLI exit code 2)."""
+
+
+def load_artifact(path: str | Path) -> tuple[str, dict]:
+    """Read one artifact and classify it: ``("report" | "bench", data)``.
+
+    A dict with a ``benchmarks`` key is a BENCH_*.json trajectory; a
+    dict with ``schema_version`` + ``makespan_s`` is a RunReport (and is
+    schema-validated).  Anything else raises :class:`RegressError`.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise RegressError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise RegressError(f"{path}: expected a JSON object, "
+                           f"got {type(data).__name__}")
+    if "benchmarks" in data:
+        if not isinstance(data["benchmarks"], dict):
+            raise RegressError(
+                f"{path}: 'benchmarks' must be an object")
+        return "bench", data
+    if "schema_version" in data and "makespan_s" in data:
+        try:
+            validate_report(data)
+        except ValueError as exc:
+            raise RegressError(f"{path}: {exc}") from exc
+        return "report", data
+    raise RegressError(
+        f"{path}: neither a RunReport (schema_version + makespan_s) "
+        "nor a BENCH record (benchmarks)")
+
+
+def _interval_from_stats(stats: dict) -> Optional[tuple[float, float, float]]:
+    """``(mean, lo, hi)`` from a schema-v2 stats record, or ``None``."""
+    if not stats:
+        return None
+    try:
+        return (float(stats["mean_s"]), float(stats["ci_low"]),
+                float(stats["ci_high"]))
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _interval_from_bench(leaf: dict) -> Optional[tuple[float, float, float]]:
+    """Rebuild a 95 % CI from a bench record's mean/variance/samples."""
+    try:
+        mean = float(leaf["mean_s"])
+        var = float(leaf["variance_s2"])
+        n = int(leaf.get("kept", leaf.get("samples", 0)))
+    except (KeyError, TypeError, ValueError):
+        return None
+    if n < 2 or var < 0:
+        return (mean, mean, mean)
+    # Lazy: keeps repro.obs import-time independent of repro.harness
+    # (the harness imports obs lazily for the same layering reason).
+    from repro.harness.stats import t_critical
+    half = t_critical(n - 1, 0.95) * math.sqrt(var / n)
+    return (mean, mean - half, mean + half)
+
+
+def _judge(name: str, base: tuple[float, float, float],
+           cur: tuple[float, float, float],
+           threshold: float) -> dict:
+    """One finding comparing two ``(mean, lo, hi)`` intervals.
+
+    Degenerate intervals (single-shot: lo == mean == hi on both sides)
+    use the relative threshold; otherwise the CI-overlap rule decides.
+    Verdicts: ``no-change`` / ``regression`` / ``improvement``.
+    """
+    b_mean, b_lo, b_hi = base
+    c_mean, c_lo, c_hi = cur
+    delta = ((c_mean - b_mean) / b_mean) if b_mean else 0.0
+    finding = {"metric": name, "baseline_mean_s": b_mean,
+               "current_mean_s": c_mean, "delta_rel": delta}
+    degenerate = (b_lo == b_hi == b_mean) and (c_lo == c_hi == c_mean)
+    if degenerate:
+        finding["method"] = "threshold"
+        if delta > threshold:
+            finding["verdict"] = "regression"
+        elif delta < -threshold:
+            finding["verdict"] = "improvement"
+        else:
+            finding["verdict"] = "no-change"
+        return finding
+    finding["method"] = "ci-overlap"
+    finding["baseline_ci"] = [b_lo, b_hi]
+    finding["current_ci"] = [c_lo, c_hi]
+    if c_lo > b_hi:
+        finding["verdict"] = "regression"
+    elif c_hi < b_lo:
+        finding["verdict"] = "improvement"
+    else:
+        finding["verdict"] = "no-change"
+    return finding
+
+
+def _bench_leaves(data: dict, prefix: str = "") -> dict[str, dict]:
+    """Every dict in the tree that carries a ``mean_s`` key, by path."""
+    leaves: dict[str, dict] = {}
+    for key in sorted(data):
+        value = data[key]
+        if not isinstance(value, dict):
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if "mean_s" in value:
+            leaves[path] = value
+        else:
+            leaves.update(_bench_leaves(value, path))
+    return leaves
+
+
+def compare_artifacts(baseline_path: str | Path,
+                      current_path: str | Path,
+                      threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """The full regression verdict between two artifacts.
+
+    Returns ``{"kind", "findings": [...], "regressions": n,
+    "improvements": n, "verdict": "ok" | "regression"}``.  Raises
+    :class:`RegressError` when either side is unreadable or the two
+    sides are different artifact families.
+    """
+    base_kind, base = load_artifact(baseline_path)
+    cur_kind, cur = load_artifact(current_path)
+    if base_kind != cur_kind:
+        raise RegressError(
+            f"cannot compare a {base_kind} artifact "
+            f"({baseline_path}) against a {cur_kind} artifact "
+            f"({current_path})")
+
+    findings: list[dict] = []
+    if base_kind == "report":
+        b_iv = _interval_from_stats(base.get("stats", {}))
+        c_iv = _interval_from_stats(cur.get("stats", {}))
+        if b_iv is None or c_iv is None:
+            b_mk = float(base["makespan_s"])
+            c_mk = float(cur["makespan_s"])
+            b_iv = (b_mk, b_mk, b_mk)
+            c_iv = (c_mk, c_mk, c_mk)
+        findings.append(_judge("makespan_s", b_iv, c_iv, threshold))
+    else:
+        b_leaves = _bench_leaves(base["benchmarks"])
+        c_leaves = _bench_leaves(cur["benchmarks"])
+        for name in sorted(set(b_leaves) & set(c_leaves)):
+            b_iv = _interval_from_bench(b_leaves[name])
+            c_iv = _interval_from_bench(c_leaves[name])
+            if b_iv is None or c_iv is None:
+                continue
+            findings.append(_judge(name, b_iv, c_iv, threshold))
+        for name in sorted(set(c_leaves) - set(b_leaves)):
+            findings.append({"metric": name, "verdict": "new",
+                             "method": "presence"})
+        for name in sorted(set(b_leaves) - set(c_leaves)):
+            findings.append({"metric": name, "verdict": "removed",
+                             "method": "presence"})
+
+    regressions = sum(1 for f in findings
+                      if f["verdict"] == "regression")
+    improvements = sum(1 for f in findings
+                       if f["verdict"] == "improvement")
+    return {
+        "kind": base_kind,
+        "baseline": str(baseline_path),
+        "current": str(current_path),
+        "threshold": threshold,
+        "findings": findings,
+        "regressions": regressions,
+        "improvements": improvements,
+        "verdict": "regression" if regressions else "ok",
+    }
+
+
+def format_verdict(result: dict) -> str:
+    """Human-readable rendering of :func:`compare_artifacts` output."""
+    lines = [f"{result['baseline']} -> {result['current']} "
+             f"({result['kind']} artifacts)"]
+    for f in result["findings"]:
+        if f["method"] == "presence":
+            lines.append(f"  {f['verdict']:>11}: {f['metric']}")
+            continue
+        mark = {"regression": "!!", "improvement": "ok",
+                "no-change": "=="}[f["verdict"]]
+        detail = (f"{f['baseline_mean_s']:.6g}s -> "
+                  f"{f['current_mean_s']:.6g}s "
+                  f"({f['delta_rel'] * 100:+.1f}%)")
+        if f["method"] == "ci-overlap":
+            b_lo, b_hi = f["baseline_ci"]
+            c_lo, c_hi = f["current_ci"]
+            detail += (f"  CI [{b_lo:.6g}, {b_hi:.6g}] vs "
+                       f"[{c_lo:.6g}, {c_hi:.6g}]")
+        lines.append(f"  {mark} {f['verdict']:>11}: "
+                     f"{f['metric']}  {detail}")
+    lines.append(f"verdict: {result['verdict']} "
+                 f"({result['regressions']} regression(s), "
+                 f"{result['improvements']} improvement(s))")
+    return "\n".join(lines)
+
+
+def mean_ci_label(stats: dict) -> Optional[str]:
+    """``"1.234e-03 ± 5.6e-05 s (n=5)"`` from a stats record, for the
+    figure-table footers; ``None`` when the record is empty/invalid."""
+    iv = _interval_from_stats(stats)
+    if iv is None:
+        return None
+    mean, lo, hi = iv
+    half = (hi - lo) / 2.0
+    n = stats.get("repetitions", 0)
+    return f"{mean:.6g} ± {half:.3g} s (n={n})"

@@ -128,8 +128,22 @@ class RunReport:
 
     @classmethod
     def load(cls, path) -> "RunReport":
-        with open(path) as fh:
-            return cls.from_dict(json.load(fh))
+        """Read and *validate* a report file.
+
+        Corrupt artifacts fail loudly here — with the offending path in
+        the message — instead of deep inside :func:`diff_reports` or a
+        regression gate.  Raises ``ValueError`` for both unparseable
+        JSON and schema violations.
+        """
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except ValueError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+        try:
+            return cls.from_dict(data)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
 
     def save(self, path) -> None:
         with open(path, "w") as fh:

@@ -119,7 +119,8 @@ class TestPartialFigures:
     def test_fig9_renders_error_cells(self, monkeypatch, capsys):
         from repro.harness import fig9
 
-        def fake_sweep(worker, specs, jobs=None, cache=None, kind="x"):
+        def fake_sweep(worker, specs, measure=None, jobs=None,
+                       cache=None, kind="x", telemetry=None):
             out = []
             for spec in specs:
                 if spec["impl"] == "clmpi" and spec["nodes"] == 2:
@@ -129,7 +130,7 @@ class TestPartialFigures:
                     out.append({"gflops": 1.0, "comp_comm_ratio": 2.0})
             return out
 
-        monkeypatch.setattr(fig9, "sweep", fake_sweep)
+        monkeypatch.setattr(fig9, "measured_sweep", fake_sweep)
         table = fig9.run_fig9(system="cichlid", nodes=[1, 2], verbose=True)
         rendered = table.render()
         assert "ERROR" in rendered and "n/a" in rendered
@@ -138,7 +139,8 @@ class TestPartialFigures:
     def test_fig8_skips_errors_and_sums_faults(self, monkeypatch, capsys):
         from repro.harness import fig8
 
-        def fake_sweep(worker, specs, jobs=None, cache=None, kind="x"):
+        def fake_sweep(worker, specs, measure=None, jobs=None,
+                       cache=None, kind="x", telemetry=None):
             out = []
             for spec in specs:
                 if spec["mode"] == "mapped":
@@ -154,7 +156,7 @@ class TestPartialFigures:
                                            "by_kind": {"drop": 2}}})
             return out
 
-        monkeypatch.setattr(fig8, "sweep", fake_sweep)
+        monkeypatch.setattr(fig8, "measured_sweep", fake_sweep)
         table = fig8.run_fig8(system="cichlid", sizes=[1 << 20],
                               pipeline_blocks=[1 << 18], verbose=True)
         out = capsys.readouterr().out

@@ -1,0 +1,275 @@
+"""Observability smoke for the sweep service (``telemetry_smoke``).
+
+The tier-1 gate for PR 9's telemetry layer: a live daemon must serve a
+valid Prometheus ``GET /metrics`` mid-sweep, the span *structure* of a
+sweep must be identical whether it ran serially, under ``-j N``, or
+through the daemon, ``obs regress`` must gate seeded reports by CI
+overlap, the shared store's quarantine counters must agree between the
+daemon and a direct cache, and ``--cache-stats``/``top`` must surface
+the telemetry counters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.apps.pingpong import bandwidth_point
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import measured_sweep, sweep
+from repro.harness.service import ServiceClient, SweepService
+from repro.obs import RunReport
+from repro.obs.__main__ import main as obs_main
+from repro.obs.telemetry import (PROM_CONTENT_TYPE, TELEMETRY_LOG_NAME,
+                                 Telemetry, read_spans, span_structure)
+
+SPECS = [{"system": "cichlid", "nbytes": 1 << (14 + i), "mode": "pinned",
+          "repeats": 2} for i in range(3)]
+
+
+def paced_point(spec: dict) -> dict:
+    """Deterministic worker with a sleep, to hold a sweep mid-flight."""
+    time.sleep(spec.get("sleep_s", 0))
+    return {"i": spec["i"], "seconds": 1e-3 * (spec["i"] + 1)}
+
+
+@pytest.mark.telemetry_smoke
+class TestMetricsEndpoint:
+    def test_scrape_live_daemon_mid_sweep(self, tmp_path):
+        """GET /metrics answers during *and* after a job, with the
+        pinned content type, the queue-depth gauge, and (once points
+        complete) a per-kind latency histogram."""
+        svc = SweepService(tmp_path / "svc", tcp_port=0, jobs=1)
+        svc.start()
+        try:
+            base = f"http://127.0.0.1:{svc.tcp_port}"
+            specs = [{"i": i, "sleep_s": 1.0} for i in range(3)]
+            job = svc.submit("paced", specs, {
+                "worker":
+                    "tests.harness.test_telemetry_service:paced_point"})
+
+            def scrape():
+                resp = urllib.request.urlopen(base + "/metrics",
+                                              timeout=10)
+                return resp.headers["Content-Type"], \
+                    resp.read().decode()
+
+            def depth_of(text: str) -> float:
+                return float([ln for ln in text.splitlines()
+                              if ln.startswith("clmpi_queue_depth ")][0]
+                             .split()[1])
+
+            ctype, body = scrape()
+            assert ctype == PROM_CONTENT_TYPE
+            assert "# TYPE clmpi_queue_depth gauge" in body
+            # the 3-second sweep is still in flight (3 points x 1 s on
+            # one worker slot); scrape until the gauge shows it, bounded
+            # by the sweep's own duration
+            depth = depth_of(body)
+            deadline = time.monotonic() + 30
+            while depth <= 0 and time.monotonic() < deadline \
+                    and svc.queue.depth() > 0:
+                depth = depth_of(scrape()[1])
+            assert depth > 0, "scraped mid-sweep: depth must be > 0"
+
+            out = svc.wait(job["job"], timeout_s=120)
+            assert out["errors"] == 0
+            ctype, body = scrape()
+            assert 'clmpi_points_total{outcome="done"} 3' in body
+            hist = [ln for ln in body.splitlines() if ln.startswith(
+                'clmpi_point_latency_seconds_bucket{kind="paced"')]
+            assert hist and 'le="+Inf"' in hist[-1]
+            counts = [float(ln.rsplit(" ", 1)[1]) for ln in hist]
+            assert counts == sorted(counts) and counts[-1] == 3
+        finally:
+            svc.stop()
+
+
+@pytest.mark.telemetry_smoke
+class TestSpanStructureDeterminism:
+    def test_serial_parallel_and_daemon_agree(self, tmp_path):
+        """The span *structure* (per-point phase sequences) of one grid
+        is a pure function of the sweep — execution strategy must not
+        leak into it."""
+        serial_t = Telemetry(tmp_path / "serial.jsonl")
+        sweep(bandwidth_point, SPECS, jobs=1, kind="bandwidth",
+              telemetry=serial_t)
+        serial_t.close()
+
+        parallel_t = Telemetry(tmp_path / "parallel.jsonl")
+        sweep(bandwidth_point, SPECS, jobs=2, kind="bandwidth",
+              telemetry=parallel_t)
+        parallel_t.close()
+
+        svc = SweepService(tmp_path / "svc",
+                           socket_path=str(tmp_path / "svc.sock"),
+                           jobs=2)
+        svc.start()
+        try:
+            job = svc.submit("bandwidth", [dict(s) for s in SPECS])
+            out = svc.wait(job["job"], timeout_s=120)
+            assert out["errors"] == 0
+        finally:
+            svc.stop()
+
+        serial = span_structure(read_spans(tmp_path / "serial.jsonl"))
+        parallel = span_structure(
+            read_spans(tmp_path / "parallel.jsonl"))
+        daemon = span_structure(
+            read_spans(tmp_path / "svc" / TELEMETRY_LOG_NAME))
+        assert serial == parallel == daemon
+        assert serial["bandwidth"] == ["submit", "done"]
+        for i in range(len(SPECS)):
+            assert serial[f"bandwidth[{i}]"] == \
+                ["queued", "claimed", "running", "stored"]
+
+
+@pytest.mark.telemetry_smoke
+class TestRegressOnSeededReports:
+    def test_same_seed_rerun_is_clean_and_slowdown_gates(
+            self, tmp_path, capsys):
+        """The acceptance pair: ``obs regress`` exits 0 over a same-seed
+        re-run (identical CIs overlap trivially) and non-zero when the
+        current CI sits wholly above the baseline's."""
+        spec = dict(SPECS[0], obs=True)
+        measure = {"min_reps": 3, "max_reps": 3}
+
+        def measured_report() -> dict:
+            (row,) = measured_sweep(bandwidth_point, [spec],
+                                    measure=measure, jobs=1,
+                                    kind="bandwidth")
+            assert row["stats"]["repetitions"] == 3
+            return row["report"]
+
+        base = tmp_path / "base.json"
+        rerun = tmp_path / "rerun.json"
+        RunReport.from_dict(measured_report()).save(base)
+        RunReport.from_dict(measured_report()).save(rerun)
+        assert base.read_bytes() == rerun.read_bytes(), \
+            "same-seed measured reports must be byte-identical"
+        assert obs_main(["regress", str(base), str(rerun)]) == 0
+
+        slowed = json.loads(base.read_text())
+        width = slowed["stats"]["ci_high"] - slowed["stats"]["ci_low"]
+        shift = 10 * (width + abs(slowed["stats"]["mean_s"])) + 1.0
+        for key in ("mean_s", "ci_low", "ci_high"):
+            slowed["stats"][key] += shift
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(slowed))
+        assert obs_main(["regress", str(base), str(slow)]) == 1
+        capsys.readouterr()
+
+
+@pytest.mark.telemetry_smoke
+class TestStoreQuarantineConsistency:
+    def test_daemon_and_direct_cache_count_corruption_alike(
+            self, tmp_path):
+        """A corrupt entry read through the daemon's SharedStore and one
+        read through a plain ResultCache must land in the same counters
+        (``corrupt_deleted``), visible in service stats and /metrics."""
+        spec = {"i": 1}
+        kind = "paced"
+
+        direct = ResultCache(tmp_path / "direct")
+        direct.put(kind, spec, paced_point(spec))
+        direct._path(kind, spec).write_text("{torn entry")
+        assert direct.get(kind, spec) is None
+        direct_stats = direct.read_stats()
+        assert direct_stats["corrupt_deleted"] == 1
+
+        svc = SweepService(tmp_path / "svc", tcp_port=0, jobs=1)
+        svc.start()
+        try:
+            options = {"worker":
+                       "tests.harness.test_telemetry_service:"
+                       "paced_point"}
+            job = svc.submit(kind, [spec], options)
+            assert svc.wait(job["job"], timeout_s=60)["errors"] == 0
+            svc.store._path(kind, spec).write_text("{torn entry")
+            job = svc.submit(kind, [spec], options)
+            assert svc.wait(job["job"], timeout_s=60)["errors"] == 0
+            svc_stats = svc.stats()["store"]
+            assert svc_stats["corrupt_deleted"] == \
+                direct_stats["corrupt_deleted"] == 1
+            assert set(direct_stats) <= set(svc_stats)
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{svc.tcp_port}/metrics",
+                timeout=10).read().decode()
+            assert 'clmpi_store_total{event="corrupt_deleted"} 1' in body
+        finally:
+            svc.stop()
+
+
+@pytest.mark.telemetry_smoke
+class TestCacheStatsAndTop:
+    def test_cache_stats_reports_telemetry_sidecar(self, tmp_path,
+                                                   monkeypatch, capsys):
+        from repro.harness.runner import main as harness_main
+
+        svc = SweepService(tmp_path / "svc", socket_path=None, jobs=1)
+        svc.start()
+        job = svc.submit("bandwidth", [dict(SPECS[0])])
+        assert svc.wait(job["job"], timeout_s=120)["errors"] == 0
+        svc.stop()
+
+        monkeypatch.setenv("REPRO_SERVICE_ROOT", str(tmp_path / "svc"))
+        assert harness_main(["--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "span(s) written" in out
+
+    def test_cache_stats_silent_without_sidecar(self, tmp_path,
+                                                monkeypatch, capsys):
+        from repro.harness.runner import main as harness_main
+
+        monkeypatch.setenv("REPRO_SERVICE_ROOT", str(tmp_path / "empty"))
+        assert harness_main(["--cache-stats"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out
+
+    def test_top_once_renders_live_daemon(self, tmp_path, capsys):
+        from repro.harness.top import run_top
+
+        svc = SweepService(tmp_path / "svc",
+                           socket_path=str(tmp_path / "svc.sock"),
+                           jobs=2)
+        svc.start()
+        try:
+            job = svc.submit("bandwidth", [dict(s) for s in SPECS])
+            assert svc.wait(job["job"], timeout_s=120)["errors"] == 0
+            assert run_top(svc.socket_path, once=True) == 0
+        finally:
+            svc.stop()
+        out = capsys.readouterr().out
+        assert "sweep service" in out
+        assert job["job"] in out
+        assert f"3/3 bandwidth" in out
+
+    def test_top_errors_cleanly_without_daemon(self, tmp_path, capsys):
+        from repro.harness.top import run_top
+
+        assert run_top(str(tmp_path / "gone.sock"), once=True) == 1
+        assert "no daemon" in capsys.readouterr().out
+
+    def test_render_frame_shows_eta_and_errors(self):
+        from repro.harness.top import render_frame
+
+        jobs = [{"job": "job-0001", "kind": "bandwidth", "total": 10,
+                 "completed": 4, "errors": 1, "retried_points": 0,
+                 "status": "running"}]
+        stats = {"jobs": 1, "open_jobs": 1, "queue_depth": 6,
+                 "inflight_points": 2, "workers": 2,
+                 "deduped_points": 0,
+                 "store": {"entries": 4, "hits": 0}}
+        telemetry = {"counters": {
+            "svc.point_latency_us_sum.bandwidth": 4_000_000,
+            "svc.point_latency_count.bandwidth": 4},
+            "log": {"spans_written": 20, "rotations": 0}}
+        errors = [{"job": "job-0001", "index": 7, "attempts": 2}]
+        frame = render_frame(jobs, stats, telemetry, errors)
+        assert "job-0001" in frame and "4/10 bandwidth" in frame
+        assert "ETA 3s" in frame  # 6 remaining x 1s mean / 2 workers
+        assert "bandwidth 1000.0ms" in frame
+        assert "job-0001[7] attempt 2" in frame

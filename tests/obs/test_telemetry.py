@@ -1,0 +1,269 @@
+"""Unit tests for the service telemetry layer (repro.obs.telemetry).
+
+Covers the span log (rotation, sidecar persistence, torn-tail reads),
+the Telemetry lifecycle hub (monotonic durations, deterministic span
+structure, latency accounting), the Prometheus text exposition
+(HELP/TYPE headers, cumulative bucket monotonicity), and the
+Chrome-tracing export.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (PROM_CONTENT_TYPE, SpanLog, Telemetry,
+                                 read_spans, read_telemetry_stats,
+                                 render_prometheus, save_chrome_trace,
+                                 span_structure, spans_to_chrome_trace)
+
+
+def drive_one_job(t: Telemetry) -> None:
+    """A canonical 3-point job: one clean, one retried, one deduped."""
+    t.job_submitted("job-1", "bandwidth", 3)
+    t.point_claimed("job-1", 0, "bandwidth")
+    t.point_running("job-1", 0, "bandwidth")
+    t.point_done("job-1", 0, "bandwidth", error=False)
+    t.point_claimed("job-1", 1, "bandwidth")
+    t.point_failure("job-1", 1, "bandwidth", "PointTimeout",
+                    attempt=1, will_retry=True)
+    t.point_running("job-1", 1, "bandwidth")
+    t.point_done("job-1", 1, "bandwidth", error=False, attempts=2)
+    t.point_deduped("job-1", 2, "bandwidth")
+    t.point_done("job-1", 2, "bandwidth", error=False)
+    t.job_done("job-1", "bandwidth")
+
+
+class TestSpanLog:
+    def test_round_trip_and_sidecar(self, tmp_path):
+        log = SpanLog(tmp_path / "telemetry.jsonl")
+        log.emit({"phase": "submit", "job": "j"})
+        log.emit({"phase": "done", "job": "j"})
+        log.close()
+        spans = read_spans(tmp_path / "telemetry.jsonl")
+        assert [s["phase"] for s in spans] == ["submit", "done"]
+        # close() persists the counters even below the refresh period
+        assert read_telemetry_stats(log.stats_path) == \
+            {"spans_written": 2, "rotations": 0}
+
+    def test_rotation_keeps_one_generation(self, tmp_path):
+        log = SpanLog(tmp_path / "t.jsonl", max_bytes=200)
+        for i in range(50):
+            log.emit({"phase": "queued", "job": "j", "index": i})
+        log.close()
+        assert log.stats()["rotations"] >= 1
+        assert log.rotated_path.exists()
+        # live + rotated files hold valid JSONL; the lifetime counter
+        # covers every span ever written, not just the surviving tail
+        survived = (read_spans(log.path)
+                    + read_spans(log.rotated_path))
+        assert 0 < len(survived) <= 50
+        assert log.stats()["spans_written"] == 50
+
+    def test_counters_survive_restart(self, tmp_path):
+        log = SpanLog(tmp_path / "t.jsonl")
+        for i in range(3):
+            log.emit({"phase": "queued", "job": "j", "index": i})
+        log.close()
+        reborn = SpanLog(tmp_path / "t.jsonl")
+        assert reborn.stats()["spans_written"] == 3
+        reborn.emit({"phase": "done", "job": "j"})
+        reborn.close()
+        assert read_telemetry_stats(reborn.stats_path)[
+            "spans_written"] == 4
+
+    def test_emit_after_close_is_silently_dropped(self, tmp_path):
+        log = SpanLog(tmp_path / "t.jsonl")
+        log.close()
+        log.emit({"phase": "stored", "job": "straggler"})  # must not raise
+        assert log.stats()["spans_written"] == 0
+
+    def test_read_spans_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"phase": "submit", "job": "j"}\n'
+                        '{"phase": "sto')  # torn mid-write
+        assert [s["phase"] for s in read_spans(path)] == ["submit"]
+
+    def test_read_telemetry_stats_missing_or_corrupt(self, tmp_path):
+        zeros = {"spans_written": 0, "rotations": 0}
+        assert read_telemetry_stats(tmp_path / "nope.json") == zeros
+        (tmp_path / "bad.json").write_text("{not json")
+        assert read_telemetry_stats(tmp_path / "bad.json") == zeros
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            SpanLog(tmp_path / "t.jsonl", max_bytes=0)
+
+
+@pytest.fixture
+def telemetry(tmp_path):
+    t = Telemetry(tmp_path / "telemetry.jsonl")
+    yield t
+    t.close()
+
+
+class TestTelemetry:
+    def test_lifecycle_durations_are_monotonic(self, telemetry, tmp_path):
+        drive_one_job(telemetry)
+        telemetry.close()
+        spans = read_spans(tmp_path / "telemetry.jsonl")
+        times = [s["t_ms"] for s in spans]
+        assert times == sorted(times)
+        by_phase = {(s["phase"], s.get("index")): s for s in spans}
+        claimed = by_phase[("claimed", 0)]
+        stored = by_phase[("stored", 0)]
+        assert claimed["queue_ms"] >= 0
+        assert stored["run_ms"] >= 0
+        assert stored["total_ms"] >= stored["run_ms"]
+
+    def test_span_structure_shape(self, telemetry, tmp_path):
+        drive_one_job(telemetry)
+        telemetry.close()
+        structure = span_structure(
+            read_spans(tmp_path / "telemetry.jsonl"))
+        assert structure == {
+            "bandwidth": ["submit", "done"],
+            "bandwidth[0]": ["queued", "claimed", "running", "stored"],
+            "bandwidth[1]": ["queued", "claimed", "reaped", "retried",
+                             "running", "stored"],
+            "bandwidth[2]": ["queued", "deduped", "stored"],
+        }
+
+    def test_counters_and_latency_means(self, telemetry):
+        drive_one_job(telemetry)
+        counters = telemetry.registry.counters
+        assert counters["svc.points.done"] == 3
+        assert counters["svc.points.reaped"] == 1
+        assert counters["svc.points.retried"] == 1
+        assert counters["svc.points.deduped"] == 1
+        assert "svc.points.error" not in counters
+        means = telemetry.latency_means_s()
+        assert set(means) == {"bandwidth"}
+        assert means["bandwidth"] >= 0
+
+    def test_error_points_stay_out_of_latency_histogram(self, telemetry):
+        telemetry.job_submitted("j", "k", 1)
+        telemetry.point_claimed("j", 0, "k")
+        telemetry.point_running("j", 0, "k")
+        telemetry.point_done("j", 0, "k", error=True)
+        assert telemetry.registry.counters["svc.points.error"] == 1
+        assert telemetry.latency_means_s() == {}
+
+    def test_snapshot_carries_log_stats(self, telemetry):
+        drive_one_job(telemetry)
+        snap = telemetry.snapshot()
+        assert snap["log"]["spans_written"] == 15
+        assert "counters" in snap and "histograms" in snap
+
+
+def _parse_prometheus(text: str):
+    """(help, type, samples) maps from an exposition body."""
+    helps, types, samples = {}, {}, []
+    for line in text.strip().splitlines():
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, name, mtype = line.split(" ", 3)
+            types[name] = mtype
+        else:
+            metric, value = line.rsplit(" ", 1)
+            samples.append((metric, float(value)))
+    return helps, types, samples
+
+
+class TestPrometheus:
+    def test_content_type_pins_exposition_version(self):
+        assert PROM_CONTENT_TYPE == \
+            "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_every_family_has_help_and_type(self, telemetry):
+        drive_one_job(telemetry)
+        body = render_prometheus(telemetry, queue_depth=2, inflight=1,
+                                 open_jobs=1, workers=4)
+        helps, types, samples = _parse_prometheus(body)
+        families = {metric.split("{")[0].removesuffix("_bucket")
+                    .removesuffix("_sum").removesuffix("_count")
+                    for metric, _ in samples}
+        for family in families:
+            assert family in helps, f"{family} missing # HELP"
+            assert family in types, f"{family} missing # TYPE"
+        assert types["clmpi_queue_depth"] == "gauge"
+        assert types["clmpi_points_total"] == "counter"
+        assert types["clmpi_point_latency_seconds"] == "histogram"
+
+    def test_gauges_and_outcome_counters(self, telemetry):
+        drive_one_job(telemetry)
+        body = render_prometheus(telemetry, queue_depth=7, inflight=2,
+                                 open_jobs=1, workers=4,
+                                 store_stats={"hits": 5, "misses": 2},
+                                 store_entries=3)
+        _, _, samples = _parse_prometheus(body)
+        values = dict(samples)
+        assert values["clmpi_queue_depth"] == 7
+        assert values["clmpi_worker_slots"] == 4
+        assert values['clmpi_points_total{outcome="done"}'] == 3
+        assert values['clmpi_points_total{outcome="retried"}'] == 1
+        assert values['clmpi_store_total{event="hits"}'] == 5
+        assert values["clmpi_store_entries"] == 3
+        assert values["clmpi_spans_written_total"] == 15
+
+    def test_histogram_buckets_cumulative_and_terminated(self, telemetry):
+        # spread observations over several power-of-two buckets
+        for us in (3, 5, 90, 2000, 2001, 70000):
+            telemetry.registry.observe("svc.point_latency_us.k", us)
+            telemetry.registry.inc("svc.point_latency_us_sum.k", us)
+            telemetry.registry.inc("svc.point_latency_count.k")
+        body = render_prometheus(telemetry)
+        buckets = []
+        for line in body.splitlines():
+            if line.startswith("clmpi_point_latency_seconds_bucket"):
+                le = line.split('le="')[1].split('"')[0]
+                buckets.append((le, float(line.rsplit(" ", 1)[1])))
+        assert buckets, "histogram series missing"
+        assert buckets[-1][0] == "+Inf"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts[-1] == 6
+        edges = [float(le) for le, _ in buckets[:-1]]
+        assert edges == sorted(edges), "le edges must ascend"
+        _, _, samples = _parse_prometheus(body)
+        values = dict(samples)
+        assert values['clmpi_point_latency_seconds_count{kind="k"}'] == 6
+        assert values['clmpi_point_latency_seconds_sum{kind="k"}'] == \
+            pytest.approx((3 + 5 + 90 + 2000 + 2001 + 70000) / 1e6)
+
+    def test_empty_registry_renders_without_histograms(self):
+        body = render_prometheus(None, queue_depth=0)
+        assert "clmpi_queue_depth 0" in body
+        assert "clmpi_point_latency_seconds" not in body
+        assert body.endswith("\n")
+
+
+class TestChromeTrace:
+    def test_jobs_become_threads_and_points_become_slices(
+            self, telemetry, tmp_path):
+        drive_one_job(telemetry)
+        telemetry.close()
+        spans = read_spans(tmp_path / "telemetry.jsonl")
+        events = spans_to_chrome_trace(spans)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in meta] == ["job-1"]
+        slices = [e for e in events if e["ph"] == "X"]
+        # each of the 3 points renders a queued slice + a terminal slice
+        assert len(slices) == 6
+        assert all(e["dur"] >= 0 for e in slices)
+        instants = {e["name"] for e in events if e["ph"] == "i"}
+        assert instants == {"bandwidth[1] reaped", "bandwidth[1] retried",
+                            "bandwidth[2] deduped"}
+
+    def test_save_chrome_trace_is_loadable_json(self, telemetry,
+                                                tmp_path):
+        drive_one_job(telemetry)
+        telemetry.close()
+        spans = read_spans(tmp_path / "telemetry.jsonl")
+        out = tmp_path / "trace.json"
+        save_chrome_trace(spans, out)
+        data = json.loads(out.read_text())
+        assert len(data["traceEvents"]) == len(spans_to_chrome_trace(spans))
