@@ -393,6 +393,33 @@ class SharedStore(ResultCache):
                 and self._writes % self.evict_every == 0:
             self.evict()
 
+    def put_if_absent(self, kind: str, spec: dict, result: Any) -> bool:
+        """Store ``result`` unless an entry already exists; returns True
+        when this call created the entry.
+
+        This is the duplicate-completion arbiter for federated sweeps:
+        two agents that raced on a re-queued point both deliver, the
+        first atomic rename-into-place wins, and the loser learns it was
+        a duplicate (the caller records ``duplicate_result`` instead of
+        writing anything).  Entries are content-addressed, so the losing
+        payload is byte-identical and nothing is lost by dropping it.
+        The existence check and the write happen under the entry's
+        advisory lock, so no interleaving can corrupt the entry.
+        """
+        path = self._path(kind, spec)
+        with self._locked(path):
+            try:
+                if path.exists():
+                    return False
+            except OSError:  # pragma: no cover - unreadable shard dir
+                pass
+            super().put(kind, spec, result)
+        self._writes += 1
+        if self.max_bytes is not None \
+                and self._writes % self.evict_every == 0:
+            self.evict()
+        return True
+
     def get(self, kind: str, spec: dict) -> Optional[Any]:
         result = super().get(kind, spec)
         if result is not None:

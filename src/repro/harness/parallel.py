@@ -37,7 +37,7 @@ from repro.harness.cache import ResultCache
 __all__ = ["resolve_jobs", "sweep", "measured_sweep",
            "is_error_record", "error_record", "PointTimeout",
            "WorkerDied", "RetryPolicy", "run_reaped",
-           "compute_with_retry"]
+           "compute_with_retry", "compute_point"]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -425,3 +425,69 @@ def compute_with_retry(worker: Callable[[dict], Any], spec: dict,
     record["sweep_error"]["type"] = \
         "PointTimeout" if failures[-1] == "timeout" else "WorkerDied"
     return record, {"attempts": policy.retries + 1, "failures": failures}
+
+
+def compute_point(worker: Callable[[dict], Any], spec: dict,
+                  policy: RetryPolicy,
+                  measure: Optional[dict] = None,
+                  store=None, kind: str = "sweep",
+                  on_failure: Optional[Callable] = None
+                  ) -> tuple[Any, int]:
+    """One sweep point end-to-end: store lookup, reaped execution with
+    retry/backoff, and — when ``measure`` asks for repetitions — the
+    Hunold & Carpen-Amarie adaptive-measurement loop.
+
+    Returns ``(result, attempts)`` where ``attempts`` is the worst
+    per-rep launch count (0 for a pure store hit).  This is the shared
+    unit of work behind both the sweep service's local executor and the
+    federation agents (:mod:`repro.harness.federation`): the daemon
+    passes its :class:`~repro.harness.cache.SharedStore`, an agent
+    passes ``store=None`` and lets the coordinator arbitrate storage —
+    either way the computed rows are byte-identical.
+    """
+    from repro.harness.stats import (MeasurePolicy, rep_spec, sample_of,
+                                     should_stop, summarize_samples)
+
+    def one(point_spec: dict) -> tuple[Any, int]:
+        if store is not None:
+            cached = store.get(kind, point_spec)
+            if cached is not None:
+                return cached, 0
+        result, meta = compute_with_retry(worker, point_spec, policy,
+                                          on_failure=on_failure)
+        if store is not None and not is_error_record(result):
+            store.put(kind, point_spec, result)
+        return result, meta["attempts"]
+
+    policy_m = MeasurePolicy.from_dict(measure)
+    if policy_m.single_shot:
+        # the zero-cost path: no sampling, no stats arithmetic
+        return one(spec)
+    samples: list[float] = []
+    base: Optional[dict] = None
+    attempts_total = 0
+    rep = 0
+    while True:
+        result, attempts = one(rep_spec(spec, rep))
+        attempts_total = max(attempts_total, attempts)
+        if is_error_record(result):
+            return result, attempts_total
+        sample = sample_of(result)
+        if sample is None:
+            # nothing measurable in this worker's rows: stats are
+            # impossible, deliver the plain result
+            return result, attempts_total
+        if rep == 0:
+            base = result
+        samples.append(sample)
+        rep += 1
+        if should_stop(samples, policy_m):
+            break
+    final = dict(base)
+    stats = summarize_samples(samples, policy_m.confidence)
+    final["stats"] = stats
+    if isinstance(final.get("report"), dict):
+        report = dict(final["report"])
+        report["stats"] = stats
+        final["report"] = report
+    return final, attempts_total

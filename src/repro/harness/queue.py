@@ -8,10 +8,19 @@ killed at any instant — ``kill -9`` included — rebuilds its exact state
 by replaying the file:
 
 * ``{"event": "submit", "job": ..., "kind": ..., "worker": ...,
-  "specs": [...], "options": {...}}``
+  "specs": [...], "options": {...}, "token": ...}``
 * ``{"event": "point", "job": ..., "index": i, "status": "done" |
   "error", "result": ..., "attempts": n}``
 * ``{"event": "done", "job": ...}``
+* ``{"event": "lease", "job": ..., "index": i, "lease": ...,
+  "agent": ..., "deadline": wall}`` — a federation agent's
+  time-bounded claim (grants and renewals both land here)
+* ``{"event": "lease_end", "lease": ..., "why": "done" | "expired" |
+  "abandoned" | "stale"}``
+* ``{"event": "duplicate", "job": ..., "index": i, "agent": ...}`` —
+  a completion that lost the first-write-wins race
+* ``{"event": "snapshot", ...}`` — a compaction checkpoint carrying the
+  whole queue state in one line (see :meth:`JobQueue.compact`)
 
 Completed points carry their full result inline, so a resumed job
 re-delivers byte-identical rows even if the shared store has since
@@ -19,6 +28,23 @@ evicted the entry.  Appends are flushed and fsynced line-by-line; a
 torn final line (the write the crash interrupted) is detected and
 ignored on replay, losing at most the single transition it described —
 which the resumed daemon simply recomputes.
+
+Two claim idioms coexist:
+
+* **Local claims** (:meth:`JobQueue.claim`) are deliberately never
+  journaled — a point the daemon's own executor was running when it
+  died is simply pending again on replay.
+* **Leases** (:meth:`JobQueue.lease`) are journaled with a wall-clock
+  deadline: a federation agent on another process (or host) holds the
+  point, the coordinator re-queues it when the deadline passes without
+  renewal, and a restarted coordinator replays outstanding leases so a
+  surviving agent's completion is neither lost nor double-counted.
+
+The journal is kept bounded by :meth:`JobQueue.compact`: the whole
+state collapses into a single ``snapshot`` line written to a temp file
+and atomically renamed over the journal, so a crash mid-compaction
+leaves the previous journal fully intact.  Compaction runs at startup
+and whenever the journal crosses ``compact_bytes``.
 
 The queue is process-local (one daemon owns one journal) but
 thread-safe: the service's dispatcher, executor threads, and client
@@ -30,16 +56,36 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional
 
-__all__ = ["Job", "JobQueue", "JOURNAL_NAME"]
+__all__ = ["Job", "JobQueue", "Lease", "JOURNAL_NAME"]
 
 JOURNAL_NAME = "journal.jsonl"
 
-#: point states, in lifecycle order
-_PENDING, _RUNNING, _DONE, _ERROR = "pending", "running", "done", "error"
+#: point states, in lifecycle order (``leased`` sits beside ``running``:
+#: the point is held by a federation agent instead of a local slot)
+_PENDING, _LEASED, _RUNNING = "pending", "leased", "running"
+_DONE, _ERROR = "done", "error"
+
+
+@dataclass
+class Lease:
+    """One agent's time-bounded hold on one point."""
+
+    lease_id: str
+    job_id: str
+    index: int
+    agent: str
+    deadline: float  # wall clock (time.time()); survives restarts
+
+    def describe(self) -> dict:
+        return {"lease": self.lease_id, "job": self.job_id,
+                "index": self.index, "agent": self.agent,
+                "deadline": self.deadline}
 
 
 @dataclass
@@ -55,6 +101,7 @@ class Job:
     point_status: list[str] = field(default_factory=list)
     results: list[Any] = field(default_factory=list)
     attempts: list[int] = field(default_factory=list)
+    token: Optional[str] = None     # submit idempotency token
 
     def __post_init__(self):
         n = len(self.specs)
@@ -90,6 +137,8 @@ class Job:
         return {"job": self.job_id, "kind": self.kind,
                 "status": self.status, "total": self.total,
                 "completed": self.completed, "errors": self.errors,
+                "leased": sum(1 for s in self.point_status
+                              if s == _LEASED),
                 "retried_points": sum(1 for a in self.attempts if a > 1),
                 "options": dict(self.options)}
 
@@ -98,26 +147,56 @@ class JobQueue:
     """Journaled, crash-resumable queue of sweep jobs (see module doc).
 
     ``on_event(kind, payload)`` — when set — fires after every recorded
-    transition (``"submit"``, ``"claim"``, ``"point"``, ``"done"``); the
-    service uses it to stream progress to watching clients and to feed
-    the telemetry span log.  ``"claim"`` is an in-memory event only —
-    claims are deliberately never journaled.
+    transition (``"submit"``, ``"claim"``, ``"point"``, ``"done"``,
+    ``"lease"``, ``"lease_end"``, ``"duplicate"``); the service uses it
+    to stream progress to watching clients and to feed the telemetry
+    span log.  ``"claim"`` is an in-memory event only — local claims
+    are deliberately never journaled.
     """
 
-    def __init__(self, root: Path):
+    def __init__(self, root: Path,
+                 compact_bytes: int = 8 << 20):
+        if compact_bytes < 1:
+            raise ValueError(
+                f"compact_bytes must be >= 1, got {compact_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.journal_path = self.root / JOURNAL_NAME
+        self.compact_bytes = compact_bytes
         self.jobs: dict[str, Job] = {}
+        self.leases: dict[str, Lease] = {}
         self._order: list[str] = []          # submission order
+        self._tokens: dict[str, str] = {}    # idempotency token -> job
         self._lock = threading.RLock()
         self._seq = 0
         self.on_event: Optional[Callable[[str, dict], None]] = None
         #: journal lines dropped on replay (torn tail, corruption)
         self.recovered_drops = 0
+        #: leases that passed their deadline and were re-queued
+        self.lease_expirations = 0
+        #: completions that arrived after the point was already done
+        self.duplicate_results = 0
+        #: snapshot-and-truncate passes over the journal
+        self.compactions = 0
+        self._journal_bytes = 0
+        # A crash mid-compaction leaves a stale temp snapshot beside an
+        # intact journal; drop it so a torn snapshot can never be read.
+        try:
+            os.unlink(self._compact_tmp_path)
+        except OSError:
+            pass
         self._replay()
+        if self._journal_bytes > 0:
+            # startup compaction: fold the replayed history into one
+            # snapshot line so restarts never re-pay old replay cost
+            self.compact()
 
     # -- journal ------------------------------------------------------------
+    @property
+    def _compact_tmp_path(self) -> Path:
+        return self.journal_path.with_name(
+            self.journal_path.name + ".compact.tmp")
+
     def _append(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True,
                           separators=(",", ":")) + "\n"
@@ -125,6 +204,9 @@ class JobQueue:
             fh.write(line)
             fh.flush()
             os.fsync(fh.fileno())
+            self._journal_bytes = fh.tell()
+        if self._journal_bytes > self.compact_bytes:
+            self.compact()
 
     def _replay(self) -> None:
         """Rebuild queue state from the journal (daemon restart path)."""
@@ -132,6 +214,7 @@ class JobQueue:
             return
         with open(self.journal_path) as fh:
             for line in fh:
+                self._journal_bytes += len(line.encode())
                 line = line.strip()
                 if not line:
                     continue
@@ -145,25 +228,36 @@ class JobQueue:
                     self.recovered_drops += 1
         # points that were mid-flight when the daemon died have no
         # completion record: they are simply pending again
+        leased = {(lease.job_id, lease.index)
+                  for lease in self.leases.values()}
         for job in self.jobs.values():
             for i, s in enumerate(job.point_status):
                 if s == _RUNNING:
                     job.point_status[i] = _PENDING
+                elif s == _LEASED and (job.job_id, i) not in leased:
+                    # the lease_end line was torn away: re-queue
+                    job.point_status[i] = _PENDING
             if not job.finished and job.status == "done":
                 job.status = "queued"  # journal said done prematurely
+        # leases on points that completed (the point line outlived the
+        # lease_end line) are spent; drop them instead of re-expiring
+        for lease_id, lease in list(self.leases.items()):
+            job = self.jobs.get(lease.job_id)
+            if job is None or \
+                    job.point_status[lease.index] in (_DONE, _ERROR):
+                del self.leases[lease_id]
 
     def _apply(self, record: dict) -> None:
         event = record["event"]
-        if event == "submit":
+        if event == "snapshot":
+            self._apply_snapshot(record)
+        elif event == "submit":
             job = Job(job_id=record["job"], kind=record["kind"],
                       worker=record["worker"],
                       specs=list(record["specs"]),
-                      options=dict(record.get("options") or {}))
-            self.jobs[job.job_id] = job
-            self._order.append(job.job_id)
-            num = job.job_id.rsplit("-", 1)[-1]
-            if num.isdigit():
-                self._seq = max(self._seq, int(num))
+                      options=dict(record.get("options") or {}),
+                      token=record.get("token"))
+            self._register_job(job)
         elif event == "point":
             job = self.jobs[record["job"]]
             i = record["index"]
@@ -172,29 +266,146 @@ class JobQueue:
             job.attempts[i] = int(record.get("attempts", 1))
         elif event == "done":
             self.jobs[record["job"]].status = "done"
+        elif event == "lease":
+            job = self.jobs[record["job"]]
+            i = record["index"]
+            self.leases[record["lease"]] = Lease(
+                lease_id=record["lease"], job_id=record["job"],
+                index=i, agent=record.get("agent", ""),
+                deadline=float(record["deadline"]))
+            if job.point_status[i] == _PENDING:
+                job.point_status[i] = _LEASED
+        elif event == "lease_end":
+            lease = self.leases.pop(record["lease"], None)
+            if record.get("why") == "expired":
+                self.lease_expirations += 1
+            if lease is not None:
+                job = self.jobs.get(lease.job_id)
+                if job is not None and \
+                        job.point_status[lease.index] == _LEASED:
+                    job.point_status[lease.index] = _PENDING
+        elif event == "duplicate":
+            self.duplicate_results += 1
+
+    def _register_job(self, job: Job) -> None:
+        self.jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        if job.token:
+            self._tokens[job.token] = job.job_id
+        num = job.job_id.rsplit("-", 1)[-1]
+        if num.isdigit():
+            self._seq = max(self._seq, int(num))
+
+    # -- compaction ---------------------------------------------------------
+    def _snapshot_record(self) -> dict:
+        return {
+            "event": "snapshot",
+            "jobs": [{"job": j.job_id, "kind": j.kind,
+                      "worker": j.worker, "specs": j.specs,
+                      "options": j.options, "status": j.status,
+                      "point_status": j.point_status,
+                      "results": j.results, "attempts": j.attempts,
+                      "token": j.token}
+                     for j in (self.jobs[job_id]
+                               for job_id in self._order)],
+            "leases": [lease.describe()
+                       for lease in self.leases.values()],
+            "seq": self._seq,
+            "counters": {"lease_expirations": self.lease_expirations,
+                         "duplicate_results": self.duplicate_results,
+                         "recovered_drops": self.recovered_drops},
+        }
+
+    def _apply_snapshot(self, record: dict) -> None:
+        """Load a compaction checkpoint (always the journal's first
+        line when present; later lines replay on top of it)."""
+        self.jobs.clear()
+        self.leases.clear()
+        self._order.clear()
+        self._tokens.clear()
+        for j in record["jobs"]:
+            job = Job(job_id=j["job"], kind=j["kind"],
+                      worker=j["worker"], specs=list(j["specs"]),
+                      options=dict(j.get("options") or {}),
+                      status=j.get("status", "queued"),
+                      point_status=list(j["point_status"]),
+                      results=list(j["results"]),
+                      attempts=list(j["attempts"]),
+                      token=j.get("token"))
+            self._register_job(job)
+        for entry in record.get("leases", []):
+            self.leases[entry["lease"]] = Lease(
+                lease_id=entry["lease"], job_id=entry["job"],
+                index=entry["index"], agent=entry.get("agent", ""),
+                deadline=float(entry["deadline"]))
+        self._seq = max(self._seq, int(record.get("seq", 0)))
+        counters = record.get("counters") or {}
+        self.lease_expirations += int(
+            counters.get("lease_expirations", 0))
+        self.duplicate_results += int(
+            counters.get("duplicate_results", 0))
+        self.recovered_drops += int(counters.get("recovered_drops", 0))
+
+    def compact(self) -> None:
+        """Snapshot-and-truncate the journal (one atomic rename).
+
+        The full queue state — jobs with inline results, outstanding
+        leases, counters — collapses into a single ``snapshot`` line.
+        The new journal is written to a temp file, fsynced, and renamed
+        over the old one, so a crash at any instant leaves either the
+        complete old journal or the complete compacted one; a torn
+        snapshot can only ever exist in the temp file, which startup
+        discards.
+        """
+        with self._lock:
+            line = json.dumps(self._snapshot_record(), sort_keys=True,
+                              separators=(",", ":")) + "\n"
+            tmp = self._compact_tmp_path
+            with open(tmp, "w") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.journal_path)
+            self._journal_bytes = len(line.encode())
+            self.compactions += 1
 
     # -- mutation (all journaled) -------------------------------------------
     def submit(self, kind: str, worker: str, specs: list[dict],
-               options: Optional[dict] = None) -> Job:
-        """Enqueue a sweep; returns the durable :class:`Job`."""
+               options: Optional[dict] = None,
+               token: Optional[str] = None) -> Job:
+        """Enqueue a sweep; returns the durable :class:`Job`.
+
+        ``token`` — a client-supplied idempotency token — makes the
+        submit safe to retry after a dropped reply: a token the journal
+        has already seen returns the existing job instead of enqueuing
+        a second copy.
+        """
         if not specs:
             raise ValueError("a job needs at least one spec")
         with self._lock:
+            if token is not None and token in self._tokens:
+                return self.jobs[self._tokens[token]]
             self._seq += 1
             job = Job(job_id=f"job-{self._seq:06d}", kind=kind,
                       worker=worker, specs=[dict(s) for s in specs],
-                      options=dict(options or {}))
-            self._append({"event": "submit", "job": job.job_id,
-                          "kind": kind, "worker": worker,
-                          "specs": job.specs, "options": job.options})
+                      options=dict(options or {}), token=token)
+            record = {"event": "submit", "job": job.job_id,
+                      "kind": kind, "worker": worker,
+                      "specs": job.specs, "options": job.options}
+            if token is not None:
+                record["token"] = token
+            self._append(record)
             self.jobs[job.job_id] = job
             self._order.append(job.job_id)
+            if token is not None:
+                self._tokens[token] = job.job_id
         self._emit("submit", job.describe())
         return job
 
     def claim(self, job_id: str, index: int) -> None:
-        """Mark one point in-flight (not journaled: a crash while
-        running leaves the point pending on replay, exactly right)."""
+        """Mark one point in-flight locally (not journaled: a crash
+        while running leaves the point pending on replay, exactly
+        right for the single-daemon executor)."""
         with self._lock:
             job = self.jobs[job_id]
             job.point_status[index] = _RUNNING
@@ -203,6 +414,167 @@ class JobQueue:
             kind = job.kind
         self._emit("claim", {"job": job_id, "index": index,
                              "kind": kind})
+
+    # -- leases (the federation claim idiom) --------------------------------
+    def lease(self, job_id: str, index: int, agent: str,
+              ttl_s: float, now: Optional[float] = None) -> Lease:
+        """Grant a journaled, time-bounded hold on one pending point."""
+        now = time.time() if now is None else now
+        with self._lock:
+            job = self.jobs[job_id]
+            if job.point_status[index] != _PENDING:
+                raise ValueError(
+                    f"{job_id}[{index}] is "
+                    f"{job.point_status[index]}, not pending")
+            lease = Lease(lease_id=f"lease-{uuid.uuid4().hex[:12]}",
+                          job_id=job_id, index=index, agent=agent,
+                          deadline=now + ttl_s)
+            self._append({"event": "lease", "job": job_id,
+                          "index": index, "lease": lease.lease_id,
+                          "agent": agent, "deadline": lease.deadline})
+            self.leases[lease.lease_id] = lease
+            job.point_status[index] = _LEASED
+            if job.status == "queued":
+                job.status = "running"
+            kind = job.kind
+        self._emit("lease", {"job": job_id, "index": index,
+                             "kind": kind, "agent": agent,
+                             "lease": lease.lease_id})
+        return lease
+
+    def renew_lease(self, lease_id: str, agent: str, ttl_s: float,
+                    now: Optional[float] = None) -> Lease:
+        """Extend a live lease's deadline (journaled, so a restarted
+        coordinator honours the renewal).  Raises :class:`KeyError` for
+        an unknown/expired lease and :class:`ValueError` when another
+        agent holds it — the caller treats either as "stale"."""
+        now = time.time() if now is None else now
+        with self._lock:
+            lease = self.leases.get(lease_id)
+            if lease is None:
+                raise KeyError(f"unknown or expired lease {lease_id!r}")
+            if lease.agent != agent:
+                raise ValueError(
+                    f"lease {lease_id!r} is held by {lease.agent!r}, "
+                    f"not {agent!r}")
+            lease.deadline = now + ttl_s
+            self._append({"event": "lease", "job": lease.job_id,
+                          "index": lease.index, "lease": lease_id,
+                          "agent": agent, "deadline": lease.deadline})
+            return lease
+
+    def release_lease(self, lease_id: str, why: str) -> Optional[Lease]:
+        """End a lease (``why`` ∈ done/expired/abandoned/stale); a
+        still-open point goes back to pending."""
+        with self._lock:
+            lease = self.leases.pop(lease_id, None)
+            if lease is None:
+                return None
+            self._append({"event": "lease_end", "lease": lease_id,
+                          "why": why})
+            if why == "expired":
+                self.lease_expirations += 1
+            job = self.jobs.get(lease.job_id)
+            requeued = False
+            if job is not None and \
+                    job.point_status[lease.index] == _LEASED:
+                job.point_status[lease.index] = _PENDING
+                requeued = True
+            kind = job.kind if job is not None else "?"
+        self._emit("lease_end", {"job": lease.job_id,
+                                 "index": lease.index, "kind": kind,
+                                 "lease": lease_id, "why": why,
+                                 "agent": lease.agent,
+                                 "requeued": requeued})
+        return lease
+
+    def expire_due_leases(self,
+                          now: Optional[float] = None) -> list[Lease]:
+        """Re-queue every lease whose deadline has passed; returns the
+        expired leases (the coordinator's heartbeat-sweep tick)."""
+        now = time.time() if now is None else now
+        with self._lock:
+            due = [lease_id for lease_id, lease in self.leases.items()
+                   if lease.deadline <= now]
+        expired = []
+        for lease_id in due:
+            lease = self.release_lease(lease_id, "expired")
+            if lease is not None:
+                expired.append(lease)
+        return expired
+
+    def agent_leases(self, agent: str) -> list[Lease]:
+        with self._lock:
+            return [lease for lease in self.leases.values()
+                    if lease.agent == agent]
+
+    def active_leases(self) -> int:
+        with self._lock:
+            return len(self.leases)
+
+    def complete_leased(self, lease_id: str, job_id: str, index: int,
+                        result: Any, error: bool,
+                        attempts: int, agent: str = "") -> str:
+        """Record a (possibly stale) leased completion; returns the
+        disposition:
+
+        * ``"recorded"`` — the lease was live; the point completes.
+        * ``"adopted"`` — the lease had expired but the point is still
+          open (nobody recomputed it yet); the result is valid — the
+          workload is deterministic — so it completes the point within
+          the lease timeout instead of forcing a recompute.
+        * ``"duplicate_result"`` — the point was already completed by
+          someone else; nothing is recorded beyond the duplicate
+          counter.  First write wins, the loser is harmless.
+        """
+        emits: list[tuple[str, dict]] = []
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            lease = self.leases.get(lease_id)
+            lease_live = (lease is not None and lease.job_id == job_id
+                          and lease.index == index)
+            if job.point_status[index] in (_DONE, _ERROR):
+                self._append({"event": "duplicate", "job": job_id,
+                              "index": index, "agent": agent})
+                self.duplicate_results += 1
+                if lease_live:
+                    # e.g. the point was adopted from this agent's
+                    # previous expired lease while a fresh lease raced
+                    self.leases.pop(lease_id, None)
+                    self._append({"event": "lease_end",
+                                  "lease": lease_id, "why": "stale"})
+                emits.append(("duplicate",
+                              {"job": job_id, "index": index,
+                               "kind": job.kind, "agent": agent}))
+                disposition = "duplicate_result"
+            else:
+                if lease_live:
+                    self.leases.pop(lease_id, None)
+                    self._append({"event": "lease_end",
+                                  "lease": lease_id, "why": "done"})
+                    disposition = "recorded"
+                else:
+                    disposition = "adopted"
+                status = _ERROR if error else _DONE
+                self._append({"event": "point", "job": job_id,
+                              "index": index, "status": status,
+                              "result": result, "attempts": attempts})
+                job.point_status[index] = status
+                job.results[index] = result
+                job.attempts[index] = attempts
+                emits.append(("point", {"job": job_id, "index": index,
+                                        "status": status,
+                                        "attempts": attempts,
+                                        "kind": job.kind}))
+                if job.finished and job.status != "done":
+                    self._append({"event": "done", "job": job_id})
+                    job.status = "done"
+                    emits.append(("done", job.describe()))
+        for kind, payload in emits:
+            self._emit(kind, payload)
+        return disposition
 
     def record_point(self, job_id: str, index: int, result: Any,
                      error: bool, attempts: int) -> None:

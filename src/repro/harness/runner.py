@@ -141,7 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also listen on 127.0.0.1:PORT (minimal HTTP "
                          "and JSON-lines; 0 = pick a free port)")
     sv.add_argument("-j", "--jobs", type=int, default=2,
-                    help="concurrent point-worker slots (default 2)")
+                    help="concurrent point-worker slots (default 2; "
+                         "0 = pure coordinator, computes nothing "
+                         "itself and only leases points to federation "
+                         "agents)")
     sv.add_argument("--point-timeout", type=float, default=300.0,
                     metavar="SECONDS",
                     help="wall-clock budget per point attempt before the "
@@ -157,6 +160,39 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="BYTES",
                     help="LRU-evict the shared store beyond this size "
                          "(default: unbounded)")
+    sv.add_argument("--lease-ttl", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="federation lease time-to-live: an agent that "
+                         "does not renew within this window loses the "
+                         "point back to the queue (default 30)")
+    sv.add_argument("--drain-grace", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="on SIGTERM, wait up to this long for in-"
+                         "flight points and live leases before "
+                         "journaling and exiting 0 (default 30)")
+
+    ag = sub.add_parser("agent",
+                        help="run a federation worker agent against a "
+                             "coordinator daemon (docs/service.md, "
+                             "'Federation')")
+    ag.add_argument("--socket", default=None,
+                    help="the coordinator's unix socket")
+    ag.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                    help="the coordinator's TCP address (for agents on "
+                         "other hosts)")
+    ag.add_argument("--name", default=None,
+                    help="stable agent id (default: host+pid); reusing "
+                         "the name across restarts lets the agent "
+                         "reclaim its journaled leases")
+    ag.add_argument("--slots", type=int, default=1,
+                    help="points computed concurrently (default 1)")
+    ag.add_argument("--poll", type=float, default=0.05,
+                    metavar="SECONDS",
+                    help="idle poll interval when the queue is empty "
+                         "(default 0.05)")
+    ag.add_argument("--once", action="store_true",
+                    help="exit when the coordinator's queue is fully "
+                         "drained instead of polling forever")
 
     sm = sub.add_parser("submit",
                         help="submit a sweep to a running service daemon")
@@ -268,14 +304,52 @@ def _service_main(args) -> int:
     from repro.harness.service import ServiceClient, serve
 
     if args.experiment == "serve":
+        import signal
+
         timeout = args.point_timeout if args.point_timeout > 0 else None
         service = serve(args.root, socket_path=args.socket,
                         tcp_port=args.port, jobs=args.jobs,
                         point_timeout_s=timeout, retries=args.retries,
                         backoff_s=args.backoff,
-                        store_budget_bytes=args.store_budget)
+                        store_budget_bytes=args.store_budget,
+                        lease_ttl_s=args.lease_ttl)
+
+        def _graceful(signum, frame):
+            # SIGTERM = graceful drain: stop issuing work, wait
+            # bounded, journal, exit 0 (docs/service.md, "Federation")
+            def _drain_and_stop():
+                service.drain(grace_s=args.drain_grace)
+                service.stop()
+            import threading
+            threading.Thread(target=_drain_and_stop,
+                             daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _graceful)
         service.run_forever()
         return 0
+
+    if args.experiment == "agent":
+        import signal
+        import threading
+
+        from repro.harness.federation import run_agent
+
+        if not args.socket and not args.tcp:
+            raise SystemExit("agent needs --socket or --tcp HOST:PORT")
+        tcp = None
+        if args.tcp:
+            host, _, port = args.tcp.rpartition(":")
+            if not host or not port.isdigit():
+                raise SystemExit(f"bad --tcp address {args.tcp!r}; "
+                                 "expected HOST:PORT")
+            tcp = (host, int(port))
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda s, f: stop.set())
+        summary = run_agent(socket_path=args.socket, tcp=tcp,
+                            name=args.name, slots=args.slots,
+                            poll_s=args.poll, once=args.once,
+                            stop_event=stop, verbose=True)
+        return 0 if summary is not None else 1
 
     if args.experiment == "top":
         from repro.harness.top import run_top
@@ -331,7 +405,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         _print_cache_stats()
         return 0
     args = build_parser().parse_args(argv)
-    if args.experiment in ("serve", "submit", "status", "top"):
+    if args.experiment in ("serve", "agent", "submit", "status", "top"):
         return _service_main(args)
     jobs = getattr(args, "jobs", 1)
     cache = None if getattr(args, "no_cache", False) else ResultCache()

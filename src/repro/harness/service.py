@@ -20,6 +20,11 @@ crash-proof error records) into a long-running *service*:
 * **In-flight deduplication** — identical points submitted by
   different jobs (same content address and measurement policy) compute
   once and deliver everywhere.
+* **Federation** — N worker agents (``python -m repro.harness agent``,
+  :mod:`repro.harness.federation`) drain one coordinator's queue under
+  journaled, time-bounded leases: agent death, partitions, and
+  coordinator restarts all resolve to byte-identical sweep output
+  (see docs/service.md, "Federation").
 * **Statistically sound measurement** — a job may request adaptive
   repetitions (:mod:`repro.harness.stats`); the point's result and its
   RunReport then carry ``stats`` (repetitions, confidence interval,
@@ -42,10 +47,12 @@ from __future__ import annotations
 import importlib
 import json
 import os
+import random
 import socket
 import socketserver
 import threading
 import time
+import uuid
 from multiprocessing import util as mp_util
 from pathlib import Path
 from typing import Any, Callable, Optional
@@ -53,17 +60,11 @@ from typing import Any, Callable, Optional
 from repro.harness.cache import SharedStore
 from repro.harness.parallel import (
     RetryPolicy,
-    compute_with_retry,
+    compute_point,
     is_error_record,
 )
 from repro.harness.queue import JobQueue
-from repro.harness.stats import (
-    MeasurePolicy,
-    rep_spec,
-    sample_of,
-    should_stop,
-    summarize_samples,
-)
+from repro.harness.stats import MeasurePolicy
 from repro.obs.telemetry import (
     PROM_CONTENT_TYPE,
     TELEMETRY_LOG_NAME,
@@ -117,7 +118,9 @@ class SweepService:
                  point_timeout_s: Optional[float] = 300.0,
                  retries: int = 2,
                  backoff_s: float = 0.1,
-                 store_budget_bytes: Optional[int] = None):
+                 store_budget_bytes: Optional[int] = None,
+                 lease_ttl_s: float = 30.0,
+                 agent_timeout_s: Optional[float] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.queue = JobQueue(self.root)
@@ -127,17 +130,28 @@ class SweepService:
         self.telemetry = Telemetry(self.root / TELEMETRY_LOG_NAME)
         self.socket_path = socket_path
         self.tcp_port = tcp_port
-        self.jobs = max(1, int(jobs))
+        # jobs=0 is a pure coordinator: it grants leases to federation
+        # agents but computes nothing itself
+        self.jobs = max(0, int(jobs))
         self.default_policy = RetryPolicy(
             timeout_s=point_timeout_s, retries=retries,
             backoff_s=backoff_s)
+        self.lease_ttl_s = float(lease_ttl_s)
+        #: a registered agent silent this long is reaped from the
+        #: registry (its leases still live until their own deadlines)
+        self.agent_timeout_s = (float(agent_timeout_s)
+                                if agent_timeout_s is not None
+                                else 3.0 * self.lease_ttl_s)
         self._stop = threading.Event()
         self._wake = threading.Event()
+        self._draining = threading.Event()
         self._lock = threading.Lock()
         self._slots = threading.Semaphore(self.jobs)
         #: dedup key -> list of (job_id, index) awaiting that result
         self._inflight: dict[str, list[tuple[str, int]]] = {}
         self._deduped = 0
+        #: agent id -> registry entry (federation; see docs/service.md)
+        self._agents: dict[str, dict] = {}
         self._threads: list[threading.Thread] = []
         self._servers: list[socketserver.BaseServer] = []
         self._watchers: list[tuple[Optional[str], "_Watcher"]] = []
@@ -240,8 +254,14 @@ class SweepService:
 
     # -- job intake ---------------------------------------------------------
     def submit(self, kind: str, specs: list[dict],
-               options: Optional[dict] = None) -> dict:
-        """Accept a sweep; returns the job's status snapshot."""
+               options: Optional[dict] = None,
+               token: Optional[str] = None) -> dict:
+        """Accept a sweep; returns the job's status snapshot.
+
+        ``token`` (client-supplied, optional) makes the call
+        idempotent: a retried submit whose first reply was lost returns
+        the already-enqueued job instead of a second copy.
+        """
         options = dict(options or {})
         worker = options.get("worker") or WORKERS.get(kind)
         if worker is None:
@@ -250,7 +270,8 @@ class SweepService:
                 f"given; built-in kinds: {sorted(WORKERS)}")
         resolve_worker(worker)          # validate before journaling
         MeasurePolicy.from_dict(options.get("measure"))  # validate
-        job = self.queue.submit(kind, worker, specs, options)
+        job = self.queue.submit(kind, worker, specs, options,
+                                token=token)
         self._wake.set()
         return job.describe()
 
@@ -292,14 +313,34 @@ class SweepService:
             "store": {"entries": self.store.entry_count(),
                       **self.store.read_stats()},
             "journal_recovered_drops": self.queue.recovered_drops,
+            "journal_compactions": self.queue.compactions,
             "telemetry": self.telemetry.log.stats(),
+            "draining": self._draining.is_set(),
+            "agents": self.agent_table(),
+            "leases_active": self.queue.active_leases(),
+            "lease_expirations": self.queue.lease_expirations,
+            "duplicate_results": self.queue.duplicate_results,
         }
+
+    def agent_table(self) -> list[dict]:
+        """Per-agent rows for ``stats()`` and the ``top`` view."""
+        now = time.monotonic()
+        with self._lock:
+            entries = [(agent, dict(entry))
+                       for agent, entry in sorted(self._agents.items())]
+        return [{"agent": agent, "host": entry["host"],
+                 "pid": entry["pid"], "slots": entry["slots"],
+                 "leases": len(self.queue.agent_leases(agent)),
+                 "points": entry["points"],
+                 "last_seen_s": round(now - entry["last_seen"], 3)}
+                for agent, entry in entries]
 
     def prometheus(self) -> str:
         """The ``GET /metrics`` exposition body — built on demand, so a
         daemon nobody scrapes never pays for rendering."""
         with self._lock:
             inflight = len(self._inflight)
+            agents = len(self._agents)
         jobs = self.queue.list_jobs()
         return render_prometheus(
             self.telemetry,
@@ -308,7 +349,11 @@ class SweepService:
             open_jobs=sum(1 for j in jobs if j["status"] != "done"),
             workers=self.jobs,
             store_stats=self.store.read_stats(),
-            store_entries=self.store.entry_count())
+            store_entries=self.store.entry_count(),
+            agents=agents,
+            leases_active=self.queue.active_leases(),
+            lease_expirations=self.queue.lease_expirations,
+            duplicate_results=self.queue.duplicate_results)
 
     # -- dispatch -----------------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -317,9 +362,31 @@ class SweepService:
                 self._wake.clear()
             if self._stop.is_set():
                 return
+            self._expire_leases()
+            self._reap_agents()
             self._schedule_pending()
 
+    def _expire_leases(self) -> None:
+        """Re-queue every lease whose deadline passed unrenewed — the
+        agent died, was partitioned away, or is simply too slow; the
+        point becomes pending again and anyone may pick it up."""
+        self.queue.expire_due_leases(time.time())
+
+    def _reap_agents(self) -> None:
+        """Forget agents silent past ``agent_timeout_s`` (registry
+        hygiene only — their leases expire on their own deadlines)."""
+        now = time.monotonic()
+        with self._lock:
+            lost = [agent for agent, entry in self._agents.items()
+                    if now - entry["last_seen"] > self.agent_timeout_s]
+            for agent in lost:
+                del self._agents[agent]
+        for agent in lost:
+            self.telemetry.agent_lost(agent, "heartbeat")
+
     def _schedule_pending(self) -> None:
+        if self._draining.is_set():
+            return  # drain: finish in-flight work, start nothing new
         for job in self.queue.open_jobs():
             for index in job.pending_indices():
                 if self._stop.is_set():
@@ -396,57 +463,220 @@ class SweepService:
                  on_failure: Optional[Callable] = None
                  ) -> tuple[Any, int]:
         """One point, through store/reaping/retry — and, when the job
-        asks for it, the adaptive-repetition measurement loop."""
-        worker = resolve_worker(worker_path)
-        policy = self._retry_policy(options)
-        measure = MeasurePolicy.from_dict(options.get("measure"))
-        if measure.single_shot:
-            # the zero-cost path: no sampling, no stats arithmetic —
-            # exactly a cached compute_with_retry
-            return self._compute_one(kind, worker, spec, policy,
-                                     on_failure)
-        samples: list[float] = []
-        base: Optional[dict] = None
-        attempts_total = 0
-        rep = 0
-        while True:
-            result, attempts = self._compute_one(
-                kind, worker, rep_spec(spec, rep), policy, on_failure)
-            attempts_total = max(attempts_total, attempts)
-            if is_error_record(result):
-                return result, attempts_total
-            sample = sample_of(result)
-            if sample is None:
-                # nothing measurable in this worker's rows: stats are
-                # impossible, deliver the plain result
-                return result, attempts_total
-            if rep == 0:
-                base = result
-            samples.append(sample)
-            rep += 1
-            if should_stop(samples, measure):
-                break
-        final = dict(base)
-        stats = summarize_samples(samples, measure.confidence)
-        final["stats"] = stats
-        if isinstance(final.get("report"), dict):
-            report = dict(final["report"])
-            report["stats"] = stats
-            final["report"] = report
-        return final, attempts_total
+        asks for it, the adaptive-repetition measurement loop.  The
+        same :func:`~repro.harness.parallel.compute_point` the
+        federation agents run, with this daemon's store attached."""
+        return compute_point(resolve_worker(worker_path), spec,
+                             self._retry_policy(options),
+                             measure=options.get("measure"),
+                             store=self.store, kind=kind,
+                             on_failure=on_failure)
 
-    def _compute_one(self, kind: str, worker, spec: dict,
-                     policy: RetryPolicy,
-                     on_failure: Optional[Callable] = None
-                     ) -> tuple[Any, int]:
-        cached = self.store.get(kind, spec)
-        if cached is not None:
-            return cached, 0
-        result, meta = compute_with_retry(worker, spec, policy,
-                                          on_failure=on_failure)
-        if not is_error_record(result):
-            self.store.put(kind, spec, result)
-        return result, meta["attempts"]
+    # -- federation (coordinator side; see docs/service.md) -----------------
+    def drain(self, grace_s: float = 30.0) -> dict:
+        """Graceful shutdown, phase one: stop scheduling and leasing,
+        wait (bounded) for in-flight points and live leases to finish,
+        compact the journal.  The caller then :meth:`stop`\\ s and exits
+        0; anything still open is journaled and resumes on restart.
+        """
+        self._draining.set()
+        deadline = time.monotonic() + max(0.0, grace_s)
+        while time.monotonic() < deadline:
+            self.queue.expire_due_leases(time.time())
+            with self._lock:
+                inflight = len(self._inflight)
+            if inflight == 0 and self.queue.active_leases() == 0:
+                break
+            time.sleep(0.05)
+        self.queue.compact()
+        with self._lock:
+            inflight = len(self._inflight)
+        leases = self.queue.active_leases()
+        return {"drained": inflight == 0 and leases == 0,
+                "inflight": inflight, "leases_active": leases}
+
+    def agent_register(self, name: Optional[str], host: str,
+                       pid: int, slots: int) -> dict:
+        """Admit (or re-admit) a federation agent.
+
+        The agent id is client-stable — ``name`` when given, else
+        derived from host+pid — so an agent reconnecting after a
+        partition or a coordinator restart is recognised as the owner
+        of its journaled leases.
+        """
+        agent = name or f"agent-{host}-{pid}"
+        with self._lock:
+            fresh = agent not in self._agents
+            self._agents[agent] = {"host": host, "pid": int(pid),
+                                   "slots": max(1, int(slots)),
+                                   "points": self._agents.get(
+                                       agent, {}).get("points", 0),
+                                   "last_seen": time.monotonic()}
+        if fresh:
+            self.telemetry.agent_registered(agent)
+        return {"agent": agent, "lease_ttl": self.lease_ttl_s,
+                "heartbeat": self.lease_ttl_s / 3.0,
+                "draining": self._draining.is_set()}
+
+    def agent_heartbeat(self, agent: str,
+                        leases: Optional[list[str]] = None) -> dict:
+        """Keep the agent alive and renew every lease it still holds.
+
+        Returns the coordinator's ``draining`` flag and the subset of
+        the agent's claimed ``leases`` that are stale here (expired and
+        possibly re-issued).  A stale lease's eventual completion is
+        still accepted and arbitrated first-write-wins; the list just
+        tells the agent to stop counting on those leases.
+        """
+        with self._lock:
+            entry = self._agents.get(agent)
+            if entry is not None:
+                entry["last_seen"] = time.monotonic()
+        if entry is None:
+            # coordinator restarted (or reaped us): the agent must
+            # re-register; its journaled leases survive under its id
+            return {"known": False, "stale": list(leases or []),
+                    "draining": self._draining.is_set()}
+        now = time.time()
+        held = {lease.lease_id
+                for lease in self.queue.agent_leases(agent)}
+        stale = []
+        for lease_id in leases or []:
+            if lease_id in held:
+                try:
+                    self.queue.renew_lease(lease_id, agent,
+                                           self.lease_ttl_s, now=now)
+                except (KeyError, ValueError):
+                    stale.append(lease_id)
+            else:
+                stale.append(lease_id)
+        return {"known": True, "stale": stale,
+                "draining": self._draining.is_set()}
+
+    def agent_claim(self, agent: str, max_leases: int = 1) -> dict:
+        """Grant up to ``max_leases`` time-bounded leases on pending
+        points (the federation analogue of :meth:`_schedule_pending`).
+
+        Store hits short-circuit: a single-shot point whose result is
+        already content-addressed completes immediately instead of
+        burning an agent round-trip.  Measured (multi-repetition)
+        points always lease — their merged stats live only in the
+        journal, never under the bare spec key, so the store can't
+        answer for them.
+        """
+        with self._lock:
+            entry = self._agents.get(agent)
+            if entry is not None:
+                entry["last_seen"] = time.monotonic()
+        if entry is None:
+            return {"known": False, "leases": [],
+                    "draining": self._draining.is_set()}
+        granted: list[dict] = []
+        if self._draining.is_set() or self._stop.is_set():
+            return {"known": True, "leases": [], "draining": True}
+        for job in self.queue.open_jobs():
+            for index in job.pending_indices():
+                if len(granted) >= max(1, int(max_leases)):
+                    break
+                spec = job.specs[index]
+                key = self._dedup_key(job.kind, spec, job.options)
+                with self._lock:
+                    waiters = self._inflight.get(key)
+                    if waiters is not None:
+                        # this daemon is already computing an identical
+                        # point locally: piggy-back, don't lease
+                        waiters.append((job.job_id, index))
+                        self._deduped += 1
+                if waiters is not None:
+                    self.queue.claim(job.job_id, index)
+                    self.telemetry.point_deduped(job.job_id, index,
+                                                 job.kind)
+                    continue
+                measure = MeasurePolicy.from_dict(
+                    job.options.get("measure"))
+                if measure.single_shot:
+                    cached = self.store.get(job.kind, spec)
+                    if cached is not None:
+                        self.queue.claim(job.job_id, index)
+                        self.queue.record_point(
+                            job.job_id, index, cached,
+                            error=is_error_record(cached), attempts=0)
+                        continue
+                try:
+                    lease = self.queue.lease(job.job_id, index, agent,
+                                             self.lease_ttl_s)
+                except ValueError:
+                    # the local dispatcher (or another agent's claim
+                    # request) took this point between our snapshot and
+                    # the grant: skip it
+                    continue
+                policy = self._retry_policy(job.options)
+                granted.append({
+                    "lease": lease.lease_id, "job": job.job_id,
+                    "index": index, "kind": job.kind,
+                    "worker": job.worker, "spec": spec,
+                    "measure": job.options.get("measure"),
+                    "policy": {"timeout_s": policy.timeout_s,
+                               "retries": policy.retries,
+                               "backoff_s": policy.backoff_s,
+                               "backoff_cap_s": policy.backoff_cap_s},
+                    "deadline": lease.deadline})
+            if len(granted) >= max(1, int(max_leases)):
+                break
+        return {"known": True, "leases": granted, "draining": False}
+
+    def agent_complete(self, agent: str, lease_id: str, job_id: str,
+                       index: int, result: Any, attempts: int) -> dict:
+        """Accept a leased point's result; first write wins.
+
+        Dispositions (see :meth:`JobQueue.complete_leased`):
+        ``recorded`` (live lease), ``adopted`` (lease expired, point
+        still open — the deterministic result is taken rather than
+        recomputed), ``duplicate_result`` (point already done; only the
+        counter moves).  Successful single-shot results also land in
+        the shared store via :meth:`SharedStore.put_if_absent` — the
+        content-address arbiter that makes duplicate completions
+        harmless.
+        """
+        with self._lock:
+            entry = self._agents.get(agent)
+            if entry is not None:
+                entry["last_seen"] = time.monotonic()
+        error = is_error_record(result)
+        job = self.queue.get(job_id)
+        disposition = self.queue.complete_leased(
+            lease_id, job_id, index, result, error,
+            max(1, int(attempts)), agent=agent)
+        stored = False
+        if disposition != "duplicate_result":
+            if entry is not None:
+                with self._lock:
+                    entry["points"] += 1
+            measure = MeasurePolicy.from_dict(
+                job.options.get("measure"))
+            if measure.single_shot and not error:
+                stored = self.store.put_if_absent(
+                    job.kind, job.specs[index], result)
+        self._wake.set()
+        return {"disposition": disposition, "stored": stored}
+
+    def agent_abandon(self, agent: str, lease_id: str) -> dict:
+        """An agent gives a lease back (shutdown, drain, overload);
+        the point returns to pending immediately."""
+        lease = self.queue.release_lease(lease_id, "abandoned")
+        self._wake.set()
+        return {"released": lease is not None}
+
+    def agent_deregister(self, agent: str) -> dict:
+        """Clean agent exit: abandon its leases, forget it."""
+        for lease in self.queue.agent_leases(agent):
+            self.queue.release_lease(lease.lease_id, "abandoned")
+        with self._lock:
+            known = self._agents.pop(agent, None) is not None
+        if known:
+            self.telemetry.agent_lost(agent, "deregistered")
+        self._wake.set()
+        return {"deregistered": known}
 
     # -- progress streaming -------------------------------------------------
     def _on_queue_event(self, kind: str, payload: dict) -> None:
@@ -480,7 +710,23 @@ class SweepService:
                          attempts=payload.get("attempts", 1))
         elif kind == "done":
             t.job_done(payload["job"], payload["kind"])
+        elif kind == "lease":
+            t.point_leased(payload["job"], payload["index"],
+                           payload["kind"], payload.get("agent", "?"))
+        elif kind == "lease_end":
+            if payload.get("why") == "expired":
+                t.lease_expired(payload["job"], payload["index"],
+                                payload["kind"],
+                                payload.get("agent", "?"))
+        elif kind == "duplicate":
+            t.point_duplicate(payload["job"], payload["index"],
+                              payload["kind"],
+                              payload.get("agent", "?"))
         t.queue_depth(self.queue.depth())
+        t.registry.gauge("svc.leases.active",
+                         self.queue.active_leases())
+        with self._lock:
+            t.registry.gauge("svc.agents", len(self._agents))
 
     def _add_watcher(self, job_filter: Optional[str]) -> "_Watcher":
         watcher = _Watcher()
@@ -503,7 +749,41 @@ class SweepService:
                 return {"ok": True,
                         "job": self.submit(request["kind"],
                                            request["specs"],
-                                           request.get("options"))}
+                                           request.get("options"),
+                                           request.get("token"))}
+            if op == "agent.register":
+                return {"ok": True,
+                        **self.agent_register(
+                            request.get("name"),
+                            request.get("host", "?"),
+                            request.get("pid", 0),
+                            request.get("slots", 1))}
+            if op == "agent.heartbeat":
+                return {"ok": True,
+                        **self.agent_heartbeat(
+                            request["agent"],
+                            request.get("leases"))}
+            if op == "agent.claim":
+                return {"ok": True,
+                        **self.agent_claim(request["agent"],
+                                           request.get("max", 1))}
+            if op == "agent.complete":
+                return {"ok": True,
+                        **self.agent_complete(
+                            request["agent"], request["lease"],
+                            request["job"], request["index"],
+                            request.get("result"),
+                            request.get("attempts", 1))}
+            if op == "agent.abandon":
+                return {"ok": True,
+                        **self.agent_abandon(request["agent"],
+                                             request["lease"])}
+            if op == "agent.deregister":
+                return {"ok": True,
+                        **self.agent_deregister(request["agent"])}
+            if op == "drain":
+                return {"ok": True,
+                        **self.drain(request.get("grace", 30.0))}
             if op == "status":
                 return {"ok": True,
                         "job": self.queue.get(
@@ -696,33 +976,85 @@ class _Handler(socketserver.StreamRequestHandler):
 
 
 class ServiceClient:
-    """Talk to a running daemon over its unix socket (JSON lines).
+    """Talk to a running daemon over its unix socket — or TCP — with
+    one JSON-lines connection per request.
 
     One connection per request keeps the client trivial and the failure
     mode clean: a daemon that died mid-request surfaces as
     ``ConnectionError``, and a fresh daemon on the same socket serves
-    the next call.
+    the next call.  With ``retries > 0`` transient transport failures
+    (connection refused during a daemon restart, a broken pipe through
+    a partition) are retried transparently with exponential backoff
+    plus jitter; :meth:`submit` always carries an idempotency token, so
+    a retried submit whose first reply was lost can never double-
+    enqueue the job.
     """
 
-    def __init__(self, socket_path: str, timeout_s: float = 30.0):
-        self.socket_path = socket_path
-        self.timeout_s = timeout_s
+    #: exceptions worth retrying — the daemon is restarting, the socket
+    #: file briefly missing, or the connection died mid-exchange
+    _TRANSIENT = (ConnectionRefusedError, ConnectionResetError,
+                  BrokenPipeError, ConnectionError,
+                  FileNotFoundError, socket.timeout)
 
-    def _call(self, request: dict,
-              timeout_s: Optional[float] = None) -> dict:
-        sock = socket.socket(socket.AF_UNIX)
+    def __init__(self, socket_path: Optional[str] = None,
+                 timeout_s: float = 30.0,
+                 tcp: Optional[tuple[str, int]] = None,
+                 retries: int = 0, backoff_s: float = 0.2,
+                 backoff_cap_s: float = 5.0, jitter: float = 0.25):
+        if socket_path is None and tcp is None:
+            raise ValueError("need a socket_path or a tcp address")
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter = jitter
+
+    def _connect(self, timeout_s: Optional[float]) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX)
+            address: Any = self.socket_path
+        else:
+            sock = socket.socket(socket.AF_INET)
+            address = (self.tcp[0], int(self.tcp[1]))
         sock.settimeout(timeout_s if timeout_s is not None
                         else self.timeout_s)
         try:
-            sock.connect(self.socket_path)
-            sock.sendall(_canonical(request).encode() + b"\n")
-            reply = self._read_line(sock)
-        finally:
+            sock.connect(address)
+        except BaseException:
             sock.close()
+            raise
+        return sock
+
+    def _call(self, request: dict,
+              timeout_s: Optional[float] = None) -> dict:
+        attempt = 0
+        while True:
+            try:
+                reply = self._call_once(request, timeout_s)
+                break
+            except self._TRANSIENT:
+                if attempt >= self.retries:
+                    raise
+                delay = min(self.backoff_cap_s,
+                            self.backoff_s * (2 ** attempt))
+                delay += random.uniform(0, self.jitter * delay)
+                time.sleep(delay)
+                attempt += 1
         if not reply.get("ok", False):
             raise RuntimeError(
                 f"service error: {reply.get('error', reply)}")
         return reply
+
+    def _call_once(self, request: dict,
+                   timeout_s: Optional[float] = None) -> dict:
+        sock = self._connect(timeout_s)
+        try:
+            sock.sendall(_canonical(request).encode() + b"\n")
+            return self._read_line(sock)
+        finally:
+            sock.close()
 
     @staticmethod
     def _read_line(sock: socket.socket) -> dict:
@@ -743,9 +1075,13 @@ class ServiceClient:
         return self._call({"op": "ping"})
 
     def submit(self, kind: str, specs: list[dict],
-               options: Optional[dict] = None) -> dict:
+               options: Optional[dict] = None,
+               token: Optional[str] = None) -> dict:
+        # the idempotency token rides every attempt of this call, so a
+        # retry after a dropped reply returns the same job
         return self._call({"op": "submit", "kind": kind, "specs": specs,
-                           "options": options or {}})["job"]
+                           "options": options or {},
+                           "token": token or uuid.uuid4().hex})["job"]
 
     def status(self, job_id: str) -> dict:
         return self._call({"op": "status", "job": job_id})["job"]
@@ -778,10 +1114,9 @@ class ServiceClient:
               on_event: Callable[[dict], None],
               timeout_s: Optional[float] = None) -> None:
         """Stream the job's progress events; returns when it is done."""
-        sock = socket.socket(socket.AF_UNIX)
+        sock = self._connect(timeout_s)
         sock.settimeout(timeout_s if timeout_s is not None else None)
         try:
-            sock.connect(self.socket_path)
             sock.sendall(_canonical({"op": "watch",
                                      "job": job_id}).encode() + b"\n")
             buf = b""
@@ -819,6 +1154,7 @@ def serve(root: str, socket_path: Optional[str] = None,
           point_timeout_s: Optional[float] = 300.0, retries: int = 2,
           backoff_s: float = 0.1,
           store_budget_bytes: Optional[int] = None,
+          lease_ttl_s: float = 30.0,
           verbose: bool = True) -> SweepService:
     """Build, start, and return a daemon (``python -m repro.harness
     serve`` blocks on it via :meth:`SweepService.run_forever`)."""
@@ -827,7 +1163,8 @@ def serve(root: str, socket_path: Optional[str] = None,
     service = SweepService(
         root, socket_path=socket_path, tcp_port=tcp_port, jobs=jobs,
         point_timeout_s=point_timeout_s, retries=retries,
-        backoff_s=backoff_s, store_budget_bytes=store_budget_bytes)
+        backoff_s=backoff_s, store_budget_bytes=store_budget_bytes,
+        lease_ttl_s=lease_ttl_s)
     service.start()
     if verbose:
         open_jobs = len(service.queue.open_jobs())

@@ -87,6 +87,24 @@ def render_frame(jobs: list[dict], stats: dict, telemetry: dict,
         lines.append(
             f"  {job['job']}  {_bar(completed, total)} "
             f"{completed}/{total} {job['kind']}{err}{retried}  {tail}")
+    agents = stats.get("agents") or []
+    if agents or stats.get("leases_active") \
+            or stats.get("lease_expirations"):
+        lines.append("")
+        drain = "  ·  DRAINING" if stats.get("draining") else ""
+        lines.append(
+            f"  federation: {len(agents)} agent(s), "
+            f"{stats.get('leases_active', 0)} lease(s) active, "
+            f"{stats.get('lease_expirations', 0)} expired, "
+            f"{stats.get('duplicate_results', 0)} duplicate(s)"
+            f"{drain}")
+        for agent in agents:
+            lines.append(
+                f"    {agent['agent']:<24s} {agent['host']}:"
+                f"{agent['pid']}  slots {agent['slots']}  "
+                f"leases {agent['leases']}  "
+                f"points {agent['points']}  "
+                f"seen {agent['last_seen_s']:.1f}s ago")
     if means:
         lines.append("")
         lines.append("  mean point latency: " + ", ".join(

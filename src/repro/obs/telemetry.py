@@ -49,9 +49,13 @@ __all__ = ["SpanLog", "Telemetry", "PROM_CONTENT_TYPE",
 TELEMETRY_LOG_NAME = "telemetry.jsonl"
 TELEMETRY_STATS_NAME = "telemetry_stats.json"
 
-#: lifecycle phases, in order of first possible occurrence
-PHASES = ("submit", "queued", "claimed", "running", "reaped", "retried",
-          "deduped", "stored", "error", "done")
+#: lifecycle phases, in order of first possible occurrence (the
+#: ``agent_*``/``leased``/``lease_expired``/``duplicate`` phases appear
+#: only under federation, so single-daemon span structures are
+#: unchanged)
+PHASES = ("submit", "queued", "claimed", "leased", "running", "reaped",
+          "retried", "deduped", "lease_expired", "duplicate", "stored",
+          "error", "done", "agent_up", "agent_lost")
 
 #: Prometheus text-format content type (exposition format 0.0.4)
 PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -309,6 +313,33 @@ class Telemetry:
             self.registry.inc(f"svc.point_latency_us_sum.{kind}", us)
             self.registry.inc(f"svc.point_latency_count.{kind}")
 
+    # -- federation lifecycle (coordinator-side) ----------------------------
+    def agent_registered(self, agent: str) -> None:
+        self.registry.inc("svc.agents.registered")
+        self.span("agent_up", agent)
+
+    def agent_lost(self, agent: str, why: str) -> None:
+        """An agent deregistered, missed heartbeats, or was reaped."""
+        self.registry.inc("svc.agents.lost")
+        self.span("agent_lost", agent, why=why)
+
+    def point_leased(self, job: str, index: int, kind: str,
+                     agent: str) -> None:
+        self._ensure_queued(job, index, kind)
+        self.span("leased", job, index, kind=kind, agent=agent)
+
+    def lease_expired(self, job: str, index: int, kind: str,
+                      agent: str) -> None:
+        """A lease passed its deadline unrenewed; the point re-queued."""
+        self.registry.inc("svc.leases.expired")
+        self.span("lease_expired", job, index, kind=kind, agent=agent)
+
+    def point_duplicate(self, job: str, index: int, kind: str,
+                        agent: str) -> None:
+        """A completion lost the first-write-wins race (harmless)."""
+        self.registry.inc("svc.points.duplicate")
+        self.span("duplicate", job, index, kind=kind, agent=agent)
+
     def job_done(self, job: str, kind: str) -> None:
         self.span("done", job, kind=kind)
         with self._lock:
@@ -382,12 +413,18 @@ def render_prometheus(telemetry: Optional[Telemetry] = None,
                       queue_depth: int = 0, inflight: int = 0,
                       open_jobs: int = 0, workers: int = 0,
                       store_stats: Optional[Mapping[str, int]] = None,
-                      store_entries: Optional[int] = None) -> str:
+                      store_entries: Optional[int] = None,
+                      agents: int = 0, leases_active: int = 0,
+                      lease_expirations: int = 0,
+                      duplicate_results: int = 0) -> str:
     """The service's ``GET /metrics`` body (Prometheus text format).
 
     Families: ``clmpi_queue_depth`` / ``clmpi_inflight_points`` /
-    ``clmpi_open_jobs`` / ``clmpi_worker_slots`` gauges,
-    ``clmpi_points_total{outcome=...}`` and
+    ``clmpi_open_jobs`` / ``clmpi_worker_slots`` /
+    ``clmpi_workers`` / ``clmpi_leases_active`` gauges,
+    ``clmpi_points_total{outcome=...}``,
+    ``clmpi_lease_expirations_total`` /
+    ``clmpi_duplicate_results_total`` and
     ``clmpi_store_<stat>_total`` counters,
     ``clmpi_spans_written_total`` / ``clmpi_span_log_rotations_total``,
     and one ``clmpi_point_latency_seconds`` histogram per job kind.
@@ -412,6 +449,21 @@ def render_prometheus(telemetry: Optional[Telemetry] = None,
     family("clmpi_worker_slots", "gauge",
            "Concurrent point-worker slots the daemon runs.",
            [f"clmpi_worker_slots {_prom_num(workers)}"])
+    family("clmpi_workers", "gauge",
+           "Federation agents currently registered.",
+           [f"clmpi_workers {_prom_num(agents)}"])
+    family("clmpi_leases_active", "gauge",
+           "Points currently held under a live agent lease.",
+           [f"clmpi_leases_active {_prom_num(leases_active)}"])
+    family("clmpi_lease_expirations_total", "counter",
+           "Leases that passed their deadline unrenewed (point "
+           "re-queued).",
+           [f"clmpi_lease_expirations_total "
+            f"{_prom_num(lease_expirations)}"])
+    family("clmpi_duplicate_results_total", "counter",
+           "Completions that lost the first-write-wins race.",
+           [f"clmpi_duplicate_results_total "
+            f"{_prom_num(duplicate_results)}"])
 
     counters = telemetry.registry.counters if telemetry is not None else {}
     outcome_lines = []
